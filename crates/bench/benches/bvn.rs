@@ -1,0 +1,42 @@
+//! Criterion benches for Birkhoff–von Neumann decomposition — the kernel of
+//! demand-aware scheduling systems the paper compares against (§2).
+
+use aps_bench::workload::random_derangement;
+use aps_matrix::{bvn, DemandMatrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn decompose(c: &mut Criterion) {
+    c.bench_function("bvn_uniform_alltoall_n64", |b| {
+        let d = DemandMatrix::uniform_all_to_all(64, 1.0);
+        b.iter(|| black_box(bvn::decompose(&d, 1e-9).unwrap().terms.len()))
+    });
+
+    c.bench_function("bvn_random_balanced_n32_k16", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 32;
+        let mut d = DemandMatrix::zeros(n);
+        for _ in 0..16 {
+            let m = random_derangement(n, &mut rng);
+            d.add_matching(rng.random_range(0.5..4.0), &m).unwrap();
+        }
+        b.iter(|| black_box(bvn::decompose(&d, 1e-9).unwrap().terms.len()))
+    });
+
+    c.bench_function("bvn_relaxed_sparse_n64", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 64;
+        let mut d = DemandMatrix::zeros(n);
+        for _ in 0..n {
+            let (s, t) = (rng.random_range(0..n), rng.random_range(0..n));
+            if s != t {
+                d.set(s, t, rng.random_range(0.1..1.0)).unwrap();
+            }
+        }
+        b.iter(|| black_box(bvn::decompose_relaxed(&d, 1e-9).unwrap().residual))
+    });
+}
+
+criterion_group!(bvn_benches, decompose);
+criterion_main!(bvn_benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for Figure 1: one benchmark per panel, timing the full
+//! pipeline for a representative grid cell (collective construction → step
+//! table with θ evaluation → DP optimization → pricing of all policies).
+//!
+//! These measure how expensive regenerating each heatmap cell is — i.e. the
+//! runtime cost of the paper's scheduling machinery itself, which §4 flags
+//! as the motivation for fast heuristics.
+
+use aps_bench::figures::{panel, Panel};
+use aps_core::objective::ReconfigAccounting;
+use aps_core::policies::{evaluate_policy, Policy};
+use aps_core::SwitchingProblem;
+use aps_cost::units::MIB;
+use aps_cost::ReconfigModel;
+use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_topology::builders;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_panel(c: &mut Criterion, p: Panel) {
+    let spec = panel(p);
+    let n = 64;
+    let base = builders::ring_unidirectional(n).unwrap();
+    let id = format!("fig1{}_cell_n64_4MiB_10us", spec.panel.letter());
+    c.bench_function(&id, |b| {
+        b.iter(|| {
+            let collective = spec.workload.build(n, 4.0 * MIB).unwrap();
+            let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+            let problem = SwitchingProblem::build(
+                &base,
+                &collective.schedule,
+                &mut cache,
+                spec.params,
+                ReconfigModel::constant(10e-6).unwrap(),
+            )
+            .unwrap();
+            let acc = ReconfigAccounting::PaperConservative;
+            let opt = evaluate_policy(&problem, Policy::Optimal, acc).unwrap();
+            let baseline = if spec.vs_bvn {
+                evaluate_policy(&problem, Policy::AlwaysMatched, acc).unwrap()
+            } else {
+                evaluate_policy(&problem, Policy::StaticBase, acc).unwrap()
+            };
+            black_box(baseline.total_s() / opt.total_s())
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    for p in Panel::ALL {
+        bench_panel(c, p);
+    }
+}
+
+criterion_group!(fig1, benches);
+criterion_main!(fig1);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 2: the best-of-both comparison over a whole
+//! sweep row (all reconfiguration delays at one message size), which is the
+//! unit of work the transitional-regime analysis repeats.
+
+use aps_bench::figures::{panel, run_panel, Panel};
+use aps_core::sweep::{SweepCell, SweepGrid};
+use aps_cost::units::{MIB, MICROS, NANOS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig2_row(c: &mut Criterion) {
+    let spec = panel(Panel::A);
+    let grid = SweepGrid {
+        reconf_delays_s: vec![100.0 * NANOS, MICROS, 10.0 * MICROS, 100.0 * MICROS],
+        message_bytes: vec![4.0 * MIB],
+    };
+    c.bench_function("fig2_best_of_both_row_n64", |b| {
+        b.iter(|| {
+            let result = run_panel(&spec, 64, &grid).unwrap();
+            let v = result.map(SweepCell::speedup_vs_best_of_both);
+            black_box(v)
+        })
+    });
+}
+
+criterion_group!(fig2, fig2_row);
+criterion_main!(fig2);

@@ -1,0 +1,422 @@
+//! Research-agenda ablations (A1–A7 and A9 in DESIGN.md; A8, the multi-port
+//! extension, lives in `aps-core::multiport` and its property tests).
+//!
+//! ```text
+//! cargo run -p aps-bench --release --bin ablations -- <which>
+//! ```
+//!
+//! where `<which>` is one of `heuristic`, `multibase`, `theta-proxy`,
+//! `vardelay`, `overlap`, `sim-validate`, `propagation`, `basetopo`, or `all`.
+
+use aps_bench::figures::{panel, run_panel, Panel};
+use aps_bench::output::write_result;
+use aps_collectives::{allreduce, alltoall, broadcast};
+use aps_core::multibase::build_multibase;
+use aps_core::objective::ReconfigAccounting;
+use aps_core::policies::{evaluate_policy, Policy};
+use aps_core::sweep::{SweepCell, SweepGrid};
+use aps_core::{SwitchSchedule, SwitchingProblem};
+use aps_cost::units::{format_bytes, format_time, MIB, NANOS};
+use aps_cost::{CostParams, ReconfigModel};
+use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_matrix::Matching;
+use aps_sim::{run_collective, ComputeModel, RunConfig};
+use aps_topology::builders;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "heuristic" => heuristic(),
+        "multibase" => multibase(),
+        "theta-proxy" => theta_proxy(),
+        "vardelay" => vardelay(),
+        "overlap" => overlap(),
+        "sim-validate" => sim_validate(),
+        "propagation" => propagation(),
+        "basetopo" => basetopo(),
+        "all" => {
+            heuristic();
+            multibase();
+            theta_proxy();
+            vardelay();
+            overlap();
+            sim_validate();
+            propagation();
+            basetopo();
+        }
+        other => {
+            eprintln!(
+                "unknown ablation '{other}' (expected heuristic | multibase | theta-proxy | \
+                 vardelay | overlap | sim-validate | propagation | basetopo | all)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A1 — threshold heuristic vs exact DP across the Figure-1 grid.
+fn heuristic() {
+    println!("== A1: threshold heuristic optimality gap (n = 64, halving-doubling) ==");
+    let result = run_panel(&panel(Panel::A), 64, &SweepGrid::paper_default())
+        .expect("sweep failed");
+    let gaps = result.map(SweepCell::threshold_gap);
+    let flat: Vec<f64> = gaps.iter().flatten().copied().collect();
+    let worst = flat.iter().cloned().fold(1.0, f64::max);
+    let mean = flat.iter().sum::<f64>() / flat.len() as f64;
+    let exact = flat.iter().filter(|&&g| g <= 1.0 + 1e-6).count();
+    println!(
+        "  cells: {}   heuristic exactly optimal: {}   mean gap: {:.4}x   worst gap: {:.4}x",
+        flat.len(),
+        exact,
+        mean,
+        worst
+    );
+    let csv = aps_core::analysis::to_csv(&result.grid, &gaps);
+    if let Ok(p) = write_result("ablation_heuristic.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A2 — co-prime ring pools vs a single ring base (All-to-All).
+fn multibase() {
+    println!("== A2: multi-base co-prime ring pools (n = 64, All-to-All, 16 MiB) ==");
+    let n = 64;
+    let m = 16.0 * MIB;
+    let c = alltoall::linear_shift(n, m).expect("collective");
+    let ring1 = builders::ring_unidirectional(n).unwrap();
+    let r31 = builders::coprime_rings(n, &[31]).unwrap();
+    let r15 = builders::coprime_rings(n, &[15]).unwrap();
+    let mut csv = String::from("alpha_r_s,pool,completion_s\n");
+    println!("  {:>10} | {:>12} {:>12} {:>12}", "α_r", "{1}", "{1,31}", "{1,15,31}");
+    for alpha_r in [100.0 * NANOS, 1e-6, 1e-5, 1e-4, 1e-3] {
+        let reconfig = ReconfigModel::constant(alpha_r).unwrap();
+        let mut row = Vec::new();
+        for (name, pool) in [
+            ("{1}", vec![&ring1]),
+            ("{1,31}", vec![&ring1, &r31]),
+            ("{1,15,31}", vec![&ring1, &r15, &r31]),
+        ] {
+            let mb = build_multibase(
+                &pool,
+                &c.schedule,
+                CostParams::paper_defaults(),
+                reconfig,
+                ThroughputSolver::ForcedPath,
+                0,
+            )
+            .expect("multibase");
+            let (_, t) = mb.optimize(ReconfigAccounting::PaperConservative).expect("opt");
+            csv.push_str(&format!("{alpha_r},{name},{t}\n"));
+            row.push(t);
+        }
+        println!(
+            "  {:>10} | {:>12.6} {:>12.6} {:>12.6}",
+            format_time(alpha_r),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    if let Ok(p) = write_result("ablation_multibase.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A3 — degree-proxy θ vs exact θ: decision agreement and cost error.
+fn theta_proxy() {
+    println!("== A3: degree-proxy congestion factor vs exact θ (n = 64) ==");
+    let n = 64;
+    let base = builders::ring_unidirectional(n).unwrap();
+    let grid = SweepGrid::paper_default();
+    let mut csv = String::from("workload,agreement,worst_cost_penalty\n");
+    for (name, build) in [
+        ("halving-doubling", allreduce::Algorithm::HalvingDoubling),
+        ("swing", allreduce::Algorithm::Swing),
+    ] {
+        let mut agree = 0usize;
+        let mut cells = 0usize;
+        let mut worst_penalty = 1.0f64;
+        for &m in &grid.message_bytes {
+            let c = build.build(n, m).expect("collective");
+            let mut exact_cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+            let mut proxy_cache = ThetaCache::new(&base, ThroughputSolver::DegreeProxy);
+            for &alpha_r in &grid.reconf_delays_s {
+                let reconfig = ReconfigModel::constant(alpha_r).unwrap();
+                let exact = SwitchingProblem::build(
+                    &base,
+                    &c.schedule,
+                    &mut exact_cache,
+                    CostParams::paper_defaults(),
+                    reconfig,
+                )
+                .expect("problem");
+                let proxy = SwitchingProblem::build(
+                    &base,
+                    &c.schedule,
+                    &mut proxy_cache,
+                    CostParams::paper_defaults(),
+                    reconfig,
+                )
+                .expect("problem");
+                let acc = ReconfigAccounting::PaperConservative;
+                let (sched_exact, cost_exact) = aps_core::dp::optimize(&exact, acc).unwrap();
+                let (sched_proxy, _) = aps_core::dp::optimize(&proxy, acc).unwrap();
+                cells += 1;
+                if sched_exact == sched_proxy {
+                    agree += 1;
+                } else {
+                    // Price the proxy's decisions with the exact θ.
+                    let priced =
+                        aps_core::objective::evaluate(&exact, &sched_proxy, acc).unwrap();
+                    worst_penalty = worst_penalty.max(priced.total_s() / cost_exact.total_s());
+                }
+            }
+        }
+        let pct = 100.0 * agree as f64 / cells as f64;
+        println!(
+            "  {name:>18}: decisions agree {pct:.1}% of cells; worst cost penalty {worst_penalty:.3}x"
+        );
+        csv.push_str(&format!("{name},{pct},{worst_penalty}\n"));
+    }
+    if let Ok(p) = write_result("ablation_theta_proxy.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A4 — per-port-affine reconfiguration delays vs a constant α_r.
+fn vardelay() {
+    println!("== A4: variable (per-port) reconfiguration delay (n = 64, broadcast) ==");
+    let n = 64;
+    let m = 64.0 * MIB;
+    // Binomial broadcast: early steps move 1–2 ports, late steps half the
+    // fabric — exactly where per-port pricing diverges from constant.
+    let c = broadcast::binomial(n, 0, m).expect("collective");
+    let base = builders::ring_unidirectional(n).unwrap();
+    let fixed = 1e-6;
+    let per_port = 200.0 * NANOS;
+    let constant_equiv = fixed + per_port * n as f64;
+    let mut csv = String::from("model,policy,completion_s\n");
+    for (name, reconfig, acc) in [
+        (
+            "constant(worst-case)",
+            ReconfigModel::constant(constant_equiv).unwrap(),
+            ReconfigAccounting::PaperConservative,
+        ),
+        (
+            "per-port affine",
+            ReconfigModel::per_port(fixed, per_port).unwrap(),
+            ReconfigAccounting::PhysicalDiff,
+        ),
+    ] {
+        let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+        let p = SwitchingProblem::build(
+            &base,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            reconfig,
+        )
+        .expect("problem");
+        for policy in [Policy::StaticBase, Policy::AlwaysMatched, Policy::Optimal] {
+            let r = evaluate_policy(&p, policy, acc).unwrap();
+            println!("  {name:>22} | {:>9}: {:.6} s", policy.name(), r.total_s());
+            csv.push_str(&format!("{name},{},{}\n", policy.name(), r.total_s()));
+        }
+    }
+    if let Ok(p) = write_result("ablation_vardelay.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A5 — overlapping reconfiguration with computation (simulator).
+fn overlap() {
+    println!("== A5: overlapping reconfiguration with compute (n = 16, halving-doubling) ==");
+    let n = 16;
+    let m = 64.0 * MIB;
+    let c = allreduce::halving_doubling::build(n, m).expect("collective");
+    let s = c.schedule.num_steps();
+    let ring = Matching::shift(n, 1).unwrap();
+    let mut csv = String::from("compute_ns_per_byte,serial_s,overlap_s,saved_s\n");
+    println!("  {:>16} | {:>12} {:>12} {:>10}", "compute/byte", "serial", "overlap", "saved");
+    for per_byte_ns in [0.0, 0.1, 0.5, 2.0] {
+        let compute = (per_byte_ns > 0.0).then_some(ComputeModel {
+            per_byte_s: per_byte_ns * 1e-9,
+        });
+        let mk = |overlap_flag: bool| {
+            let mut fab = aps_fabric::CircuitSwitch::new(
+                ring.clone(),
+                ReconfigModel::constant(10e-6).unwrap(),
+            );
+            let cfg = RunConfig {
+                compute,
+                overlap_reconfig_with_compute: overlap_flag,
+                ..RunConfig::paper_defaults()
+            };
+            run_collective(&mut fab, &ring, &c.schedule, &SwitchSchedule::all_matched(s), &cfg)
+                .expect("sim")
+                .total_s()
+        };
+        let serial = mk(false);
+        let overlapped = mk(true);
+        println!(
+            "  {per_byte_ns:>13} ns | {serial:>12.6} {overlapped:>12.6} {:>10.6}",
+            serial - overlapped
+        );
+        csv.push_str(&format!("{per_byte_ns},{serial},{overlapped},{}\n", serial - overlapped));
+    }
+    if let Ok(p) = write_result("ablation_overlap.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A6 — analytic model vs event simulator.
+fn sim_validate() {
+    println!("== A6: analytic model vs flow-level simulator (n = 16) ==");
+    let n = 16;
+    let base = builders::ring_unidirectional(n).unwrap();
+    let ring = Matching::shift(n, 1).unwrap();
+    let mut csv = String::from("workload,policy,model_s,sim_s,rel_diff\n");
+    for (name, c) in [
+        ("ring-allreduce", allreduce::ring::build(n, MIB).unwrap()),
+        ("halving-doubling", allreduce::halving_doubling::build(n, MIB).unwrap()),
+        ("swing", allreduce::swing::build(n, MIB).unwrap()),
+        ("alltoall", alltoall::linear_shift(n, MIB).unwrap()),
+    ] {
+        let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+        let problem = SwitchingProblem::build(
+            &base,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(5e-6).unwrap(),
+        )
+        .expect("problem");
+        for policy in [Policy::StaticBase, Policy::AlwaysMatched, Policy::Optimal] {
+            // The simulator is physical: compare under PhysicalDiff.
+            let acc = ReconfigAccounting::PhysicalDiff;
+            let schedule = aps_core::policies::schedule_for(&problem, policy, acc).unwrap();
+            let model = aps_core::objective::evaluate(&problem, &schedule, acc)
+                .unwrap()
+                .total_s();
+            let mut fab = aps_fabric::CircuitSwitch::new(
+                ring.clone(),
+                ReconfigModel::constant(5e-6).unwrap(),
+            );
+            let sim = run_collective(
+                &mut fab,
+                &ring,
+                &c.schedule,
+                &schedule,
+                &RunConfig::paper_defaults(),
+            )
+            .expect("sim")
+            .total_s();
+            let rel = (sim - model).abs() / model;
+            println!(
+                "  {name:>18} | {:>9}: model {model:.6e}  sim {sim:.6e}  Δ {:.3}%",
+                policy.name(),
+                rel * 100.0
+            );
+            csv.push_str(&format!("{name},{},{model},{sim},{rel}\n", policy.name()));
+        }
+    }
+    if let Ok(p) = write_result("ablation_sim_validate.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A7 — propagation-delay regimes: which AllReduce wins on a static ring,
+/// and how reconfiguration changes the answer (§4 "deeper understanding").
+fn propagation() {
+    println!("== A7: propagation-delay regimes (n = 64, 64 KiB AllReduce) ==");
+    let n = 64;
+    let m = 65536.0;
+    let base = builders::ring_unidirectional(n).unwrap();
+    let mut csv = String::from("delta_ns,algorithm,static_s,opt_s\n");
+    println!(
+        "  {:>8} | {:>18} {:>14} {:>14}",
+        "δ", "algorithm", "static", "opt(α_r=1µs)"
+    );
+    for delta_ns in [10.0, 100.0, 1000.0] {
+        for alg in allreduce::Algorithm::ALL {
+            let c = alg.build(n, m).expect("collective");
+            let params = CostParams::new(100.0 * NANOS, 800.0, delta_ns * 1e-9).unwrap();
+            let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+            let p = SwitchingProblem::build(
+                &base,
+                &c.schedule,
+                &mut cache,
+                params,
+                ReconfigModel::constant(1e-6).unwrap(),
+            )
+            .expect("problem");
+            let acc = ReconfigAccounting::PaperConservative;
+            let st = evaluate_policy(&p, Policy::StaticBase, acc).unwrap().total_s();
+            let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
+            println!(
+                "  {:>8} | {:>18} {st:>14.6e} {opt:>14.6e}",
+                format_time(delta_ns * 1e-9),
+                alg.name()
+            );
+            csv.push_str(&format!("{delta_ns},{},{st},{opt}\n", alg.name()));
+        }
+    }
+    println!("  ({} per node, {} GPUs)", format_bytes(m), n);
+    if let Ok(p) = write_result("ablation_propagation.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}
+
+/// A9 — base-topology choice: the halo-exchange workload on a ring base vs
+/// a 2-D torus base (where every neighbor exchange is a single hop), with
+/// forced-path vs splittable (Garg–Könemann) θ on the torus.
+fn basetopo() {
+    use aps_collectives::stencil;
+    println!("== A9: base-topology choice for 8x8 halo exchange (1 MiB strips) ==");
+    let (rows, cols) = (8, 8);
+    let n = rows * cols;
+    let c = stencil::halo_2d(rows, cols, MIB).expect("halo");
+    let ring = builders::ring_unidirectional(n).unwrap();
+    let torus = builders::torus_2d(rows, cols).unwrap();
+    let mut csv = String::from("base,solver,alpha_r_s,static_s,opt_s\n");
+    println!(
+        "  {:>16} {:>12} {:>10} | {:>12} {:>12}",
+        "base", "theta solver", "alpha_r", "static", "opt"
+    );
+    for (bname, base, solver) in [
+        ("uni-ring", &ring, ThroughputSolver::ForcedPath),
+        ("torus 8x8", &torus, ThroughputSolver::ForcedPath),
+        ("torus 8x8", &torus, ThroughputSolver::GargKonemann { epsilon: 0.08 }),
+    ] {
+        let sname = match solver {
+            ThroughputSolver::ForcedPath => "forced",
+            ThroughputSolver::GargKonemann { .. } => "gk(0.08)",
+            ThroughputSolver::DegreeProxy => "proxy",
+        };
+        for alpha_r in [1e-6, 1e-4] {
+            let mut cache = ThetaCache::new(base, solver);
+            let p = SwitchingProblem::build(
+                base,
+                &c.schedule,
+                &mut cache,
+                CostParams::paper_defaults(),
+                ReconfigModel::constant(alpha_r).unwrap(),
+            )
+            .expect("problem");
+            let acc = ReconfigAccounting::PaperConservative;
+            let st = evaluate_policy(&p, Policy::StaticBase, acc).unwrap().total_s();
+            let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
+            println!(
+                "  {bname:>16} {sname:>12} {:>10} | {st:>12.6e} {opt:>12.6e}",
+                format_time(alpha_r)
+            );
+            csv.push_str(&format!("{bname},{sname},{alpha_r},{st},{opt}\n"));
+        }
+    }
+    println!(
+        "  (a torus base makes every halo step single-hop: static wins regardless of α_r,\n   while the ring base must reconfigure the column shifts)"
+    );
+    if let Ok(p) = write_result("ablation_basetopo.csv", &csv) {
+        println!("  → {}\n", p.display());
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates Figure 1 of the paper: eight heatmaps of the speedup
+//! achieved by the optimized circuit-switching schedule (OPT) over (top
+//! row) naive per-step BvN reconfiguration and (bottom row) a static ring,
+//! for halving-doubling AllReduce, Swing AllReduce and All-to-All on a
+//! 64-GPU photonic scale-up domain.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p aps-bench --release --bin fig1             # all panels
+//! cargo run -p aps-bench --release --bin fig1 -- --panel c
+//! cargo run -p aps-bench --release --bin fig1 -- --n 32   # smaller domain
+//! ```
+//!
+//! Each panel prints an ASCII heatmap (rows: message size, columns: α_r)
+//! and writes `results/fig1<panel>.csv`.
+
+use aps_bench::figures::{panel, run_panel, Panel, PAPER_N};
+use aps_bench::output::write_result;
+use aps_core::analysis::{render_heatmap, to_csv};
+use aps_core::sweep::{SweepCell, SweepGrid};
+
+fn main() {
+    let mut panels: Vec<Panel> = Panel::ALL.to_vec();
+    let mut n = PAPER_N;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--panel" => {
+                let v = args.next().unwrap_or_default();
+                match Panel::parse(&v) {
+                    Some(p) => panels = vec![p],
+                    None => {
+                        eprintln!("unknown panel '{v}' (expected a–h)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--n" => {
+                n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--n requires a number");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Figure 1 — n = {n} GPUs, 800 Gbps links, δ = 100 ns, base = unidirectional ring\n");
+    for p in panels {
+        let spec = panel(p);
+        let result = run_panel(&spec, n, &SweepGrid::paper_default())
+            .unwrap_or_else(|e| panic!("panel {:?} failed: {e}", p));
+        let values = if spec.vs_bvn {
+            result.map(SweepCell::speedup_vs_bvn)
+        } else {
+            result.map(SweepCell::speedup_vs_static)
+        };
+        println!("{}", render_heatmap(&spec.title(), &result.grid, &values));
+        let csv = to_csv(&result.grid, &values);
+        match write_result(&format!("fig1{}.csv", spec.panel.letter()), &csv) {
+            Ok(path) => println!("  → {}\n", path.display()),
+            Err(e) => eprintln!("  (csv write failed: {e})\n"),
+        }
+    }
+}

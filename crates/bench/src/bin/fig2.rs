@@ -1,0 +1,59 @@
+//! Regenerates Figure 2 of the paper: the speedup of the optimized schedule
+//! over the *best of both* baselines — `min(static ring, BvN)` — exposing
+//! the transitional regime (the diagonal band) where neither always-static
+//! nor always-reconfigure is sufficient and only an adaptive schedule wins.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p aps-bench --release --bin fig2 [-- --n 64]
+//! ```
+//!
+//! Prints the best-of-both heatmap plus the per-cell regime map
+//! (S = static optimal, B = BvN optimal, * = only mixed wins) and writes
+//! `results/fig2.csv`.
+
+use aps_bench::figures::{panel, run_panel, Panel, PAPER_N};
+use aps_bench::output::write_result;
+use aps_core::analysis::{render_heatmap, render_regimes, to_csv};
+use aps_core::sweep::{SweepCell, SweepGrid};
+
+fn main() {
+    let mut n = PAPER_N;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--n" => {
+                n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--n requires a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Figure 2 uses the Figure-1a workload (bandwidth-optimal AllReduce at
+    // α = 100 ns) but reports OPT against min(static, BvN).
+    let spec = panel(Panel::A);
+    let result =
+        run_panel(&spec, n, &SweepGrid::paper_default()).expect("figure 2 sweep failed");
+    let values = result.map(SweepCell::speedup_vs_best_of_both);
+    let title = format!(
+        "Figure 2: speedup of OPT vs best-of-both (static, BvN) — {}, n = {n}",
+        spec.workload.name()
+    );
+    println!("{}", render_heatmap(&title, &result.grid, &values));
+    println!(
+        "{}",
+        render_regimes("Regime map (tolerance 1%)", &result, 0.01)
+    );
+    let csv = to_csv(&result.grid, &values);
+    match write_result("fig2.csv", &csv) {
+        Ok(path) => println!("  → {}", path.display()),
+        Err(e) => eprintln!("  (csv write failed: {e})"),
+    }
+}

@@ -1,0 +1,20 @@
+//! # aps-bench — figure regeneration harnesses and workload generators
+//!
+//! Every table and figure of the paper maps to a binary here (see
+//! `DESIGN.md` at the workspace root for the experiment index):
+//!
+//! * `fig1` — the eight heatmaps of Figure 1 (OPT vs BvN on the top row,
+//!   OPT vs static ring on the bottom row; halving-doubling / Swing /
+//!   All-to-All across columns, plus the α = 10 µs variants);
+//! * `fig2` — Figure 2's OPT vs best-of-both heatmap and the regime map
+//!   showing the transitional diagonal;
+//! * `ablations` — the research-agenda experiments A1–A7.
+//!
+//! Criterion benches (`benches/`) time the computational kernels: the DP
+//! solver, BvN decomposition, θ solvers and the event simulator.
+
+pub mod figures;
+pub mod output;
+pub mod workload;
+
+pub use figures::{panel, run_panel, Panel, PanelSpec};

@@ -1,0 +1,40 @@
+//! Result output: CSV files under `results/`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Default output directory, relative to the invocation directory.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes `content` to `results/<name>`, creating the directory if needed.
+/// Returns the written path.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_result(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(content.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_results_dir() {
+        let tmp = std::env::temp_dir().join(format!("aps-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&tmp).unwrap();
+        let p = write_result("unit.csv", "a,b\n1,2\n").unwrap();
+        let back = std::fs::read_to_string(&p).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

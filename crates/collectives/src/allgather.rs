@@ -1,0 +1,125 @@
+//! AllGather algorithms.
+//!
+//! `message_bytes` is the size of the *gathered result* `m`; each node
+//! contributes an `m/n`-byte chunk (chunk `i` originates at node `i`).
+
+use crate::builder::{assemble, check_message_bytes, exact_log2, StepSends};
+use crate::collective::Collective;
+use crate::dataflow::{Combine, Semantics};
+use crate::error::CollectiveError;
+use crate::schedule::CollectiveKind;
+
+/// Ring AllGather: `n−1` shift-by-1 steps; at step `t` node `i` forwards
+/// chunk `(i − t) mod n` (the chunk it received in the previous step).
+///
+/// # Errors
+///
+/// Rejects `n < 2` and bad message sizes.
+pub fn ring(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    check_message_bytes(message_bytes)?;
+    let chunk_bytes = message_bytes / n as f64;
+    let steps: Vec<StepSends> = (0..n - 1)
+        .map(|t| {
+            (0..n)
+                .map(|i| {
+                    let c = (i + n - t % n) % n;
+                    (i, (i + 1) % n, vec![c], Combine::Replace)
+                })
+                .collect()
+        })
+        .collect();
+    let initial = (0..n).map(|i| vec![i]).collect();
+    assemble(
+        n,
+        CollectiveKind::AllGather,
+        "ring",
+        Semantics::AllGather,
+        n,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+/// Recursive-doubling AllGather: `log₂ n` steps; at step `t` node `i` sends
+/// its complete current block (`2^t` chunks) to partner `i ⊕ 2^t`.
+///
+/// # Errors
+///
+/// Rejects `n < 2`, non-power-of-two `n`, and bad message sizes.
+pub fn recursive_doubling(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    let log = exact_log2(n)?;
+    check_message_bytes(message_bytes)?;
+    let chunk_bytes = message_bytes / n as f64;
+    let steps: Vec<StepSends> = (0..log)
+        .map(|t| {
+            (0..n)
+                .map(|i| {
+                    let lo = (i >> t) << t;
+                    let blk: Vec<usize> = (lo..lo + (1 << t)).collect();
+                    (i, i ^ (1 << t), blk, Combine::Replace)
+                })
+                .collect()
+        })
+        .collect();
+    let initial = (0..n).map(|i| vec![i]).collect();
+    assemble(
+        n,
+        CollectiveKind::AllGather,
+        "recursive-doubling",
+        Semantics::AllGather,
+        n,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_verifies() {
+        for n in [2, 3, 5, 8, 16] {
+            ring(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_verifies() {
+        for n in [2, 4, 8, 16, 64] {
+            recursive_doubling(n, 100.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+        assert!(recursive_doubling(6, 1.0).is_err());
+    }
+
+    #[test]
+    fn both_move_optimal_bytes() {
+        let n = 8;
+        let m = 800.0;
+        let opt = m * (n as f64 - 1.0) / n as f64;
+        let r = ring(n, m).unwrap();
+        assert!((r.schedule.total_bytes_per_node() - opt).abs() < 1e-9);
+        assert_eq!(r.schedule.num_steps(), n - 1);
+        let rd = recursive_doubling(n, m).unwrap();
+        assert!((rd.schedule.total_bytes_per_node() - opt).abs() < 1e-9);
+        assert_eq!(rd.schedule.num_steps(), 3);
+    }
+
+    #[test]
+    fn recursive_doubling_volumes_double() {
+        let c = recursive_doubling(8, 80.0).unwrap();
+        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        assert_eq!(vols, vec![10.0, 20.0, 40.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! AllReduce algorithms.
+//!
+//! Four classic algorithms with very different step/volume/pattern
+//! trade-offs — exactly the degrees of freedom the paper's scheduler
+//! exploits:
+//!
+//! | Algorithm | Steps | Bytes per node | Ring distances |
+//! |---|---|---|---|
+//! | [`ring::build`] | `2(n−1)` | `2m(n−1)/n` | 1 |
+//! | [`recursive_doubling::build`] | `log₂ n` | `m·log₂ n` | `±2^t` |
+//! | [`halving_doubling::build`] | `2·log₂ n` | `2m(n−1)/n` | `±2^t` |
+//! | [`swing::build`] | `2·log₂ n` | `2m(n−1)/n` | `±ρ(t)` (1,1,3,5,11,21…) |
+//!
+//! `message_bytes` is the AllReduce vector size `m` (input size = output
+//! size per node).
+
+pub mod any_n;
+pub mod halving_doubling;
+pub mod recursive_doubling;
+pub mod ring;
+pub mod swing;
+
+/// Which AllReduce algorithm to build; used by planners and benches to
+/// iterate over the whole family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Ring reduce-scatter + ring allgather.
+    Ring,
+    /// Full-vector recursive doubling (latency-optimal).
+    RecursiveDoubling,
+    /// Rabenseifner recursive halving-doubling (bandwidth-optimal).
+    HalvingDoubling,
+    /// Swing (bandwidth-optimal, small ring distances).
+    Swing,
+}
+
+impl Algorithm {
+    /// All implemented algorithms.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Ring,
+        Algorithm::RecursiveDoubling,
+        Algorithm::HalvingDoubling,
+        Algorithm::Swing,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::RecursiveDoubling => "recursive-doubling",
+            Algorithm::HalvingDoubling => "halving-doubling",
+            Algorithm::Swing => "swing",
+        }
+    }
+
+    /// Builds the algorithm over `n` nodes for an `message_bytes`-sized
+    /// vector.
+    ///
+    /// ```
+    /// use aps_collectives::allreduce::Algorithm;
+    ///
+    /// let coll = Algorithm::Swing.build(16, 1.5e6).unwrap();
+    /// coll.check().unwrap();                       // semantics verified
+    /// assert_eq!(coll.schedule.num_steps(), 8);    // 2·log2(16)
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying builder's constraints (node count,
+    /// power-of-two requirements, message size).
+    pub fn build(
+        self,
+        n: usize,
+        message_bytes: f64,
+    ) -> Result<crate::Collective, crate::CollectiveError> {
+        match self {
+            Algorithm::Ring => ring::build(n, message_bytes),
+            Algorithm::RecursiveDoubling => recursive_doubling::build(n, message_bytes),
+            Algorithm::HalvingDoubling => halving_doubling::build(n, message_bytes),
+            Algorithm::Swing => swing::build(n, message_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["ring", "recursive-doubling", "halving-doubling", "swing"]
+        );
+    }
+
+    #[test]
+    fn dispatch_builds_and_verifies() {
+        for alg in Algorithm::ALL {
+            let c = alg.build(8, 1024.0).unwrap();
+            c.check().unwrap();
+            assert_eq!(c.schedule.algorithm(), alg.name());
+        }
+    }
+
+    #[test]
+    fn bandwidth_optimality_bytes() {
+        let n = 16;
+        let m = 1 << 20;
+        let opt = 2.0 * m as f64 * (n as f64 - 1.0) / n as f64;
+        for alg in [Algorithm::Ring, Algorithm::HalvingDoubling, Algorithm::Swing] {
+            let c = alg.build(n, m as f64).unwrap();
+            assert!(
+                (c.schedule.total_bytes_per_node() - opt).abs() < 1e-6,
+                "{} moves {} bytes, expected {}",
+                alg.name(),
+                c.schedule.total_bytes_per_node(),
+                opt
+            );
+        }
+        // Full-vector recursive doubling is NOT bandwidth-optimal.
+        let rd = Algorithm::RecursiveDoubling.build(n, m as f64).unwrap();
+        assert!((rd.schedule.total_bytes_per_node() - m as f64 * 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Halving-doubling AllReduce for arbitrary node counts.
+//!
+//! Rabenseifner's standard non-power-of-two reduction: with
+//! `r = n − 2^⌊log₂ n⌋` surplus nodes, the first `2r` nodes pre-combine in
+//! pairs (two half-vector exchange steps), the resulting `n' = 2^⌊log₂ n⌋`
+//! *virtual* nodes run the power-of-two algorithm, and a final step copies
+//! the result back to the folded-away partners. Costs two extra `m/2` steps
+//! and one extra `m` step relative to the power-of-two case.
+
+use crate::builder::{assemble, check_message_bytes, StepSends};
+use crate::collective::Collective;
+use crate::dataflow::{Combine, Semantics};
+use crate::error::CollectiveError;
+use crate::schedule::CollectiveKind;
+
+/// Builds halving-doubling AllReduce over any `n ≥ 2`.
+///
+/// For power-of-two `n` this is exactly
+/// [`super::halving_doubling::build`]; otherwise the pre/post folding steps
+/// are added. Node `i` ends with the full reduction either way.
+///
+/// # Errors
+///
+/// Rejects `n < 2` and bad message sizes.
+pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    if n.is_power_of_two() {
+        return super::halving_doubling::build(n, message_bytes);
+    }
+    check_message_bytes(message_bytes)?;
+    let log = usize::BITS as usize - n.leading_zeros() as usize - 1; // ⌊log₂ n⌋
+    let np = 1usize << log; // virtual domain size
+    let r = n - np; // surplus nodes
+
+    // Chunk space: 2·np chunks so both the half-vector pre-phase (np chunks
+    // per half) and the power-of-two slot blocks (2 chunks per slot) are
+    // expressible.
+    let chunks = 2 * np;
+    let chunk_bytes = message_bytes / chunks as f64;
+    // Virtual rank v lives on physical node phys(v).
+    let phys = |v: usize| if v < r { 2 * v } else { v + r };
+
+    let mut steps: Vec<StepSends> = Vec::new();
+
+    // Pre-phase step 1: surplus pairs exchange halves and reduce.
+    steps.push(
+        (0..r)
+            .flat_map(|i| {
+                let (a, b) = (2 * i, 2 * i + 1);
+                let first: Vec<usize> = (0..np).collect();
+                let second: Vec<usize> = (np..2 * np).collect();
+                [
+                    (a, b, second, Combine::Reduce),
+                    (b, a, first, Combine::Reduce),
+                ]
+            })
+            .collect(),
+    );
+    // Pre-phase step 2: the odd partner hands its reduced half back; the
+    // even node now owns the pair-combined full vector.
+    steps.push(
+        (0..r)
+            .map(|i| (2 * i + 1, 2 * i, (np..2 * np).collect(), Combine::Reduce))
+            .collect(),
+    );
+
+    // Power-of-two phase on virtual ranks; slot s owns chunks {2s, 2s+1}.
+    let slot_block = |v: usize, t: usize| -> Vec<usize> {
+        let width = log - t;
+        let lo = (v >> width) << width;
+        (lo..lo + (np >> t)).flat_map(|s| [2 * s, 2 * s + 1]).collect()
+    };
+    for t in 0..log {
+        let mask = 1usize << (log - 1 - t);
+        steps.push(
+            (0..np)
+                .map(|v| {
+                    let p = v ^ mask;
+                    (phys(v), phys(p), slot_block(p, t + 1), Combine::Reduce)
+                })
+                .collect(),
+        );
+    }
+    for u in 0..log {
+        let mask = 1usize << u;
+        steps.push(
+            (0..np)
+                .map(|v| (phys(v), phys(v ^ mask), slot_block(v, log - u), Combine::Replace))
+                .collect(),
+        );
+    }
+
+    // Post-phase: even surplus nodes copy the full result to their folded
+    // partners.
+    steps.push(
+        (0..r)
+            .map(|i| (2 * i, 2 * i + 1, (0..2 * np).collect(), Combine::Replace))
+            .collect(),
+    );
+
+    let initial = (0..n).map(|_| (0..chunks).collect()).collect();
+    assemble(
+        n,
+        CollectiveKind::AllReduce,
+        "halving-doubling-any-n",
+        Semantics::AllReduce,
+        chunks,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_for_arbitrary_n() {
+        for n in [2, 3, 5, 6, 7, 9, 12, 15, 16, 24, 33] {
+            build(n, 960.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn power_of_two_delegates() {
+        let a = build(16, 1600.0).unwrap();
+        let b = super::super::halving_doubling::build(16, 1600.0).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn step_count_and_volumes_for_non_pow2() {
+        // n = 6: r = 2, n' = 4, log = 2 → 2 pre + 4 pow2 + 1 post = 7 steps.
+        let m = 960.0;
+        let c = build(6, m).unwrap();
+        assert_eq!(c.schedule.num_steps(), 7);
+        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        assert_eq!(vols[0], m / 2.0); // half-vector exchange
+        assert_eq!(vols[1], m / 2.0); // half hand-back
+        assert_eq!(*vols.last().unwrap(), m); // full-vector copy-out
+    }
+
+    #[test]
+    fn surplus_nodes_idle_in_the_core_phase() {
+        let c = build(6, 960.0).unwrap();
+        // Odd surplus nodes 1 and 3 do not participate in the pow2 steps
+        // (steps 2..6 exclusive of the final copy).
+        for step in &c.schedule.steps()[2..6] {
+            assert_eq!(step.matching.dst_of(1), None);
+            assert_eq!(step.matching.dst_of(3), None);
+            assert_eq!(step.matching.len(), 4);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(build(1, 1.0).is_err());
+        assert!(build(6, 0.0).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Rabenseifner recursive halving-doubling AllReduce.
+//!
+//! Reduce-scatter with recursive vector halving (partners at XOR distance
+//! `n/2, n/4, …, 1`, volumes `m/2, m/4, …, m/n`), then allgather with
+//! recursive doubling (distances `1, 2, …, n/2`, volumes `m/n, …, m/2`).
+//! Bandwidth-optimal (`2m(n−1)/n` bytes per node) in `2·log₂ n` steps — the
+//! "recursive doubling" AllReduce of the paper's evaluation (§3.4 calls it
+//! bandwidth-optimal, which singles out this variant of reference 30).
+
+use crate::builder::{assemble, check_message_bytes, exact_log2, StepSends};
+use crate::collective::Collective;
+use crate::dataflow::{Combine, Semantics};
+use crate::error::CollectiveError;
+use crate::schedule::CollectiveKind;
+
+/// Slot block of node `i` after `t` reduce-scatter steps: the `n/2^t` slots
+/// whose index shares `i`'s top `t` bits.
+fn block(n: usize, log: usize, i: usize, t: usize) -> Vec<usize> {
+    let width = log - t;
+    let lo = (i >> width) << width;
+    (lo..lo + (n >> t)).collect()
+}
+
+/// Builds halving-doubling AllReduce over `n` nodes (`n` a power of two,
+/// `n ≥ 2`) for an `m`-byte vector. Node `i` is the reduction owner of slot
+/// `i`.
+///
+/// # Errors
+///
+/// Rejects `n < 2`, non-power-of-two `n`, and bad message sizes.
+pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    let log = exact_log2(n)?;
+    check_message_bytes(message_bytes)?;
+    let chunk_bytes = message_bytes / n as f64;
+    let mut steps: Vec<StepSends> = Vec::with_capacity(2 * log);
+    // Reduce-scatter: start with the farthest partner, halve the working
+    // block each step. At step t node i sends the half belonging to its
+    // partner's side.
+    for t in 0..log {
+        let mask = 1usize << (log - 1 - t);
+        steps.push(
+            (0..n)
+                .map(|i| {
+                    let p = i ^ mask;
+                    (i, p, block(n, log, p, t + 1), Combine::Reduce)
+                })
+                .collect(),
+        );
+    }
+    // Allgather: nearest partner first, double the completed block.
+    for u in 0..log {
+        let mask = 1usize << u;
+        steps.push(
+            (0..n)
+                .map(|i| (i, i ^ mask, block(n, log, i, log - u), Combine::Replace))
+                .collect(),
+        );
+    }
+    let initial = (0..n).map(|_| (0..n).collect()).collect();
+    assemble(
+        n,
+        CollectiveKind::AllReduce,
+        "halving-doubling",
+        Semantics::AllReduce,
+        n,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_for_powers_of_two() {
+        for n in [2, 4, 8, 16, 32, 64] {
+            build(n, 64.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn volumes_halve_then_double() {
+        let n = 16;
+        let m = 1600.0;
+        let c = build(n, m).unwrap();
+        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let expect = [
+            m / 2.0, m / 4.0, m / 8.0, m / 16.0, // reduce-scatter
+            m / 16.0, m / 8.0, m / 4.0, m / 2.0, // allgather
+        ];
+        for (v, e) in vols.iter().zip(expect) {
+            assert!((v - e).abs() < 1e-9, "{vols:?}");
+        }
+        let opt = 2.0 * m * (n as f64 - 1.0) / n as f64;
+        assert!((c.schedule.total_bytes_per_node() - opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distances_shrink_then_grow() {
+        let c = build(16, 16.0).unwrap();
+        let dist0: Vec<usize> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.matching.dst_of(0).unwrap())
+            .collect();
+        assert_eq!(dist0, vec![8, 4, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn block_helper() {
+        assert_eq!(block(8, 3, 5, 1), vec![4, 5, 6, 7]);
+        assert_eq!(block(8, 3, 5, 2), vec![4, 5]);
+        assert_eq!(block(8, 3, 5, 3), vec![5]);
+        assert_eq!(block(8, 3, 5, 0), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(build(12, 1.0), Err(CollectiveError::NotPowerOfTwo(12))));
+    }
+}

@@ -1,0 +1,77 @@
+//! Full-vector recursive doubling AllReduce.
+//!
+//! `log₂ n` steps; at step `t` node `i` exchanges the *entire* `m`-byte
+//! vector with partner `i ⊕ 2^t` and reduces. Latency-optimal (fewest steps)
+//! but moves `m·log₂ n` bytes per node — the classic small-message choice in
+//! the α–β model, and a pattern whose large XOR distances make the static
+//! ring suffer (which is exactly what makes it interesting for
+//! reconfiguration).
+
+use crate::builder::{assemble, check_message_bytes, exact_log2, StepSends};
+use crate::collective::Collective;
+use crate::dataflow::{Combine, Semantics};
+use crate::error::CollectiveError;
+use crate::schedule::CollectiveKind;
+
+/// Builds recursive-doubling AllReduce over `n` nodes (`n` a power of two,
+/// `n ≥ 2`) for an `m`-byte vector.
+///
+/// # Errors
+///
+/// Rejects `n < 2`, non-power-of-two `n`, and bad message sizes.
+pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    let log = exact_log2(n)?;
+    check_message_bytes(message_bytes)?;
+    let steps: Vec<StepSends> = (0..log)
+        .map(|t| {
+            let mask = 1usize << t;
+            (0..n)
+                .map(|i| (i, i ^ mask, vec![0usize], Combine::Reduce))
+                .collect()
+        })
+        .collect();
+    let initial = (0..n).map(|_| vec![0usize]).collect();
+    assemble(
+        n,
+        CollectiveKind::AllReduce,
+        "recursive-doubling",
+        Semantics::AllReduce,
+        1,
+        message_bytes,
+        initial,
+        steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_for_powers_of_two() {
+        for n in [2, 4, 8, 16, 32, 64] {
+            build(n, 8.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn structure() {
+        let c = build(8, 100.0).unwrap();
+        assert_eq!(c.schedule.num_steps(), 3);
+        for (t, s) in c.schedule.steps().iter().enumerate() {
+            assert_eq!(s.bytes_per_pair, 100.0);
+            assert!(s.matching.is_pairwise_exchange());
+            assert_eq!(s.matching.dst_of(0), Some(1 << t));
+        }
+        assert_eq!(c.schedule.total_bytes_per_node(), 300.0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(build(6, 1.0), Err(CollectiveError::NotPowerOfTwo(6))));
+        assert!(matches!(build(1, 1.0), Err(CollectiveError::TooFewNodes { .. })));
+    }
+}

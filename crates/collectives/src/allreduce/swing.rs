@@ -1,0 +1,196 @@
+//! Swing AllReduce (De Sensi et al., NSDI 2024).
+//!
+//! Same reduce-scatter + allgather skeleton and volumes as halving-doubling,
+//! but partners follow the Swing distance sequence
+//! `ρ(t) = (1 − (−2)^{t+1}) / 3 = 1, −1, 3, −5, 11, −21, …` with even and
+//! odd nodes moving in opposite directions:
+//! `peer_t(i) = i + (−1)^i · ρ(t) (mod n)`.
+//! On ring-shaped fabrics these small alternating distances keep traffic
+//! local — the reason the paper evaluates Swing alongside halving-doubling
+//! (§3.4).
+//!
+//! Slot ownership is derived from the *gather tree*: `R_t(i)` is the set of
+//! nodes reachable from `i` using partners of steps `t, …, log−1`; node `i`
+//! sends slots `R_{t+1}(peer_t(i))` at reduce-scatter step `t` and ends up
+//! owning slot `i`. Construction validates that `R_0(i)` covers all nodes —
+//! i.e. that the Swing peer sequence really induces a valid recursive
+//! halving, which is exactly the property proved in the Swing paper.
+
+use crate::builder::{assemble, check_message_bytes, exact_log2, StepSends};
+use crate::collective::Collective;
+use crate::dataflow::{Combine, Semantics};
+use crate::error::CollectiveError;
+use crate::schedule::CollectiveKind;
+
+/// The Swing distance `ρ(t) = (1 − (−2)^{t+1}) / 3`.
+fn rho(t: u32) -> i64 {
+    (1 - (-2i64).pow(t + 1)) / 3
+}
+
+/// Swing partner of node `i` at step `t` among `n` nodes.
+fn peer(n: usize, t: u32, i: usize) -> usize {
+    let sign = if i % 2 == 0 { 1 } else { -1 };
+    (i as i64 + sign * rho(t)).rem_euclid(n as i64) as usize
+}
+
+/// Builds Swing AllReduce over `n` nodes (`n` a power of two, `n ≥ 2`) for
+/// an `m`-byte vector. Node `i` ends as the reduction owner of slot `i`.
+///
+/// # Errors
+///
+/// Rejects `n < 2`, non-power-of-two `n`, bad message sizes; fails with
+/// [`CollectiveError::ConstructionInvariant`] if the peer sequence does not
+/// form a valid recursive halving (never happens for power-of-two `n`).
+pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    let log = exact_log2(n)?;
+    check_message_bytes(message_bytes)?;
+    let chunk_bytes = message_bytes / n as f64;
+
+    // Verify the peer relation is a valid pairwise exchange at every step.
+    for t in 0..log as u32 {
+        for i in 0..n {
+            let p = peer(n, t, i);
+            if p == i || peer(n, t, p) != i {
+                return Err(CollectiveError::ConstructionInvariant(
+                    "swing peers must form a perfect pairwise matching",
+                ));
+            }
+        }
+    }
+
+    // R[t][i]: slots node i is responsible for before step t (as sorted vec).
+    let mut r: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; log + 1];
+    for i in 0..n {
+        r[log][i] = vec![i];
+    }
+    for t in (0..log).rev() {
+        for i in 0..n {
+            let p = peer(n, t as u32, i);
+            let mut merged: Vec<usize> = r[t + 1][i].iter().chain(r[t + 1][p].iter()).copied().collect();
+            merged.sort_unstable();
+            merged.dedup();
+            r[t][i] = merged;
+        }
+    }
+    if (0..n).any(|i| r[0][i].len() != n) {
+        return Err(CollectiveError::ConstructionInvariant(
+            "swing gather tree does not cover all nodes",
+        ));
+    }
+
+    let mut steps: Vec<StepSends> = Vec::with_capacity(2 * log);
+    // Reduce-scatter: node i sends the partner's responsibility set.
+    for t in 0..log {
+        steps.push(
+            (0..n)
+                .map(|i| {
+                    let p = peer(n, t as u32, i);
+                    (i, p, r[t + 1][p].clone(), Combine::Reduce)
+                })
+                .collect(),
+        );
+    }
+    // Allgather: retrace the pairings in reverse, sending completed blocks.
+    for u in 0..log {
+        let t = log - 1 - u;
+        steps.push(
+            (0..n)
+                .map(|i| {
+                    let p = peer(n, t as u32, i);
+                    (i, p, r[t + 1][i].clone(), Combine::Replace)
+                })
+                .collect(),
+        );
+    }
+    let initial = (0..n).map(|_| (0..n).collect()).collect();
+    assemble(
+        n,
+        CollectiveKind::AllReduce,
+        "swing",
+        Semantics::AllReduce,
+        n,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_sequence() {
+        let seq: Vec<i64> = (0..6).map(rho).collect();
+        assert_eq!(seq, vec![1, -1, 3, -5, 11, -21]);
+    }
+
+    #[test]
+    fn peers_are_mutual_and_odd_distance() {
+        let n = 32;
+        for t in 0..5u32 {
+            for i in 0..n {
+                let p = peer(n, t, i);
+                assert_ne!(p, i);
+                assert_eq!(peer(n, t, p), i, "t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn verifies_for_powers_of_two() {
+        for n in [2, 4, 8, 16, 32, 64, 128] {
+            build(n, 128.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn volumes_match_halving_doubling() {
+        let n = 16;
+        let m = 1600.0;
+        let swing = build(n, m).unwrap();
+        let hd = super::super::halving_doubling::build(n, m).unwrap();
+        let sv: Vec<f64> = swing.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let hv: Vec<f64> = hd.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        for (a, b) in sv.iter().zip(&hv) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((swing.schedule.total_bytes_per_node()
+            - 2.0 * m * (n as f64 - 1.0) / n as f64)
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn ring_distances_stay_small() {
+        // The defining property: max |distance| over the first steps follows
+        // 1, 1, 3, 5, 11, 21 — much smaller than halving-doubling's n/2.
+        let n = 64;
+        let c = build(n, 64.0).unwrap();
+        let dists: Vec<usize> = c
+            .schedule
+            .steps()
+            .iter()
+            .take(6)
+            .map(|s| {
+                s.matching
+                    .pairs()
+                    .map(|(a, b)| {
+                        let fwd = (b + n - a) % n;
+                        fwd.min(n - fwd)
+                    })
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(dists, vec![1, 1, 3, 5, 11, 21]);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(build(10, 1.0), Err(CollectiveError::NotPowerOfTwo(10))));
+    }
+}

@@ -1,0 +1,107 @@
+//! Internal helper assembling (schedule, dataflow) pairs from per-step send
+//! lists. Keeps every algorithm builder down to "who sends which chunks to
+//! whom at step t".
+
+use crate::collective::Collective;
+use crate::dataflow::{Combine, DataFlow, DataFlowStep, Semantics, Transfer};
+use crate::error::CollectiveError;
+use crate::schedule::{CollectiveKind, Schedule, Step};
+use aps_matrix::Matching;
+
+/// One step as a list of `(src, dst, chunks, combine)` sends.
+pub(crate) type StepSends = Vec<(usize, usize, Vec<usize>, Combine)>;
+
+/// Validates a message size.
+pub(crate) fn check_message_bytes(bytes: f64) -> Result<(), CollectiveError> {
+    if !(bytes > 0.0) || !bytes.is_finite() {
+        return Err(CollectiveError::BadMessageSize(bytes));
+    }
+    Ok(())
+}
+
+/// Builds a [`Collective`] from per-step send lists.
+///
+/// The step volume is `max chunks per send × chunk_bytes`; each send becomes
+/// both a matching pair and a data-flow transfer, keeping the two views
+/// consistent by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
+    n: usize,
+    kind: CollectiveKind,
+    algorithm: &str,
+    semantics: Semantics,
+    num_chunks: usize,
+    chunk_bytes: f64,
+    initial: Vec<Vec<usize>>,
+    step_sends: Vec<StepSends>,
+) -> Result<Collective, CollectiveError> {
+    let mut steps = Vec::with_capacity(step_sends.len());
+    let mut flow_steps = Vec::with_capacity(step_sends.len());
+    for sends in step_sends {
+        let pairs: Vec<(usize, usize)> = sends.iter().map(|&(s, d, _, _)| (s, d)).collect();
+        let matching = Matching::from_pairs(n, &pairs)?;
+        let max_chunks = sends.iter().map(|(_, _, c, _)| c.len()).max().unwrap_or(0);
+        if sends.iter().any(|(_, _, c, _)| c.is_empty()) {
+            return Err(CollectiveError::ConstructionInvariant(
+                "a send moved zero chunks",
+            ));
+        }
+        steps.push(Step {
+            matching,
+            bytes_per_pair: max_chunks as f64 * chunk_bytes,
+        });
+        flow_steps.push(DataFlowStep {
+            transfers: sends
+                .into_iter()
+                .map(|(src, dst, chunks, combine)| Transfer { src, dst, chunks, combine })
+                .collect(),
+        });
+    }
+    let schedule = Schedule::new(n, kind, algorithm, steps)?;
+    let dataflow = DataFlow {
+        n,
+        num_chunks,
+        chunk_bytes,
+        initial,
+        steps: flow_steps,
+        semantics,
+    };
+    Ok(Collective { schedule, dataflow })
+}
+
+/// `ceil(log2(n))` for `n ≥ 1`.
+pub(crate) fn ceil_log2(n: usize) -> usize {
+    usize::BITS as usize - (n - 1).leading_zeros() as usize
+}
+
+/// Exact `log2(n)`; errors when `n` is not a power of two.
+pub(crate) fn exact_log2(n: usize) -> Result<usize, CollectiveError> {
+    if !n.is_power_of_two() {
+        return Err(CollectiveError::NotPowerOfTwo(n));
+    }
+    Ok(n.trailing_zeros() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(exact_log2(8).unwrap(), 3);
+        assert!(exact_log2(6).is_err());
+    }
+
+    #[test]
+    fn message_bytes_validation() {
+        assert!(check_message_bytes(1.0).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(check_message_bytes(bad).is_err());
+        }
+    }
+}

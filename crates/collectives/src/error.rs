@@ -1,0 +1,143 @@
+//! Error types for collective construction and verification.
+
+use aps_matrix::MatrixError;
+use std::fmt;
+
+/// Errors produced while constructing a collective algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveError {
+    /// The algorithm needs at least `min` participants.
+    TooFewNodes {
+        /// Requested node count.
+        n: usize,
+        /// Minimum supported node count.
+        min: usize,
+    },
+    /// The algorithm requires a power-of-two node count.
+    NotPowerOfTwo(usize),
+    /// The broadcast/scatter root is out of range.
+    RootOutOfRange {
+        /// Requested root.
+        root: usize,
+        /// Node count.
+        n: usize,
+    },
+    /// The message size must be positive and finite.
+    BadMessageSize(f64),
+    /// An internal invariant of the algorithm construction failed. This
+    /// indicates a bug in the algorithm builder, not bad user input.
+    ConstructionInvariant(&'static str),
+    /// A matching could not be built (propagated from `aps-matrix`).
+    Matrix(MatrixError),
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewNodes { n, min } => {
+                write!(f, "collective over {n} nodes unsupported (minimum {min})")
+            }
+            Self::NotPowerOfTwo(n) => {
+                write!(f, "algorithm requires a power-of-two node count, got {n}")
+            }
+            Self::RootOutOfRange { root, n } => {
+                write!(f, "root {root} out of range for {n} nodes")
+            }
+            Self::BadMessageSize(m) => write!(f, "message size {m} must be positive and finite"),
+            Self::ConstructionInvariant(what) => {
+                write!(f, "algorithm construction invariant violated: {what}")
+            }
+            Self::Matrix(e) => write!(f, "matching construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl From<MatrixError> for CollectiveError {
+    fn from(e: MatrixError) -> Self {
+        Self::Matrix(e)
+    }
+}
+
+/// Errors raised by the symbolic data-flow verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A transfer tried to send a chunk its source does not hold.
+    MissingChunk {
+        /// Step index.
+        step: usize,
+        /// Sending node.
+        src: usize,
+        /// The chunk it does not hold.
+        chunk: usize,
+    },
+    /// A transfer referenced an out-of-range node or chunk.
+    OutOfRange {
+        /// Step index.
+        step: usize,
+        /// Description of the offending reference.
+        what: &'static str,
+    },
+    /// The set of (src → dst) transfers of a step does not match the step's
+    /// matching in the schedule.
+    MatchingMismatch {
+        /// Step index.
+        step: usize,
+    },
+    /// The step's advertised volume disagrees with the chunk-level data.
+    VolumeMismatch {
+        /// Step index.
+        step: usize,
+        /// Volume advertised by the schedule (bytes per pair).
+        schedule_bytes: f64,
+        /// Volume implied by the data flow (max chunks × chunk bytes).
+        dataflow_bytes: f64,
+    },
+    /// The final state violates the collective's semantics.
+    WrongFinalState {
+        /// The node with the bad state.
+        node: usize,
+        /// The offending chunk.
+        chunk: usize,
+        /// Human-readable expectation.
+        expected: &'static str,
+    },
+    /// Schedule and data flow have different step counts.
+    StepCountMismatch {
+        /// Steps in the schedule.
+        schedule: usize,
+        /// Steps in the data flow.
+        dataflow: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingChunk { step, src, chunk } => {
+                write!(f, "step {step}: node {src} sends chunk {chunk} it does not hold")
+            }
+            Self::OutOfRange { step, what } => write!(f, "step {step}: {what} out of range"),
+            Self::MatchingMismatch { step } => {
+                write!(f, "step {step}: data-flow transfers disagree with the schedule matching")
+            }
+            Self::VolumeMismatch {
+                step,
+                schedule_bytes,
+                dataflow_bytes,
+            } => write!(
+                f,
+                "step {step}: schedule volume {schedule_bytes} B != data-flow volume {dataflow_bytes} B"
+            ),
+            Self::WrongFinalState { node, chunk, expected } => {
+                write!(f, "final state wrong at node {node}, chunk {chunk}: expected {expected}")
+            }
+            Self::StepCountMismatch { schedule, dataflow } => {
+                write!(f, "schedule has {schedule} steps but data flow has {dataflow}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

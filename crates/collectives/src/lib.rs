@@ -1,0 +1,47 @@
+//! # aps-collectives — collective algorithms as sequences of matchings
+//!
+//! The paper models a collective communication algorithm as a sequence of
+//! steps `⟨M₁, …, M_s⟩` with volumes `⟨m₁, …, m_s⟩`, where each `Mᵢ` is a
+//! matching (every GPU sends to at most one peer and receives from at most
+//! one peer). This crate implements the classic algorithms in that form:
+//!
+//! | Collective     | Algorithms |
+//! |----------------|------------|
+//! | AllReduce      | ring, recursive doubling (full vector), recursive halving-doubling (Rabenseifner), Swing |
+//! | All-to-All     | linear shift, XOR exchange, Bruck |
+//! | AllGather      | ring, recursive doubling |
+//! | ReduceScatter  | ring, recursive halving |
+//! | Broadcast      | binomial tree |
+//! | Barrier        | dissemination |
+//!
+//! Every builder returns a [`Collective`]: the coarse [`Schedule`] the cost
+//! model consumes (matchings + volumes; Observation 1: these *are* a BvN
+//! decomposition of the aggregate demand) **and** a chunk-level [`DataFlow`]
+//! that records exactly which data moves where. The [`verify`] module
+//! executes the data flow symbolically — tracking the set of GPU
+//! contributions folded into every chunk — and checks the collective's
+//! semantics (e.g. "after AllReduce every GPU's every chunk contains every
+//! GPU's contribution"). This catches off-by-one errors in step patterns
+//! that a matching-level model would happily cost out.
+
+pub mod allgather;
+pub mod allreduce;
+pub mod alltoall;
+pub mod barrier;
+pub mod broadcast;
+pub(crate) mod builder;
+pub mod collective;
+pub mod dataflow;
+pub mod error;
+pub mod gather;
+pub mod multiport;
+pub mod reduce_scatter;
+pub mod scatter;
+pub mod schedule;
+pub mod stencil;
+pub mod verify;
+
+pub use collective::Collective;
+pub use dataflow::{Combine, DataFlow, DataFlowStep, Semantics, Transfer};
+pub use error::{CollectiveError, VerifyError};
+pub use schedule::{CollectiveKind, Schedule, Step};

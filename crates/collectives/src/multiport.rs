@@ -1,0 +1,253 @@
+//! Multi-ported collectives: steps that are unions of permutations.
+//!
+//! The paper's §4 lists "extending our model to multi-ported collectives
+//! where each step is not a single permutation but a union of multiple
+//! permutations" as an open question. This module provides the schedule
+//! representation and the classic construction: *mirroring* — running `k`
+//! single-port schedules in lockstep over `k` fabric planes, each carrying
+//! `1/k` of the data (§2 cites this as the standard mitigation for static
+//! multi-ported networks).
+
+use crate::error::CollectiveError;
+use crate::schedule::Schedule;
+use aps_matrix::{DemandMatrix, Matching, MatrixError};
+
+/// One multi-port step: up to `k` simultaneous matchings (one per port
+/// plane), each pair carrying `bytes_per_pair`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPortStep {
+    /// Per-port matchings (entries may repeat across ports — that is a
+    /// multiplicity-2 demand).
+    pub matchings: Vec<Matching>,
+    /// Bytes per (port, pair) circuit.
+    pub bytes_per_pair: f64,
+}
+
+impl MultiPortStep {
+    /// The step's demand as a multiplicity matrix `Σ_p M_p`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn union_demand(&self, n: usize) -> Result<DemandMatrix, MatrixError> {
+        let terms: Vec<(f64, &Matching)> = self.matchings.iter().map(|m| (1.0, m)).collect();
+        DemandMatrix::from_matchings(n, &terms)
+    }
+
+    /// `true` when no port communicates.
+    pub fn is_empty(&self) -> bool {
+        self.matchings.iter().all(Matching::is_empty)
+    }
+}
+
+/// A multi-ported collective schedule over `k` port planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPortSchedule {
+    n: usize,
+    ports: usize,
+    algorithm: String,
+    steps: Vec<MultiPortStep>,
+}
+
+impl MultiPortSchedule {
+    /// Runs `k` single-port schedules in lockstep, one per port plane:
+    /// step `i` of the result unions step `i` of every input (shorter
+    /// inputs idle once exhausted). All inputs must share `n` and — for the
+    /// volume bookkeeping to stay per-pair uniform — their step volumes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty plane list, node-count mismatches, and volume
+    /// mismatches between lockstep steps.
+    pub fn mirrored(planes: &[Schedule]) -> Result<Self, CollectiveError> {
+        let Some(first) = planes.first() else {
+            return Err(CollectiveError::ConstructionInvariant(
+                "mirroring needs at least one plane",
+            ));
+        };
+        let n = first.n();
+        for p in planes {
+            if p.n() != n {
+                return Err(CollectiveError::Matrix(MatrixError::DimensionMismatch {
+                    left: n,
+                    right: p.n(),
+                }));
+            }
+        }
+        let len = planes.iter().map(Schedule::num_steps).max().unwrap_or(0);
+        let mut steps = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut matchings = Vec::with_capacity(planes.len());
+            let mut bytes: Option<f64> = None;
+            for p in planes {
+                match p.steps().get(i) {
+                    Some(s) => {
+                        if let Some(b) = bytes {
+                            if (b - s.bytes_per_pair).abs() > 1e-9 * (1.0 + b) {
+                                return Err(CollectiveError::ConstructionInvariant(
+                                    "mirrored planes must carry equal step volumes",
+                                ));
+                            }
+                        } else {
+                            bytes = Some(s.bytes_per_pair);
+                        }
+                        matchings.push(s.matching.clone());
+                    }
+                    None => matchings.push(Matching::empty(n)),
+                }
+            }
+            steps.push(MultiPortStep {
+                matchings,
+                bytes_per_pair: bytes.unwrap_or(0.0),
+            });
+        }
+        let algorithm = format!(
+            "mirrored[{}]",
+            planes
+                .iter()
+                .map(Schedule::algorithm)
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        Ok(Self { n, ports: planes.len(), algorithm, steps })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of port planes `k`.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Algorithm label.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Steps in execution order.
+    pub fn steps(&self) -> &[MultiPortStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Aggregate demand over the whole collective (eq. (1) generalized).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn aggregate_demand(&self) -> Result<DemandMatrix, MatrixError> {
+        let mut total = DemandMatrix::zeros(self.n);
+        for s in &self.steps {
+            for m in &s.matchings {
+                total.add_matching(s.bytes_per_pair, m)?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// The canonical 2-port example: bidirectional-mirrored ring AllReduce.
+/// Port 0 runs the ring AllReduce clockwise, port 1 counterclockwise, each
+/// on half the vector.
+///
+/// # Errors
+///
+/// Propagates ring-AllReduce construction errors.
+pub fn mirrored_ring_allreduce(n: usize, message_bytes: f64) -> Result<MultiPortSchedule, CollectiveError> {
+    let cw = crate::allreduce::ring::build(n, message_bytes / 2.0)?;
+    let ccw_steps: Vec<crate::schedule::Step> = cw
+        .schedule
+        .steps()
+        .iter()
+        .map(|s| crate::schedule::Step {
+            matching: s.matching.inverse(),
+            bytes_per_pair: s.bytes_per_pair,
+        })
+        .collect();
+    let ccw = Schedule::new(
+        n,
+        crate::schedule::CollectiveKind::AllReduce,
+        "ring-ccw",
+        ccw_steps,
+    )?;
+    MultiPortSchedule::mirrored(&[cw.schedule, ccw])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce;
+
+    #[test]
+    fn mirrored_ring_structure() {
+        let n = 8;
+        let m = 1600.0;
+        let mp = mirrored_ring_allreduce(n, m).unwrap();
+        assert_eq!(mp.ports(), 2);
+        assert_eq!(mp.num_steps(), 2 * (n - 1));
+        for s in mp.steps() {
+            assert_eq!(s.matchings.len(), 2);
+            assert_eq!(s.matchings[0], Matching::shift(n, 1).unwrap());
+            assert_eq!(s.matchings[1], Matching::shift(n, n - 1).unwrap());
+            // Each plane carries (m/2)/n per step.
+            assert!((s.bytes_per_pair - m / 2.0 / n as f64).abs() < 1e-9);
+        }
+        // Total bytes moved per node: 2 planes × 2(n-1) steps × m/(2n) =
+        // the bandwidth-optimal 2m(n-1)/n, split across two ports.
+        let agg = mp.aggregate_demand().unwrap();
+        let per_port_bytes = 2.0 * (n as f64 - 1.0) * (m / 2.0) / n as f64;
+        assert!((agg.get(0, 1) - per_port_bytes).abs() < 1e-9);
+        assert!((agg.get(1, 0) - per_port_bytes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_demand_counts_multiplicity() {
+        let n = 4;
+        let a = Matching::shift(n, 1).unwrap();
+        let step = MultiPortStep {
+            matchings: vec![a.clone(), a.clone()],
+            bytes_per_pair: 10.0,
+        };
+        let d = step.union_demand(n).unwrap();
+        assert_eq!(d.get(0, 1), 2.0);
+        assert!(!step.is_empty());
+    }
+
+    #[test]
+    fn mirrored_pads_shorter_planes() {
+        let n = 8;
+        let long = allreduce::ring::build(n, 800.0).unwrap().schedule;
+        let steps = long.num_steps();
+        let short = Schedule::new(
+            n,
+            crate::schedule::CollectiveKind::AllReduce,
+            "one-step",
+            vec![crate::schedule::Step {
+                matching: Matching::shift(n, 2).unwrap(),
+                bytes_per_pair: 100.0,
+            }],
+        )
+        .unwrap();
+        let mp = MultiPortSchedule::mirrored(&[long, short]).unwrap();
+        assert_eq!(mp.num_steps(), steps);
+        assert!(mp.steps()[1].matchings[1].is_empty());
+    }
+
+    #[test]
+    fn mirrored_validation() {
+        assert!(MultiPortSchedule::mirrored(&[]).is_err());
+        let a = allreduce::ring::build(8, 800.0).unwrap().schedule;
+        let b = allreduce::ring::build(4, 800.0).unwrap().schedule;
+        assert!(MultiPortSchedule::mirrored(&[a.clone(), b]).is_err());
+        // Volume mismatch between lockstep steps.
+        let c = allreduce::ring::build(8, 1600.0).unwrap().schedule;
+        assert!(MultiPortSchedule::mirrored(&[a, c]).is_err());
+    }
+}

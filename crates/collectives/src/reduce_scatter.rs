@@ -1,0 +1,127 @@
+//! ReduceScatter algorithms: node `i` ends with the fully-reduced slot `i`.
+//!
+//! `message_bytes` is the input vector size `m`; each of the `n` slots is
+//! `m/n` bytes.
+
+use crate::builder::{assemble, check_message_bytes, exact_log2, StepSends};
+use crate::collective::Collective;
+use crate::dataflow::{Combine, Semantics};
+use crate::error::CollectiveError;
+use crate::schedule::CollectiveKind;
+
+/// Ring ReduceScatter: `n−1` shift-by-1 steps; slot `c` travels the ring
+/// accumulating contributions and completes at its owner `c`.
+///
+/// # Errors
+///
+/// Rejects `n < 2` and bad message sizes.
+pub fn ring(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    check_message_bytes(message_bytes)?;
+    let chunk_bytes = message_bytes / n as f64;
+    let steps: Vec<StepSends> = (0..n - 1)
+        .map(|t| {
+            (0..n)
+                .map(|i| {
+                    let c = (i + 2 * n - t - 1) % n;
+                    (i, (i + 1) % n, vec![c], Combine::Reduce)
+                })
+                .collect()
+        })
+        .collect();
+    let initial = (0..n).map(|_| (0..n).collect()).collect();
+    assemble(
+        n,
+        CollectiveKind::ReduceScatter,
+        "ring",
+        Semantics::ReduceScatter,
+        n,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+/// Recursive-halving ReduceScatter (the first phase of Rabenseifner
+/// AllReduce): `log₂ n` steps with partners at XOR distance `n/2, …, 1` and
+/// volumes `m/2, …, m/n`.
+///
+/// # Errors
+///
+/// Rejects `n < 2`, non-power-of-two `n`, and bad message sizes.
+pub fn recursive_halving(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError> {
+    if n < 2 {
+        return Err(CollectiveError::TooFewNodes { n, min: 2 });
+    }
+    let log = exact_log2(n)?;
+    check_message_bytes(message_bytes)?;
+    let chunk_bytes = message_bytes / n as f64;
+    let steps: Vec<StepSends> = (0..log)
+        .map(|t| {
+            let mask = 1usize << (log - 1 - t);
+            (0..n)
+                .map(|i| {
+                    let p = i ^ mask;
+                    let width = log - t - 1;
+                    let lo = (p >> width) << width;
+                    let blk: Vec<usize> = (lo..lo + (n >> (t + 1))).collect();
+                    (i, p, blk, Combine::Reduce)
+                })
+                .collect()
+        })
+        .collect();
+    let initial = (0..n).map(|_| (0..n).collect()).collect();
+    assemble(
+        n,
+        CollectiveKind::ReduceScatter,
+        "recursive-halving",
+        Semantics::ReduceScatter,
+        n,
+        chunk_bytes,
+        initial,
+        steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_verifies() {
+        for n in [2, 3, 5, 8, 16] {
+            ring(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recursive_halving_verifies() {
+        for n in [2, 4, 8, 16, 64] {
+            recursive_halving(n, 64.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+        assert!(recursive_halving(12, 1.0).is_err());
+    }
+
+    #[test]
+    fn optimal_bytes_per_node() {
+        let n = 8;
+        let m = 800.0;
+        let opt = m * (n as f64 - 1.0) / n as f64;
+        assert!((ring(n, m).unwrap().schedule.total_bytes_per_node() - opt).abs() < 1e-9);
+        assert!(
+            (recursive_halving(n, m).unwrap().schedule.total_bytes_per_node() - opt).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn halving_volumes() {
+        let c = recursive_halving(8, 80.0).unwrap();
+        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        assert_eq!(vols, vec![40.0, 20.0, 10.0]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Symbolic execution and semantic verification of collectives.
+//!
+//! The verifier tracks, for every `(node, chunk)` pair, the *set of GPU
+//! contributions* folded into that copy — a [`BitSet`] per chunk. Executing
+//! the data flow symbolically and checking the final state against the
+//! collective's [`Semantics`] proves the algorithm moves and combines the
+//! right data, independently of the cost model. All algorithm builders in
+//! this crate are tested through this verifier.
+//!
+//! Transfers within a step are **simultaneous**: receivers combine the
+//! sender's *pre-step* copy, so pairwise exchanges (both directions in one
+//! matching) behave like real double-buffered implementations.
+
+use crate::dataflow::{Combine, DataFlow, Semantics};
+use crate::error::VerifyError;
+use aps_matrix::BitSet;
+
+/// Final symbolic state: `state[node][chunk]` is the contribution set
+/// (empty ⇔ the node does not hold the chunk).
+pub type SymbolicState = Vec<Vec<BitSet>>;
+
+/// Executes the data flow and returns the final symbolic state without
+/// checking semantics. Useful for debugging new algorithms.
+///
+/// # Errors
+///
+/// Fails when a transfer references out-of-range nodes/chunks or sends a
+/// chunk its source does not hold.
+pub fn execute(flow: &DataFlow) -> Result<SymbolicState, VerifyError> {
+    let n = flow.n;
+    let c = flow.num_chunks;
+    let mut state: SymbolicState = vec![vec![BitSet::new(n); c]; n];
+    for (node, chunks) in flow.initial.iter().enumerate() {
+        if node >= n {
+            return Err(VerifyError::OutOfRange { step: 0, what: "initial node" });
+        }
+        for &ch in chunks {
+            if ch >= c {
+                return Err(VerifyError::OutOfRange { step: 0, what: "initial chunk" });
+            }
+            state[node][ch].insert(node);
+        }
+    }
+    for (step_idx, step) in flow.steps.iter().enumerate() {
+        // Snapshot the sender copies first: transfers are simultaneous.
+        let mut outgoing: Vec<(usize, usize, BitSet, Combine)> = Vec::new();
+        for t in &step.transfers {
+            if t.src >= n || t.dst >= n {
+                return Err(VerifyError::OutOfRange { step: step_idx, what: "transfer endpoint" });
+            }
+            for &ch in &t.chunks {
+                if ch >= c {
+                    return Err(VerifyError::OutOfRange { step: step_idx, what: "transfer chunk" });
+                }
+                let copy = state[t.src][ch].clone();
+                if copy.is_empty() {
+                    return Err(VerifyError::MissingChunk {
+                        step: step_idx,
+                        src: t.src,
+                        chunk: ch,
+                    });
+                }
+                outgoing.push((t.dst, ch, copy, t.combine));
+            }
+        }
+        for (dst, ch, copy, combine) in outgoing {
+            match combine {
+                Combine::Reduce => state[dst][ch].union_with(&copy),
+                Combine::Replace => state[dst][ch] = copy,
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Executes the data flow and checks the final state against its semantics.
+///
+/// # Errors
+///
+/// Propagates execution errors and reports the first semantic violation.
+pub fn verify_dataflow(flow: &DataFlow) -> Result<(), VerifyError> {
+    let state = execute(flow)?;
+    let n = flow.n;
+    match flow.semantics {
+        Semantics::AllReduce => {
+            for (node, chunks) in state.iter().enumerate() {
+                for (chunk, set) in chunks.iter().enumerate() {
+                    if !set.is_full() {
+                        return Err(VerifyError::WrongFinalState {
+                            node,
+                            chunk,
+                            expected: "all contributions reduced into every slot",
+                        });
+                    }
+                }
+            }
+        }
+        Semantics::ReduceScatter => {
+            for (node, chunks) in state.iter().enumerate() {
+                if !chunks[node].is_full() {
+                    return Err(VerifyError::WrongFinalState {
+                        node,
+                        chunk: node,
+                        expected: "node i owns fully-reduced slot i",
+                    });
+                }
+            }
+        }
+        Semantics::AllGather => {
+            for (node, chunks) in state.iter().enumerate() {
+                for (chunk, set) in chunks.iter().enumerate() {
+                    let ok = set.len() == 1 && set.contains(chunk);
+                    if !ok {
+                        return Err(VerifyError::WrongFinalState {
+                            node,
+                            chunk,
+                            expected: "every node holds chunk c with exactly {c}",
+                        });
+                    }
+                }
+            }
+        }
+        Semantics::AllToAll => {
+            for d in 0..n {
+                for s in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let set = &state[d][s * n + d];
+                    let ok = set.len() == 1 && set.contains(s);
+                    if !ok {
+                        return Err(VerifyError::WrongFinalState {
+                            node: d,
+                            chunk: s * n + d,
+                            expected: "node d holds chunk (s, d) originating from s",
+                        });
+                    }
+                }
+            }
+        }
+        Semantics::Broadcast { root } => {
+            // Every chunk of the space belongs to the root's message; all
+            // nodes must end holding all of them (single-chunk binomial and
+            // n-chunk scatter-allgather alike).
+            for (node, chunks) in state.iter().enumerate() {
+                for (chunk, set) in chunks.iter().enumerate() {
+                    let ok = set.len() == 1 && set.contains(root);
+                    if !ok {
+                        return Err(VerifyError::WrongFinalState {
+                            node,
+                            chunk,
+                            expected: "every node holds the root's chunk",
+                        });
+                    }
+                }
+            }
+        }
+        Semantics::SparsePersonalized => {
+            for (s_node, chunks) in flow.initial.iter().enumerate() {
+                for &c in chunks {
+                    let d = c % n;
+                    debug_assert_eq!(c / n, s_node, "sparse chunk ids are s*n+d");
+                    if d == s_node {
+                        continue;
+                    }
+                    let set = &state[d][c];
+                    let ok = set.len() == 1 && set.contains(s_node);
+                    if !ok {
+                        return Err(VerifyError::WrongFinalState {
+                            node: d,
+                            chunk: c,
+                            expected: "declared chunk (s, d) delivered to d",
+                        });
+                    }
+                }
+            }
+        }
+        Semantics::Scatter { root } => {
+            for (node, chunks) in state.iter().enumerate() {
+                let set = &chunks[node];
+                let ok = set.len() == 1 && set.contains(root);
+                if !ok {
+                    return Err(VerifyError::WrongFinalState {
+                        node,
+                        chunk: node,
+                        expected: "node i holds chunk i from the root",
+                    });
+                }
+            }
+        }
+        Semantics::Gather { root } => {
+            for (chunk, set) in state[root].iter().enumerate() {
+                let ok = set.len() == 1 && set.contains(chunk);
+                if !ok {
+                    return Err(VerifyError::WrongFinalState {
+                        node: root,
+                        chunk,
+                        expected: "root holds chunk c originating at node c",
+                    });
+                }
+            }
+        }
+        Semantics::Barrier => {
+            for (node, chunks) in state.iter().enumerate() {
+                for (chunk, set) in chunks.iter().enumerate() {
+                    if set.is_empty() {
+                        return Err(VerifyError::WrongFinalState {
+                            node,
+                            chunk,
+                            expected: "every node has heard from every node",
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::{DataFlowStep, Transfer};
+
+    /// Hand-built 2-node "allgather": 0 and 1 swap their chunks.
+    fn tiny_allgather(correct: bool) -> DataFlow {
+        let step = DataFlowStep {
+            transfers: vec![
+                Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    // The buggy variant "sends" chunk 0 (which node 1 does
+                    // not hold) instead of its own chunk 1.
+                    chunks: vec![if correct { 1 } else { 0 }],
+                    combine: Combine::Replace,
+                },
+            ],
+        };
+        DataFlow {
+            n: 2,
+            num_chunks: 2,
+            chunk_bytes: 1.0,
+            initial: vec![vec![0], vec![1]],
+            steps: vec![step],
+            semantics: Semantics::AllGather,
+        }
+    }
+
+    #[test]
+    fn correct_tiny_allgather_passes() {
+        verify_dataflow(&tiny_allgather(true)).unwrap();
+    }
+
+    #[test]
+    fn missing_chunk_is_caught() {
+        assert_eq!(
+            verify_dataflow(&tiny_allgather(false)),
+            Err(VerifyError::MissingChunk { step: 0, src: 1, chunk: 0 })
+        );
+    }
+
+    #[test]
+    fn simultaneous_swap_works() {
+        // Both nodes replace the same chunk id in one step: a swap. The
+        // pre-step snapshot must make this exchange, not a chain.
+        let flow = DataFlow {
+            n: 2,
+            num_chunks: 1,
+            chunk_bytes: 1.0,
+            initial: vec![vec![0], vec![0]],
+            steps: vec![DataFlowStep {
+                transfers: vec![
+                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
+                    Transfer { src: 1, dst: 0, chunks: vec![0], combine: Combine::Replace },
+                ],
+            }],
+            semantics: Semantics::Barrier,
+        };
+        let state = execute(&flow).unwrap();
+        // Node 0 ends with node 1's copy and vice versa.
+        assert!(state[0][0].contains(1) && !state[0][0].contains(0));
+        assert!(state[1][0].contains(0) && !state[1][0].contains(1));
+    }
+
+    #[test]
+    fn reduce_accumulates() {
+        let flow = DataFlow {
+            n: 2,
+            num_chunks: 1,
+            chunk_bytes: 1.0,
+            initial: vec![vec![0], vec![0]],
+            steps: vec![DataFlowStep {
+                transfers: vec![
+                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Reduce },
+                    Transfer { src: 1, dst: 0, chunks: vec![0], combine: Combine::Reduce },
+                ],
+            }],
+            semantics: Semantics::AllReduce,
+        };
+        verify_dataflow(&flow).unwrap();
+    }
+
+    #[test]
+    fn incomplete_allreduce_rejected() {
+        // One direction only: node 0 never hears from node 1.
+        let flow = DataFlow {
+            n: 2,
+            num_chunks: 1,
+            chunk_bytes: 1.0,
+            initial: vec![vec![0], vec![0]],
+            steps: vec![DataFlowStep {
+                transfers: vec![Transfer {
+                    src: 0,
+                    dst: 1,
+                    chunks: vec![0],
+                    combine: Combine::Reduce,
+                }],
+            }],
+            semantics: Semantics::AllReduce,
+        };
+        assert!(matches!(
+            verify_dataflow(&flow),
+            Err(VerifyError::WrongFinalState { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_references_rejected() {
+        let mut flow = tiny_allgather(true);
+        flow.steps[0].transfers[0].chunks = vec![5];
+        assert!(matches!(
+            verify_dataflow(&flow),
+            Err(VerifyError::OutOfRange { what: "transfer chunk", .. })
+        ));
+        let mut flow2 = tiny_allgather(true);
+        flow2.steps[0].transfers[0].dst = 9;
+        assert!(matches!(
+            verify_dataflow(&flow2),
+            Err(VerifyError::OutOfRange { what: "transfer endpoint", .. })
+        ));
+        let mut flow3 = tiny_allgather(true);
+        flow3.initial[0] = vec![17];
+        assert!(matches!(
+            verify_dataflow(&flow3),
+            Err(VerifyError::OutOfRange { what: "initial chunk", .. })
+        ));
+    }
+
+    #[test]
+    fn replace_vs_reduce_distinction_matters() {
+        // Node 1's copy of the chunk is partial ({1}); node 0's is partial
+        // ({0}). A Replace from 0 to 1 leaves node 1 with {0}, NOT {0,1}:
+        // semantics AllReduce must fail. Using Reduce here would hide the
+        // bug — this is why the data flow records the combine rule.
+        let flow = DataFlow {
+            n: 2,
+            num_chunks: 1,
+            chunk_bytes: 1.0,
+            initial: vec![vec![0], vec![0]],
+            steps: vec![DataFlowStep {
+                transfers: vec![
+                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
+                    Transfer { src: 1, dst: 0, chunks: vec![0], combine: Combine::Reduce },
+                ],
+            }],
+            semantics: Semantics::AllReduce,
+        };
+        assert!(matches!(
+            verify_dataflow(&flow),
+            Err(VerifyError::WrongFinalState { node: 1, .. })
+        ));
+    }
+}

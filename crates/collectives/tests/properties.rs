@@ -1,0 +1,123 @@
+//! Property-based tests for collective algorithms: every builder verifies
+//! semantically at random sizes, conserves volume, and produces matchings.
+
+use aps_collectives::{allgather, allreduce, alltoall, barrier, broadcast, gather, reduce_scatter, scatter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_n_collectives_verify(n in 2usize..26, m in 1.0f64..1e9) {
+        for c in [
+            allreduce::ring::build(n, m).unwrap(),
+            allreduce::any_n::build(n, m).unwrap(),
+            alltoall::linear_shift(n, m).unwrap(),
+            alltoall::bruck(n, m).unwrap(),
+            allgather::ring(n, m).unwrap(),
+            reduce_scatter::ring(n, m).unwrap(),
+            barrier::dissemination(n).unwrap(),
+        ] {
+            prop_assert!(c.check().is_ok(), "{} failed at n={n}", c.schedule.algorithm());
+        }
+    }
+
+    #[test]
+    fn rooted_collectives_verify(n in 2usize..22, root in 0usize..21, m in 1.0f64..1e6) {
+        let root = root % n;
+        for c in [
+            broadcast::binomial(n, root, m).unwrap(),
+            scatter::binomial(n, root, m).unwrap(),
+            gather::binomial(n, root, m).unwrap(),
+        ] {
+            prop_assert!(c.check().is_ok(), "{} failed at n={n} root={root}", c.schedule.algorithm());
+        }
+    }
+
+    #[test]
+    fn pow2_collectives_verify(exp in 1u32..6, m in 1.0f64..1e9) {
+        let n = 1usize << exp;
+        for c in [
+            allreduce::recursive_doubling::build(n, m).unwrap(),
+            allreduce::halving_doubling::build(n, m).unwrap(),
+            allreduce::swing::build(n, m).unwrap(),
+            alltoall::xor_exchange(n, m).unwrap(),
+            allgather::recursive_doubling(n, m).unwrap(),
+            reduce_scatter::recursive_halving(n, m).unwrap(),
+        ] {
+            prop_assert!(c.check().is_ok(), "{} failed at n={n}", c.schedule.algorithm());
+        }
+    }
+
+    #[test]
+    fn bandwidth_optimal_allreduces_move_identical_bytes(exp in 1u32..7, m in 1.0f64..1e9) {
+        let n = 1usize << exp;
+        let expected = 2.0 * m * (n as f64 - 1.0) / n as f64;
+        for c in [
+            allreduce::ring::build(n, m).unwrap(),
+            allreduce::halving_doubling::build(n, m).unwrap(),
+            allreduce::swing::build(n, m).unwrap(),
+        ] {
+            let total = c.schedule.total_bytes_per_node();
+            prop_assert!(
+                (total - expected).abs() < 1e-6 * expected,
+                "{}: {} vs {}", c.schedule.algorithm(), total, expected
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_demand_volume_conserved(n in 2usize..17, m in 1.0f64..1e6) {
+        // Total aggregate mass = Σ steps (pairs × bytes).
+        for c in [
+            allreduce::ring::build(n, m).unwrap(),
+            alltoall::linear_shift(n, m).unwrap(),
+            broadcast::binomial(n, 0, m).unwrap(),
+        ] {
+            let agg = c.schedule.aggregate_demand().unwrap();
+            let expected: f64 = c
+                .schedule
+                .steps()
+                .iter()
+                .map(|s| s.matching.len() as f64 * s.bytes_per_pair)
+                .sum();
+            prop_assert!((agg.total() - expected).abs() < 1e-6 * (1.0 + expected));
+        }
+    }
+
+    #[test]
+    fn alltoall_variants_agree_on_aggregate(exp in 1u32..6, m in 1.0f64..1e6) {
+        // Direct-delivery variants produce the same aggregate demand; Bruck
+        // trades extra volume for fewer steps (strictly more traffic beyond
+        // n = 2).
+        let n = 1usize << exp;
+        let lin = alltoall::linear_shift(n, m).unwrap();
+        let xor = alltoall::xor_exchange(n, m).unwrap();
+        let agg_lin = lin.schedule.aggregate_demand().unwrap();
+        let agg_xor = xor.schedule.aggregate_demand().unwrap();
+        prop_assert!(agg_lin.approx_eq(&agg_xor, 1e-9));
+        let bruck = alltoall::bruck(n, m).unwrap();
+        if n > 2 {
+            prop_assert!(
+                bruck.schedule.total_bytes_per_node() > lin.schedule.total_bytes_per_node()
+            );
+        }
+        prop_assert!(bruck.schedule.num_steps() <= lin.schedule.num_steps());
+    }
+
+    #[test]
+    fn swing_distances_never_exceed_a_third_of_the_ring(exp in 2u32..8) {
+        // Swing's defining locality property: |ρ(t)| ≤ (n/2)·(2/3)+O(1); in
+        // particular every exchange distance is < n/2 for n ≥ 4 while
+        // halving-doubling reaches exactly n/2.
+        let n = 1usize << exp;
+        let c = allreduce::swing::build(n, 1024.0).unwrap();
+        for s in c.schedule.steps() {
+            for (a, b) in s.matching.pairs() {
+                let fwd = (b + n - a) % n;
+                let dist = fwd.min(n - fwd);
+                prop_assert!(dist < n / 2, "swing distance {dist} at n={n}");
+            }
+        }
+    }
+}

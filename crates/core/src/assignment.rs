@@ -1,0 +1,130 @@
+//! Circuit-switch schedules: the decision vector `x` of eq. (7).
+
+/// Per-step interconnect choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigChoice {
+    /// `xᵢ = 1`: run the step on the base topology `G`.
+    Base,
+    /// `xᵢ = 0`: reconfigure the fabric to match the step's pattern `Mᵢ`.
+    Matched,
+}
+
+/// A complete circuit-switching schedule for an `s`-step collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchSchedule {
+    choices: Vec<ConfigChoice>,
+}
+
+impl SwitchSchedule {
+    /// Wraps an explicit choice vector.
+    pub fn new(choices: Vec<ConfigChoice>) -> Self {
+        Self { choices }
+    }
+
+    /// The static policy: never reconfigure.
+    pub fn all_base(s: usize) -> Self {
+        Self { choices: vec![ConfigChoice::Base; s] }
+    }
+
+    /// The per-step BvN policy: reconfigure to match every step.
+    pub fn all_matched(s: usize) -> Self {
+        Self { choices: vec![ConfigChoice::Matched; s] }
+    }
+
+    /// The choice for step `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn choice(&self, i: usize) -> ConfigChoice {
+        self.choices[i]
+    }
+
+    /// All choices in step order.
+    pub fn choices(&self) -> &[ConfigChoice] {
+        &self.choices
+    }
+
+    /// Number of steps covered.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// `true` for a zero-step schedule.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Number of steps run on the matched topology.
+    pub fn matched_steps(&self) -> usize {
+        self.choices
+            .iter()
+            .filter(|c| **c == ConfigChoice::Matched)
+            .count()
+    }
+
+    /// Number of reconfiguration events under the paper's `z` semantics
+    /// (`x₀ = 1`): step `i` triggers one unless both it and its predecessor
+    /// run on the base.
+    pub fn reconfig_events(&self) -> usize {
+        let mut prev = ConfigChoice::Base;
+        let mut events = 0;
+        for &c in &self.choices {
+            if !(prev == ConfigChoice::Base && c == ConfigChoice::Base) {
+                events += 1;
+            }
+            prev = c;
+        }
+        events
+    }
+
+    /// Compact string form, e.g. `"GMMG"` (G = base, M = matched).
+    pub fn compact(&self) -> String {
+        self.choices
+            .iter()
+            .map(|c| match c {
+                ConfigChoice::Base => 'G',
+                ConfigChoice::Matched => 'M',
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SwitchSchedule::all_base(3).compact(), "GGG");
+        assert_eq!(SwitchSchedule::all_matched(2).compact(), "MM");
+        assert!(SwitchSchedule::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn reconfig_event_counting() {
+        // Paper semantics: consecutive matched steps each pay; returning to
+        // base pays too.
+        use ConfigChoice::*;
+        assert_eq!(SwitchSchedule::all_base(5).reconfig_events(), 0);
+        assert_eq!(SwitchSchedule::all_matched(5).reconfig_events(), 5);
+        assert_eq!(
+            SwitchSchedule::new(vec![Base, Matched, Base, Base]).reconfig_events(),
+            2
+        );
+        assert_eq!(
+            SwitchSchedule::new(vec![Matched, Matched, Base, Base]).reconfig_events(),
+            3
+        );
+    }
+
+    #[test]
+    fn counting_and_access() {
+        use ConfigChoice::*;
+        let s = SwitchSchedule::new(vec![Base, Matched, Matched]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.matched_steps(), 2);
+        assert_eq!(s.choice(1), Matched);
+        assert_eq!(s.choices()[0], Base);
+    }
+}

@@ -1,0 +1,81 @@
+//! Exhaustive reference solver: enumerates all `2^s` schedules.
+//!
+//! Exponential by construction — only usable for small step counts — and
+//! kept solely to certify the DP solver (unit tests and proptest compare
+//! them on every instance).
+
+use crate::assignment::{ConfigChoice, SwitchSchedule};
+use crate::error::CoreError;
+use crate::objective::{evaluate, CostReport, ReconfigAccounting};
+use crate::problem::SwitchingProblem;
+
+/// Hard cap on the enumerable step count (`2^20` schedules).
+pub const MAX_EXHAUSTIVE_STEPS: usize = 20;
+
+/// Finds the optimum by enumeration.
+///
+/// # Errors
+///
+/// Fails when the problem has more than [`MAX_EXHAUSTIVE_STEPS`] steps.
+pub fn optimize_exhaustive(
+    problem: &SwitchingProblem,
+    accounting: ReconfigAccounting,
+) -> Result<(SwitchSchedule, CostReport), CoreError> {
+    let s = problem.num_steps();
+    if s > MAX_EXHAUSTIVE_STEPS {
+        return Err(CoreError::TooManySteps { steps: s, limit: MAX_EXHAUSTIVE_STEPS });
+    }
+    let mut best: Option<(SwitchSchedule, CostReport)> = None;
+    for bits in 0u64..(1u64 << s) {
+        let choices: Vec<ConfigChoice> = (0..s)
+            .map(|i| {
+                if bits >> i & 1 == 1 {
+                    ConfigChoice::Matched
+                } else {
+                    ConfigChoice::Base
+                }
+            })
+            .collect();
+        let schedule = SwitchSchedule::new(choices);
+        let report = evaluate(problem, &schedule, accounting)?;
+        let better = match &best {
+            None => true,
+            Some((_, b)) => report.total_s() < b.total_s(),
+        };
+        if better {
+            best = Some((schedule, report));
+        }
+    }
+    Ok(best.expect("at least the all-base schedule was evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_cost::{CostParams, ReconfigModel};
+    use aps_flow::solver::{ThetaCache, ThroughputSolver};
+    use aps_topology::builders;
+
+    #[test]
+    fn refuses_large_problems() {
+        let topo = builders::ring_unidirectional(4).unwrap();
+        let c = allreduce::ring::build(64, 1e6).unwrap(); // 126 steps
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        let topo64 = builders::ring_unidirectional(64).unwrap();
+        let mut cache64 = ThetaCache::new(&topo64, ThroughputSolver::ForcedPath);
+        let _ = (&topo, &mut cache);
+        let p = SwitchingProblem::build(
+            &topo64,
+            &c.schedule,
+            &mut cache64,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(1e-6).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            optimize_exhaustive(&p, Default::default()),
+            Err(CoreError::TooManySteps { .. })
+        ));
+    }
+}

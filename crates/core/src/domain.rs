@@ -1,0 +1,212 @@
+//! High-level facade: an adaptive photonic scale-up domain.
+//!
+//! [`ScaleupDomain`] bundles the base topology, cost parameters,
+//! reconfiguration pricing and a θ memo into the object downstream users
+//! interact with: hand it a collective, get back the optimal circuit-switch
+//! schedule and a policy comparison.
+
+use crate::assignment::SwitchSchedule;
+use crate::dp;
+use crate::error::CoreError;
+use crate::objective::{CostReport, ReconfigAccounting};
+use crate::policies::{evaluate_policy, Policy};
+use crate::problem::{config_of_topology, SwitchingProblem};
+use aps_collectives::Schedule;
+use aps_cost::steptable::step_cost_table;
+use aps_cost::{CostParams, ReconfigModel};
+use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_topology::Topology;
+
+/// Completion times of all policies on one collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyComparison {
+    /// Never reconfigure.
+    pub static_s: f64,
+    /// Reconfigure every step.
+    pub bvn_s: f64,
+    /// Optimized (DP) schedule.
+    pub opt_s: f64,
+    /// Threshold heuristic.
+    pub threshold_s: f64,
+}
+
+impl PolicyComparison {
+    /// `t_static / t_opt`.
+    pub fn speedup_vs_static(&self) -> f64 {
+        self.static_s / self.opt_s
+    }
+
+    /// `t_bvn / t_opt`.
+    pub fn speedup_vs_bvn(&self) -> f64 {
+        self.bvn_s / self.opt_s
+    }
+
+    /// `min(static, bvn) / t_opt` — the Figure 2 metric.
+    pub fn speedup_vs_best_of_both(&self) -> f64 {
+        self.static_s.min(self.bvn_s) / self.opt_s
+    }
+}
+
+/// An adaptive photonic scale-up domain: `n` GPUs behind one reconfigurable
+/// fabric, a base topology, and the cost model of §3.
+#[derive(Debug)]
+pub struct ScaleupDomain {
+    base: Topology,
+    params: CostParams,
+    reconfig: ReconfigModel,
+    accounting: ReconfigAccounting,
+    cache: ThetaCache,
+}
+
+impl ScaleupDomain {
+    /// Creates a domain with the default (forced-path) throughput solver and
+    /// the paper's conservative reconfiguration accounting.
+    pub fn new(base: Topology, params: CostParams, reconfig: ReconfigModel) -> Self {
+        let cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+        Self {
+            base,
+            params,
+            reconfig,
+            accounting: ReconfigAccounting::PaperConservative,
+            cache,
+        }
+    }
+
+    /// Selects a different throughput solver (e.g. the Garg–Könemann FPTAS
+    /// for splittable routing on multi-path bases).
+    pub fn with_solver(mut self, solver: ThroughputSolver) -> Self {
+        self.cache = ThetaCache::new(&self.base, solver);
+        self
+    }
+
+    /// Selects the reconfiguration accounting rule.
+    pub fn with_accounting(mut self, accounting: ReconfigAccounting) -> Self {
+        self.accounting = accounting;
+        self
+    }
+
+    /// Number of GPUs in the domain.
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// The base topology.
+    pub fn base(&self) -> &Topology {
+        &self.base
+    }
+
+    /// The cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Builds the eq. (7) instance for a collective.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a step cannot be routed on the base topology.
+    pub fn problem(&mut self, schedule: &Schedule) -> Result<SwitchingProblem, CoreError> {
+        let steps = step_cost_table(&self.base, schedule, &mut self.cache)?;
+        Ok(SwitchingProblem {
+            n: self.base.n(),
+            params: self.params,
+            reconfig: self.reconfig,
+            base_config: config_of_topology(&self.base),
+            steps,
+        })
+    }
+
+    /// Computes the optimal circuit-switch schedule for a collective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction errors.
+    pub fn plan(&mut self, schedule: &Schedule) -> Result<(SwitchSchedule, CostReport), CoreError> {
+        let p = self.problem(schedule)?;
+        dp::optimize(&p, self.accounting)
+    }
+
+    /// Prices all four policies on a collective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction errors.
+    pub fn compare(&mut self, schedule: &Schedule) -> Result<PolicyComparison, CoreError> {
+        let p = self.problem(schedule)?;
+        Ok(PolicyComparison {
+            static_s: evaluate_policy(&p, Policy::StaticBase, self.accounting)?.total_s(),
+            bvn_s: evaluate_policy(&p, Policy::AlwaysMatched, self.accounting)?.total_s(),
+            opt_s: evaluate_policy(&p, Policy::Optimal, self.accounting)?.total_s(),
+            threshold_s: evaluate_policy(&p, Policy::Threshold, self.accounting)?.total_s(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_cost::units::MIB;
+    use aps_topology::builders;
+
+    fn domain(n: usize, alpha_r: f64) -> ScaleupDomain {
+        ScaleupDomain::new(
+            builders::ring_unidirectional(n).unwrap(),
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(alpha_r).unwrap(),
+        )
+    }
+
+    #[test]
+    fn plan_and_compare_are_consistent() {
+        let mut d = domain(16, 1e-6);
+        let c = allreduce::halving_doubling::build(16, 4.0 * MIB).unwrap();
+        let (schedule, report) = d.plan(&c.schedule).unwrap();
+        let cmp = d.compare(&c.schedule).unwrap();
+        assert!((report.total_s() - cmp.opt_s).abs() < 1e-15);
+        assert!(cmp.speedup_vs_static() >= 1.0);
+        assert!(cmp.speedup_vs_bvn() >= 1.0);
+        assert!(cmp.speedup_vs_best_of_both() <= cmp.speedup_vs_static() + 1e-12);
+        assert_eq!(schedule.len(), c.schedule.num_steps());
+        assert_eq!(d.n(), 16);
+    }
+
+    #[test]
+    fn large_messages_prefer_reconfiguration() {
+        let mut d = domain(16, 1e-6);
+        let big = allreduce::halving_doubling::build(16, 256.0 * MIB).unwrap();
+        let (schedule, _) = d.plan(&big.schedule).unwrap();
+        assert!(schedule.matched_steps() > 0);
+        // A 64-byte message stays static once α_r dwarfs the propagation
+        // savings (on a 16-ring the longest path saves only ~1.4 µs of δ).
+        let mut d = domain(16, 1e-4);
+        let small = allreduce::halving_doubling::build(16, 64.0).unwrap();
+        let (schedule, _) = d.plan(&small.schedule).unwrap();
+        assert_eq!(schedule.matched_steps(), 0);
+    }
+
+    #[test]
+    fn tiny_alpha_r_lets_propagation_savings_justify_reconfig() {
+        // With α_r = 1 µs and δ = 100 ns, steps with ring paths ≥ 11 hops
+        // save more propagation than the reconfiguration costs — so even a
+        // 64-byte collective reconfigures its long-distance steps. This is
+        // the §4 "deeper understanding of the propagation delays" effect.
+        let mut d = domain(16, 1e-6);
+        let small = allreduce::halving_doubling::build(16, 64.0).unwrap();
+        let (schedule, _) = d.plan(&small.schedule).unwrap();
+        assert!(schedule.matched_steps() > 0);
+    }
+
+    #[test]
+    fn accounting_switch_changes_pricing() {
+        // Ring allreduce steps equal the base ring: PhysicalDiff makes
+        // "matched" free, so BvN == static there.
+        let c = allreduce::ring::build(8, MIB).unwrap();
+        let mut paper = domain(8, 1e-4);
+        let mut phys = domain(8, 1e-4).with_accounting(ReconfigAccounting::PhysicalDiff);
+        let cp = paper.compare(&c.schedule).unwrap();
+        let cf = phys.compare(&c.schedule).unwrap();
+        assert!(cp.bvn_s > cf.bvn_s);
+        assert!((cf.bvn_s - cf.static_s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for schedule optimization.
+
+use std::fmt;
+
+/// Errors produced by the scheduling layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Throughput evaluation failed (routing, cache, or FPTAS parameters).
+    Flow(aps_flow::FlowError),
+    /// Collective construction failed.
+    Collective(aps_collectives::CollectiveError),
+    /// Cost parameters were invalid.
+    Params(aps_cost::params::ParamError),
+    /// Reconfiguration model was invalid.
+    Reconfig(aps_cost::reconfig::BadReconfigModel),
+    /// A switch schedule's length does not match the problem's step count.
+    ScheduleLengthMismatch {
+        /// Steps in the problem.
+        expected: usize,
+        /// Choices in the schedule.
+        got: usize,
+    },
+    /// Exhaustive search was asked to enumerate too many assignments.
+    TooManySteps {
+        /// Steps requested.
+        steps: usize,
+        /// Enumeration limit.
+        limit: usize,
+    },
+    /// A multi-base problem needs at least one base topology.
+    NoBases,
+    /// A multi-base start index was out of range.
+    StartBaseOutOfRange {
+        /// Requested start base.
+        start: usize,
+        /// Number of bases.
+        bases: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Flow(e) => write!(f, "throughput evaluation failed: {e}"),
+            Self::Collective(e) => write!(f, "collective construction failed: {e}"),
+            Self::Params(e) => write!(f, "invalid cost parameters: {e}"),
+            Self::Reconfig(e) => write!(f, "invalid reconfiguration model: {e}"),
+            Self::ScheduleLengthMismatch { expected, got } => {
+                write!(f, "switch schedule has {got} choices for {expected} steps")
+            }
+            Self::TooManySteps { steps, limit } => {
+                write!(f, "exhaustive search over {steps} steps exceeds limit {limit}")
+            }
+            Self::NoBases => write!(f, "multi-base optimization needs at least one base"),
+            Self::StartBaseOutOfRange { start, bases } => {
+                write!(f, "start base {start} out of range for {bases} bases")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<aps_flow::FlowError> for CoreError {
+    fn from(e: aps_flow::FlowError) -> Self {
+        Self::Flow(e)
+    }
+}
+
+impl From<aps_collectives::CollectiveError> for CoreError {
+    fn from(e: aps_collectives::CollectiveError) -> Self {
+        Self::Collective(e)
+    }
+}
+
+impl From<aps_cost::params::ParamError> for CoreError {
+    fn from(e: aps_cost::params::ParamError) -> Self {
+        Self::Params(e)
+    }
+}
+
+impl From<aps_cost::reconfig::BadReconfigModel> for CoreError {
+    fn from(e: aps_cost::reconfig::BadReconfigModel) -> Self {
+        Self::Reconfig(e)
+    }
+}

@@ -1,0 +1,358 @@
+//! Multi-base-topology pools (§3.3 extension).
+//!
+//! The paper: "Our formulation can even be extended to account for a fixed
+//! pool of base topologies instead of a single base topology G … e.g.,
+//! using multiple co-prime rings as base topologies." The DP state simply
+//! grows from `{base, matched}` to `{base₁, …, base_k, matched}`: still a
+//! trellis shortest path, `O(s·(k+1)²)`.
+
+use crate::error::CoreError;
+use crate::objective::ReconfigAccounting;
+use crate::problem::config_of_topology;
+use aps_collectives::Schedule;
+use aps_cost::steptable::step_cost_table;
+use aps_cost::{CostParams, ReconfigModel};
+use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_matrix::Matching;
+use aps_topology::Topology;
+
+/// One base topology's per-step figures.
+#[derive(Debug, Clone)]
+pub struct BaseOption {
+    /// Topology name (for reports).
+    pub name: String,
+    /// Physical circuit configuration, when the base is one.
+    pub config: Option<Matching>,
+    /// `(θ, ℓ)` per collective step on this base.
+    pub per_step: Vec<(f64, usize)>,
+}
+
+/// Per-step choice in a multi-base schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiChoice {
+    /// Run the step on base `k` of the pool.
+    Base(usize),
+    /// Reconfigure to the step's matched topology.
+    Matched,
+}
+
+/// A multi-base instance of the switching problem.
+#[derive(Debug, Clone)]
+pub struct MultiBaseProblem {
+    /// Number of fabric ports.
+    pub n: usize,
+    /// α, β, δ.
+    pub params: CostParams,
+    /// Reconfiguration pricing.
+    pub reconfig: ReconfigModel,
+    /// The pool of base topologies.
+    pub bases: Vec<BaseOption>,
+    /// Step volumes `mᵢ`.
+    pub volumes: Vec<f64>,
+    /// Step matchings (for per-port diffs and matched-state configs).
+    pub matchings: Vec<Matching>,
+    /// Index of the base the fabric holds before step 0.
+    pub start_base: usize,
+}
+
+/// Evaluates every base in `pool` against `schedule` and assembles the
+/// problem.
+///
+/// # Errors
+///
+/// Fails when the pool is empty, `start_base` is out of range, or a step is
+/// unroutable on some base.
+pub fn build_multibase(
+    pool: &[&Topology],
+    schedule: &Schedule,
+    params: CostParams,
+    reconfig: ReconfigModel,
+    solver: ThroughputSolver,
+    start_base: usize,
+) -> Result<MultiBaseProblem, CoreError> {
+    if pool.is_empty() {
+        return Err(CoreError::NoBases);
+    }
+    if start_base >= pool.len() {
+        return Err(CoreError::StartBaseOutOfRange { start: start_base, bases: pool.len() });
+    }
+    let mut bases = Vec::with_capacity(pool.len());
+    for topo in pool {
+        let mut cache = ThetaCache::new(topo, solver);
+        let table = step_cost_table(topo, schedule, &mut cache)?;
+        bases.push(BaseOption {
+            name: topo.name().to_string(),
+            config: config_of_topology(topo),
+            per_step: table.iter().map(|s| (s.theta_base, s.ell_base)).collect(),
+        });
+    }
+    Ok(MultiBaseProblem {
+        n: pool[0].n(),
+        params,
+        reconfig,
+        bases,
+        volumes: schedule.steps().iter().map(|s| s.bytes_per_pair).collect(),
+        matchings: schedule.steps().iter().map(|s| s.matching.clone()).collect(),
+        start_base,
+    })
+}
+
+impl MultiBaseProblem {
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.volumes.len()
+    }
+
+    fn config_of(&self, i: Option<usize>, choice: MultiChoice) -> Option<&Matching> {
+        match choice {
+            MultiChoice::Base(k) => self.bases[k].config.as_ref(),
+            MultiChoice::Matched => i.map(|i| &self.matchings[i]),
+        }
+    }
+
+    fn run_cost(&self, i: usize, choice: MultiChoice) -> f64 {
+        let p = &self.params;
+        let m = self.volumes[i];
+        match choice {
+            MultiChoice::Base(k) => {
+                let (theta, ell) = self.bases[k].per_step[i];
+                p.alpha_s + p.delta_s * ell as f64 + p.beta_s_per_byte * m / theta
+            }
+            MultiChoice::Matched => {
+                let ell = if self.matchings[i].is_empty() { 0.0 } else { 1.0 };
+                p.alpha_s + p.delta_s * ell + p.beta_s_per_byte * m
+            }
+        }
+    }
+
+    fn transition_cost(
+        &self,
+        prev_step: Option<usize>,
+        prev: MultiChoice,
+        i: usize,
+        cur: MultiChoice,
+        accounting: ReconfigAccounting,
+    ) -> f64 {
+        // Staying on the *same* base never reconfigures (generalized z).
+        if let (MultiChoice::Base(a), MultiChoice::Base(b)) = (prev, cur) {
+            if a == b {
+                return 0.0;
+            }
+        }
+        let prev_cfg = self.config_of(prev_step, prev);
+        let cur_cfg = self.config_of(Some(i), cur);
+        let diff = match (prev_cfg, cur_cfg) {
+            (Some(a), Some(b)) => a.tx_ports_changed(b),
+            _ => self.n,
+        };
+        match accounting {
+            ReconfigAccounting::PaperConservative => self.reconfig.delay_s(diff.max(1)),
+            ReconfigAccounting::PhysicalDiff => self.reconfig.delay_s(diff),
+        }
+    }
+
+    /// Prices an explicit multi-base schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails on length mismatch.
+    pub fn evaluate(
+        &self,
+        choices: &[MultiChoice],
+        accounting: ReconfigAccounting,
+    ) -> Result<f64, CoreError> {
+        if choices.len() != self.num_steps() {
+            return Err(CoreError::ScheduleLengthMismatch {
+                expected: self.num_steps(),
+                got: choices.len(),
+            });
+        }
+        let mut total = 0.0;
+        let mut prev = MultiChoice::Base(self.start_base);
+        let mut prev_step = None;
+        for (i, &cur) in choices.iter().enumerate() {
+            total += self.run_cost(i, cur) + self.transition_cost(prev_step, prev, i, cur, accounting);
+            prev = cur;
+            prev_step = Some(i);
+        }
+        Ok(total)
+    }
+
+    /// Exact DP over the `(k+1)`-state trellis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (none for well-formed problems).
+    pub fn optimize(
+        &self,
+        accounting: ReconfigAccounting,
+    ) -> Result<(Vec<MultiChoice>, f64), CoreError> {
+        let s = self.num_steps();
+        let k = self.bases.len();
+        let states: Vec<MultiChoice> = (0..k)
+            .map(MultiChoice::Base)
+            .chain(std::iter::once(MultiChoice::Matched))
+            .collect();
+        if s == 0 {
+            return Ok((vec![], 0.0));
+        }
+        let mut best = vec![vec![f64::INFINITY; states.len()]; s];
+        let mut parent = vec![vec![0usize; states.len()]; s];
+        for (ci, &cur) in states.iter().enumerate() {
+            best[0][ci] = self.run_cost(0, cur)
+                + self.transition_cost(None, MultiChoice::Base(self.start_base), 0, cur, accounting);
+        }
+        for i in 1..s {
+            for (ci, &cur) in states.iter().enumerate() {
+                let run = self.run_cost(i, cur);
+                for (pi, &prev) in states.iter().enumerate() {
+                    let cand = best[i - 1][pi]
+                        + run
+                        + self.transition_cost(Some(i - 1), prev, i, cur, accounting);
+                    if cand < best[i][ci] {
+                        best[i][ci] = cand;
+                        parent[i][ci] = pi;
+                    }
+                }
+            }
+        }
+        let mut state = best[s - 1]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty state set");
+        let total = best[s - 1][state];
+        let mut choices = vec![MultiChoice::Matched; s];
+        for i in (0..s).rev() {
+            choices[i] = states[state];
+            state = parent[i][state];
+        }
+        Ok((choices, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use crate::problem::SwitchingProblem;
+    use aps_collectives::alltoall;
+    use aps_topology::builders;
+
+    fn params() -> CostParams {
+        CostParams::paper_defaults()
+    }
+
+    #[test]
+    fn single_base_pool_matches_two_state_dp() {
+        let n = 16;
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = alltoall::linear_shift(n, 1e6).unwrap();
+        let reconfig = ReconfigModel::constant(2e-6).unwrap();
+        let mb = build_multibase(
+            &[&topo],
+            &c.schedule,
+            params(),
+            reconfig,
+            ThroughputSolver::ForcedPath,
+            0,
+        )
+        .unwrap();
+        let (_, mb_cost) = mb.optimize(Default::default()).unwrap();
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        let p = SwitchingProblem::build(&topo, &c.schedule, &mut cache, params(), reconfig)
+            .unwrap();
+        let (_, report) = dp::optimize(&p, Default::default()).unwrap();
+        assert!((mb_cost - report.total_s()).abs() < 1e-12 * (1.0 + mb_cost));
+    }
+
+    #[test]
+    fn second_coprime_ring_helps_alltoall() {
+        // All-to-All's shift(k) steps: a stride-1 ring is terrible for large
+        // k. Adding a stride-(n/2−1) ring lets the scheduler hop bases.
+        let n = 16;
+        let ring1 = builders::ring_unidirectional(n).unwrap();
+        let ring7: Topology = {
+            let mut t = Topology::new(n, "uni-ring-stride7(16)");
+            for i in 0..n {
+                t.add_link(i, (i + 7) % n, 1.0).unwrap();
+            }
+            t
+        };
+        let c = alltoall::linear_shift(n, 1e7).unwrap();
+        let reconfig = ReconfigModel::constant(50e-6).unwrap();
+        let single = build_multibase(
+            &[&ring1],
+            &c.schedule,
+            params(),
+            reconfig,
+            ThroughputSolver::ForcedPath,
+            0,
+        )
+        .unwrap();
+        let pool = build_multibase(
+            &[&ring1, &ring7],
+            &c.schedule,
+            params(),
+            reconfig,
+            ThroughputSolver::ForcedPath,
+            0,
+        )
+        .unwrap();
+        let (_, t_single) = single.optimize(Default::default()).unwrap();
+        let (choices, t_pool) = pool.optimize(Default::default()).unwrap();
+        assert!(
+            t_pool < t_single,
+            "pool {t_pool} should beat single {t_single}"
+        );
+        // The pool schedule actually uses the second base.
+        assert!(choices.iter().any(|c| matches!(c, MultiChoice::Base(1))));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let n = 8;
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = alltoall::linear_shift(n, 1e6).unwrap();
+        let reconfig = ReconfigModel::constant(1e-6).unwrap();
+        assert!(matches!(
+            build_multibase(&[], &c.schedule, params(), reconfig, Default::default(), 0),
+            Err(CoreError::NoBases)
+        ));
+        assert!(matches!(
+            build_multibase(&[&topo], &c.schedule, params(), reconfig, Default::default(), 3),
+            Err(CoreError::StartBaseOutOfRange { start: 3, bases: 1 })
+        ));
+        let mb = build_multibase(
+            &[&topo],
+            &c.schedule,
+            params(),
+            reconfig,
+            Default::default(),
+            0,
+        )
+        .unwrap();
+        assert!(mb.evaluate(&[], Default::default()).is_err());
+    }
+
+    #[test]
+    fn optimize_agrees_with_evaluate() {
+        let n = 8;
+        let r1 = builders::ring_unidirectional(n).unwrap();
+        let r3 = builders::coprime_rings(n, &[3]).unwrap();
+        let c = alltoall::linear_shift(n, 1e5).unwrap();
+        let mb = build_multibase(
+            &[&r1, &r3],
+            &c.schedule,
+            params(),
+            ReconfigModel::constant(1e-6).unwrap(),
+            ThroughputSolver::ForcedPath,
+            0,
+        )
+        .unwrap();
+        let (choices, total) = mb.optimize(Default::default()).unwrap();
+        let priced = mb.evaluate(&choices, Default::default()).unwrap();
+        assert!((total - priced).abs() < 1e-12 * (1.0 + total));
+    }
+}

@@ -1,0 +1,268 @@
+//! The eq. (7) objective: pricing a switch schedule.
+//!
+//! This module is the single source of truth for what a schedule costs; the
+//! DP solver, the exhaustive solver and all policies are validated against
+//! [`evaluate`].
+
+use crate::assignment::{ConfigChoice, SwitchSchedule};
+use crate::error::CoreError;
+use crate::problem::SwitchingProblem;
+
+/// How reconfiguration events are priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconfigAccounting {
+    /// The paper's eq. (7): a reconfiguration is charged whenever not both
+    /// the current and previous step run on the base (`zᵢ = 0`), even if
+    /// the physical configuration happens to be identical. Under the
+    /// constant model this charges exactly `α_r` per event.
+    #[default]
+    PaperConservative,
+    /// Physically-aware pricing: the charge is the delay model applied to
+    /// the number of ports that actually change; identical consecutive
+    /// configurations cost nothing (the "skip if unchanged" extension).
+    PhysicalDiff,
+}
+
+/// Cost of a schedule, broken into the four terms of eq. (7).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostReport {
+    /// `s·α`.
+    pub latency_s: f64,
+    /// `δ·Σ (xᵢ·ℓᵢ + (1−xᵢ))`.
+    pub propagation_s: f64,
+    /// `β·Σ mᵢ·(xᵢ/θᵢ + (1−xᵢ))`.
+    pub transmission_s: f64,
+    /// `Σ (1−zᵢ)·α_r` (or its per-port refinement).
+    pub reconfig_s: f64,
+    /// Number of reconfiguration events charged.
+    pub reconfig_events: usize,
+}
+
+impl CostReport {
+    /// Total collective completion time.
+    pub fn total_s(&self) -> f64 {
+        self.latency_s + self.propagation_s + self.transmission_s + self.reconfig_s
+    }
+}
+
+/// Number of ports whose circuits change when the fabric moves between two
+/// (possibly unknown) configurations. Unknown (multi-circuit base) counts as
+/// a full-fabric change.
+fn ports_changed(
+    problem: &SwitchingProblem,
+    prev: Option<&aps_matrix::Matching>,
+    next: Option<&aps_matrix::Matching>,
+) -> usize {
+    match (prev, next) {
+        (Some(a), Some(b)) => a.tx_ports_changed(b),
+        _ => problem.n,
+    }
+}
+
+/// The reconfiguration charge for entering step `i` with choice `cur`, given
+/// the previous step's choice.
+pub(crate) fn reconfig_charge(
+    problem: &SwitchingProblem,
+    accounting: ReconfigAccounting,
+    prev: ConfigChoice,
+    cur: ConfigChoice,
+    i: usize,
+) -> f64 {
+    // z_i = 1 ⇔ both this and the previous step run on the base.
+    if prev == ConfigChoice::Base && cur == ConfigChoice::Base {
+        return 0.0;
+    }
+    let prev_cfg = if i == 0 {
+        problem.base_config.as_ref()
+    } else {
+        problem.config_at(i - 1, prev == ConfigChoice::Matched)
+    };
+    let cur_cfg = problem.config_at(i, cur == ConfigChoice::Matched);
+    let diff = ports_changed(problem, prev_cfg, cur_cfg);
+    match accounting {
+        // Charge at least a one-port event even for a coincidentally
+        // identical configuration: eq. (7) prices z_i = 0 unconditionally.
+        ReconfigAccounting::PaperConservative => problem.reconfig.delay_s(diff.max(1)),
+        ReconfigAccounting::PhysicalDiff => problem.reconfig.delay_s(diff),
+    }
+}
+
+/// Per-step cost of running step `i` under `choice` (latency + propagation +
+/// transmission, without the reconfiguration term).
+pub(crate) fn step_run_cost(problem: &SwitchingProblem, i: usize, choice: ConfigChoice) -> f64 {
+    let s = &problem.steps[i];
+    let p = &problem.params;
+    match choice {
+        ConfigChoice::Base => {
+            p.alpha_s
+                + p.delta_s * s.ell_base as f64
+                + p.beta_s_per_byte * s.bytes / s.theta_base
+        }
+        ConfigChoice::Matched => {
+            // Direct circuits: θ = 1, ℓ = 1 (§3.3: "congestion and path
+            // lengths can be reduced to 1"). Empty steps keep ℓ = 0.
+            let ell = if s.matching.is_empty() { 0.0 } else { 1.0 };
+            p.alpha_s + p.delta_s * ell + p.beta_s_per_byte * s.bytes
+        }
+    }
+}
+
+/// Prices `schedule` on `problem` under the given accounting — the
+/// literal objective of eq. (7), with the `z` variables eliminated through
+/// their constraints.
+///
+/// # Errors
+///
+/// Fails when schedule and problem lengths disagree.
+pub fn evaluate(
+    problem: &SwitchingProblem,
+    schedule: &SwitchSchedule,
+    accounting: ReconfigAccounting,
+) -> Result<CostReport, CoreError> {
+    if schedule.len() != problem.num_steps() {
+        return Err(CoreError::ScheduleLengthMismatch {
+            expected: problem.num_steps(),
+            got: schedule.len(),
+        });
+    }
+    let p = &problem.params;
+    let mut report = CostReport::default();
+    let mut prev = ConfigChoice::Base; // x₀ = 1.
+    for (i, s) in problem.steps.iter().enumerate() {
+        let cur = schedule.choice(i);
+        report.latency_s += p.alpha_s;
+        match cur {
+            ConfigChoice::Base => {
+                report.propagation_s += p.delta_s * s.ell_base as f64;
+                report.transmission_s += p.beta_s_per_byte * s.bytes / s.theta_base;
+            }
+            ConfigChoice::Matched => {
+                let ell = if s.matching.is_empty() { 0.0 } else { 1.0 };
+                report.propagation_s += p.delta_s * ell;
+                report.transmission_s += p.beta_s_per_byte * s.bytes;
+            }
+        }
+        // An event is counted whenever z_i = 0, even if the charge is 0
+        // under PhysicalDiff (a no-op "reconfiguration").
+        if !(prev == ConfigChoice::Base && cur == ConfigChoice::Base) {
+            report.reconfig_events += 1;
+        }
+        report.reconfig_s += reconfig_charge(problem, accounting, prev, cur, i);
+        prev = cur;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_cost::{CostParams, ReconfigModel};
+    use aps_flow::solver::{ThetaCache, ThroughputSolver};
+    use aps_topology::builders;
+
+    fn problem(n: usize, m: f64, alpha_r: f64) -> SwitchingProblem {
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = allreduce::halving_doubling::build(n, m).unwrap();
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        SwitchingProblem::build(
+            &topo,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(alpha_r).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn static_schedule_pays_no_reconfig() {
+        let p = problem(8, 1e6, 1e-5);
+        let r = evaluate(&p, &SwitchSchedule::all_base(p.num_steps()), Default::default())
+            .unwrap();
+        assert_eq!(r.reconfig_s, 0.0);
+        assert_eq!(r.reconfig_events, 0);
+        // Latency term is s·α.
+        assert!((r.latency_s - 6.0 * 100e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bvn_schedule_pays_every_step() {
+        let p = problem(8, 1e6, 1e-5);
+        let s = p.num_steps();
+        let r = evaluate(&p, &SwitchSchedule::all_matched(s), Default::default()).unwrap();
+        assert_eq!(r.reconfig_events, s);
+        assert!((r.reconfig_s - s as f64 * 1e-5).abs() < 1e-12);
+        // Matched transmission is β·Σmᵢ with no congestion.
+        let total_bytes: f64 = p.steps.iter().map(|st| st.bytes).sum();
+        assert!((r.transmission_s - total_bytes / 1e11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_schedule_charges_reentry() {
+        use ConfigChoice::*;
+        let p = problem(8, 1e6, 1e-5);
+        // M G G M M G: events at steps 0 (G→M), 1 (M→G), 3 (G→M), 4 (M→M),
+        // 5 (M→G) = 5 events.
+        let s = SwitchSchedule::new(vec![Matched, Base, Base, Matched, Matched, Base]);
+        let r = evaluate(&p, &s, Default::default()).unwrap();
+        assert_eq!(r.reconfig_events, 5);
+        assert!((r.reconfig_s - 5e-5).abs() < 1e-12);
+        assert_eq!(s.reconfig_events(), 5);
+    }
+
+    #[test]
+    fn physical_diff_skips_identical_configs() {
+        // Ring allreduce's steps ARE the base ring configuration: under
+        // PhysicalDiff, "reconfiguring" to them is free.
+        let n = 8;
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = allreduce::ring::build(n, 1e6).unwrap();
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        let p = SwitchingProblem::build(
+            &topo,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(1e-5).unwrap(),
+        )
+        .unwrap();
+        let s = SwitchSchedule::all_matched(p.num_steps());
+        let paper = evaluate(&p, &s, ReconfigAccounting::PaperConservative).unwrap();
+        let phys = evaluate(&p, &s, ReconfigAccounting::PhysicalDiff).unwrap();
+        assert!(paper.reconfig_s > 0.0);
+        assert_eq!(phys.reconfig_s, 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let p = problem(8, 1e6, 1e-5);
+        assert!(matches!(
+            evaluate(&p, &SwitchSchedule::all_base(3), Default::default()),
+            Err(CoreError::ScheduleLengthMismatch { expected: 6, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn per_port_pricing_scales_with_diff() {
+        let n = 8;
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = allreduce::halving_doubling::build(n, 1e6).unwrap();
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        let p = SwitchingProblem::build(
+            &topo,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            ReconfigModel::per_port(1e-6, 1e-7).unwrap(),
+        )
+        .unwrap();
+        use ConfigChoice::*;
+        let one = SwitchSchedule::new(vec![Matched, Base, Base, Base, Base, Base]);
+        let r = evaluate(&p, &one, ReconfigAccounting::PhysicalDiff).unwrap();
+        // Two events (enter + leave matched); xor(4) differs from shift(1)
+        // on all 8 TX ports, so each costs 1µs + 8·0.1µs.
+        assert_eq!(r.reconfig_events, 2);
+        assert!((r.reconfig_s - 2.0 * (1e-6 + 8.0 * 1e-7)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! The optimization problem instance: step costs + cost parameters +
+//! reconfiguration pricing.
+
+use crate::error::CoreError;
+use aps_collectives::Schedule;
+use aps_cost::steptable::{step_cost_table, StepCosts};
+use aps_cost::{CostParams, ReconfigModel};
+use aps_flow::solver::ThetaCache;
+use aps_matrix::Matching;
+use aps_topology::{properties, Topology};
+
+/// A fully-evaluated instance of the eq. (7) program for one collective on
+/// one scale-up domain.
+#[derive(Debug, Clone)]
+pub struct SwitchingProblem {
+    /// Number of GPUs / fabric ports.
+    pub n: usize,
+    /// α, β, δ.
+    pub params: CostParams,
+    /// Reconfiguration delay pricing (α_r).
+    pub reconfig: ReconfigModel,
+    /// The physical circuit configuration realizing the base topology, when
+    /// the base is a single-transceiver circuit configuration (e.g. the
+    /// unidirectional ring). `None` for multi-circuit bases (bidirectional
+    /// ring, torus, …), in which case per-port diffs against the base count
+    /// all `n` ports.
+    pub base_config: Option<Matching>,
+    /// Per-step costs: `mᵢ`, `θ(G, Mᵢ)`, `ℓᵢ`, and the matching itself.
+    pub steps: Vec<StepCosts>,
+}
+
+/// Extracts the circuit configuration a topology represents, when it is one
+/// (out-degree and in-degree ≤ 1 everywhere).
+pub fn config_of_topology(topo: &Topology) -> Option<Matching> {
+    if !properties::is_circuit_configuration(topo) {
+        return None;
+    }
+    let pairs: Vec<(usize, usize)> = topo.links().iter().map(|l| (l.src, l.dst)).collect();
+    Matching::from_pairs(topo.n(), &pairs).ok()
+}
+
+impl SwitchingProblem {
+    /// Evaluates `θ` and `ℓ` for every step of `schedule` on `base` and
+    /// assembles the problem.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a step cannot be routed on the base topology.
+    pub fn build(
+        base: &Topology,
+        schedule: &Schedule,
+        cache: &mut ThetaCache,
+        params: CostParams,
+        reconfig: ReconfigModel,
+    ) -> Result<Self, CoreError> {
+        let steps = step_cost_table(base, schedule, cache)?;
+        Ok(Self {
+            n: base.n(),
+            params,
+            reconfig,
+            base_config: config_of_topology(base),
+            steps,
+        })
+    }
+
+    /// Number of steps `s`.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The physical configuration the fabric holds when step `i` runs under
+    /// choice `matched` (`true` → the step's own matching, `false` → base).
+    /// `None` means "the base, which is not a single circuit configuration".
+    pub fn config_at(&self, i: usize, matched: bool) -> Option<&Matching> {
+        if matched {
+            Some(&self.steps[i].matching)
+        } else {
+            self.base_config.as_ref()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_flow::solver::ThroughputSolver;
+    use aps_topology::builders;
+
+    #[test]
+    fn build_on_uni_ring() {
+        let n = 8;
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = allreduce::halving_doubling::build(n, 1e6).unwrap();
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        let p = SwitchingProblem::build(
+            &topo,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(1e-6).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(p.n, n);
+        assert_eq!(p.num_steps(), 6);
+        // The uni ring IS a circuit configuration: shift(1).
+        assert_eq!(p.base_config, Some(Matching::shift(n, 1).unwrap()));
+        assert_eq!(
+            p.config_at(0, true),
+            Some(&c.schedule.steps()[0].matching)
+        );
+        assert_eq!(p.config_at(0, false), Some(&Matching::shift(n, 1).unwrap()));
+    }
+
+    #[test]
+    fn bidirectional_base_has_no_single_config() {
+        let topo = builders::ring_bidirectional(8).unwrap();
+        assert_eq!(config_of_topology(&topo), None);
+        let uni = builders::ring_unidirectional(8).unwrap();
+        assert_eq!(config_of_topology(&uni), Some(Matching::shift(8, 1).unwrap()));
+        let matched = builders::from_matching(&Matching::xor(8, 2).unwrap());
+        assert_eq!(config_of_topology(&matched), Some(Matching::xor(8, 2).unwrap()));
+    }
+}

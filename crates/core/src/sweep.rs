@@ -1,0 +1,224 @@
+//! Parameter sweeps over `α_r × message size` — the grid behind every
+//! heatmap in the paper's Figure 1 and Figure 2.
+
+use crate::error::CoreError;
+use crate::objective::ReconfigAccounting;
+use crate::policies::{evaluate_policy, Policy};
+use crate::problem::SwitchingProblem;
+use aps_collectives::{Collective, CollectiveError};
+use aps_cost::steptable::step_cost_table;
+use aps_cost::units::{GIB, KIB, MICROS, MILLIS, NANOS};
+use aps_cost::{CostParams, ReconfigModel};
+use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_topology::Topology;
+
+/// The sweep axes: reconfiguration delays (columns) × message sizes (rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Reconfiguration delays `α_r` in seconds, ascending (x-axis).
+    pub reconf_delays_s: Vec<f64>,
+    /// Message sizes in bytes, ascending (y-axis).
+    pub message_bytes: Vec<f64>,
+}
+
+impl SweepGrid {
+    /// The grid used by the figure harnesses: `α_r` from 100 ns to 10 ms
+    /// (decades) and messages from 1 KiB to 1 GiB (factor-16 steps) —
+    /// covering the §3.4 regimes.
+    pub fn paper_default() -> Self {
+        Self {
+            reconf_delays_s: vec![
+                100.0 * NANOS,
+                1.0 * MICROS,
+                10.0 * MICROS,
+                100.0 * MICROS,
+                1.0 * MILLIS,
+                10.0 * MILLIS,
+            ],
+            message_bytes: vec![
+                KIB,
+                16.0 * KIB,
+                256.0 * KIB,
+                4096.0 * KIB,
+                64.0 * 1024.0 * KIB,
+                GIB,
+            ],
+        }
+    }
+
+    /// Compact grid for tests.
+    pub fn small() -> Self {
+        Self {
+            reconf_delays_s: vec![100.0 * NANOS, 10.0 * MICROS, 1.0 * MILLIS],
+            message_bytes: vec![KIB, 1024.0 * KIB, GIB],
+        }
+    }
+}
+
+/// Completion times of the four policies at one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Static base topology (never reconfigure).
+    pub t_static_s: f64,
+    /// Per-step BvN reconfiguration.
+    pub t_bvn_s: f64,
+    /// Optimized schedule (DP).
+    pub t_opt_s: f64,
+    /// Threshold heuristic.
+    pub t_threshold_s: f64,
+}
+
+impl SweepCell {
+    /// `t_static / t_opt` — Figure 1 bottom row.
+    pub fn speedup_vs_static(&self) -> f64 {
+        self.t_static_s / self.t_opt_s
+    }
+
+    /// `t_bvn / t_opt` — Figure 1 top row.
+    pub fn speedup_vs_bvn(&self) -> f64 {
+        self.t_bvn_s / self.t_opt_s
+    }
+
+    /// `min(t_static, t_bvn) / t_opt` — Figure 2.
+    pub fn speedup_vs_best_of_both(&self) -> f64 {
+        self.t_static_s.min(self.t_bvn_s) / self.t_opt_s
+    }
+
+    /// `t_threshold / t_opt` — the A1 ablation's optimality gap.
+    pub fn threshold_gap(&self) -> f64 {
+        self.t_threshold_s / self.t_opt_s
+    }
+}
+
+/// A completed sweep: `cells[row][col]` follows `grid.message_bytes[row]` ×
+/// `grid.reconf_delays_s[col]`.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The axes.
+    pub grid: SweepGrid,
+    /// Row-major policy timings.
+    pub cells: Vec<Vec<SweepCell>>,
+}
+
+impl SweepResult {
+    /// Extracts a per-cell scalar (e.g. a speedup) as a row-major matrix.
+    pub fn map(&self, f: impl Fn(&SweepCell) -> f64) -> Vec<Vec<f64>> {
+        self.cells
+            .iter()
+            .map(|row| row.iter().map(&f).collect())
+            .collect()
+    }
+}
+
+/// Runs the sweep: for every message size builds the collective once, prices
+/// the step table once (θ memoized across everything), then evaluates all
+/// four policies at every reconfiguration delay.
+///
+/// # Errors
+///
+/// Propagates collective construction and routing errors.
+pub fn run_sweep(
+    base: &Topology,
+    build: impl Fn(f64) -> Result<Collective, CollectiveError>,
+    params: CostParams,
+    grid: &SweepGrid,
+    accounting: ReconfigAccounting,
+    solver: ThroughputSolver,
+) -> Result<SweepResult, CoreError> {
+    let mut cache = ThetaCache::new(base, solver);
+    let mut cells = Vec::with_capacity(grid.message_bytes.len());
+    for &m in &grid.message_bytes {
+        let collective = build(m)?;
+        let table = step_cost_table(base, &collective.schedule, &mut cache)?;
+        let mut row = Vec::with_capacity(grid.reconf_delays_s.len());
+        for &alpha_r in &grid.reconf_delays_s {
+            let problem = SwitchingProblem {
+                n: base.n(),
+                params,
+                reconfig: ReconfigModel::constant(alpha_r)?,
+                base_config: crate::problem::config_of_topology(base),
+                steps: table.clone(),
+            };
+            row.push(SweepCell {
+                t_static_s: evaluate_policy(&problem, Policy::StaticBase, accounting)?.total_s(),
+                t_bvn_s: evaluate_policy(&problem, Policy::AlwaysMatched, accounting)?.total_s(),
+                t_opt_s: evaluate_policy(&problem, Policy::Optimal, accounting)?.total_s(),
+                t_threshold_s: evaluate_policy(&problem, Policy::Threshold, accounting)?
+                    .total_s(),
+            });
+        }
+        cells.push(row);
+    }
+    Ok(SweepResult { grid: grid.clone(), cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_topology::builders;
+
+    fn sweep_hd(n: usize) -> SweepResult {
+        let topo = builders::ring_unidirectional(n).unwrap();
+        run_sweep(
+            &topo,
+            |m| allreduce::halving_doubling::build(n, m),
+            CostParams::paper_defaults(),
+            &SweepGrid::small(),
+            Default::default(),
+            ThroughputSolver::ForcedPath,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn opt_dominates_everywhere() {
+        let r = sweep_hd(16);
+        for row in &r.cells {
+            for c in row {
+                assert!(c.speedup_vs_static() >= 1.0 - 1e-12);
+                assert!(c.speedup_vs_bvn() >= 1.0 - 1e-12);
+                assert!(c.speedup_vs_best_of_both() >= 1.0 - 1e-12);
+                assert!(c.threshold_gap() >= 1.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn regimes_match_the_papers_story() {
+        let r = sweep_hd(16);
+        // Top-right of speedup-vs-bvn (small message, huge delay): naive
+        // per-step reconfiguration is much worse than OPT.
+        let vs_bvn_small_msg_big_delay = r.cells[0][2].speedup_vs_bvn();
+        assert!(
+            vs_bvn_small_msg_big_delay > 10.0,
+            "expected large win over BvN, got {vs_bvn_small_msg_big_delay}"
+        );
+        // Large message, tiny delay: OPT ≈ BvN (both fully reconfigure) and
+        // both crush the static ring.
+        let c = &r.cells[2][0];
+        assert!((c.speedup_vs_bvn() - 1.0).abs() < 0.05);
+        assert!(c.speedup_vs_static() > 2.0);
+        // Small message, tiny-delay corner: static is optimal → vs-static
+        // speedup 1.
+        let c = &r.cells[0][2];
+        assert!((c.speedup_vs_static() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_extracts_matrices() {
+        let r = sweep_hd(8);
+        let m = r.map(SweepCell::speedup_vs_static);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 3);
+    }
+
+    #[test]
+    fn default_grids_are_sane() {
+        let g = SweepGrid::paper_default();
+        assert_eq!(g.reconf_delays_s.len(), 6);
+        assert_eq!(g.message_bytes.len(), 6);
+        assert!(g.reconf_delays_s.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.message_bytes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,121 @@
+//! Reconfiguration delay models (`α_r`).
+//!
+//! The paper's framework assumes a constant `α_r` per reconfiguration but
+//! explicitly flags variable delays as future work: "several technologies
+//! today incur a reconfiguration delay that is dependent on the number of
+//! ports involved" (§3.1, §4). Both models live here so the scheduler
+//! (`aps-core`), the fabric device model (`aps-fabric`) and the simulator
+//! (`aps-sim`) price reconfigurations identically.
+
+use std::fmt;
+
+/// How long a reconfiguration takes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReconfigModel {
+    /// Constant delay `α_r` regardless of scope — the paper's base model.
+    Constant {
+        /// The delay in seconds.
+        delay_s: f64,
+    },
+    /// Affine in the number of ports whose circuits change:
+    /// `fixed + per_port · ports_changed` (research agenda §4).
+    PerPortAffine {
+        /// Fixed controller overhead in seconds.
+        fixed_s: f64,
+        /// Additional delay per retargeted port, seconds.
+        per_port_s: f64,
+    },
+}
+
+/// Errors from reconfiguration model validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadReconfigModel(pub f64);
+
+impl fmt::Display for BadReconfigModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reconfiguration delay {} must be finite and non-negative", self.0)
+    }
+}
+
+impl std::error::Error for BadReconfigModel {}
+
+impl ReconfigModel {
+    /// Constant-delay model.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite delays.
+    pub fn constant(delay_s: f64) -> Result<Self, BadReconfigModel> {
+        if !delay_s.is_finite() || delay_s < 0.0 {
+            return Err(BadReconfigModel(delay_s));
+        }
+        Ok(Self::Constant { delay_s })
+    }
+
+    /// Per-port affine model.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite components.
+    pub fn per_port(fixed_s: f64, per_port_s: f64) -> Result<Self, BadReconfigModel> {
+        for v in [fixed_s, per_port_s] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(BadReconfigModel(v));
+            }
+        }
+        Ok(Self::PerPortAffine { fixed_s, per_port_s })
+    }
+
+    /// Delay (seconds) for a reconfiguration retargeting `ports_changed`
+    /// ports. A zero-port "reconfiguration" costs nothing under either
+    /// model: the fabric recognizes a no-op.
+    pub fn delay_s(&self, ports_changed: usize) -> f64 {
+        if ports_changed == 0 {
+            return 0.0;
+        }
+        match *self {
+            Self::Constant { delay_s } => delay_s,
+            Self::PerPortAffine { fixed_s, per_port_s } => {
+                fixed_s + per_port_s * ports_changed as f64
+            }
+        }
+    }
+
+    /// The delay assuming a full-fabric reconfiguration of `n` ports — what
+    /// the paper's constant-`α_r` analysis uses ("e.g., for the total port
+    /// count", §3.1).
+    pub fn worst_case_delay_s(&self, n_ports: usize) -> f64 {
+        self.delay_s(n_ports.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model() {
+        let m = ReconfigModel::constant(5e-6).unwrap();
+        assert_eq!(m.delay_s(1), 5e-6);
+        assert_eq!(m.delay_s(64), 5e-6);
+        assert_eq!(m.delay_s(0), 0.0);
+        assert_eq!(m.worst_case_delay_s(64), 5e-6);
+    }
+
+    #[test]
+    fn per_port_model() {
+        let m = ReconfigModel::per_port(1e-6, 10e-9).unwrap();
+        assert_eq!(m.delay_s(0), 0.0);
+        assert!((m.delay_s(1) - 1.01e-6).abs() < 1e-18);
+        assert!((m.delay_s(64) - (1e-6 + 640e-9)).abs() < 1e-15);
+        assert!((m.worst_case_delay_s(64) - m.delay_s(64)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ReconfigModel::constant(-1.0).is_err());
+        assert!(ReconfigModel::constant(f64::INFINITY).is_err());
+        assert!(ReconfigModel::per_port(1.0, -1.0).is_err());
+        assert!(ReconfigModel::per_port(f64::NAN, 0.0).is_err());
+    }
+}

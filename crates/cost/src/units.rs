@@ -1,0 +1,121 @@
+//! Units: time, bytes, bandwidth.
+//!
+//! Analytic code works in `f64` seconds and bytes; the discrete-event
+//! simulator uses an integer picosecond clock ([`Picos`]) for deterministic
+//! event ordering. One picosecond resolves 0.1% of a single byte at
+//! 800 Gbps, far finer than anything the model distinguishes.
+
+/// Integer picoseconds — the simulator clock.
+pub type Picos = u64;
+
+/// Picoseconds per second.
+pub const PICOS_PER_SEC: f64 = 1e12;
+
+/// Converts (non-negative, finite) seconds to picoseconds, rounding to
+/// nearest.
+///
+/// # Panics
+///
+/// Panics on negative or non-finite input — time parameters are validated
+/// at construction, so a bad value here is a bug.
+pub fn secs_to_picos(s: f64) -> Picos {
+    assert!(s.is_finite() && s >= 0.0, "invalid time {s} s");
+    (s * PICOS_PER_SEC).round() as Picos
+}
+
+/// Converts picoseconds to seconds.
+pub fn picos_to_secs(p: Picos) -> f64 {
+    p as f64 / PICOS_PER_SEC
+}
+
+/// One kibibyte.
+pub const KIB: f64 = 1024.0;
+/// One mebibyte.
+pub const MIB: f64 = 1024.0 * KIB;
+/// One gibibyte.
+pub const GIB: f64 = 1024.0 * MIB;
+
+/// One nanosecond in seconds.
+pub const NANOS: f64 = 1e-9;
+/// One microsecond in seconds.
+pub const MICROS: f64 = 1e-6;
+/// One millisecond in seconds.
+pub const MILLIS: f64 = 1e-3;
+
+/// Bytes per second for a line rate in gigabits per second.
+pub fn gbps_to_bytes_per_sec(gbps: f64) -> f64 {
+    gbps * 1e9 / 8.0
+}
+
+/// Human-readable size, e.g. `"4 MiB"`, for axis labels.
+pub fn format_bytes(bytes: f64) -> String {
+    if bytes >= GIB {
+        format!("{:.0} GiB", bytes / GIB)
+    } else if bytes >= MIB {
+        format!("{:.0} MiB", bytes / MIB)
+    } else if bytes >= KIB {
+        format!("{:.0} KiB", bytes / KIB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Human-readable time, e.g. `"100 ns"`, `"10 µs"`, for axis labels.
+pub fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= MILLIS {
+        Trim(secs / MILLIS, "ms").to_string()
+    } else if secs >= MICROS {
+        Trim(secs / MICROS, "µs").to_string()
+    } else {
+        Trim(secs / NANOS, "ns").to_string()
+    }
+}
+
+/// Formats a value with trailing-zero trimming plus a unit suffix.
+struct Trim(f64, &'static str);
+
+impl std::fmt::Display for Trim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = format!("{:.3}", self.0);
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        write!(f, "{} {}", s, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrip() {
+        assert_eq!(secs_to_picos(1e-9), 1000);
+        assert_eq!(secs_to_picos(0.0), 0);
+        assert!((picos_to_secs(secs_to_picos(123.456e-6)) - 123.456e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_time_panics() {
+        secs_to_picos(-1.0);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        // 800 Gbps = 100 GB/s.
+        assert_eq!(gbps_to_bytes_per_sec(800.0), 1e11);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(KIB), "1 KiB");
+        assert_eq!(format_bytes(4.0 * MIB), "4 MiB");
+        assert_eq!(format_bytes(GIB), "1 GiB");
+        assert_eq!(format_time(100.0 * NANOS), "100 ns");
+        assert_eq!(format_time(10.0 * MICROS), "10 µs");
+        assert_eq!(format_time(1.5 * MILLIS), "1.5 ms");
+        assert_eq!(format_time(2.0), "2.00 s");
+    }
+}

@@ -1,0 +1,69 @@
+//! GPU synchronization barrier latency models.
+//!
+//! §3.1: "all GPUs are within a single scale-up domain, and thus have fast
+//! access to a shared memory … This allows the GPUs to rapidly synchronize
+//! e.g., using a barrier, before a particular step during a collective."
+//! The simulator charges this latency at every step boundary so the
+//! synchronous-reconfiguration assumption is visible, not hidden inside α.
+
+/// How long an `n`-way barrier takes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BarrierModel {
+    /// Shared-memory flag: a constant latency regardless of `n` (DGX-class
+    /// NVLink-attached memory).
+    Constant {
+        /// The latency in seconds.
+        latency_s: f64,
+    },
+    /// Tree/dissemination barrier: `⌈log₂ n⌉ · per_round_s`.
+    LogDepth {
+        /// Per-round latency in seconds.
+        per_round_s: f64,
+    },
+    /// Free synchronization (fold the barrier into α, as the paper does).
+    None,
+}
+
+impl BarrierModel {
+    /// Barrier latency for `n` participants, seconds.
+    pub fn latency_s(&self, n: usize) -> f64 {
+        match *self {
+            BarrierModel::Constant { latency_s } => latency_s,
+            BarrierModel::LogDepth { per_round_s } => {
+                if n <= 1 {
+                    0.0
+                } else {
+                    let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+                    per_round_s * rounds as f64
+                }
+            }
+            BarrierModel::None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_n() {
+        let b = BarrierModel::Constant { latency_s: 3e-7 };
+        assert_eq!(b.latency_s(2), 3e-7);
+        assert_eq!(b.latency_s(1024), 3e-7);
+    }
+
+    #[test]
+    fn log_depth_scales() {
+        let b = BarrierModel::LogDepth { per_round_s: 1e-7 };
+        assert_eq!(b.latency_s(1), 0.0);
+        assert!((b.latency_s(2) - 1e-7).abs() < 1e-18);
+        assert!((b.latency_s(64) - 6e-7).abs() < 1e-18);
+        assert!((b.latency_s(65) - 7e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn none_is_free() {
+        assert_eq!(BarrierModel::None.latency_s(64), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for fabric device models.
+
+use aps_cost::units::Picos;
+use std::fmt;
+
+/// Errors produced by fabric device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// The target configuration's port count does not match the fabric's.
+    DimensionMismatch {
+        /// Fabric port count.
+        fabric: usize,
+        /// Target configuration port count.
+        target: usize,
+    },
+    /// A reconfiguration was requested while a previous one is in flight.
+    Busy {
+        /// When the in-flight reconfiguration completes.
+        until: Picos,
+    },
+    /// A port index was out of range.
+    PortOutOfRange {
+        /// The offending port.
+        port: usize,
+        /// The port count.
+        n: usize,
+    },
+    /// A per-port tuning delay was negative or non-finite.
+    BadTuningDelay(f64),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { fabric, target } => {
+                write!(f, "fabric has {fabric} ports but target configuration has {target}")
+            }
+            Self::Busy { until } => {
+                write!(f, "fabric busy reconfiguring until t={until} ps")
+            }
+            Self::PortOutOfRange { port, n } => {
+                write!(f, "port {port} out of range for {n}-port fabric")
+            }
+            Self::BadTuningDelay(v) => {
+                write!(f, "tuning delay {v} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}

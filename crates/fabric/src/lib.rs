@@ -1,0 +1,65 @@
+//! # aps-fabric — programmable photonic interconnect device models
+//!
+//! The paper's architecture (§3.1): `n` GPUs, each with one
+//! electrical-to-optical transceiver, attached to an `n`-port photonic
+//! interconnect that establishes direct optical circuits between port pairs.
+//! Two realizations are modelled, matching the two designs the paper
+//! sketches:
+//!
+//! * [`switch::CircuitSwitch`] — a centrally-programmed circuit switch
+//!   (PipSwitch-style): reconfiguration delay follows a pluggable
+//!   [`aps_cost::ReconfigModel`] (constant `α_r` or per-port affine).
+//! * [`wavelength::WavelengthFabric`] — a passive wavelength-routed fabric
+//!   with tunable transceivers: no central controller, reconfiguration time
+//!   is the slowest *retuned* port.
+//!
+//! Both implement the [`Fabric`] trait the simulator drives. Fault injection
+//! (stuck ports, slow tuning) lets tests exercise degraded-fabric behavior,
+//! mirroring smoltcp-style fault options.
+//!
+//! A fabric configuration is simply an [`aps_matrix::Matching`] over ports:
+//! TX port `i` lights a circuit to RX port `j`. The same type describes
+//! collective steps, which is Observation 1's point made physical.
+
+pub mod barrier;
+pub mod error;
+pub mod switch;
+pub mod transceiver;
+pub mod wavelength;
+
+pub use barrier::BarrierModel;
+pub use error::FabricError;
+pub use switch::CircuitSwitch;
+pub use wavelength::WavelengthFabric;
+
+use aps_cost::units::Picos;
+use aps_matrix::Matching;
+
+/// Result of asking a fabric to reconfigure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigOutcome {
+    /// When the new configuration carries traffic.
+    pub ready_at: Picos,
+    /// Number of TX ports whose circuit changed.
+    pub ports_changed: usize,
+    /// The configuration actually achieved (differs from the target only
+    /// under fault injection).
+    pub achieved: Matching,
+}
+
+/// A reconfigurable photonic interconnect.
+pub trait Fabric {
+    /// Port count.
+    fn n(&self) -> usize;
+
+    /// The configuration currently carrying traffic.
+    fn current(&self) -> &Matching;
+
+    /// Requests a reconfiguration to `target` at time `now`; returns when
+    /// the fabric is ready and what it actually achieved.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject dimension mismatches and overlapping requests.
+    fn request(&mut self, target: &Matching, now: Picos) -> Result<ReconfigOutcome, FabricError>;
+}

@@ -1,0 +1,69 @@
+//! Electrical-to-optical transceiver model (TeraPhy-class, §3.1).
+
+use std::fmt;
+
+/// A chip-to-chip optical transceiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transceiver {
+    /// Line rate in gigabits per second.
+    pub bandwidth_gbps: f64,
+}
+
+/// Error for invalid transceiver parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadTransceiver(pub f64);
+
+impl fmt::Display for BadTransceiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transceiver bandwidth {} Gbps must be positive and finite", self.0)
+    }
+}
+
+impl std::error::Error for BadTransceiver {}
+
+impl Transceiver {
+    /// The paper's evaluation default: 800 Gbps (§3.4).
+    pub const PAPER_DEFAULT_GBPS: f64 = 800.0;
+
+    /// Creates a transceiver.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite rates.
+    pub fn new(bandwidth_gbps: f64) -> Result<Self, BadTransceiver> {
+        if !(bandwidth_gbps > 0.0) || !bandwidth_gbps.is_finite() {
+            return Err(BadTransceiver(bandwidth_gbps));
+        }
+        Ok(Self { bandwidth_gbps })
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0
+    }
+
+    /// Seconds to serialize `bytes` at the full line rate.
+    pub fn serialize_s(&self, bytes: f64) -> f64 {
+        bytes / self.bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default() {
+        let t = Transceiver::new(Transceiver::PAPER_DEFAULT_GBPS).unwrap();
+        assert_eq!(t.bytes_per_sec(), 1e11);
+        // 1 MiB at 800 Gbps ≈ 10.49 µs.
+        assert!((t.serialize_s(1048576.0) - 1.048576e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Transceiver::new(0.0).is_err());
+        assert!(Transceiver::new(-800.0).is_err());
+        assert!(Transceiver::new(f64::INFINITY).is_err());
+    }
+}

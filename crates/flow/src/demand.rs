@@ -1,0 +1,230 @@
+//! Concurrent flow for *weighted demand matrices* — the multi-ported
+//! generalization.
+//!
+//! The paper's base model assumes one transceiver per GPU, so a step is a
+//! single permutation. Its research agenda (§4) asks about "multi-ported
+//! collectives where each step is not a single permutation but a union of
+//! multiple permutations". A union of matchings is exactly a demand matrix
+//! with small integer multiplicities; this module computes `θ(G, D)` for
+//! such matrices, mirroring the matching-based solvers:
+//!
+//! * forced shortest-path routing (exact on forced-routing topologies),
+//! * Garg–Könemann FPTAS (weighted commodities),
+//! * the degree proxy (volume-weighted hop bound).
+
+use crate::error::FlowError;
+use crate::gk::{max_concurrent_flow, Commodity, ConcurrentFlowResult};
+use aps_matrix::DemandMatrix;
+use aps_topology::paths::{all_pairs_hops, shortest_path};
+use aps_topology::{Topology, TopologyError};
+
+/// Converts a demand matrix into weighted commodities.
+pub fn demand_commodities(d: &DemandMatrix) -> Vec<Commodity> {
+    d.entries()
+        .map(|(src, dst, demand)| Commodity { src, dst, demand })
+        .collect()
+}
+
+/// Forced shortest-path `θ(G, D)` and max hop count for a weighted demand.
+///
+/// Every entry `(s, d, v)` is routed on its deterministic shortest path;
+/// `θ = min_e cap_e / load_e` with `load_e = Σ v` over paths crossing `e`.
+/// Empty demands return `(1.0, 0)` by convention.
+///
+/// # Errors
+///
+/// Fails on dimension mismatches or unreachable pairs.
+pub fn forced_path_demand_throughput(
+    topo: &Topology,
+    demand: &DemandMatrix,
+) -> Result<(f64, usize), FlowError> {
+    if topo.n() != demand.n() {
+        return Err(FlowError::DimensionMismatch {
+            topology: topo.n(),
+            matching: demand.n(),
+        });
+    }
+    let mut loads = vec![0.0f64; topo.num_links()];
+    let mut max_hops = 0usize;
+    let mut any = false;
+    for (src, dst, v) in demand.entries() {
+        let path = shortest_path(topo, src, dst)
+            .ok_or(FlowError::Routing(TopologyError::Unreachable { src, dst }))?;
+        max_hops = max_hops.max(path.hops());
+        for &lid in &path.links {
+            loads[lid] += v;
+        }
+        any = true;
+    }
+    if !any {
+        return Ok((1.0, 0));
+    }
+    let worst = loads
+        .iter()
+        .enumerate()
+        .map(|(lid, &l)| l / topo.link(lid).capacity)
+        .fold(0.0, f64::max);
+    Ok((1.0 / worst, max_hops))
+}
+
+/// Garg–Könemann FPTAS over a weighted demand matrix.
+///
+/// # Errors
+///
+/// Propagates FPTAS errors.
+pub fn gk_demand_throughput(
+    topo: &Topology,
+    demand: &DemandMatrix,
+    epsilon: f64,
+) -> Result<ConcurrentFlowResult, FlowError> {
+    if topo.n() != demand.n() {
+        return Err(FlowError::DimensionMismatch {
+            topology: topo.n(),
+            matching: demand.n(),
+        });
+    }
+    max_concurrent_flow(topo, &demand_commodities(demand), epsilon)
+}
+
+/// Degree/path-length proxy for a weighted demand: an *upper bound*
+/// combining the capacity-volume bound (`Σ_e c_e / Σ v·hops_min`) with
+/// per-node interface limits (`egress(s)/Σ_d D(s,·)`, `ingress(d)/Σ D(·,d)`).
+///
+/// # Errors
+///
+/// Fails on dimension mismatches or unreachable pairs.
+pub fn degree_proxy_demand_throughput(
+    topo: &Topology,
+    demand: &DemandMatrix,
+) -> Result<(f64, usize), FlowError> {
+    if topo.n() != demand.n() {
+        return Err(FlowError::DimensionMismatch {
+            topology: topo.n(),
+            matching: demand.n(),
+        });
+    }
+    let hops = all_pairs_hops(topo);
+    let total_capacity: f64 = topo.links().iter().map(|l| l.capacity).sum();
+    let mut hop_volume = 0.0;
+    let mut max_hops = 0usize;
+    let mut any = false;
+    for (src, dst, v) in demand.entries() {
+        let h = hops[src][dst].ok_or(FlowError::Routing(TopologyError::Unreachable {
+            src,
+            dst,
+        }))? as usize;
+        hop_volume += v * h as f64;
+        max_hops = max_hops.max(h);
+        any = true;
+    }
+    if !any {
+        return Ok((1.0, 0));
+    }
+    let rows = demand.row_sums();
+    let cols = demand.col_sums();
+    let mut interface = f64::INFINITY;
+    for v in 0..topo.n() {
+        if rows[v] > 0.0 {
+            interface = interface.min(topo.egress_capacity(v) / rows[v]);
+        }
+        if cols[v] > 0.0 {
+            interface = interface.min(topo.ingress_capacity(v) / cols[v]);
+        }
+    }
+    Ok(((total_capacity / hop_volume).min(interface), max_hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_matrix::Matching;
+    use aps_topology::builders;
+
+    /// Union of two matchings as a multiplicity matrix.
+    fn union(n: usize, a: &Matching, b: &Matching) -> DemandMatrix {
+        DemandMatrix::from_matchings(n, &[(1.0, a), (1.0, b)]).unwrap()
+    }
+
+    #[test]
+    fn unit_matching_demand_matches_matching_solver() {
+        let n = 8;
+        let t = builders::ring_unidirectional(n).unwrap();
+        let m = Matching::shift(n, 3).unwrap();
+        let d = DemandMatrix::from_matchings(n, &[(1.0, &m)]).unwrap();
+        let (theta_d, ell_d) = forced_path_demand_throughput(&t, &d).unwrap();
+        let (theta_m, ell_m) = crate::forced::forced_path_throughput(&t, &m).unwrap();
+        assert!((theta_d - theta_m).abs() < 1e-12);
+        assert_eq!(ell_d, ell_m);
+    }
+
+    #[test]
+    fn union_of_two_shifts_on_two_rings() {
+        // Base: two co-prime rings (strides 1 and 3), capacity 0.5 each.
+        // Demand: shift(1) ∪ shift(3) — each ring serves one pattern in a
+        // single hop at load 1 → θ = 0.5.
+        let n = 8;
+        let t = builders::coprime_rings(n, &[1, 3]).unwrap();
+        let d = union(
+            n,
+            &Matching::shift(n, 1).unwrap(),
+            &Matching::shift(n, 3).unwrap(),
+        );
+        let (theta, ell) = forced_path_demand_throughput(&t, &d).unwrap();
+        assert!((theta - 0.5).abs() < 1e-12);
+        assert_eq!(ell, 1);
+    }
+
+    #[test]
+    fn multiplicity_two_halves_throughput() {
+        let n = 8;
+        let t = builders::ring_unidirectional(n).unwrap();
+        let m = Matching::shift(n, 2).unwrap();
+        let single = DemandMatrix::from_matchings(n, &[(1.0, &m)]).unwrap();
+        let double = DemandMatrix::from_matchings(n, &[(2.0, &m)]).unwrap();
+        let (t1, _) = forced_path_demand_throughput(&t, &single).unwrap();
+        let (t2, _) = forced_path_demand_throughput(&t, &double).unwrap();
+        assert!((t2 - t1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gk_demand_agrees_with_forced_on_uni_ring() {
+        let n = 8;
+        let t = builders::ring_unidirectional(n).unwrap();
+        let d = union(
+            n,
+            &Matching::shift(n, 1).unwrap(),
+            &Matching::shift(n, 2).unwrap(),
+        );
+        let (exact, _) = forced_path_demand_throughput(&t, &d).unwrap();
+        let r = gk_demand_throughput(&t, &d, 0.1).unwrap();
+        assert!(r.lower_bound <= exact * (1.0 + 1e-9));
+        assert!(r.upper_bound >= exact * (1.0 - 1e-9));
+        assert!(r.lower_bound >= exact * (1.0 - 0.31));
+    }
+
+    #[test]
+    fn proxy_upper_bounds_forced() {
+        let n = 8;
+        let t = builders::coprime_rings(n, &[1, 3]).unwrap();
+        let d = union(
+            n,
+            &Matching::shift(n, 2).unwrap(),
+            &Matching::xor(n, 4).unwrap(),
+        );
+        let (exact, _) = forced_path_demand_throughput(&t, &d).unwrap();
+        let (proxy, _) = degree_proxy_demand_throughput(&t, &d).unwrap();
+        assert!(proxy >= exact - 1e-12);
+    }
+
+    #[test]
+    fn empty_and_mismatched() {
+        let t = builders::ring_unidirectional(4).unwrap();
+        let empty = DemandMatrix::zeros(4);
+        assert_eq!(forced_path_demand_throughput(&t, &empty).unwrap(), (1.0, 0));
+        assert_eq!(degree_proxy_demand_throughput(&t, &empty).unwrap(), (1.0, 0));
+        let wrong = DemandMatrix::zeros(6);
+        assert!(forced_path_demand_throughput(&t, &wrong).is_err());
+        assert!(gk_demand_throughput(&t, &wrong, 0.1).is_err());
+        assert!(degree_proxy_demand_throughput(&t, &wrong).is_err());
+    }
+}

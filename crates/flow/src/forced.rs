@@ -1,0 +1,125 @@
+//! Forced-path (deterministic shortest-path) concurrent flow.
+//!
+//! When every pair's route is forced — as on a unidirectional ring or a
+//! matched circuit topology — the maximum concurrent flow has a closed form:
+//! route each unit demand on its unique path, then
+//!
+//! ```text
+//! θ = min over links  capacity(e) / load(e)
+//! ```
+//!
+//! On topologies with routing choice this value is what deterministic
+//! shortest-path routing *achieves*, hence a valid lower bound on the true
+//! (splittable) `θ` and exactly the throughput the `aps-sim` flow-level
+//! simulator realizes. `ℓ` is the maximum hop count over the step's flows —
+//! the propagation-delay multiplier of eq. (3).
+
+use crate::error::FlowError;
+use aps_matrix::Matching;
+use aps_topology::routing::{max_hops, normalized_loads, route_matching};
+use aps_topology::Topology;
+
+/// Throughput and hop count of a step under forced shortest-path routing.
+///
+/// Returns `(theta, max_hops)`. For an empty matching, `θ = 1` and
+/// `ℓ = 0` by convention (the step carries no traffic; the cost model will
+/// multiply by `m = 0` anyway).
+///
+/// # Errors
+///
+/// Returns an error if the matching and topology disagree on `n` or a pair
+/// is unreachable.
+pub fn forced_path_throughput(
+    topo: &Topology,
+    matching: &Matching,
+) -> Result<(f64, usize), FlowError> {
+    if topo.n() != matching.n() {
+        return Err(FlowError::DimensionMismatch {
+            topology: topo.n(),
+            matching: matching.n(),
+        });
+    }
+    if matching.is_empty() {
+        return Ok((1.0, 0));
+    }
+    let flows = route_matching(topo, matching)?;
+    let worst = normalized_loads(topo, &flows)
+        .into_iter()
+        .fold(0.0, f64::max);
+    debug_assert!(worst > 0.0, "non-empty matching must load some link");
+    Ok((1.0 / worst, max_hops(&flows)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_topology::builders;
+
+    #[test]
+    fn shift_on_uni_ring() {
+        let t = builders::ring_unidirectional(8).unwrap();
+        for k in 1..8 {
+            let m = Matching::shift(8, k).unwrap();
+            let (theta, ell) = forced_path_throughput(&t, &m).unwrap();
+            assert!((theta - 1.0 / k as f64).abs() < 1e-12, "k={k}");
+            assert_eq!(ell, k);
+        }
+    }
+
+    #[test]
+    fn matched_topology_reaches_full_throughput() {
+        let m = Matching::shift(10, 3).unwrap();
+        let t = builders::from_matching(&m);
+        let (theta, ell) = forced_path_throughput(&t, &m).unwrap();
+        assert_eq!(theta, 1.0);
+        assert_eq!(ell, 1);
+    }
+
+    #[test]
+    fn xor_on_uni_ring() {
+        // i ↔ i+4 on an 8-ring: every flow 4 hops, every link load 4.
+        let t = builders::ring_unidirectional(8).unwrap();
+        let m = Matching::xor(8, 4).unwrap();
+        let (theta, ell) = forced_path_throughput(&t, &m).unwrap();
+        assert!((theta - 0.25).abs() < 1e-12);
+        assert_eq!(ell, 4);
+    }
+
+    #[test]
+    fn shift_on_bidirectional_ring_single_path() {
+        // Deterministic SP routing sends shift(1) entirely forward on the
+        // 0.5-capacity forward links: θ = 0.5.
+        let t = builders::ring_bidirectional(8).unwrap();
+        let m = Matching::shift(8, 1).unwrap();
+        let (theta, ell) = forced_path_throughput(&t, &m).unwrap();
+        assert!((theta - 0.5).abs() < 1e-12);
+        assert_eq!(ell, 1);
+    }
+
+    #[test]
+    fn empty_matching_convention() {
+        let t = builders::ring_unidirectional(4).unwrap();
+        let (theta, ell) = forced_path_throughput(&t, &Matching::empty(4)).unwrap();
+        assert_eq!((theta, ell), (1.0, 0));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let t = builders::ring_unidirectional(4).unwrap();
+        let m = Matching::shift(6, 1).unwrap();
+        assert!(matches!(
+            forced_path_throughput(&t, &m),
+            Err(FlowError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_matching_loads_only_its_paths() {
+        let t = builders::ring_unidirectional(8).unwrap();
+        // Single pair 0 → 3: one path of 3 hops, max normalized load 1.
+        let m = Matching::from_pairs(8, &[(0, 3)]).unwrap();
+        let (theta, ell) = forced_path_throughput(&t, &m).unwrap();
+        assert_eq!(theta, 1.0);
+        assert_eq!(ell, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Degree/path-length throughput proxy (research agenda §4).
+//!
+//! The paper suggests that "an upper bound on throughput per permutation
+//! pattern based on graph degree could reduce the congestion factor to a
+//! function of maximum node degree and the number of communicating GPUs" —
+//! trading exactness for scheduling speed. This module implements that
+//! proxy:
+//!
+//! * **capacity-volume bound** — any routing of pair `(s, d)` consumes at
+//!   least `hops_min(s, d)` units of link capacity per unit of demand, so
+//!   `θ · Σ hops_min ≤ Σ_e c_e`;
+//! * **interface bound** — a sender cannot exceed its egress capacity nor a
+//!   receiver its ingress capacity.
+//!
+//! The proxy is the minimum of the two: always an *upper* bound on the true
+//! concurrent flow, computable from degrees and shortest-path lengths alone.
+//! The ablation harness (`aps-bench`, experiment A3) quantifies how often
+//! scheduling decisions made with the proxy agree with exact-θ decisions.
+
+use crate::error::FlowError;
+use aps_matrix::Matching;
+use aps_topology::paths::all_pairs_hops;
+use aps_topology::{Topology, TopologyError};
+
+/// Computes the degree/path-length proxy `θ̂ ≥ θ` and the max shortest-path
+/// hop count `ℓ`.
+///
+/// # Errors
+///
+/// Returns an error on dimension mismatch or unreachable pairs.
+pub fn degree_proxy_throughput(
+    topo: &Topology,
+    matching: &Matching,
+) -> Result<(f64, usize), FlowError> {
+    if topo.n() != matching.n() {
+        return Err(FlowError::DimensionMismatch {
+            topology: topo.n(),
+            matching: matching.n(),
+        });
+    }
+    if matching.is_empty() {
+        return Ok((1.0, 0));
+    }
+    let hops = all_pairs_hops(topo);
+    let total_capacity: f64 = topo.links().iter().map(|l| l.capacity).sum();
+    let mut hop_volume = 0.0f64;
+    let mut max_hops = 0usize;
+    let mut interface = f64::INFINITY;
+    for (s, d) in matching.pairs() {
+        let h = hops[s][d].ok_or(FlowError::Routing(TopologyError::Unreachable {
+            src: s,
+            dst: d,
+        }))? as usize;
+        hop_volume += h as f64;
+        max_hops = max_hops.max(h);
+        interface = interface
+            .min(topo.egress_capacity(s))
+            .min(topo.ingress_capacity(d));
+    }
+    let capacity_volume = total_capacity / hop_volume;
+    Ok((capacity_volume.min(interface), max_hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forced::forced_path_throughput;
+    use aps_topology::builders;
+
+    #[test]
+    fn proxy_upper_bounds_forced_theta_on_rings() {
+        let n = 12;
+        let t = builders::ring_unidirectional(n).unwrap();
+        for k in 1..n {
+            let m = Matching::shift(n, k).unwrap();
+            let (proxy, ell_p) = degree_proxy_throughput(&t, &m).unwrap();
+            let (exact, ell_e) = forced_path_throughput(&t, &m).unwrap();
+            assert!(
+                proxy >= exact - 1e-12,
+                "proxy {proxy} below exact {exact} at k={k}"
+            );
+            assert_eq!(ell_p, ell_e);
+        }
+    }
+
+    #[test]
+    fn proxy_is_exact_for_uniform_shifts_on_uni_ring() {
+        // Uniform shift: total capacity n, hop volume n·k → proxy = 1/k,
+        // which equals the exact θ.
+        let n = 10;
+        let t = builders::ring_unidirectional(n).unwrap();
+        for k in 1..n {
+            let m = Matching::shift(n, k).unwrap();
+            let (proxy, _) = degree_proxy_throughput(&t, &m).unwrap();
+            assert!((proxy - 1.0 / k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn proxy_can_be_loose_for_skewed_patterns() {
+        // One long pair + several short pairs: the capacity-volume bound
+        // averages the load away while the true bottleneck link is loaded by
+        // the long path.
+        let n = 8;
+        let t = builders::ring_unidirectional(n).unwrap();
+        let m = Matching::from_pairs(n, &[(0, 4), (1, 2), (2, 3), (3, 1)]).unwrap();
+        let (proxy, _) = degree_proxy_throughput(&t, &m).unwrap();
+        let (exact, _) = forced_path_throughput(&t, &m).unwrap();
+        assert!(proxy >= exact);
+        assert!(proxy > exact + 1e-9, "expected strict looseness here");
+    }
+
+    #[test]
+    fn interface_bound_caps_at_one_on_matched_topologies() {
+        let m = Matching::shift(6, 2).unwrap();
+        let t = builders::from_matching(&m);
+        let (proxy, ell) = degree_proxy_throughput(&t, &m).unwrap();
+        assert!((proxy - 1.0).abs() < 1e-12);
+        assert_eq!(ell, 1);
+    }
+
+    #[test]
+    fn error_paths() {
+        let t = builders::ring_unidirectional(4).unwrap();
+        assert!(matches!(
+            degree_proxy_throughput(&t, &Matching::shift(6, 1).unwrap()),
+            Err(FlowError::DimensionMismatch { .. })
+        ));
+        let empty = Matching::empty(4);
+        assert_eq!(degree_proxy_throughput(&t, &empty).unwrap(), (1.0, 0));
+    }
+}

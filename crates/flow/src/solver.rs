@@ -1,0 +1,190 @@
+//! Unified throughput-solver API and memoization.
+//!
+//! `aps-cost` and `aps-core` consume `θ(G, Mᵢ)` and `ℓᵢ` through this
+//! interface. The same matching frequently recurs across steps, message
+//! sizes and sweep cells (e.g. the shift-by-1 of a ring reduce-scatter
+//! appears `n-1` times per collective and in every sweep cell), so a
+//! [`ThetaCache`] keyed by the matching makes sweeps cheap.
+
+use crate::error::FlowError;
+use crate::forced::forced_path_throughput;
+use crate::gk::{matching_commodities, max_concurrent_flow};
+use crate::proxy::degree_proxy_throughput;
+use aps_matrix::Matching;
+use aps_topology::Topology;
+use std::collections::HashMap;
+
+/// Which algorithm computes `θ(G, M)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThroughputSolver {
+    /// Deterministic shortest-path routing; exact on forced-routing
+    /// topologies (unidirectional rings, matched configurations) and exactly
+    /// what the flow-level simulator achieves elsewhere. The default.
+    ForcedPath,
+    /// Garg–Könemann FPTAS with splittable routing; `θ` is the certified
+    /// achievable lower bound.
+    GargKonemann {
+        /// Accuracy parameter `ε ∈ (0, 0.5)`; the result is within
+        /// `(1 − 3ε)` of optimal.
+        epsilon: f64,
+    },
+    /// The cheap degree/path-length upper bound of the paper's research
+    /// agenda (§4). Optimistic: `θ̂ ≥ θ`.
+    DegreeProxy,
+}
+
+impl Default for ThroughputSolver {
+    fn default() -> Self {
+        Self::ForcedPath
+    }
+}
+
+/// Throughput figures for one step on one topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepThroughput {
+    /// Concurrent flow `θ(G, M)` (solver-dependent semantics: achievable
+    /// value for `ForcedPath`/`GargKonemann`, upper bound for `DegreeProxy`).
+    pub theta: f64,
+    /// Certified upper bound on the optimum (equals `theta` for solvers that
+    /// are exact).
+    pub theta_upper: f64,
+    /// Propagation hop count `ℓ` of the step (eq. (3)).
+    pub max_hops: usize,
+}
+
+/// Computes the throughput of one step (matching) on a topology.
+///
+/// # Errors
+///
+/// Propagates routing and parameterization errors from the chosen solver.
+pub fn step_throughput(
+    topo: &Topology,
+    matching: &Matching,
+    solver: ThroughputSolver,
+) -> Result<StepThroughput, FlowError> {
+    match solver {
+        ThroughputSolver::ForcedPath => {
+            let (theta, max_hops) = forced_path_throughput(topo, matching)?;
+            Ok(StepThroughput {
+                theta,
+                theta_upper: theta,
+                max_hops,
+            })
+        }
+        ThroughputSolver::GargKonemann { epsilon } => {
+            let r = max_concurrent_flow(topo, &matching_commodities(matching), epsilon)?;
+            Ok(StepThroughput {
+                theta: r.lower_bound.min(r.upper_bound),
+                theta_upper: r.upper_bound,
+                max_hops: if matching.is_empty() { 0 } else { r.max_hops },
+            })
+        }
+        ThroughputSolver::DegreeProxy => {
+            let (theta, max_hops) = degree_proxy_throughput(topo, matching)?;
+            Ok(StepThroughput {
+                theta,
+                theta_upper: theta,
+                max_hops,
+            })
+        }
+    }
+}
+
+/// Memoizes [`step_throughput`] per `(topology, solver)` over matchings.
+#[derive(Debug)]
+pub struct ThetaCache {
+    topology_name: String,
+    topology_n: usize,
+    solver: ThroughputSolver,
+    map: HashMap<Matching, StepThroughput>,
+}
+
+impl ThetaCache {
+    /// Creates an empty cache bound to `topo` and `solver`.
+    pub fn new(topo: &Topology, solver: ThroughputSolver) -> Self {
+        Self {
+            topology_name: topo.name().to_string(),
+            topology_n: topo.n(),
+            solver,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Computes (or recalls) the throughput of `matching` on `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::CacheTopologyMismatch`] when queried with a
+    /// topology other than the one the cache was built for, and propagates
+    /// solver errors.
+    pub fn get(
+        &mut self,
+        topo: &Topology,
+        matching: &Matching,
+    ) -> Result<StepThroughput, FlowError> {
+        if topo.name() != self.topology_name || topo.n() != self.topology_n {
+            return Err(FlowError::CacheTopologyMismatch {
+                expected: self.topology_name.clone(),
+                got: topo.name().to_string(),
+            });
+        }
+        if let Some(hit) = self.map.get(matching) {
+            return Ok(*hit);
+        }
+        let v = step_throughput(topo, matching, self.solver)?;
+        self.map.insert(matching.clone(), v);
+        Ok(v)
+    }
+
+    /// Number of memoized matchings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_topology::builders;
+
+    #[test]
+    fn solvers_agree_on_uni_ring_shifts() {
+        let t = builders::ring_unidirectional(8).unwrap();
+        let m = Matching::shift(8, 3).unwrap();
+        let forced = step_throughput(&t, &m, ThroughputSolver::ForcedPath).unwrap();
+        let gk = step_throughput(&t, &m, ThroughputSolver::GargKonemann { epsilon: 0.1 }).unwrap();
+        let proxy = step_throughput(&t, &m, ThroughputSolver::DegreeProxy).unwrap();
+        assert!((forced.theta - 1.0 / 3.0).abs() < 1e-12);
+        assert!(gk.theta <= forced.theta + 1e-9);
+        assert!(gk.theta_upper >= forced.theta - 1e-9);
+        assert!(proxy.theta >= forced.theta - 1e-12);
+        assert_eq!(forced.max_hops, 3);
+    }
+
+    #[test]
+    fn cache_hits_and_guards() {
+        let t = builders::ring_unidirectional(8).unwrap();
+        let mut cache = ThetaCache::new(&t, ThroughputSolver::ForcedPath);
+        assert!(cache.is_empty());
+        let m = Matching::shift(8, 2).unwrap();
+        let a = cache.get(&t, &m).unwrap();
+        let b = cache.get(&t, &m).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        let other = builders::ring_bidirectional(8).unwrap();
+        assert!(matches!(
+            cache.get(&other, &m),
+            Err(FlowError::CacheTopologyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn default_solver_is_forced_path() {
+        assert_eq!(ThroughputSolver::default(), ThroughputSolver::ForcedPath);
+    }
+}

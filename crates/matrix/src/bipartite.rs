@@ -1,0 +1,188 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! The engine behind Birkhoff's constructive proof in [`crate::bvn`]: at each
+//! extraction step we need a maximum matching on the support of the residual
+//! demand matrix. Hopcroft–Karp runs in `O(E·√V)`, fast enough to decompose
+//! demand matrices for thousands of endpoints.
+
+/// Computes a maximum matching in a bipartite graph with `n_left` left
+/// vertices and `n_right` right vertices.
+///
+/// `adj[u]` lists the right-vertices adjacent to left-vertex `u`.
+/// Returns `match_of_left` where `match_of_left[u] = Some(v)` iff the edge
+/// `(u, v)` is in the matching.
+pub fn maximum_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Vec<Option<usize>> {
+    assert_eq!(adj.len(), n_left, "adjacency list must cover all left vertices");
+    debug_assert!(adj.iter().flatten().all(|&v| v < n_right));
+
+    const INF: u32 = u32::MAX;
+    // 1-indexed internally: 0 is the NIL vertex.
+    let mut pair_u = vec![0usize; n_left + 1];
+    let mut pair_v = vec![0usize; n_right + 1];
+    let mut dist = vec![INF; n_left + 1];
+    let mut queue = std::collections::VecDeque::new();
+
+    // BFS builds the layered graph of shortest alternating paths.
+    let bfs = |pair_u: &[usize], pair_v: &[usize], dist: &mut [u32],
+               queue: &mut std::collections::VecDeque<usize>| -> bool {
+        queue.clear();
+        for u in 1..=n_left {
+            if pair_u[u] == 0 {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u - 1] {
+                let w = pair_v[v + 1];
+                if w == 0 {
+                    found = true;
+                } else if dist[w] == INF {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        found
+    };
+
+    // DFS augments along the layered graph.
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        pair_u: &mut [usize],
+        pair_v: &mut [usize],
+        dist: &mut [u32],
+    ) -> bool {
+        const INF: u32 = u32::MAX;
+        for i in 0..adj[u - 1].len() {
+            let v = adj[u - 1][i];
+            let w = pair_v[v + 1];
+            if w == 0 || (dist[w] == dist[u] + 1 && dfs(w, adj, pair_u, pair_v, dist)) {
+                pair_v[v + 1] = u;
+                pair_u[u] = v + 1;
+                return true;
+            }
+        }
+        dist[u] = INF;
+        false
+    }
+
+    while bfs(&pair_u, &pair_v, &mut dist, &mut queue) {
+        for u in 1..=n_left {
+            if pair_u[u] == 0 {
+                dfs(u, adj, &mut pair_u, &mut pair_v, &mut dist);
+            }
+        }
+    }
+
+    (1..=n_left)
+        .map(|u| (pair_u[u] != 0).then(|| pair_u[u] - 1))
+        .collect()
+}
+
+/// Size of the matching returned by [`maximum_matching`].
+pub fn matching_size(match_of_left: &[Option<usize>]) -> usize {
+    match_of_left.iter().filter(|m| m.is_some()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn check_valid(n_right: usize, adj: &[Vec<usize>], m: &[Option<usize>]) {
+        let mut used = vec![false; n_right];
+        for (u, v) in m.iter().enumerate() {
+            if let Some(v) = *v {
+                assert!(adj[u].contains(&v), "matched edge ({u},{v}) not in graph");
+                assert!(!used[v], "right vertex {v} matched twice");
+                used[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle_support() {
+        // Support of a shift permutation: unique perfect matching.
+        let n = 6;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        let m = maximum_matching(n, n, &adj);
+        assert_eq!(matching_size(&m), n);
+        check_valid(n, &adj, &m);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj: Vec<Vec<usize>> = vec![vec![]; 4];
+        let m = maximum_matching(4, 4, &adj);
+        assert_eq!(matching_size(&m), 0);
+    }
+
+    #[test]
+    fn koenig_example() {
+        // A graph whose maximum matching is strictly smaller than n.
+        // Left {0,1,2}, right {0,1,2}; everyone only likes right-0 and right-1.
+        let adj = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        let m = maximum_matching(3, 3, &adj);
+        assert_eq!(matching_size(&m), 2);
+        check_valid(3, &adj, &m);
+    }
+
+    #[test]
+    fn complete_bipartite_is_perfect() {
+        let n = 9;
+        let adj: Vec<Vec<usize>> = (0..n).map(|_| (0..n).collect()).collect();
+        let m = maximum_matching(n, n, &adj);
+        assert_eq!(matching_size(&m), n);
+        check_valid(n, &adj, &m);
+    }
+
+    #[test]
+    fn rectangular_sides() {
+        // More left than right vertices.
+        let adj = vec![vec![0], vec![0, 1], vec![1], vec![0, 1]];
+        let m = maximum_matching(4, 2, &adj);
+        assert_eq!(matching_size(&m), 2);
+        check_valid(2, &adj, &m);
+    }
+
+    /// Brute-force maximum matching for cross-checking (n ≤ ~8).
+    fn brute_force(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> usize {
+        fn rec(u: usize, adj: &[Vec<usize>], used: &mut Vec<bool>) -> usize {
+            if u == adj.len() {
+                return 0;
+            }
+            // Skip u.
+            let mut best = rec(u + 1, adj, used);
+            for &v in &adj[u] {
+                if !used[v] {
+                    used[v] = true;
+                    best = best.max(1 + rec(u + 1, adj, used));
+                    used[v] = false;
+                }
+            }
+            best
+        }
+        let _ = n_left;
+        rec(0, adj, &mut vec![false; n_right])
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let nl = rng.random_range(1..7);
+            let nr = rng.random_range(1..7);
+            let adj: Vec<Vec<usize>> = (0..nl)
+                .map(|_| (0..nr).filter(|_| rng.random_bool(0.4)).collect())
+                .collect();
+            let m = maximum_matching(nl, nr, &adj);
+            check_valid(nr, &adj, &m);
+            assert_eq!(matching_size(&m), brute_force(nl, nr, &adj));
+        }
+    }
+}

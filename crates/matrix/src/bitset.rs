@@ -1,0 +1,169 @@
+//! A small dense bit-set over `{0, …, n-1}`.
+//!
+//! Used by the collective-semantics verifier in `aps-collectives` to track
+//! which GPUs' contributions have been folded into each data chunk. `n` is a
+//! GPU count (tens to a few thousand), so a `Vec<u64>` of words is the right
+//! representation: union and equality are a handful of word operations.
+
+/// A fixed-universe bit-set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `n` elements.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The singleton `{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn singleton(n: usize, i: usize) -> Self {
+        let mut s = Self::new(n);
+        s.insert(i);
+        s
+    }
+
+    /// The full universe `{0, …, n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::new(n);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        let tail = n % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `i`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.n, "bit {i} out of universe {}", self.n);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.n {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe mismatch.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "bitset universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of elements present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when every element of the universe is present.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.n
+    }
+
+    /// `true` when every element of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.n, other.n, "bitset universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterator over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(62));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn full_has_exact_tail() {
+        for n in [1, 63, 64, 65, 128, 130] {
+            let s = BitSet::full(n);
+            assert_eq!(s.len(), n, "n={n}");
+            assert!(s.is_full());
+            assert!(!s.contains(n));
+        }
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitSet::singleton(10, 1);
+        let b = BitSet::singleton(10, 7);
+        assert!(!b.is_subset_of(&a));
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(7));
+        assert!(b.is_subset_of(&a));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 7]);
+    }
+
+    #[test]
+    fn empty_properties() {
+        let s = BitSet::new(5);
+        assert!(s.is_empty());
+        assert!(!s.is_full());
+        assert_eq!(s.len(), 0);
+        assert!(s.is_subset_of(&BitSet::full(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn union_universe_mismatch_panics() {
+        let mut a = BitSet::new(5);
+        a.union_with(&BitSet::new(6));
+    }
+}

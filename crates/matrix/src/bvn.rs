@@ -1,0 +1,287 @@
+//! Birkhoff–von Neumann (BvN) decomposition of demand matrices.
+//!
+//! Birkhoff's theorem: every doubly stochastic matrix is a convex combination
+//! of permutation matrices, constructively obtained by repeatedly extracting
+//! a perfect matching on the support and subtracting its minimum entry. At
+//! most `(n-1)² + 1` terms are needed.
+//!
+//! The paper's Observation 1 is the converse direction for collectives: an
+//! algorithm's step sequence *is already* a BvN decomposition of its
+//! aggregate demand (no computation needed). This module provides the forward
+//! direction, which is what demand-aware circuit scheduling systems
+//! (Helios/ReacToR-style, §2 of the paper) compute from an aggregate traffic
+//! matrix — and which the paper's optimized schedules are compared against.
+
+use crate::bipartite::{matching_size, maximum_matching};
+use crate::demand::DemandMatrix;
+use crate::error::MatrixError;
+use crate::matching::Matching;
+
+/// One term `weight · matching` of a BvN decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BvnTerm {
+    /// The scalar weight (data volume attributed to this configuration).
+    pub weight: f64,
+    /// The matching (circuit-switch configuration).
+    pub matching: Matching,
+}
+
+/// A (possibly partial) BvN decomposition `D ≈ Σ wᵢ·Mᵢ + R` with residual
+/// mass `‖R‖₁ = residual`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BvnDecomposition {
+    /// Matrix dimension.
+    pub n: usize,
+    /// The extracted terms, in extraction order (largest bottleneck first is
+    /// *not* guaranteed; this is plain Birkhoff order).
+    pub terms: Vec<BvnTerm>,
+    /// Total demand mass left undecomposed (≤ `n² · tol` for balanced
+    /// inputs).
+    pub residual: f64,
+}
+
+impl BvnDecomposition {
+    /// Reconstructs `Σ wᵢ·Mᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors from matrix assembly (impossible for
+    /// decompositions produced by this module).
+    pub fn reconstruct(&self) -> Result<DemandMatrix, MatrixError> {
+        let terms: Vec<(f64, &Matching)> =
+            self.terms.iter().map(|t| (t.weight, &t.matching)).collect();
+        DemandMatrix::from_matchings(self.n, &terms)
+    }
+
+    /// Sum of term weights (total decomposed volume per node, for balanced
+    /// inputs this approaches the common row sum).
+    pub fn total_weight(&self) -> f64 {
+        self.terms.iter().map(|t| t.weight).sum()
+    }
+}
+
+/// Strict Birkhoff decomposition of a doubly balanced matrix with zero
+/// diagonal.
+///
+/// Entries smaller than `tol` are treated as zero. The result satisfies
+/// `D ≈ Σ wᵢ·Mᵢ` with residual mass at most `n² · tol`.
+///
+/// ```
+/// use aps_matrix::{bvn, DemandMatrix};
+///
+/// // The uniform All-to-All demand over 4 nodes decomposes into the three
+/// // shift permutations.
+/// let d = DemandMatrix::uniform_all_to_all(4, 2.0);
+/// let decomposition = bvn::decompose(&d, 1e-9).unwrap();
+/// assert_eq!(decomposition.terms.len(), 3);
+/// assert!(decomposition.reconstruct().unwrap().approx_eq(&d, 1e-9));
+/// ```
+///
+/// # Errors
+///
+/// * [`MatrixError::DiagonalDemand`] if any diagonal entry exceeds `tol`
+///   (matchings cannot express self-traffic);
+/// * [`MatrixError::NotDoublyBalanced`] if row/column sums deviate by more
+///   than `n · tol` (Birkhoff's theorem requires double stochasticity);
+/// * [`MatrixError::DecompositionStalled`] on numerical degeneracy.
+pub fn decompose(d: &DemandMatrix, tol: f64) -> Result<BvnDecomposition, MatrixError> {
+    let n = d.n();
+    for i in 0..n {
+        let v = d.get(i, i);
+        if v > tol {
+            return Err(MatrixError::DiagonalDemand { node: i, value: v });
+        }
+    }
+    let deviation = d.balance_deviation();
+    if deviation > tol * n.max(1) as f64 {
+        return Err(MatrixError::NotDoublyBalanced { deviation });
+    }
+    decompose_inner(d, tol, true)
+}
+
+/// Relaxed, greedy BvN-style decomposition for arbitrary non-negative
+/// matrices: repeatedly extracts a *maximum* (not necessarily perfect)
+/// matching on the support and subtracts its bottleneck weight. Terminates
+/// when no entry above `tol` remains or no progress is possible; the
+/// undecomposed mass is reported as `residual`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DiagonalDemand`] if any diagonal entry exceeds
+/// `tol`.
+pub fn decompose_relaxed(d: &DemandMatrix, tol: f64) -> Result<BvnDecomposition, MatrixError> {
+    let n = d.n();
+    for i in 0..n {
+        let v = d.get(i, i);
+        if v > tol {
+            return Err(MatrixError::DiagonalDemand { node: i, value: v });
+        }
+    }
+    decompose_inner(d, tol, false)
+}
+
+fn decompose_inner(
+    d: &DemandMatrix,
+    tol: f64,
+    strict: bool,
+) -> Result<BvnDecomposition, MatrixError> {
+    let n = d.n();
+    let mut residual = d.clone();
+    let mut terms = Vec::new();
+    // Birkhoff bound on term count, plus slack for numerical ties.
+    let max_iters = (n.saturating_sub(1)).pow(2) + n + 2;
+
+    for _ in 0..max_iters {
+        if residual.max_entry() <= tol {
+            break;
+        }
+        // Support graph of entries above tolerance.
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|j| {
+                (0..n)
+                    .filter(|&k| k != j && residual.get(j, k) > tol)
+                    .collect()
+            })
+            .collect();
+        let m = maximum_matching(n, n, &adj);
+        let size = matching_size(&m);
+        if size == 0 {
+            break;
+        }
+        if strict {
+            // For a doubly balanced matrix, every row with remaining mass
+            // must be matched; by Hall's theorem a maximum matching covers
+            // all of them. A smaller matching signals numerical degeneracy.
+            let rows_with_mass = (0..n)
+                .filter(|&j| (0..n).any(|k| residual.get(j, k) > tol))
+                .count();
+            if size < rows_with_mass {
+                return Err(MatrixError::DecompositionStalled {
+                    residual: residual.total(),
+                });
+            }
+        }
+        let pairs: Vec<(usize, usize)> = m
+            .iter()
+            .enumerate()
+            .filter_map(|(u, v)| v.map(|v| (u, v)))
+            .collect();
+        let matching = Matching::from_pairs(n, &pairs)?;
+        let weight = pairs
+            .iter()
+            .map(|&(s, t)| residual.get(s, t))
+            .fold(f64::MAX, f64::min);
+        debug_assert!(weight > tol);
+        for &(s, t) in &pairs {
+            let v = (residual.get(s, t) - weight).max(0.0);
+            residual.set(s, t, v)?;
+        }
+        terms.push(BvnTerm { weight, matching });
+    }
+
+    let residual_mass = residual.total();
+    if strict && residual_mass > tol * (n * n) as f64 {
+        return Err(MatrixError::DecompositionStalled {
+            residual: residual_mass,
+        });
+    }
+    Ok(BvnDecomposition {
+        n,
+        terms,
+        residual: residual_mass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn shift_matrix_decomposes_to_itself() {
+        let s = Matching::shift(6, 2).unwrap();
+        let d = DemandMatrix::from_matchings(6, &[(5.0, &s)]).unwrap();
+        let b = decompose(&d, TOL).unwrap();
+        assert_eq!(b.terms.len(), 1);
+        assert_eq!(b.terms[0].matching, s);
+        assert!((b.terms[0].weight - 5.0).abs() < TOL);
+        assert!(b.residual < TOL);
+    }
+
+    #[test]
+    fn uniform_all_to_all_needs_n_minus_1_terms() {
+        let n = 8;
+        let d = DemandMatrix::uniform_all_to_all(n, 1.0);
+        let b = decompose(&d, TOL).unwrap();
+        assert_eq!(b.terms.len(), n - 1);
+        assert!(b.reconstruct().unwrap().approx_eq(&d, 1e-6));
+    }
+
+    #[test]
+    fn reconstruction_of_random_balanced_matrix() {
+        // Sum of random permutations is doubly balanced.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10;
+        let mut d = DemandMatrix::zeros(n);
+        for _ in 0..6 {
+            let mut perm: Vec<usize> = (0..n).collect();
+            loop {
+                perm.shuffle(&mut rng);
+                if perm.iter().enumerate().all(|(i, &p)| i != p) {
+                    break;
+                }
+            }
+            let pairs: Vec<(usize, usize)> =
+                perm.iter().enumerate().map(|(i, &p)| (i, p)).collect();
+            let m = Matching::from_pairs(n, &pairs).unwrap();
+            d.add_matching(rng.random_range(0.5..4.0), &m).unwrap();
+        }
+        let b = decompose(&d, TOL).unwrap();
+        assert!(b.reconstruct().unwrap().approx_eq(&d, 1e-6));
+        // Birkhoff bound.
+        assert!(b.terms.len() <= (n - 1) * (n - 1) + 1);
+    }
+
+    #[test]
+    fn rejects_diagonal_demand() {
+        let mut d = DemandMatrix::zeros(3);
+        d.set(1, 1, 2.0).unwrap();
+        assert!(matches!(
+            decompose(&d, TOL),
+            Err(MatrixError::DiagonalDemand { node: 1, .. })
+        ));
+        assert!(decompose_relaxed(&d, TOL).is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_strict() {
+        let mut d = DemandMatrix::zeros(3);
+        d.set(0, 1, 1.0).unwrap();
+        assert!(matches!(
+            decompose(&d, TOL),
+            Err(MatrixError::NotDoublyBalanced { .. })
+        ));
+    }
+
+    #[test]
+    fn relaxed_handles_unbalanced() {
+        let mut d = DemandMatrix::zeros(3);
+        d.set(0, 1, 3.0).unwrap();
+        d.set(1, 2, 1.0).unwrap();
+        let b = decompose_relaxed(&d, TOL).unwrap();
+        // Everything decomposable by matchings: residual is zero.
+        assert!(b.residual < 1e-6);
+        assert!(b.reconstruct().unwrap().approx_eq(&d, 1e-6));
+    }
+
+    #[test]
+    fn zero_matrix_decomposes_trivially() {
+        let d = DemandMatrix::zeros(4);
+        let b = decompose(&d, TOL).unwrap();
+        assert!(b.terms.is_empty());
+        assert_eq!(b.residual, 0.0);
+        assert_eq!(b.total_weight(), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Aggregate demand matrices (eq. (1) of the paper).
+//!
+//! The aggregate demand of a collective algorithm with steps
+//! `⟨M₁, …, M_s⟩` and volumes `⟨m₁, …, m_s⟩` is
+//! `M = m₁·M₁ + … + m_s·M_s` — by construction a weighted sum of
+//! permutation (matching) matrices, i.e. a BvN decomposition (Observation 1).
+
+use crate::error::MatrixError;
+use crate::matching::Matching;
+
+/// An `n × n` non-negative traffic matrix, row-major. Entry `(j, k)` is the
+/// volume sent from node `j` to node `k` (in arbitrary units, typically
+/// bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DemandMatrix {
+    /// The all-zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds the weighted sum `Σ wᵢ·Mᵢ` of matchings (eq. (1)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a weight is negative or dimensions disagree.
+    pub fn from_matchings(n: usize, terms: &[(f64, &Matching)]) -> Result<Self, MatrixError> {
+        let mut m = Self::zeros(n);
+        for &(w, matching) in terms {
+            m.add_matching(w, matching)?;
+        }
+        Ok(m)
+    }
+
+    /// Uniform all-to-all demand: `volume_per_pair` between every ordered
+    /// pair of distinct nodes.
+    pub fn uniform_all_to_all(n: usize, volume_per_pair: f64) -> Self {
+        let mut m = Self::zeros(n);
+        for j in 0..n {
+            for k in 0..n {
+                if j != k {
+                    m.data[j * n + k] = volume_per_pair;
+                }
+            }
+        }
+        m
+    }
+
+    /// Adds `w · M` into this matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension mismatch or negative weight.
+    pub fn add_matching(&mut self, w: f64, matching: &Matching) -> Result<(), MatrixError> {
+        if matching.n() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                left: self.n,
+                right: matching.n(),
+            });
+        }
+        if w < 0.0 {
+            return Err(MatrixError::NegativeDemand {
+                src: 0,
+                dst: 0,
+                value: w,
+            });
+        }
+        for (s, d) in matching.pairs() {
+            self.data[s * self.n + d] += w;
+        }
+        Ok(())
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(src, dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn get(&self, src: usize, dst: usize) -> f64 {
+        assert!(src < self.n && dst < self.n, "index out of range");
+        self.data[src * self.n + dst]
+    }
+
+    /// Sets entry `(src, dst)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an index is out of range or the value negative.
+    pub fn set(&mut self, src: usize, dst: usize, value: f64) -> Result<(), MatrixError> {
+        if src >= self.n {
+            return Err(MatrixError::EndpointOutOfRange { endpoint: src, n: self.n });
+        }
+        if dst >= self.n {
+            return Err(MatrixError::EndpointOutOfRange { endpoint: dst, n: self.n });
+        }
+        if value < 0.0 {
+            return Err(MatrixError::NegativeDemand { src, dst, value });
+        }
+        self.data[src * self.n + dst] = value;
+        Ok(())
+    }
+
+    /// Row sums (total egress volume per node).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|j| self.data[j * self.n..(j + 1) * self.n].iter().sum())
+            .collect()
+    }
+
+    /// Column sums (total ingress volume per node).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n];
+        for j in 0..self.n {
+            for k in 0..self.n {
+                sums[k] += self.data[j * self.n + k];
+            }
+        }
+        sums
+    }
+
+    /// Total volume over all pairs.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// The largest entry.
+    pub fn max_entry(&self) -> f64 {
+        self.data.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Total mass on the diagonal (self-demand; should be 0 for collectives).
+    pub fn diagonal_total(&self) -> f64 {
+        (0..self.n).map(|i| self.data[i * self.n + i]).sum()
+    }
+
+    /// Maximum deviation among all row and column sums. A matrix is *doubly
+    /// balanced* (a scaled doubly stochastic matrix) when this is ~0; that is
+    /// the precondition of the strict Birkhoff decomposition.
+    pub fn balance_deviation(&self) -> f64 {
+        let rows = self.row_sums();
+        let cols = self.col_sums();
+        let all: Vec<f64> = rows.into_iter().chain(cols).collect();
+        let max = all.iter().fold(f64::MIN, |a, &b| a.max(b));
+        let min = all.iter().fold(f64::MAX, |a, &b| a.min(b));
+        (max - min).max(0.0)
+    }
+
+    /// `true` when all row and column sums agree within `tol`.
+    pub fn is_doubly_balanced(&self, tol: f64) -> bool {
+        self.balance_deviation() <= tol
+    }
+
+    /// Multiplies every entry by `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative factors.
+    pub fn scale(&mut self, factor: f64) -> Result<(), MatrixError> {
+        if factor < 0.0 {
+            return Err(MatrixError::NegativeDemand {
+                src: 0,
+                dst: 0,
+                value: factor,
+            });
+        }
+        for v in &mut self.data {
+            *v *= factor;
+        }
+        Ok(())
+    }
+
+    /// `true` when every entry differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Number of strictly positive entries.
+    pub fn support_size(&self) -> usize {
+        self.data.iter().filter(|&&v| v > 0.0).count()
+    }
+
+    /// Iterator over `(src, dst, volume)` for strictly positive entries.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let n = self.n;
+        self.data.iter().enumerate().filter_map(move |(idx, &v)| {
+            (v > 0.0).then_some((idx / n, idx % n, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_matchings_sums_weights() {
+        let a = Matching::shift(4, 1).unwrap();
+        let b = Matching::shift(4, 1).unwrap();
+        let m = DemandMatrix::from_matchings(4, &[(2.0, &a), (3.0, &b)]).unwrap();
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(3, 0), 5.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.total(), 20.0);
+        assert!(m.is_doubly_balanced(1e-12));
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        let a = Matching::shift(4, 1).unwrap();
+        assert!(DemandMatrix::from_matchings(4, &[(-1.0, &a)]).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = Matching::shift(5, 1).unwrap();
+        let mut m = DemandMatrix::zeros(4);
+        assert!(m.add_matching(1.0, &a).is_err());
+    }
+
+    #[test]
+    fn uniform_all_to_all_marginals() {
+        let m = DemandMatrix::uniform_all_to_all(5, 2.0);
+        assert_eq!(m.row_sums(), vec![8.0; 5]);
+        assert_eq!(m.col_sums(), vec![8.0; 5]);
+        assert_eq!(m.diagonal_total(), 0.0);
+        assert_eq!(m.support_size(), 20);
+        assert!(m.is_doubly_balanced(0.0));
+    }
+
+    #[test]
+    fn set_get_and_errors() {
+        let mut m = DemandMatrix::zeros(3);
+        m.set(0, 2, 4.5).unwrap();
+        assert_eq!(m.get(0, 2), 4.5);
+        assert!(m.set(3, 0, 1.0).is_err());
+        assert!(m.set(0, 3, 1.0).is_err());
+        assert!(m.set(0, 1, -1.0).is_err());
+    }
+
+    #[test]
+    fn balance_deviation_detects_imbalance() {
+        let mut m = DemandMatrix::zeros(3);
+        m.set(0, 1, 1.0).unwrap();
+        assert!(!m.is_doubly_balanced(1e-9));
+        assert!((m.balance_deviation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_entries() {
+        let mut m = DemandMatrix::uniform_all_to_all(3, 1.0);
+        m.scale(0.5).unwrap();
+        assert_eq!(m.get(0, 1), 0.5);
+        assert!(m.scale(-2.0).is_err());
+        let entries: Vec<_> = m.entries().collect();
+        assert_eq!(entries.len(), 6);
+        assert!(entries.iter().all(|&(s, d, v)| s != d && v == 0.5));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = DemandMatrix::uniform_all_to_all(3, 1.0);
+        let mut b = a.clone();
+        b.set(0, 1, 1.0 + 1e-9).unwrap();
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&DemandMatrix::zeros(4), 1.0));
+    }
+}

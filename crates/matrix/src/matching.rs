@@ -1,0 +1,339 @@
+//! Partial permutations ("matchings") over `n` endpoints.
+//!
+//! A [`Matching`] simultaneously models
+//!
+//! * one step of a collective communication algorithm (every GPU sends to at
+//!   most one peer and receives from at most one peer), and
+//! * one configuration of a photonic circuit switch (every TX port is wired
+//!   to at most one RX port).
+//!
+//! Invariants enforced at construction:
+//!
+//! * **injectivity** — no two senders share a receiver;
+//! * **no self-loops** — `i → i` circuits carry no traffic and are rejected.
+
+use crate::error::MatrixError;
+
+/// A partial permutation of `{0, …, n-1}`: an injective map from senders to
+/// receivers with no fixed points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matching {
+    /// `dst[i] = Some(j)` iff node `i` sends to node `j` in this step.
+    dst: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// The empty matching over `n` nodes (nobody communicates).
+    pub fn empty(n: usize) -> Self {
+        Self { dst: vec![None; n] }
+    }
+
+    /// Builds a matching from explicit `(sender, receiver)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, a sender or receiver
+    /// appears twice, or a pair is a self-loop.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Result<Self, MatrixError> {
+        let mut dst = vec![None; n];
+        let mut has_src = vec![false; n];
+        for &(s, d) in pairs {
+            if s >= n {
+                return Err(MatrixError::EndpointOutOfRange { endpoint: s, n });
+            }
+            if d >= n {
+                return Err(MatrixError::EndpointOutOfRange { endpoint: d, n });
+            }
+            if s == d {
+                return Err(MatrixError::SelfLoop(s));
+            }
+            if dst[s].is_some() {
+                return Err(MatrixError::DuplicateSender(s));
+            }
+            if has_src[d] {
+                return Err(MatrixError::DuplicateReceiver(d));
+            }
+            dst[s] = Some(d);
+            has_src[d] = true;
+        }
+        Ok(Self { dst })
+    }
+
+    /// The cyclic shift `i → (i + k) mod n`, the building block of ring
+    /// collectives and All-to-All linear shifts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IdentityShift`] when `k ≡ 0 (mod n)`.
+    pub fn shift(n: usize, k: usize) -> Result<Self, MatrixError> {
+        if n == 0 || k % n == 0 {
+            return Err(MatrixError::IdentityShift { shift: k, n });
+        }
+        let k = k % n;
+        let dst = (0..n).map(|i| Some((i + k) % n)).collect();
+        Ok(Self { dst })
+    }
+
+    /// The pairwise exchange `i → i XOR mask`, the building block of
+    /// recursive-doubling style collectives. Requires `n` to be a power of
+    /// two and `0 < mask < n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n` is not a power of two or the mask is
+    /// trivial/out of range.
+    pub fn xor(n: usize, mask: usize) -> Result<Self, MatrixError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(MatrixError::NotPowerOfTwo(n));
+        }
+        if mask == 0 || mask >= n {
+            return Err(MatrixError::BadXorMask { mask, n });
+        }
+        let dst = (0..n).map(|i| Some(i ^ mask)).collect();
+        Ok(Self { dst })
+    }
+
+    /// Number of endpoints in the domain.
+    pub fn n(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Number of communicating pairs.
+    pub fn len(&self) -> usize {
+        self.dst.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// `true` when nobody communicates.
+    pub fn is_empty(&self) -> bool {
+        self.dst.iter().all(|d| d.is_none())
+    }
+
+    /// `true` when every node both sends and receives (a full permutation
+    /// without fixed points).
+    pub fn is_full(&self) -> bool {
+        self.len() == self.n()
+    }
+
+    /// The receiver of node `i`, if any.
+    pub fn dst_of(&self, i: usize) -> Option<usize> {
+        self.dst.get(i).copied().flatten()
+    }
+
+    /// The sender targeting node `j`, if any. `O(n)`.
+    pub fn src_of(&self, j: usize) -> Option<usize> {
+        self.dst.iter().position(|&d| d == Some(j))
+    }
+
+    /// Iterator over `(sender, receiver)` pairs in sender order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.dst
+            .iter()
+            .enumerate()
+            .filter_map(|(s, d)| d.map(|d| (s, d)))
+    }
+
+    /// The inverse matching (`j → i` for every `i → j`).
+    pub fn inverse(&self) -> Self {
+        let n = self.n();
+        let mut dst = vec![None; n];
+        for (s, d) in self.pairs() {
+            dst[d] = Some(s);
+        }
+        Self { dst }
+    }
+
+    /// Functional composition `other ∘ self`: first route by `self`, then by
+    /// `other`. Pairs whose intermediate hop does not send in `other` are
+    /// dropped; pairs that would become self-loops are dropped as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when domains differ.
+    pub fn compose(&self, other: &Self) -> Result<Self, MatrixError> {
+        if self.n() != other.n() {
+            return Err(MatrixError::DimensionMismatch {
+                left: self.n(),
+                right: other.n(),
+            });
+        }
+        let dst = self
+            .dst
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match d.and_then(|mid| other.dst_of(mid)) {
+                Some(fin) if fin != i => Some(fin),
+                _ => None,
+            })
+            .collect();
+        Ok(Self { dst })
+    }
+
+    /// `true` when the pair `i → j` is part of this matching.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.dst_of(i) == Some(j)
+    }
+
+    /// `true` when this matching is *symmetric*: `i → j` implies `j → i`
+    /// (a pairwise exchange, as used by recursive doubling and Swing).
+    pub fn is_pairwise_exchange(&self) -> bool {
+        self.pairs().all(|(s, d)| self.dst_of(d) == Some(s))
+    }
+
+    /// Number of TX ports whose destination differs between `self` and
+    /// `other`. This is the quantity that drives per-port reconfiguration
+    /// delay models (research agenda §4 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ; configuration diffs are only meaningful
+    /// within one fabric.
+    pub fn tx_ports_changed(&self, other: &Self) -> usize {
+        assert_eq!(self.n(), other.n(), "configuration diff across fabrics");
+        self.dst
+            .iter()
+            .zip(&other.dst)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Number of distinct ports *involved* in retargeting between the two
+    /// configurations: a port counts if its TX destination or its RX source
+    /// changes.
+    pub fn ports_involved(&self, other: &Self) -> usize {
+        assert_eq!(self.n(), other.n(), "configuration diff across fabrics");
+        let (si, oi) = (self.inverse(), other.inverse());
+        (0..self.n())
+            .filter(|&p| self.dst_of(p) != other.dst_of(p) || si.dst_of(p) != oi.dst_of(p))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_roundtrip() {
+        let m = Matching::from_pairs(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        assert!(m.is_full());
+        assert!(m.is_pairwise_exchange());
+        assert_eq!(m.dst_of(0), Some(1));
+        assert_eq!(m.src_of(0), Some(1));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Matching::from_pairs(4, &[(2, 2)]),
+            Err(MatrixError::SelfLoop(2))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_sender_and_receiver() {
+        assert_eq!(
+            Matching::from_pairs(4, &[(0, 1), (0, 2)]),
+            Err(MatrixError::DuplicateSender(0))
+        );
+        assert_eq!(
+            Matching::from_pairs(4, &[(0, 1), (2, 1)]),
+            Err(MatrixError::DuplicateReceiver(1))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Matching::from_pairs(4, &[(0, 7)]),
+            Err(MatrixError::EndpointOutOfRange { endpoint: 7, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn shift_is_cyclic() {
+        let m = Matching::shift(5, 2).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.dst_of(4), Some(1));
+        assert!(!m.is_pairwise_exchange());
+        assert!(Matching::shift(5, 5).is_err());
+        assert!(Matching::shift(5, 0).is_err());
+        assert!(Matching::shift(0, 1).is_err());
+    }
+
+    #[test]
+    fn shift_reduces_modulo_n() {
+        assert_eq!(Matching::shift(5, 7).unwrap(), Matching::shift(5, 2).unwrap());
+    }
+
+    #[test]
+    fn xor_is_pairwise() {
+        let m = Matching::xor(8, 4).unwrap();
+        assert!(m.is_full());
+        assert!(m.is_pairwise_exchange());
+        assert_eq!(m.dst_of(3), Some(7));
+        assert!(Matching::xor(6, 2).is_err());
+        assert!(Matching::xor(8, 0).is_err());
+        assert!(Matching::xor(8, 8).is_err());
+    }
+
+    #[test]
+    fn inverse_of_shift() {
+        let m = Matching::shift(6, 1).unwrap();
+        assert_eq!(m.inverse(), Matching::shift(6, 5).unwrap());
+        let x = Matching::xor(8, 2).unwrap();
+        assert_eq!(x.inverse(), x);
+    }
+
+    #[test]
+    fn compose_shifts_adds() {
+        let a = Matching::shift(7, 2).unwrap();
+        let b = Matching::shift(7, 3).unwrap();
+        assert_eq!(a.compose(&b).unwrap(), Matching::shift(7, 5).unwrap());
+    }
+
+    #[test]
+    fn compose_dropping_self_loops() {
+        let a = Matching::shift(4, 2).unwrap();
+        // shift(2) ∘ shift(2) = identity → everything dropped.
+        assert!(a.compose(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compose_dimension_mismatch() {
+        let a = Matching::shift(4, 1).unwrap();
+        let b = Matching::shift(5, 1).unwrap();
+        assert!(a.compose(&b).is_err());
+    }
+
+    #[test]
+    fn partial_matching_accessors() {
+        let m = Matching::from_pairs(5, &[(0, 3)]).unwrap();
+        assert!(!m.is_full());
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.src_of(3), Some(0));
+        assert_eq!(m.src_of(1), None);
+        assert_eq!(m.dst_of(4), None);
+    }
+
+    #[test]
+    fn diff_counts() {
+        let ring = Matching::shift(4, 1).unwrap();
+        let swap = Matching::from_pairs(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        // TX side: ports 1 and 3 change destination (0→1 and 2→3 coincide).
+        assert_eq!(ring.tx_ports_changed(&swap), 2);
+        assert_eq!(ring.tx_ports_changed(&ring), 0);
+        // RX side changes make all four ports "involved".
+        assert_eq!(ring.ports_involved(&swap), 4);
+        assert_eq!(ring.ports_involved(&ring), 0);
+    }
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::empty(3);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.pairs().count(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for matchings, demand matrices and BvN
+//! decomposition.
+
+use aps_matrix::{bvn, BitSet, DemandMatrix, Matching};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random derangement over `n ∈ [2, 12]` as pair list.
+fn arb_derangement() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2usize..12)
+        .prop_flat_map(|n| (Just(n), proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n)))
+        .prop_flat_map(|(n, _)| {
+            // Build via random shuffle, rejecting fixed points by rotation.
+            (Just(n), proptest::collection::vec(0u64..u64::MAX, n))
+        })
+        .prop_map(|(n, keys)| {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by_key(|&i| keys[i]);
+            // Rotate the sorted order by one: a permutation with no fixed
+            // point relative to positions (a cyclic derangement).
+            let perm: Vec<usize> = (0..n).map(|i| idx[(i + 1) % n]).collect();
+            let mut dst = vec![0usize; n];
+            for (i, &p) in perm.iter().enumerate() {
+                dst[idx[i]] = p;
+            }
+            (n, dst)
+        })
+}
+
+fn matching_from(n: usize, dst: &[usize]) -> Matching {
+    let pairs: Vec<(usize, usize)> = dst.iter().enumerate().map(|(i, &d)| (i, d)).collect();
+    Matching::from_pairs(n, &pairs).expect("valid derangement")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn inverse_is_an_involution((n, dst) in arb_derangement()) {
+        let m = matching_from(n, &dst);
+        prop_assert_eq!(m.inverse().inverse(), m);
+    }
+
+    #[test]
+    fn inverse_swaps_src_and_dst((n, dst) in arb_derangement()) {
+        let m = matching_from(n, &dst);
+        let inv = m.inverse();
+        for (s, d) in m.pairs() {
+            prop_assert_eq!(inv.dst_of(d), Some(s));
+            prop_assert_eq!(m.src_of(d), Some(s));
+        }
+    }
+
+    #[test]
+    fn compose_with_inverse_is_empty((n, dst) in arb_derangement()) {
+        // m ∘ m⁻¹ maps every node to itself → all self-loops dropped.
+        let m = matching_from(n, &dst);
+        prop_assert!(m.compose(&m.inverse()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tx_diff_is_a_metric_like((na, da) in arb_derangement(), seed in 0u64..1000) {
+        // Symmetry and identity of the TX-port diff, against a second
+        // derangement derived from the first by rotation.
+        let a = matching_from(na, &da);
+        let rot = (seed as usize % (na - 1)) + 1;
+        let db: Vec<usize> = (0..na).map(|i| (da[i] + rot) % na).collect();
+        if let Ok(b) = Matching::from_pairs(
+            na,
+            &db.iter().enumerate().filter(|(i, d)| *i != **d).map(|(i, &d)| (i, d)).collect::<Vec<_>>(),
+        ) {
+            prop_assert_eq!(a.tx_ports_changed(&b), b.tx_ports_changed(&a));
+        }
+        prop_assert_eq!(a.tx_ports_changed(&a), 0);
+        prop_assert_eq!(a.ports_involved(&a), 0);
+    }
+
+    #[test]
+    fn weighted_sums_are_doubly_balanced(
+        (n, dst) in arb_derangement(),
+        weights in proptest::collection::vec(0.1f64..10.0, 1..6),
+        rots in proptest::collection::vec(1usize..11, 1..6),
+    ) {
+        // Sum of full permutations (rotations of one derangement) must have
+        // equal row and column sums = Σ wᵢ.
+        let mut d = DemandMatrix::zeros(n);
+        let mut total = 0.0;
+        for (w, r) in weights.iter().zip(&rots) {
+            let shifted = Matching::shift(n, (r % (n - 1)) + 1).unwrap();
+            let m = matching_from(n, &dst).compose(&shifted).unwrap();
+            if m.is_full() {
+                d.add_matching(*w, &m).unwrap();
+                total += *w;
+            }
+        }
+        prop_assert!(d.is_doubly_balanced(1e-9));
+        for r in d.row_sums() {
+            prop_assert!((r - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bvn_reconstructs_sums_of_permutations(
+        (n, dst) in arb_derangement(),
+        weights in proptest::collection::vec(0.1f64..5.0, 1..5),
+    ) {
+        let base = matching_from(n, &dst);
+        let mut d = DemandMatrix::zeros(n);
+        for (k, w) in weights.iter().enumerate() {
+            let m = if k == 0 {
+                base.clone()
+            } else {
+                match base.compose(&Matching::shift(n, k % (n - 1) + 1).unwrap()) {
+                    Ok(m) if m.is_full() => m,
+                    _ => continue,
+                }
+            };
+            d.add_matching(*w, &m).unwrap();
+        }
+        if d.total() > 0.0 {
+            let b = bvn::decompose(&d, 1e-9).unwrap();
+            prop_assert!(b.reconstruct().unwrap().approx_eq(&d, 1e-6));
+            prop_assert!(b.terms.len() <= (n - 1) * (n - 1) + 1);
+            // Every extracted weight is positive.
+            prop_assert!(b.terms.iter().all(|t| t.weight > 0.0));
+        }
+    }
+
+    #[test]
+    fn relaxed_bvn_never_increases_entries(
+        entries in proptest::collection::vec((0usize..8, 0usize..8, 0.01f64..5.0), 0..24),
+    ) {
+        let mut d = DemandMatrix::zeros(8);
+        for (s, t, v) in entries {
+            if s != t {
+                d.set(s, t, v).unwrap();
+            }
+        }
+        let b = bvn::decompose_relaxed(&d, 1e-9).unwrap();
+        let rec = b.reconstruct().unwrap();
+        for (s, t, v) in rec.entries() {
+            prop_assert!(v <= d.get(s, t) + 1e-9, "entry ({s},{t}) grew");
+        }
+        // Residual + reconstructed mass = original mass.
+        prop_assert!((b.residual + rec.total() - d.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bitset_behaves_like_hashset(ops in proptest::collection::vec((0usize..100, any::<bool>()), 0..200)) {
+        let mut bs = BitSet::new(100);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (v, _insert) in ops {
+            bs.insert(v);
+            hs.insert(v);
+        }
+        prop_assert_eq!(bs.len(), hs.len());
+        for v in 0..100 {
+            prop_assert_eq!(bs.contains(v), hs.contains(&v));
+        }
+        prop_assert_eq!(bs.is_full(), hs.len() == 100);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the simulator.
+
+use std::fmt;
+
+/// Errors raised while simulating a collective execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The fabric rejected a reconfiguration request.
+    Fabric(aps_fabric::FabricError),
+    /// A communicating pair has no route on the current circuit topology
+    /// (possible under fault injection: stuck ports can disconnect it).
+    Unroutable {
+        /// Step index.
+        step: usize,
+        /// Source GPU.
+        src: usize,
+        /// Destination GPU.
+        dst: usize,
+    },
+    /// Switch schedule length does not match the collective.
+    ScheduleLengthMismatch {
+        /// Steps in the collective.
+        expected: usize,
+        /// Choices in the switch schedule.
+        got: usize,
+    },
+    /// The collective and the fabric disagree on the node count.
+    DimensionMismatch {
+        /// Fabric ports.
+        fabric: usize,
+        /// Collective nodes.
+        collective: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fabric(e) => write!(f, "fabric error: {e}"),
+            Self::Unroutable { step, src, dst } => {
+                write!(f, "step {step}: no route from GPU {src} to GPU {dst} on current circuits")
+            }
+            Self::ScheduleLengthMismatch { expected, got } => {
+                write!(f, "switch schedule has {got} choices for {expected} steps")
+            }
+            Self::DimensionMismatch { fabric, collective } => {
+                write!(f, "fabric has {fabric} ports but collective spans {collective} GPUs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<aps_fabric::FabricError> for SimError {
+    fn from(e: aps_fabric::FabricError) -> Self {
+        Self::Fabric(e)
+    }
+}

@@ -1,0 +1,369 @@
+//! Collective execution on a reconfigurable fabric.
+
+use crate::error::SimError;
+use crate::fluid::{simulate_flows, FlowSpec};
+use crate::report::{SimReport, StepReport};
+use crate::trace::{TraceEvent, TraceKind};
+use aps_collectives::Schedule;
+use aps_core::{ConfigChoice, SwitchSchedule};
+use aps_cost::units::{secs_to_picos, Picos};
+use aps_cost::CostParams;
+use aps_fabric::{BarrierModel, Fabric};
+use aps_matrix::Matching;
+use aps_topology::builders::from_matching;
+use aps_topology::paths::shortest_path;
+
+/// Reduction compute following each step's communication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeModel {
+    /// Seconds of computation per byte received in the step.
+    pub per_byte_s: f64,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// α, β (bandwidth), δ.
+    pub params: CostParams,
+    /// Barrier latency charged at every step boundary.
+    pub barrier: BarrierModel,
+    /// Optional per-step compute phase.
+    pub compute: Option<ComputeModel>,
+    /// When `true`, the fabric reconfigures for step `i+1` *while* the GPUs
+    /// compute on step `i`'s data (research agenda §4, "overlapping
+    /// reconfiguration with computation"). Only the portion of the
+    /// reconfiguration delay not hidden by compute remains visible.
+    pub overlap_reconfig_with_compute: bool,
+}
+
+impl RunConfig {
+    /// Paper §3.4 parameters, free barrier, no compute.
+    pub fn paper_defaults() -> Self {
+        Self {
+            params: CostParams::paper_defaults(),
+            barrier: BarrierModel::None,
+            compute: None,
+            overlap_reconfig_with_compute: false,
+        }
+    }
+}
+
+/// Executes `schedule` under `switch_schedule` against the fabric.
+///
+/// `base_config` is the circuit configuration realizing the base topology
+/// (e.g. the unidirectional ring): steps with [`ConfigChoice::Base`] target
+/// it, steps with [`ConfigChoice::Matched`] target their own matching.
+///
+/// # Errors
+///
+/// Fails on dimension/length mismatches, fabric refusals, or a pair that
+/// cannot be routed on the achieved circuit topology (possible under fault
+/// injection).
+pub fn run_collective(
+    fabric: &mut dyn Fabric,
+    base_config: &Matching,
+    schedule: &Schedule,
+    switch_schedule: &SwitchSchedule,
+    cfg: &RunConfig,
+) -> Result<SimReport, SimError> {
+    let n = schedule.n();
+    if fabric.n() != n {
+        return Err(SimError::DimensionMismatch { fabric: fabric.n(), collective: n });
+    }
+    if switch_schedule.len() != schedule.num_steps() {
+        return Err(SimError::ScheduleLengthMismatch {
+            expected: schedule.num_steps(),
+            got: switch_schedule.len(),
+        });
+    }
+
+    let bandwidth = cfg.params.bandwidth_bytes_per_sec();
+    let barrier_ps = secs_to_picos(cfg.barrier.latency_s(n));
+    let alpha_ps = secs_to_picos(cfg.params.alpha_s);
+
+    let mut report = SimReport::default();
+    let mut comm_end: Picos = 0; // When the previous step's flows drained.
+    let mut gpu_free: Picos = 0; // When the GPUs finished computing on them.
+
+    for (i, step) in schedule.steps().iter().enumerate() {
+        let matched = switch_schedule.choice(i) == ConfigChoice::Matched;
+        let target = if matched { &step.matching } else { base_config };
+
+        // Control path: compute → barrier → α.
+        if barrier_ps > 0 {
+            report.trace.push(TraceEvent { at: gpu_free + barrier_ps, kind: TraceKind::Barrier });
+        }
+        let control_ready = gpu_free + barrier_ps + alpha_ps;
+
+        // Reconfiguration path: overlapped requests start as soon as the
+        // previous step's flows drain (the fabric is idle while GPUs
+        // compute); otherwise the fabric is asked only once control
+        // arrives.
+        let request_at = if cfg.overlap_reconfig_with_compute && i > 0 {
+            comm_end.min(control_ready)
+        } else {
+            control_ready
+        };
+        let outcome = fabric.request(target, request_at)?;
+        if outcome.ports_changed > 0 {
+            report.trace.push(TraceEvent {
+                at: request_at,
+                kind: TraceKind::ReconfigStart { ports: outcome.ports_changed },
+            });
+            report.trace.push(TraceEvent { at: outcome.ready_at, kind: TraceKind::ReconfigDone });
+        }
+        let flows_start = control_ready.max(outcome.ready_at);
+        let reconfig_visible = flows_start - control_ready;
+        report.trace.push(TraceEvent {
+            at: flows_start,
+            kind: TraceKind::StepStart { step: i, matched },
+        });
+
+        // Transfer: route every pair on the achieved circuit topology.
+        let circuit_topo = from_matching(&outcome.achieved);
+        let mut specs = Vec::with_capacity(step.matching.len());
+        let mut max_hops = 0usize;
+        for (src, dst) in step.matching.pairs() {
+            let path = shortest_path(&circuit_topo, src, dst)
+                .ok_or(SimError::Unroutable { step: i, src, dst })?;
+            max_hops = max_hops.max(path.hops());
+            specs.push(FlowSpec { bytes: step.bytes_per_pair, path: path.links });
+        }
+        let transfer_ps = if specs.is_empty() {
+            0
+        } else {
+            report.trace.push(TraceEvent {
+                at: flows_start,
+                kind: TraceKind::FlowsStart { count: specs.len() },
+            });
+            let caps = vec![bandwidth; circuit_topo.num_links()];
+            let finish = simulate_flows(&caps, &specs);
+            let worst_s = finish
+                .iter()
+                .zip(&specs)
+                .map(|(f, s)| f + cfg.params.delta_s * s.path.len() as f64)
+                .fold(0.0f64, f64::max);
+            secs_to_picos(worst_s)
+        };
+        comm_end = flows_start + transfer_ps;
+        report.trace.push(TraceEvent { at: comm_end, kind: TraceKind::StepDone { step: i } });
+
+        // Compute phase on the received data.
+        let compute_ps = match cfg.compute {
+            Some(c) if !step.matching.is_empty() => {
+                let d = secs_to_picos(c.per_byte_s * step.bytes_per_pair);
+                if d > 0 {
+                    report.trace.push(TraceEvent { at: comm_end, kind: TraceKind::ComputeStart });
+                    report.trace.push(TraceEvent { at: comm_end + d, kind: TraceKind::ComputeDone });
+                }
+                d
+            }
+            _ => 0,
+        };
+        gpu_free = comm_end + compute_ps;
+
+        report.steps.push(StepReport {
+            barrier_ps,
+            alpha_ps,
+            reconfig_ps: reconfig_visible,
+            transfer_ps,
+            compute_ps,
+            ports_changed: outcome.ports_changed,
+            max_hops,
+        });
+    }
+    report.total_ps = gpu_free;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::{allreduce, alltoall};
+    use aps_cost::units::{picos_to_secs, MIB, NANOS};
+    use aps_cost::ReconfigModel;
+    use aps_fabric::CircuitSwitch;
+
+    fn ring_config(n: usize) -> Matching {
+        Matching::shift(n, 1).unwrap()
+    }
+
+    fn switch(n: usize, alpha_r: f64) -> CircuitSwitch {
+        CircuitSwitch::new(ring_config(n), ReconfigModel::constant(alpha_r).unwrap())
+    }
+
+    #[test]
+    fn static_ring_allreduce_matches_analytic() {
+        let n = 8;
+        let m = 1.0 * MIB;
+        let c = allreduce::ring::build(n, m).unwrap();
+        let mut fab = switch(n, 10e-6);
+        let cfg = RunConfig::paper_defaults();
+        let ss = SwitchSchedule::all_base(c.schedule.num_steps());
+        let r = run_collective(&mut fab, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
+        // Ring steps are 1-hop on the ring config with no congestion:
+        // each of the 14 steps costs α + m/n/b + δ.
+        let per_step = 100.0 * NANOS + (m / n as f64) / 1e11 + 100.0 * NANOS;
+        let expect = 14.0 * per_step;
+        assert!(
+            (r.total_s() - expect).abs() < 1e-9,
+            "sim {} vs analytic {}",
+            r.total_s(),
+            expect
+        );
+        assert_eq!(r.reconfig_events(), 0);
+    }
+
+    #[test]
+    fn matched_steps_pay_reconfiguration() {
+        let n = 8;
+        let c = allreduce::halving_doubling::build(n, MIB).unwrap();
+        let mut fab = switch(n, 5e-6);
+        let cfg = RunConfig::paper_defaults();
+        let s = c.schedule.num_steps();
+        let r = run_collective(
+            &mut fab,
+            &ring_config(n),
+            &c.schedule,
+            &SwitchSchedule::all_matched(s),
+            &cfg,
+        )
+        .unwrap();
+        // The fabric reconfigures physically: halving-doubling's last RS
+        // step and first AG step share the xor(1) pattern, so one of the
+        // s notional reconfigurations is a free no-op.
+        assert_eq!(r.reconfig_events(), s - 1);
+        assert!((r.reconfig_s() - (s - 1) as f64 * 5e-6).abs() < 1e-12);
+        // Matched transfers are single-hop at full rate.
+        for st in &r.steps {
+            assert_eq!(st.max_hops, 1);
+        }
+    }
+
+    #[test]
+    fn congestion_shows_up_on_base() {
+        // xor(4) on an 8-ring: θ = 1/4 → the transfer takes 4× the
+        // dedicated-circuit time (plus wrap propagation).
+        let n = 8;
+        let m = 4.0 * MIB;
+        let c = alltoall::xor_exchange(n, 8.0 * m).unwrap(); // bytes/pair = m
+        let mut fab = switch(n, 1e-6);
+        let cfg = RunConfig::paper_defaults();
+        let ss = SwitchSchedule::all_base(c.schedule.num_steps());
+        let r = run_collective(&mut fab, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
+        // Step with pattern xor(4) is step index 3 (k = 4).
+        let st = &r.steps[3];
+        let dedicated = m / 1e11;
+        let got = picos_to_secs(st.transfer_ps);
+        let expect = 4.0 * dedicated + 4.0 * 100.0 * NANOS;
+        assert!((got - expect).abs() < 1e-9, "got {got}, expected {expect}");
+    }
+
+    #[test]
+    fn overlap_hides_reconfiguration_behind_compute() {
+        let n = 8;
+        let c = allreduce::halving_doubling::build(n, 64.0 * MIB).unwrap();
+        let s = c.schedule.num_steps();
+        // Compute long enough to hide a 5 µs reconfiguration entirely.
+        let compute = ComputeModel { per_byte_s: 1e-9 };
+        let base_cfg = RunConfig {
+            compute: Some(compute),
+            ..RunConfig::paper_defaults()
+        };
+        let overlap_cfg = RunConfig { overlap_reconfig_with_compute: true, ..base_cfg };
+        let mut f1 = switch(n, 5e-6);
+        let r_serial = run_collective(
+            &mut f1,
+            &ring_config(n),
+            &c.schedule,
+            &SwitchSchedule::all_matched(s),
+            &base_cfg,
+        )
+        .unwrap();
+        let mut f2 = switch(n, 5e-6);
+        let r_overlap = run_collective(
+            &mut f2,
+            &ring_config(n),
+            &c.schedule,
+            &SwitchSchedule::all_matched(s),
+            &overlap_cfg,
+        )
+        .unwrap();
+        assert!(r_overlap.total_ps < r_serial.total_ps);
+        // All but the first physical reconfiguration hide completely behind
+        // compute (the xor(1)→xor(1) no-op between the phases is free in
+        // both runs): serial pays 5 × 5 µs, overlap pays only the first.
+        let physical_events = r_serial.reconfig_events();
+        assert_eq!(physical_events, s - 1);
+        let hidden = (physical_events - 1) as f64 * 5e-6;
+        let diff = r_serial.total_s() - r_overlap.total_s();
+        assert!((diff - hidden).abs() < 1e-9, "hid {diff}, expected {hidden}");
+    }
+
+    #[test]
+    fn stuck_port_makes_steps_unroutable() {
+        let n = 4;
+        let c = alltoall::xor_exchange(n, 4096.0).unwrap();
+        let mut fab = switch(n, 1e-6);
+        fab.stick_port(0).unwrap();
+        let cfg = RunConfig::paper_defaults();
+        let s = c.schedule.num_steps();
+        let err = run_collective(
+            &mut fab,
+            &ring_config(n),
+            &c.schedule,
+            &SwitchSchedule::all_matched(s),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Unroutable { .. }), "{err}");
+    }
+
+    #[test]
+    fn barrier_latency_is_charged_per_step() {
+        let n = 8;
+        let c = allreduce::ring::build(n, MIB).unwrap();
+        let mut free = switch(n, 1e-6);
+        let mut with = switch(n, 1e-6);
+        let cfg_free = RunConfig::paper_defaults();
+        let cfg_barrier = RunConfig {
+            barrier: BarrierModel::Constant { latency_s: 1e-6 },
+            ..RunConfig::paper_defaults()
+        };
+        let ss = SwitchSchedule::all_base(c.schedule.num_steps());
+        let a = run_collective(&mut free, &ring_config(n), &c.schedule, &ss, &cfg_free).unwrap();
+        let b = run_collective(&mut with, &ring_config(n), &c.schedule, &ss, &cfg_barrier).unwrap();
+        let diff = b.total_s() - a.total_s();
+        let expect = c.schedule.num_steps() as f64 * 1e-6;
+        assert!((diff - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_length_mismatch_rejected() {
+        let n = 4;
+        let c = allreduce::ring::build(n, 1e3).unwrap();
+        let mut fab = switch(n, 1e-6);
+        let cfg = RunConfig::paper_defaults();
+        assert!(matches!(
+            run_collective(
+                &mut fab,
+                &ring_config(n),
+                &c.schedule,
+                &SwitchSchedule::all_base(1),
+                &cfg
+            ),
+            Err(SimError::ScheduleLengthMismatch { .. })
+        ));
+        let mut small = switch(8, 1e-6);
+        assert!(matches!(
+            run_collective(
+                &mut small,
+                &ring_config(8),
+                &c.schedule,
+                &SwitchSchedule::all_base(c.schedule.num_steps()),
+                &cfg
+            ),
+            Err(SimError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! # aps-sim — deterministic flow-level simulator for adaptive scale-up domains
+//!
+//! The paper's evaluation methodology (§3.4) is "a flow-level simulator that
+//! implements the optimization framework". This crate is that simulator,
+//! rebuilt: a deterministic discrete-event engine on an integer picosecond
+//! clock that executes a collective [`aps_collectives::Schedule`] under a
+//! circuit-switch schedule from `aps-core`, against a [`aps_fabric::Fabric`]
+//! device model.
+//!
+//! Per step, the simulated timeline is:
+//!
+//! 1. **barrier** — GPUs synchronize (shared-memory barrier, §3.1);
+//! 2. **α** — fixed step preparation latency;
+//! 3. **reconfiguration** — if the switch schedule asks for a configuration
+//!    different from the fabric's current one, the fabric model prices it
+//!    (constant, per-port, or per-port-tuning for wavelength fabrics);
+//! 4. **transfer** — one fluid flow per communicating pair, routed on the
+//!    *current circuit topology* (multi-hop relaying across circuits when
+//!    running on the base), sharing links by max-min fairness; each flow
+//!    completes after its last byte drains plus `δ × hops` propagation;
+//! 5. **compute** — optional reduction compute, optionally overlapped with
+//!    the *next* step's reconfiguration (research agenda §4).
+//!
+//! For uniform-volume steps the max-min fluid model reproduces the
+//! analytic `β·m/θ` transmission term exactly, so simulator and cost model
+//! cross-validate each other (see `tests/model_vs_sim.rs` at the workspace
+//! root).
+
+pub mod error;
+pub mod exec;
+pub mod fluid;
+pub mod report;
+pub mod trace;
+
+pub use error::SimError;
+pub use exec::{run_collective, ComputeModel, RunConfig};
+pub use fluid::{simulate_flows, FlowSpec};
+pub use report::{SimReport, StepReport};
+pub use trace::{TraceEvent, TraceKind};

@@ -1,0 +1,98 @@
+//! Simulation reports: per-step and end-to-end timing.
+
+use crate::trace::TraceEvent;
+use aps_cost::units::{picos_to_secs, Picos};
+
+/// Timing of one simulated step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepReport {
+    /// Barrier wait.
+    pub barrier_ps: Picos,
+    /// Fixed step latency α.
+    pub alpha_ps: Picos,
+    /// Reconfiguration wait (zero when the configuration is reused).
+    pub reconfig_ps: Picos,
+    /// Transfer time: last flow completion including propagation.
+    pub transfer_ps: Picos,
+    /// Compute phase duration charged to this step (zero without a compute
+    /// model; excludes overlap savings).
+    pub compute_ps: Picos,
+    /// TX ports retargeted entering this step.
+    pub ports_changed: usize,
+    /// Longest flow path in hops.
+    pub max_hops: usize,
+}
+
+impl StepReport {
+    /// Total wall-clock contribution of the step.
+    pub fn total_ps(&self) -> Picos {
+        self.barrier_ps + self.alpha_ps + self.reconfig_ps + self.transfer_ps + self.compute_ps
+    }
+}
+
+/// End-to-end result of a simulated collective.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimReport {
+    /// Completion time of the whole collective.
+    pub total_ps: Picos,
+    /// Per-step timing.
+    pub steps: Vec<StepReport>,
+    /// Full event trace.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Completion time in seconds.
+    pub fn total_s(&self) -> f64 {
+        picos_to_secs(self.total_ps)
+    }
+
+    /// Total time spent reconfiguring.
+    pub fn reconfig_s(&self) -> f64 {
+        picos_to_secs(self.steps.iter().map(|s| s.reconfig_ps).sum())
+    }
+
+    /// Total transfer time.
+    pub fn transfer_s(&self) -> f64 {
+        picos_to_secs(self.steps.iter().map(|s| s.transfer_ps).sum())
+    }
+
+    /// Number of steps that triggered an actual reconfiguration.
+    pub fn reconfig_events(&self) -> usize {
+        self.steps.iter().filter(|s| s.ports_changed > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_totals_add_up() {
+        let s = StepReport {
+            barrier_ps: 1,
+            alpha_ps: 2,
+            reconfig_ps: 3,
+            transfer_ps: 4,
+            compute_ps: 5,
+            ports_changed: 0,
+            max_hops: 1,
+        };
+        assert_eq!(s.total_ps(), 15);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = SimReport {
+            total_ps: 1_000_000,
+            steps: vec![
+                StepReport { reconfig_ps: 100, ports_changed: 8, ..Default::default() },
+                StepReport { reconfig_ps: 0, ports_changed: 0, ..Default::default() },
+            ],
+            trace: vec![],
+        };
+        assert_eq!(r.reconfig_events(), 1);
+        assert!((r.total_s() - 1e-6).abs() < 1e-18);
+        assert!((r.reconfig_s() - 100e-12).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,84 @@
+//! Event traces: what happened when, for debugging and inspection.
+
+use aps_cost::units::{picos_to_secs, Picos};
+use std::fmt;
+
+/// What a trace event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A barrier completed.
+    Barrier,
+    /// A step began (after barrier + α).
+    StepStart {
+        /// Step index.
+        step: usize,
+        /// `true` when the step runs on a matched configuration.
+        matched: bool,
+    },
+    /// A reconfiguration began.
+    ReconfigStart {
+        /// TX ports being retargeted.
+        ports: usize,
+    },
+    /// The fabric finished reconfiguring.
+    ReconfigDone,
+    /// The step's flows were released.
+    FlowsStart {
+        /// Number of concurrent flows.
+        count: usize,
+    },
+    /// All of the step's flows (incl. propagation) completed.
+    StepDone {
+        /// Step index.
+        step: usize,
+    },
+    /// A compute phase began.
+    ComputeStart,
+    /// A compute phase finished.
+    ComputeDone,
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time.
+    pub at: Picos,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12.3} µs] ", picos_to_secs(self.at) * 1e6)?;
+        match &self.kind {
+            TraceKind::Barrier => write!(f, "barrier"),
+            TraceKind::StepStart { step, matched } => {
+                write!(f, "step {step} start ({})", if *matched { "matched" } else { "base" })
+            }
+            TraceKind::ReconfigStart { ports } => write!(f, "reconfigure {ports} ports"),
+            TraceKind::ReconfigDone => write!(f, "reconfiguration done"),
+            TraceKind::FlowsStart { count } => write!(f, "{count} flows released"),
+            TraceKind::StepDone { step } => write!(f, "step {step} done"),
+            TraceKind::ComputeStart => write!(f, "compute start"),
+            TraceKind::ComputeDone => write!(f, "compute done"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: 1_500_000,
+            kind: TraceKind::StepStart { step: 2, matched: true },
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 2 start (matched)"));
+        assert!(s.contains("1.500"));
+        let e = TraceEvent { at: 0, kind: TraceKind::ReconfigStart { ports: 8 } };
+        assert!(e.to_string().contains("reconfigure 8 ports"));
+    }
+}

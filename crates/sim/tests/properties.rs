@@ -1,0 +1,120 @@
+//! Property-based tests for the simulator: determinism, monotonicity in
+//! every cost parameter, and lower bounds from conservation.
+
+use aps_collectives::{CollectiveKind, Schedule, Step};
+use aps_core::SwitchSchedule;
+use aps_cost::{CostParams, ReconfigModel};
+use aps_fabric::{BarrierModel, CircuitSwitch};
+use aps_matrix::Matching;
+use aps_sim::{run_collective, RunConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random schedule of shift steps over `n ∈ [3, 12]`.
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (3usize..12, proptest::collection::vec((1usize..11, 1.0f64..1e7), 1..10)).prop_map(
+        |(n, raw)| {
+            let steps = raw
+                .into_iter()
+                .map(|(k, bytes)| Step {
+                    matching: Matching::shift(n, (k % (n - 1)) + 1).unwrap(),
+                    bytes_per_pair: bytes,
+                })
+                .collect();
+            Schedule::new(n, CollectiveKind::Composite, "random-shifts", steps).unwrap()
+        },
+    )
+}
+
+fn simulate(schedule: &Schedule, switches: &SwitchSchedule, cfg: &RunConfig, alpha_r: f64) -> f64 {
+    let n = schedule.n();
+    let ring = Matching::shift(n, 1).unwrap();
+    let mut fab = CircuitSwitch::new(ring.clone(), ReconfigModel::constant(alpha_r).unwrap());
+    run_collective(&mut fab, &ring, schedule, switches, cfg)
+        .expect("simulation")
+        .total_s()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_is_deterministic(schedule in arb_schedule()) {
+        let cfg = RunConfig::paper_defaults();
+        let sw = SwitchSchedule::all_base(schedule.num_steps());
+        prop_assert_eq!(
+            simulate(&schedule, &sw, &cfg, 1e-6).to_bits(),
+            simulate(&schedule, &sw, &cfg, 1e-6).to_bits()
+        );
+    }
+
+    #[test]
+    fn total_bounded_below_by_serialization(schedule in arb_schedule()) {
+        // No schedule can beat pure transmission at full bandwidth plus the
+        // per-step α.
+        let cfg = RunConfig::paper_defaults();
+        for sw in [
+            SwitchSchedule::all_base(schedule.num_steps()),
+            SwitchSchedule::all_matched(schedule.num_steps()),
+        ] {
+            let t = simulate(&schedule, &sw, &cfg, 0.0);
+            let floor: f64 = schedule
+                .steps()
+                .iter()
+                .map(|s| cfg.params.alpha_s + s.bytes_per_pair * cfg.params.beta_s_per_byte)
+                .sum();
+            prop_assert!(t >= floor - 1e-12, "sim {t} below serialization floor {floor}");
+        }
+    }
+
+    #[test]
+    fn matched_total_is_exact(schedule in arb_schedule()) {
+        // All-matched: every step is α + δ + β·m plus α_r per physical
+        // reconfiguration — computable in closed form.
+        let cfg = RunConfig::paper_defaults();
+        let alpha_r = 3e-6;
+        let t = simulate(&schedule, &SwitchSchedule::all_matched(schedule.num_steps()), &cfg, alpha_r);
+        let mut expect = 0.0;
+        let ring = Matching::shift(schedule.n(), 1).unwrap();
+        let mut current = ring.clone();
+        for s in schedule.steps() {
+            expect += cfg.params.alpha_s + cfg.params.delta_s
+                + s.bytes_per_pair * cfg.params.beta_s_per_byte;
+            if current != s.matching {
+                expect += alpha_r;
+                current = s.matching.clone();
+            }
+        }
+        prop_assert!((t - expect).abs() < 1e-9 * (1.0 + expect), "sim {t} vs closed form {expect}");
+    }
+
+    #[test]
+    fn barrier_and_alpha_r_are_monotone(schedule in arb_schedule()) {
+        let base = RunConfig::paper_defaults();
+        let with_barrier = RunConfig {
+            barrier: BarrierModel::Constant { latency_s: 1e-6 },
+            ..base
+        };
+        let sw = SwitchSchedule::all_matched(schedule.num_steps());
+        let t0 = simulate(&schedule, &sw, &base, 1e-6);
+        let t1 = simulate(&schedule, &sw, &with_barrier, 1e-6);
+        let t2 = simulate(&schedule, &sw, &base, 1e-4);
+        prop_assert!(t1 >= t0);
+        prop_assert!(t2 >= t0);
+    }
+
+    #[test]
+    fn faster_links_never_slow_the_collective(schedule in arb_schedule()) {
+        let slow = RunConfig {
+            params: CostParams::new(100e-9, 400.0, 100e-9).unwrap(),
+            ..RunConfig::paper_defaults()
+        };
+        let fast = RunConfig {
+            params: CostParams::new(100e-9, 1600.0, 100e-9).unwrap(),
+            ..RunConfig::paper_defaults()
+        };
+        let sw = SwitchSchedule::all_base(schedule.num_steps());
+        prop_assert!(
+            simulate(&schedule, &sw, &fast, 1e-6) <= simulate(&schedule, &sw, &slow, 1e-6) + 1e-12
+        );
+    }
+}

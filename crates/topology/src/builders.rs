@@ -1,0 +1,295 @@
+//! Constructors for the structured topologies used by the paper and its
+//! evaluation.
+//!
+//! All builders follow the transceiver-normalized capacity convention: each
+//! node's egress capacity sums to 1.0 (one transceiver of bandwidth `b`,
+//! split evenly across its egress links).
+
+use crate::error::TopologyError;
+use crate::graph::Topology;
+use aps_matrix::Matching;
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Unidirectional ring `i → (i+1) mod n`, the paper's default base topology
+/// `G` for single-fat-link GPUs (§3.4). Every link has the full transceiver
+/// capacity 1.0.
+///
+/// # Errors
+///
+/// Requires `n ≥ 2`.
+pub fn ring_unidirectional(n: usize) -> Result<Topology, TopologyError> {
+    if n < 2 {
+        return Err(TopologyError::TooSmall { n, min: 2 });
+    }
+    let mut t = Topology::new(n, format!("uni-ring({n})"));
+    for i in 0..n {
+        t.add_link(i, (i + 1) % n, 1.0)?;
+    }
+    Ok(t)
+}
+
+/// Bidirectional ring: each node splits its transceiver across the two
+/// directions (capacity 0.5 per link). This is the natural habitat of the
+/// Swing algorithm.
+///
+/// # Errors
+///
+/// Requires `n ≥ 3` (with `n = 2` the two directions collapse onto the same
+/// neighbor; use [`ring_unidirectional`]).
+pub fn ring_bidirectional(n: usize) -> Result<Topology, TopologyError> {
+    if n < 3 {
+        return Err(TopologyError::TooSmall { n, min: 3 });
+    }
+    let mut t = Topology::new(n, format!("bi-ring({n})"));
+    for i in 0..n {
+        t.add_link(i, (i + 1) % n, 0.5)?;
+        t.add_link(i, (i + n - 1) % n, 0.5)?;
+    }
+    Ok(t)
+}
+
+/// Union of unidirectional rings with the given strides (the co-prime ring
+/// pools of §3.3, after TopoOpt). Every stride must be coprime with `n`
+/// (connectivity) and distinct; each node's transceiver is split evenly
+/// across the `k` rings.
+///
+/// # Errors
+///
+/// Rejects empty or duplicate stride sets and strides not coprime with `n`.
+pub fn coprime_rings(n: usize, strides: &[usize]) -> Result<Topology, TopologyError> {
+    if n < 2 {
+        return Err(TopologyError::TooSmall { n, min: 2 });
+    }
+    if strides.is_empty() {
+        return Err(TopologyError::EmptyStrides);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &s in strides {
+        let s_mod = s % n;
+        if s_mod == 0 || gcd(s_mod, n) != 1 {
+            return Err(TopologyError::InvalidStride { stride: s, n });
+        }
+        if !seen.insert(s_mod) {
+            return Err(TopologyError::DuplicateStride(s));
+        }
+    }
+    let cap = 1.0 / strides.len() as f64;
+    let mut t = Topology::new(n, format!("coprime-rings({n},{strides:?})"));
+    for &s in strides {
+        for i in 0..n {
+            t.add_link(i, (i + s) % n, cap)?;
+        }
+    }
+    Ok(t)
+}
+
+/// 2-D torus with wraparound in both dimensions. Node `(r, c)` is index
+/// `r * cols + c`. Each node's transceiver is split evenly across its
+/// distinct neighbors (4 in the general case; fewer when a dimension has
+/// length ≤ 2).
+///
+/// # Errors
+///
+/// Requires `rows · cols ≥ 2` and both dimensions ≥ 1.
+pub fn torus_2d(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
+    if rows == 0 || cols == 0 || rows * cols < 2 {
+        return Err(TopologyError::BadTorusDims { rows, cols });
+    }
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| r * cols + c;
+    // Collect distinct neighbors first so capacity = 1/degree is exact even
+    // for degenerate dimensions (rows or cols ∈ {1, 2}).
+    let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in 0..rows {
+        for c in 0..cols {
+            let me = idx(r, c);
+            let mut push = |v: usize| {
+                if v != me && !nbrs[me].contains(&v) {
+                    nbrs[me].push(v);
+                }
+            };
+            if cols > 1 {
+                push(idx(r, (c + 1) % cols));
+                push(idx(r, (c + cols - 1) % cols));
+            }
+            if rows > 1 {
+                push(idx((r + 1) % rows, c));
+                push(idx((r + rows - 1) % rows, c));
+            }
+        }
+    }
+    let mut t = Topology::new(n, format!("torus({rows}x{cols})"));
+    for (me, list) in nbrs.iter().enumerate() {
+        let cap = 1.0 / list.len() as f64;
+        for &v in list {
+            t.add_link(me, v, cap)?;
+        }
+    }
+    Ok(t)
+}
+
+/// `d`-dimensional hypercube over `n = 2^d` nodes; neighbors differ in one
+/// bit; capacity `1/d` per link.
+///
+/// # Errors
+///
+/// Requires `n` to be a power of two, `n ≥ 2`.
+pub fn hypercube(n: usize) -> Result<Topology, TopologyError> {
+    if n < 2 {
+        return Err(TopologyError::TooSmall { n, min: 2 });
+    }
+    if !n.is_power_of_two() {
+        return Err(TopologyError::NotPowerOfTwo(n));
+    }
+    let d = n.trailing_zeros() as usize;
+    let cap = 1.0 / d as f64;
+    let mut t = Topology::new(n, format!("hypercube({n})"));
+    for i in 0..n {
+        for b in 0..d {
+            t.add_link(i, i ^ (1 << b), cap)?;
+        }
+    }
+    Ok(t)
+}
+
+/// Full mesh (every ordered pair directly connected); capacity `1/(n-1)` per
+/// link. Models an electrically-switched all-to-all baseline.
+///
+/// # Errors
+///
+/// Requires `n ≥ 2`.
+pub fn full_mesh(n: usize) -> Result<Topology, TopologyError> {
+    if n < 2 {
+        return Err(TopologyError::TooSmall { n, min: 2 });
+    }
+    let cap = 1.0 / (n - 1) as f64;
+    let mut t = Topology::new(n, format!("mesh({n})"));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                t.add_link(i, j, cap)?;
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// The *matched* topology for a communication step: one dedicated circuit of
+/// full transceiver capacity per communicating pair (§3.3: "congestion and
+/// path lengths can be reduced to 1").
+pub fn from_matching(matching: &Matching) -> Topology {
+    let n = matching.n();
+    let mut t = Topology::new(n, format!("matched({n})"));
+    for (s, d) in matching.pairs() {
+        t.add_link(s, d, 1.0)
+            .expect("matchings contain no self-loops or out-of-range endpoints");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn uni_ring_shape() {
+        let t = ring_unidirectional(5).unwrap();
+        assert_eq!(t.n(), 5);
+        assert_eq!(t.num_links(), 5);
+        assert!((0..5).all(|i| t.out_degree(i) == 1 && t.in_degree(i) == 1));
+        assert!((t.egress_capacity(0) - 1.0).abs() < 1e-12);
+        assert!(ring_unidirectional(1).is_err());
+    }
+
+    #[test]
+    fn bi_ring_shape() {
+        let t = ring_bidirectional(6).unwrap();
+        assert_eq!(t.num_links(), 12);
+        assert!((0..6).all(|i| t.out_degree(i) == 2));
+        assert!((t.egress_capacity(3) - 1.0).abs() < 1e-12);
+        assert!(ring_bidirectional(2).is_err());
+    }
+
+    #[test]
+    fn coprime_rings_validation() {
+        assert!(coprime_rings(8, &[]).is_err());
+        assert!(matches!(
+            coprime_rings(8, &[2]),
+            Err(TopologyError::InvalidStride { stride: 2, n: 8 })
+        ));
+        assert!(matches!(
+            coprime_rings(8, &[1, 9]),
+            Err(TopologyError::DuplicateStride(9))
+        ));
+        let t = coprime_rings(8, &[1, 3]).unwrap();
+        assert_eq!(t.num_links(), 16);
+        assert!((t.egress_capacity(0) - 1.0).abs() < 1e-12);
+        assert!(properties::is_strongly_connected(&t));
+    }
+
+    #[test]
+    fn torus_degrees() {
+        let t = torus_2d(4, 4).unwrap();
+        assert_eq!(t.n(), 16);
+        assert!((0..16).all(|i| t.out_degree(i) == 4));
+        assert!((t.egress_capacity(5) - 1.0).abs() < 1e-12);
+        // Degenerate: 2 rows → vertical +1 and -1 coincide.
+        let t2 = torus_2d(2, 4).unwrap();
+        assert!((0..8).all(|i| t2.out_degree(i) == 3));
+        assert!((t2.egress_capacity(0) - 1.0).abs() < 1e-12);
+        // 1-row torus degenerates to a bidirectional ring.
+        let t3 = torus_2d(1, 5).unwrap();
+        assert!((0..5).all(|i| t3.out_degree(i) == 2));
+        assert!(torus_2d(0, 4).is_err());
+        assert!(torus_2d(1, 1).is_err());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let t = hypercube(8).unwrap();
+        assert_eq!(t.num_links(), 24);
+        assert!((0..8).all(|i| t.out_degree(i) == 3));
+        assert!((t.egress_capacity(7) - 1.0).abs() < 1e-9);
+        assert!(hypercube(6).is_err());
+        assert!(hypercube(1).is_err());
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let t = full_mesh(4).unwrap();
+        assert_eq!(t.num_links(), 12);
+        assert!((t.egress_capacity(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_topology_from_shift() {
+        let m = Matching::shift(6, 2).unwrap();
+        let t = from_matching(&m);
+        assert_eq!(t.num_links(), 6);
+        assert!((0..6).all(|i| t.out_degree(i) == 1));
+        assert_eq!(t.link(t.out_links(0)[0]).dst, 2);
+        assert_eq!(t.link(t.out_links(0)[0]).capacity, 1.0);
+    }
+
+    #[test]
+    fn all_builders_strongly_connected() {
+        for t in [
+            ring_unidirectional(7).unwrap(),
+            ring_bidirectional(7).unwrap(),
+            coprime_rings(9, &[1, 2]).unwrap(),
+            torus_2d(3, 3).unwrap(),
+            hypercube(16).unwrap(),
+            full_mesh(5).unwrap(),
+        ] {
+            assert!(properties::is_strongly_connected(&t), "{}", t.name());
+        }
+    }
+}

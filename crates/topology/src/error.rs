@@ -1,0 +1,89 @@
+//! Error types for topology construction and routing.
+
+use std::fmt;
+
+/// Errors produced while building or routing on a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A node index was `>= n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: usize,
+        /// The node count.
+        n: usize,
+    },
+    /// A link connected a node to itself.
+    SelfLoopLink(usize),
+    /// A link capacity was zero or negative.
+    NonPositiveCapacity {
+        /// Source node of the offending link.
+        src: usize,
+        /// Destination node of the offending link.
+        dst: usize,
+        /// The offending capacity.
+        capacity: f64,
+    },
+    /// The topology needs at least `min` nodes.
+    TooSmall {
+        /// Requested node count.
+        n: usize,
+        /// Minimum supported node count.
+        min: usize,
+    },
+    /// A ring stride must be coprime with the node count for connectivity.
+    InvalidStride {
+        /// The offending stride.
+        stride: usize,
+        /// The node count.
+        n: usize,
+    },
+    /// A stride appeared twice in a co-prime ring union.
+    DuplicateStride(usize),
+    /// No strides were supplied for a ring union.
+    EmptyStrides,
+    /// A hypercube needs a power-of-two node count.
+    NotPowerOfTwo(usize),
+    /// No route exists between two endpoints that must communicate.
+    Unreachable {
+        /// Source node.
+        src: usize,
+        /// Destination node.
+        dst: usize,
+    },
+    /// Torus dimensions must each be at least 1 and multiply to `n ≥ 2`.
+    BadTorusDims {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for {n}-node topology")
+            }
+            Self::SelfLoopLink(v) => write!(f, "self-loop link at node {v}"),
+            Self::NonPositiveCapacity { src, dst, capacity } => {
+                write!(f, "link {src}->{dst} has non-positive capacity {capacity}")
+            }
+            Self::TooSmall { n, min } => {
+                write!(f, "topology of {n} nodes is too small (minimum {min})")
+            }
+            Self::InvalidStride { stride, n } => {
+                write!(f, "stride {stride} is not coprime with {n}; ring would be disconnected")
+            }
+            Self::DuplicateStride(s) => write!(f, "duplicate ring stride {s}"),
+            Self::EmptyStrides => write!(f, "at least one ring stride is required"),
+            Self::NotPowerOfTwo(n) => write!(f, "{n} is not a power of two"),
+            Self::Unreachable { src, dst } => write!(f, "no route from {src} to {dst}"),
+            Self::BadTorusDims { rows, cols } => {
+                write!(f, "invalid torus dimensions {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,67 @@
+//! AllReduce planner: which algorithm + switching policy wins at each
+//! message size?
+//!
+//! The §4 research agenda observes that propagation delays change the
+//! algorithm ranking: on static rings the ring algorithm stays optimal even
+//! for short messages, while reconfigurable fabrics make fewer-step
+//! algorithms (halving-doubling, Swing, recursive doubling) attractive.
+//! This planner sweeps message sizes and prints, per algorithm, the
+//! completion time of the best switching schedule — the table a runtime
+//! would consult to pick an algorithm.
+//!
+//! ```text
+//! cargo run --release --example allreduce_planner [-- <n> <alpha_r_us>]
+//! ```
+
+use adaptive_photonics::prelude::*;
+use aps_collectives::allreduce::Algorithm;
+use aps_cost::units::{format_bytes, format_time, GIB, KIB};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let alpha_r_us: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10.0);
+    let alpha_r = alpha_r_us * 1e-6;
+
+    println!(
+        "AllReduce planning on a {n}-GPU photonic domain (ring base, α_r = {})\n",
+        format_time(alpha_r)
+    );
+    println!(
+        "{:>10} | {:>22} {:>22} {:>22} {:>22}",
+        "size",
+        "ring",
+        "recursive-doubling",
+        "halving-doubling",
+        "swing"
+    );
+
+    let mut domain = ScaleupDomain::new(
+        topology::builders::ring_unidirectional(n).expect("ring"),
+        CostParams::paper_defaults(),
+        ReconfigModel::constant(alpha_r).expect("α_r"),
+    );
+
+    let mut size = KIB;
+    while size <= GIB {
+        let mut row = format!("{:>10} |", format_bytes(size));
+        let mut best = (f64::INFINITY, "");
+        for alg in Algorithm::ALL {
+            let coll = alg.build(n, size).expect("collective");
+            let (switches, report) = domain.plan(&coll.schedule).expect("plan");
+            let t = report.total_s();
+            if t < best.0 {
+                best = (t, alg.name());
+            }
+            row.push_str(&format!(
+                " {:>12} ({:>3}M/{:>3})",
+                format_time(t),
+                switches.matched_steps(),
+                switches.len()
+            ));
+        }
+        println!("{row}   ← best: {}", best.1);
+        size *= 16.0;
+    }
+    println!("\nEach cell: completion time (matched steps / total steps in the OPT schedule).");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: plan one AllReduce on an adaptive photonic scale-up domain.
+//!
+//! Builds the paper's evaluation setup (§3.4) — 64 GPUs, 800 Gbps
+//! transceivers, unidirectional ring base — then asks the optimizer when the
+//! fabric should reconfigure for a bandwidth-optimal AllReduce, and prints
+//! the resulting circuit-switch schedule with its cost breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptive_photonics::prelude::*;
+use aps_cost::units::{format_bytes, format_time, MIB};
+
+fn main() {
+    let n = 64;
+    let message = 16.0 * MIB;
+    let alpha_r = 10e-6;
+
+    let base = topology::builders::ring_unidirectional(n).expect("ring");
+    let mut domain = ScaleupDomain::new(
+        base,
+        CostParams::paper_defaults(),
+        ReconfigModel::constant(alpha_r).expect("α_r"),
+    );
+
+    let coll = collectives::allreduce::halving_doubling::build(n, message).expect("collective");
+    coll.check().expect("collective semantics verified");
+
+    println!(
+        "AllReduce (halving-doubling), {} per GPU, n = {n}, α_r = {}\n",
+        format_bytes(message),
+        format_time(alpha_r)
+    );
+
+    let (switches, report) = domain.plan(&coll.schedule).expect("plan");
+    println!("optimal switch schedule : {}", switches.compact());
+    println!("  (G = stay on base ring, M = reconfigure to the step's matching)\n");
+    println!("completion time         : {}", format_time(report.total_s()));
+    println!("  latency   (s·α)       : {}", format_time(report.latency_s));
+    println!("  propagation (δ·ℓ)     : {}", format_time(report.propagation_s));
+    println!("  transmission (β·m/θ)  : {}", format_time(report.transmission_s));
+    println!(
+        "  reconfiguration       : {} ({} events)\n",
+        format_time(report.reconfig_s),
+        report.reconfig_events
+    );
+
+    let cmp = domain.compare(&coll.schedule).expect("compare");
+    println!("static ring             : {}", format_time(cmp.static_s));
+    println!("per-step BvN            : {}", format_time(cmp.bvn_s));
+    println!("threshold heuristic     : {}", format_time(cmp.threshold_s));
+    println!("optimized               : {}", format_time(cmp.opt_s));
+    println!(
+        "\nspeedup vs static {:.2}x, vs BvN {:.2}x, vs best-of-both {:.2}x",
+        cmp.speedup_vs_static(),
+        cmp.speedup_vs_bvn(),
+        cmp.speedup_vs_best_of_both()
+    );
+}

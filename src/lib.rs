@@ -1,0 +1,90 @@
+//! # adaptive-photonics — adaptive photonic scale-up domains
+//!
+//! A full Rust implementation of the theory, scheduling framework and
+//! flow-level evaluation of *"When Light Bends to the Collective Will: A
+//! Theory and Vision for Adaptive Photonic Scale-up Domains"* (HotNets
+//! 2025): collective communication over a reconfigurable photonic
+//! interconnect, where each step can either run on a static base topology
+//! (paying congestion and multi-hop propagation) or trigger a fabric
+//! reconfiguration to a perfectly matched topology (paying `α_r`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//!
+//! // A 16-GPU scale-up domain: 800 Gbps transceivers, unidirectional ring
+//! // base, 10 µs reconfiguration delay.
+//! let base = topology::builders::ring_unidirectional(16).unwrap();
+//! let mut domain = ScaleupDomain::new(
+//!     base,
+//!     CostParams::paper_defaults(),
+//!     ReconfigModel::constant(10e-6).unwrap(),
+//! );
+//!
+//! // Plan a 64 MiB bandwidth-optimal AllReduce.
+//! let coll = collectives::allreduce::halving_doubling::build(16, 64.0 * 1024.0 * 1024.0).unwrap();
+//! let (switches, report) = domain.plan(&coll.schedule).unwrap();
+//! let cmp = domain.compare(&coll.schedule).unwrap();
+//!
+//! assert_eq!(switches.len(), coll.schedule.num_steps());
+//! assert!(cmp.speedup_vs_static() >= 1.0);
+//! assert!(cmp.speedup_vs_bvn() >= 1.0);
+//! assert!(report.total_s() > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`topology`] | `aps-topology` | capacitated graphs, ring/torus/hypercube/co-prime builders, routing |
+//! | [`matrix`] | `aps-matrix` | matchings, demand matrices, Hopcroft–Karp, BvN decomposition |
+//! | [`flow`] | `aps-flow` | maximum concurrent flow: exact ring forms, Garg–Könemann FPTAS, degree proxy |
+//! | [`collectives`] | `aps-collectives` | AllReduce/All-to-All/AllGather/… as matching sequences + semantic verifier |
+//! | [`cost`] | `aps-cost` | the α–β–δ cost model grounded in concurrent flow (Observation 2) |
+//! | [`core`] | `aps-core` | the eq. (7) optimization: DP solver, policies, multi-base pools, sweeps |
+//! | [`fabric`] | `aps-fabric` | circuit-switch & wavelength fabric device models with fault injection |
+//! | [`sim`] | `aps-sim` | deterministic discrete-event fluid-flow simulator |
+
+pub use aps_collectives as collectives;
+pub use aps_core as core;
+pub use aps_cost as cost;
+pub use aps_fabric as fabric;
+pub use aps_flow as flow;
+pub use aps_matrix as matrix;
+pub use aps_sim as sim;
+pub use aps_topology as topology;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use crate::collectives;
+    pub use crate::topology;
+    pub use aps_collectives::{Collective, CollectiveKind, Schedule, Step};
+    pub use aps_core::{
+        ConfigChoice, CostReport, PolicyComparison, ReconfigAccounting, ScaleupDomain,
+        SwitchSchedule, SwitchingProblem,
+    };
+    pub use aps_cost::{CostParams, ReconfigModel};
+    pub use aps_fabric::{BarrierModel, CircuitSwitch, Fabric, WavelengthFabric};
+    pub use aps_flow::{ThetaCache, ThroughputSolver};
+    pub use aps_matrix::{DemandMatrix, Matching};
+    pub use aps_sim::{run_collective, RunConfig, SimReport};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_wires_everything_together() {
+        let base = topology::builders::ring_unidirectional(8).unwrap();
+        let mut domain = ScaleupDomain::new(
+            base,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(1e-6).unwrap(),
+        );
+        let c = collectives::alltoall::linear_shift(8, 1e6).unwrap();
+        let cmp = domain.compare(&c.schedule).unwrap();
+        assert!(cmp.opt_s > 0.0);
+    }
+}

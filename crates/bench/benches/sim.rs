@@ -16,8 +16,16 @@ fn sim(c: &mut Criterion) {
     let cfg = RunConfig::paper_defaults();
 
     for (name, n, collective) in [
-        ("sim_hd_allreduce_n64_static", 64, allreduce::halving_doubling::build(64, MIB).unwrap()),
-        ("sim_alltoall_n64_static", 64, alltoall::linear_shift(64, MIB).unwrap()),
+        (
+            "sim_hd_allreduce_n64_static",
+            64,
+            allreduce::halving_doubling::build(64, MIB).unwrap(),
+        ),
+        (
+            "sim_alltoall_n64_static",
+            64,
+            alltoall::linear_shift(64, MIB).unwrap(),
+        ),
     ] {
         let ring = Matching::shift(n, 1).unwrap();
         let s = collective.schedule.num_steps();

@@ -17,7 +17,11 @@ fn theta(c: &mut Criterion) {
 
     c.bench_function("theta_forced_path_uni_ring_n64", |b| {
         b.iter(|| {
-            black_box(step_throughput(&uni, &m, ThroughputSolver::ForcedPath).unwrap().theta)
+            black_box(
+                step_throughput(&uni, &m, ThroughputSolver::ForcedPath)
+                    .unwrap()
+                    .theta,
+            )
         })
     });
 
@@ -27,14 +31,22 @@ fn theta(c: &mut Criterion) {
 
     c.bench_function("theta_degree_proxy_uni_ring_n64", |b| {
         b.iter(|| {
-            black_box(step_throughput(&uni, &m, ThroughputSolver::DegreeProxy).unwrap().theta)
+            black_box(
+                step_throughput(&uni, &m, ThroughputSolver::DegreeProxy)
+                    .unwrap()
+                    .theta,
+            )
         })
     });
 
     c.bench_function("theta_gk_eps10_bi_ring_n64", |b| {
         b.iter(|| {
             let coms = gk::matching_commodities(&m);
-            black_box(gk::max_concurrent_flow(&bi, &coms, 0.1).unwrap().lower_bound)
+            black_box(
+                gk::max_concurrent_flow(&bi, &coms, 0.1)
+                    .unwrap()
+                    .lower_bound,
+            )
         })
     });
 }

@@ -57,8 +57,8 @@ fn main() {
 /// A1 — threshold heuristic vs exact DP across the Figure-1 grid.
 fn heuristic() {
     println!("== A1: threshold heuristic optimality gap (n = 64, halving-doubling) ==");
-    let result = run_panel(&panel(Panel::A), 64, &SweepGrid::paper_default())
-        .expect("sweep failed");
+    let result =
+        run_panel(&panel(Panel::A), 64, &SweepGrid::paper_default()).expect("sweep failed");
     let gaps = result.map(SweepCell::threshold_gap);
     let flat: Vec<f64> = gaps.iter().flatten().copied().collect();
     let worst = flat.iter().cloned().fold(1.0, f64::max);
@@ -87,7 +87,10 @@ fn multibase() {
     let r31 = builders::coprime_rings(n, &[31]).unwrap();
     let r15 = builders::coprime_rings(n, &[15]).unwrap();
     let mut csv = String::from("alpha_r_s,pool,completion_s\n");
-    println!("  {:>10} | {:>12} {:>12} {:>12}", "α_r", "{1}", "{1,31}", "{1,15,31}");
+    println!(
+        "  {:>10} | {:>12} {:>12} {:>12}",
+        "α_r", "{1}", "{1,31}", "{1,15,31}"
+    );
     for alpha_r in [100.0 * NANOS, 1e-6, 1e-5, 1e-4, 1e-3] {
         let reconfig = ReconfigModel::constant(alpha_r).unwrap();
         let mut row = Vec::new();
@@ -105,7 +108,9 @@ fn multibase() {
                 0,
             )
             .expect("multibase");
-            let (_, t) = mb.optimize(ReconfigAccounting::PaperConservative).expect("opt");
+            let (_, t) = mb
+                .optimize(ReconfigAccounting::PaperConservative)
+                .expect("opt");
             csv.push_str(&format!("{alpha_r},{name},{t}\n"));
             row.push(t);
         }
@@ -166,8 +171,7 @@ fn theta_proxy() {
                     agree += 1;
                 } else {
                     // Price the proxy's decisions with the exact θ.
-                    let priced =
-                        aps_core::objective::evaluate(&exact, &sched_proxy, acc).unwrap();
+                    let priced = aps_core::objective::evaluate(&exact, &sched_proxy, acc).unwrap();
                     worst_penalty = worst_penalty.max(priced.total_s() / cost_exact.total_s());
                 }
             }
@@ -237,7 +241,10 @@ fn overlap() {
     let s = c.schedule.num_steps();
     let ring = Matching::shift(n, 1).unwrap();
     let mut csv = String::from("compute_ns_per_byte,serial_s,overlap_s,saved_s\n");
-    println!("  {:>16} | {:>12} {:>12} {:>10}", "compute/byte", "serial", "overlap", "saved");
+    println!(
+        "  {:>16} | {:>12} {:>12} {:>10}",
+        "compute/byte", "serial", "overlap", "saved"
+    );
     for per_byte_ns in [0.0, 0.1, 0.5, 2.0] {
         let compute = (per_byte_ns > 0.0).then_some(ComputeModel {
             per_byte_s: per_byte_ns * 1e-9,
@@ -252,9 +259,15 @@ fn overlap() {
                 overlap_reconfig_with_compute: overlap_flag,
                 ..RunConfig::paper_defaults()
             };
-            run_collective(&mut fab, &ring, &c.schedule, &SwitchSchedule::all_matched(s), &cfg)
-                .expect("sim")
-                .total_s()
+            run_collective(
+                &mut fab,
+                &ring,
+                &c.schedule,
+                &SwitchSchedule::all_matched(s),
+                &cfg,
+            )
+            .expect("sim")
+            .total_s()
         };
         let serial = mk(false);
         let overlapped = mk(true);
@@ -262,7 +275,10 @@ fn overlap() {
             "  {per_byte_ns:>13} ns | {serial:>12.6} {overlapped:>12.6} {:>10.6}",
             serial - overlapped
         );
-        csv.push_str(&format!("{per_byte_ns},{serial},{overlapped},{}\n", serial - overlapped));
+        csv.push_str(&format!(
+            "{per_byte_ns},{serial},{overlapped},{}\n",
+            serial - overlapped
+        ));
     }
     if let Ok(p) = write_result("ablation_overlap.csv", &csv) {
         println!("  → {}\n", p.display());
@@ -278,7 +294,10 @@ fn sim_validate() {
     let mut csv = String::from("workload,policy,model_s,sim_s,rel_diff\n");
     for (name, c) in [
         ("ring-allreduce", allreduce::ring::build(n, MIB).unwrap()),
-        ("halving-doubling", allreduce::halving_doubling::build(n, MIB).unwrap()),
+        (
+            "halving-doubling",
+            allreduce::halving_doubling::build(n, MIB).unwrap(),
+        ),
         ("swing", allreduce::swing::build(n, MIB).unwrap()),
         ("alltoall", alltoall::linear_shift(n, MIB).unwrap()),
     ] {
@@ -351,7 +370,9 @@ fn propagation() {
             )
             .expect("problem");
             let acc = ReconfigAccounting::PaperConservative;
-            let st = evaluate_policy(&p, Policy::StaticBase, acc).unwrap().total_s();
+            let st = evaluate_policy(&p, Policy::StaticBase, acc)
+                .unwrap()
+                .total_s();
             let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
             println!(
                 "  {:>8} | {:>18} {st:>14.6e} {opt:>14.6e}",
@@ -386,7 +407,11 @@ fn basetopo() {
     for (bname, base, solver) in [
         ("uni-ring", &ring, ThroughputSolver::ForcedPath),
         ("torus 8x8", &torus, ThroughputSolver::ForcedPath),
-        ("torus 8x8", &torus, ThroughputSolver::GargKonemann { epsilon: 0.08 }),
+        (
+            "torus 8x8",
+            &torus,
+            ThroughputSolver::GargKonemann { epsilon: 0.08 },
+        ),
     ] {
         let sname = match solver {
             ThroughputSolver::ForcedPath => "forced",
@@ -404,7 +429,9 @@ fn basetopo() {
             )
             .expect("problem");
             let acc = ReconfigAccounting::PaperConservative;
-            let st = evaluate_policy(&p, Policy::StaticBase, acc).unwrap().total_s();
+            let st = evaluate_policy(&p, Policy::StaticBase, acc)
+                .unwrap()
+                .total_s();
             let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
             println!(
                 "  {bname:>16} {sname:>12} {:>10} | {st:>12.6e} {opt:>12.6e}",

@@ -37,13 +37,10 @@ fn main() {
                 }
             }
             "--n" => {
-                n = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--n requires a number");
-                        std::process::exit(2);
-                    });
+                n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--n requires a number");
+                    std::process::exit(2);
+                });
             }
             other => {
                 eprintln!("unknown argument '{other}'");

@@ -39,8 +39,7 @@ fn main() {
     // Figure 2 uses the Figure-1a workload (bandwidth-optimal AllReduce at
     // α = 100 ns) but reports OPT against min(static, BvN).
     let spec = panel(Panel::A);
-    let result =
-        run_panel(&spec, n, &SweepGrid::paper_default()).expect("figure 2 sweep failed");
+    let result = run_panel(&spec, n, &SweepGrid::paper_default()).expect("figure 2 sweep failed");
     let values = result.map(SweepCell::speedup_vs_best_of_both);
     let title = format!(
         "Figure 2: speedup of OPT vs best-of-both (static, BvN) — {}, n = {n}",

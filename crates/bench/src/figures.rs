@@ -136,7 +136,11 @@ impl PanelSpec {
         format!(
             "Figure 1{}: speedup of OPT vs {} — {}, α = {}",
             self.panel.letter(),
-            if self.vs_bvn { "BvN schedule" } else { "static ring" },
+            if self.vs_bvn {
+                "BvN schedule"
+            } else {
+                "static ring"
+            },
             self.workload.name(),
             aps_cost::units::format_time(self.params.alpha_s),
         )
@@ -148,14 +152,54 @@ pub fn panel(p: Panel) -> PanelSpec {
     let low = CostParams::paper_defaults();
     let high = CostParams::paper_high_alpha();
     match p {
-        Panel::A => PanelSpec { panel: p, workload: Workload::HalvingDoubling, params: low, vs_bvn: true },
-        Panel::B => PanelSpec { panel: p, workload: Workload::HalvingDoubling, params: high, vs_bvn: true },
-        Panel::C => PanelSpec { panel: p, workload: Workload::Swing, params: low, vs_bvn: true },
-        Panel::D => PanelSpec { panel: p, workload: Workload::AllToAll, params: low, vs_bvn: true },
-        Panel::E => PanelSpec { panel: p, workload: Workload::HalvingDoubling, params: low, vs_bvn: false },
-        Panel::F => PanelSpec { panel: p, workload: Workload::HalvingDoubling, params: high, vs_bvn: false },
-        Panel::G => PanelSpec { panel: p, workload: Workload::Swing, params: low, vs_bvn: false },
-        Panel::H => PanelSpec { panel: p, workload: Workload::AllToAll, params: low, vs_bvn: false },
+        Panel::A => PanelSpec {
+            panel: p,
+            workload: Workload::HalvingDoubling,
+            params: low,
+            vs_bvn: true,
+        },
+        Panel::B => PanelSpec {
+            panel: p,
+            workload: Workload::HalvingDoubling,
+            params: high,
+            vs_bvn: true,
+        },
+        Panel::C => PanelSpec {
+            panel: p,
+            workload: Workload::Swing,
+            params: low,
+            vs_bvn: true,
+        },
+        Panel::D => PanelSpec {
+            panel: p,
+            workload: Workload::AllToAll,
+            params: low,
+            vs_bvn: true,
+        },
+        Panel::E => PanelSpec {
+            panel: p,
+            workload: Workload::HalvingDoubling,
+            params: low,
+            vs_bvn: false,
+        },
+        Panel::F => PanelSpec {
+            panel: p,
+            workload: Workload::HalvingDoubling,
+            params: high,
+            vs_bvn: false,
+        },
+        Panel::G => PanelSpec {
+            panel: p,
+            workload: Workload::Swing,
+            params: low,
+            vs_bvn: false,
+        },
+        Panel::H => PanelSpec {
+            panel: p,
+            workload: Workload::AllToAll,
+            params: low,
+            vs_bvn: false,
+        },
     }
 }
 

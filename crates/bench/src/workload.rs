@@ -49,7 +49,10 @@ pub fn random_schedule(
     max_bytes: f64,
     seed: u64,
 ) -> Result<Schedule, CollectiveError> {
-    assert!(min_bytes > 0.0 && max_bytes >= min_bytes, "bad volume range");
+    assert!(
+        min_bytes > 0.0 && max_bytes >= min_bytes,
+        "bad volume range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let ratio = max_bytes / min_bytes;
     let steps = (0..steps)

@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn ring_verifies() {
         for n in [2, 3, 5, 8, 16] {
-            ring(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            ring(n, 100.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -119,7 +122,12 @@ mod tests {
     #[test]
     fn recursive_doubling_volumes_double() {
         let c = recursive_doubling(8, 80.0).unwrap();
-        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let vols: Vec<f64> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         assert_eq!(vols, vec![10.0, 20.0, 40.0]);
     }
 }

@@ -109,7 +109,11 @@ mod tests {
         let n = 16;
         let m = 1 << 20;
         let opt = 2.0 * m as f64 * (n as f64 - 1.0) / n as f64;
-        for alg in [Algorithm::Ring, Algorithm::HalvingDoubling, Algorithm::Swing] {
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::HalvingDoubling,
+            Algorithm::Swing,
+        ] {
             let c = alg.build(n, m as f64).unwrap();
             assert!(
                 (c.schedule.total_bytes_per_node() - opt).abs() < 1e-6,

@@ -70,7 +70,9 @@ pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError
     let slot_block = |v: usize, t: usize| -> Vec<usize> {
         let width = log - t;
         let lo = (v >> width) << width;
-        (lo..lo + (np >> t)).flat_map(|s| [2 * s, 2 * s + 1]).collect()
+        (lo..lo + (np >> t))
+            .flat_map(|s| [2 * s, 2 * s + 1])
+            .collect()
     };
     for t in 0..log {
         let mask = 1usize << (log - 1 - t);
@@ -87,7 +89,14 @@ pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError
         let mask = 1usize << u;
         steps.push(
             (0..np)
-                .map(|v| (phys(v), phys(v ^ mask), slot_block(v, log - u), Combine::Replace))
+                .map(|v| {
+                    (
+                        phys(v),
+                        phys(v ^ mask),
+                        slot_block(v, log - u),
+                        Combine::Replace,
+                    )
+                })
                 .collect(),
         );
     }
@@ -120,7 +129,10 @@ mod tests {
     #[test]
     fn verifies_for_arbitrary_n() {
         for n in [2, 3, 5, 6, 7, 9, 12, 15, 16, 24, 33] {
-            build(n, 960.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            build(n, 960.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -137,7 +149,12 @@ mod tests {
         let m = 960.0;
         let c = build(6, m).unwrap();
         assert_eq!(c.schedule.num_steps(), 7);
-        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let vols: Vec<f64> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         assert_eq!(vols[0], m / 2.0); // half-vector exchange
         assert_eq!(vols[1], m / 2.0); // half hand-back
         assert_eq!(*vols.last().unwrap(), m); // full-vector copy-out

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn verifies_for_powers_of_two() {
         for n in [2, 4, 8, 16, 32, 64] {
-            build(n, 64.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            build(n, 64.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -88,10 +91,21 @@ mod tests {
         let n = 16;
         let m = 1600.0;
         let c = build(n, m).unwrap();
-        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let vols: Vec<f64> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         let expect = [
-            m / 2.0, m / 4.0, m / 8.0, m / 16.0, // reduce-scatter
-            m / 16.0, m / 8.0, m / 4.0, m / 2.0, // allgather
+            m / 2.0,
+            m / 4.0,
+            m / 8.0,
+            m / 16.0, // reduce-scatter
+            m / 16.0,
+            m / 8.0,
+            m / 4.0,
+            m / 2.0, // allgather
         ];
         for (v, e) in vols.iter().zip(expect) {
             assert!((v - e).abs() < 1e-9, "{vols:?}");
@@ -122,6 +136,9 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert!(matches!(build(12, 1.0), Err(CollectiveError::NotPowerOfTwo(12))));
+        assert!(matches!(
+            build(12, 1.0),
+            Err(CollectiveError::NotPowerOfTwo(12))
+        ));
     }
 }

@@ -53,7 +53,10 @@ mod tests {
     #[test]
     fn verifies_for_powers_of_two() {
         for n in [2, 4, 8, 16, 32, 64] {
-            build(n, 8.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            build(n, 8.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -71,7 +74,13 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert!(matches!(build(6, 1.0), Err(CollectiveError::NotPowerOfTwo(6))));
-        assert!(matches!(build(1, 1.0), Err(CollectiveError::TooFewNodes { .. })));
+        assert!(matches!(
+            build(6, 1.0),
+            Err(CollectiveError::NotPowerOfTwo(6))
+        ));
+        assert!(matches!(
+            build(1, 1.0),
+            Err(CollectiveError::TooFewNodes { .. })
+        ));
     }
 }

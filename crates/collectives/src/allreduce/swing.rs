@@ -29,7 +29,7 @@ fn rho(t: u32) -> i64 {
 
 /// Swing partner of node `i` at step `t` among `n` nodes.
 fn peer(n: usize, t: u32, i: usize) -> usize {
-    let sign = if i % 2 == 0 { 1 } else { -1 };
+    let sign = if i.is_multiple_of(2) { 1 } else { -1 };
     (i as i64 + sign * rho(t)).rem_euclid(n as i64) as usize
 }
 
@@ -63,13 +63,17 @@ pub fn build(n: usize, message_bytes: f64) -> Result<Collective, CollectiveError
 
     // R[t][i]: slots node i is responsible for before step t (as sorted vec).
     let mut r: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; log + 1];
-    for i in 0..n {
-        r[log][i] = vec![i];
+    for (i, slots) in r[log].iter_mut().enumerate() {
+        *slots = vec![i];
     }
     for t in (0..log).rev() {
         for i in 0..n {
             let p = peer(n, t as u32, i);
-            let mut merged: Vec<usize> = r[t + 1][i].iter().chain(r[t + 1][p].iter()).copied().collect();
+            let mut merged: Vec<usize> = r[t + 1][i]
+                .iter()
+                .chain(r[t + 1][p].iter())
+                .copied()
+                .collect();
             merged.sort_unstable();
             merged.dedup();
             r[t][i] = merged;
@@ -143,7 +147,10 @@ mod tests {
     #[test]
     fn verifies_for_powers_of_two() {
         for n in [2, 4, 8, 16, 32, 64, 128] {
-            build(n, 128.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            build(n, 128.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -153,15 +160,25 @@ mod tests {
         let m = 1600.0;
         let swing = build(n, m).unwrap();
         let hd = super::super::halving_doubling::build(n, m).unwrap();
-        let sv: Vec<f64> = swing.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
-        let hv: Vec<f64> = hd.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let sv: Vec<f64> = swing
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
+        let hv: Vec<f64> = hd
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         for (a, b) in sv.iter().zip(&hv) {
             assert!((a - b).abs() < 1e-9);
         }
-        assert!((swing.schedule.total_bytes_per_node()
-            - 2.0 * m * (n as f64 - 1.0) / n as f64)
-            .abs()
-            < 1e-9);
+        assert!(
+            (swing.schedule.total_bytes_per_node() - 2.0 * m * (n as f64 - 1.0) / n as f64).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -191,6 +208,9 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert!(matches!(build(10, 1.0), Err(CollectiveError::NotPowerOfTwo(10))));
+        assert!(matches!(
+            build(10, 1.0),
+            Err(CollectiveError::NotPowerOfTwo(10))
+        ));
     }
 }

@@ -156,14 +156,20 @@ mod tests {
     #[test]
     fn linear_shift_verifies() {
         for n in [2, 3, 4, 7, 8, 16] {
-            linear_shift(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            linear_shift(n, 100.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
     #[test]
     fn xor_exchange_verifies() {
         for n in [2, 4, 8, 16, 32] {
-            xor_exchange(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            xor_exchange(n, 100.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
         assert!(matches!(
             xor_exchange(6, 1.0),
@@ -174,7 +180,10 @@ mod tests {
     #[test]
     fn bruck_verifies_for_any_n() {
         for n in [2, 3, 5, 8, 13, 16, 31] {
-            bruck(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            bruck(n, 100.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -205,9 +214,7 @@ mod tests {
         // Total traffic per node is (n/2)·log2(n) blocks — more bytes than
         // direct delivery (the latency-for-bandwidth trade).
         let direct = linear_shift(n, m).unwrap();
-        assert!(
-            c.schedule.total_bytes_per_node() > direct.schedule.total_bytes_per_node()
-        );
+        assert!(c.schedule.total_bytes_per_node() > direct.schedule.total_bytes_per_node());
     }
 
     #[test]

@@ -34,8 +34,7 @@ pub fn dissemination(n: usize) -> Result<Collective, CollectiveError> {
                     // Tokens known to node i before round t: the window
                     // {i, i-1, …, i-(2^t - 1)} (mod n).
                     let window = (1usize << t).min(n);
-                    let known: Vec<usize> =
-                        (0..window).map(|x| (i + n - x % n) % n).collect();
+                    let known: Vec<usize> = (0..window).map(|x| (i + n - x % n) % n).collect();
                     (i, (i + hop) % n, known, Combine::Reduce)
                 })
                 .collect()
@@ -61,7 +60,10 @@ mod tests {
     #[test]
     fn verifies_for_any_n() {
         for n in [2, 3, 4, 5, 7, 8, 9, 16, 33] {
-            dissemination(n).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            dissemination(n)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 

@@ -151,9 +151,18 @@ mod tests {
     fn step_count_and_partiality() {
         let c = binomial(16, 0, 10.0).unwrap();
         assert_eq!(c.schedule.num_steps(), 4);
-        let sizes: Vec<usize> = c.schedule.steps().iter().map(|s| s.matching.len()).collect();
+        let sizes: Vec<usize> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.matching.len())
+            .collect();
         assert_eq!(sizes, vec![1, 2, 4, 8]);
-        assert!(c.schedule.steps().iter().all(|s| !s.matching.is_full() || s.matching.len() == 8));
+        assert!(c
+            .schedule
+            .steps()
+            .iter()
+            .all(|s| !s.matching.is_full() || s.matching.len() == 8));
     }
 
     #[test]

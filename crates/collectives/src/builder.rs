@@ -13,7 +13,7 @@ pub(crate) type StepSends = Vec<(usize, usize, Vec<usize>, Combine)>;
 
 /// Validates a message size.
 pub(crate) fn check_message_bytes(bytes: f64) -> Result<(), CollectiveError> {
-    if !(bytes > 0.0) || !bytes.is_finite() {
+    if bytes <= 0.0 || !bytes.is_finite() {
         return Err(CollectiveError::BadMessageSize(bytes));
     }
     Ok(())
@@ -53,7 +53,12 @@ pub(crate) fn assemble(
         flow_steps.push(DataFlowStep {
             transfers: sends
                 .into_iter()
-                .map(|(src, dst, chunks, combine)| Transfer { src, dst, chunks, combine })
+                .map(|(src, dst, chunks, combine)| Transfer {
+                    src,
+                    dst,
+                    chunks,
+                    combine,
+                })
                 .collect(),
         });
     }

@@ -92,7 +92,10 @@ mod tests {
             2,
             CollectiveKind::AllGather,
             "swap",
-            vec![Step { matching, bytes_per_pair: 4.0 }],
+            vec![Step {
+                matching,
+                bytes_per_pair: 4.0,
+            }],
         )
         .unwrap();
         let dataflow = DataFlow {
@@ -102,8 +105,18 @@ mod tests {
             initial: vec![vec![0], vec![1]],
             steps: vec![DataFlowStep {
                 transfers: vec![
-                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
-                    Transfer { src: 1, dst: 0, chunks: vec![1], combine: Combine::Replace },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        chunks: vec![0],
+                        combine: Combine::Replace,
+                    },
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        chunks: vec![1],
+                        combine: Combine::Replace,
+                    },
                 ],
             }],
             semantics: Semantics::AllGather,
@@ -123,7 +136,10 @@ mod tests {
         c.dataflow.steps.push(DataFlowStep::default());
         assert!(matches!(
             c.check(),
-            Err(VerifyError::StepCountMismatch { schedule: 1, dataflow: 2 })
+            Err(VerifyError::StepCountMismatch {
+                schedule: 1,
+                dataflow: 2
+            })
         ));
     }
 

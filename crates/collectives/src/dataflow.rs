@@ -112,7 +112,13 @@ impl DataFlow {
     pub fn max_chunks_in_step(&self, i: usize) -> usize {
         self.steps
             .get(i)
-            .map(|s| s.transfers.iter().map(|t| t.chunks.len()).max().unwrap_or(0))
+            .map(|s| {
+                s.transfers
+                    .iter()
+                    .map(|t| t.chunks.len())
+                    .max()
+                    .unwrap_or(0)
+            })
             .unwrap_or(0)
     }
 
@@ -139,8 +145,18 @@ mod tests {
             initial: vec![vec![0, 1], vec![2, 3]],
             steps: vec![DataFlowStep {
                 transfers: vec![
-                    Transfer { src: 0, dst: 1, chunks: vec![0, 1], combine: Combine::Replace },
-                    Transfer { src: 1, dst: 0, chunks: vec![2], combine: Combine::Replace },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        chunks: vec![0, 1],
+                        combine: Combine::Replace,
+                    },
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        chunks: vec![2],
+                        combine: Combine::Replace,
+                    },
                 ],
             }],
             semantics: Semantics::AllGather,

@@ -38,7 +38,12 @@ pub fn binomial(n: usize, root: usize, message_bytes: f64) -> Result<Collective,
                 // Rank r holds chunks of ranks [r, min(r + reach, n)).
                 let hi = (r + reach).min(n);
                 let chunks: Vec<usize> = (r..hi).map(|q| (root + q) % n).collect();
-                sends.push(((root + r) % n, (root + r - reach) % n, chunks, Combine::Replace));
+                sends.push((
+                    (root + r) % n,
+                    (root + r - reach) % n,
+                    chunks,
+                    Combine::Replace,
+                ));
             }
         }
         steps.push(sends);
@@ -75,7 +80,12 @@ mod tests {
     #[test]
     fn volumes_double_toward_the_root() {
         let c = binomial(8, 0, 800.0).unwrap();
-        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let vols: Vec<f64> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         assert_eq!(vols, vec![100.0, 200.0, 400.0]);
         // Last step: the halfway node delivers half the buffer to the root.
         let last = c.schedule.steps().last().unwrap();

@@ -109,7 +109,12 @@ impl MultiPortSchedule {
                 .collect::<Vec<_>>()
                 .join("|")
         );
-        Ok(Self { n, ports: planes.len(), algorithm, steps })
+        Ok(Self {
+            n,
+            ports: planes.len(),
+            algorithm,
+            steps,
+        })
     }
 
     /// Number of nodes.
@@ -160,7 +165,10 @@ impl MultiPortSchedule {
 /// # Errors
 ///
 /// Propagates ring-AllReduce construction errors.
-pub fn mirrored_ring_allreduce(n: usize, message_bytes: f64) -> Result<MultiPortSchedule, CollectiveError> {
+pub fn mirrored_ring_allreduce(
+    n: usize,
+    message_bytes: f64,
+) -> Result<MultiPortSchedule, CollectiveError> {
     let cw = crate::allreduce::ring::build(n, message_bytes / 2.0)?;
     let ccw_steps: Vec<crate::schedule::Step> = cw
         .schedule

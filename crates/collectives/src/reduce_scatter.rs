@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn ring_verifies() {
         for n in [2, 3, 5, 8, 16] {
-            ring(n, 100.0).unwrap().check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            ring(n, 100.0)
+                .unwrap()
+                .check()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -114,14 +117,25 @@ mod tests {
         let opt = m * (n as f64 - 1.0) / n as f64;
         assert!((ring(n, m).unwrap().schedule.total_bytes_per_node() - opt).abs() < 1e-9);
         assert!(
-            (recursive_halving(n, m).unwrap().schedule.total_bytes_per_node() - opt).abs() < 1e-9
+            (recursive_halving(n, m)
+                .unwrap()
+                .schedule
+                .total_bytes_per_node()
+                - opt)
+                .abs()
+                < 1e-9
         );
     }
 
     #[test]
     fn halving_volumes() {
         let c = recursive_halving(8, 80.0).unwrap();
-        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let vols: Vec<f64> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         assert_eq!(vols, vec![40.0, 20.0, 10.0]);
     }
 }

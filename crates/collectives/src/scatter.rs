@@ -94,7 +94,12 @@ mod tests {
     #[test]
     fn volumes_halve() {
         let c = binomial(8, 0, 800.0).unwrap();
-        let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+        let vols: Vec<f64> = c
+            .schedule
+            .steps()
+            .iter()
+            .map(|s| s.bytes_per_pair)
+            .collect();
         assert_eq!(vols, vec![400.0, 200.0, 100.0]);
         // Total bytes the ROOT sends: m/2 only in step 0; later steps are
         // parallel subtree sends.

@@ -62,7 +62,7 @@ impl Schedule {
                     right: s.matching.n(),
                 }));
             }
-            if !(s.bytes_per_pair >= 0.0) || !s.bytes_per_pair.is_finite() {
+            if s.bytes_per_pair < 0.0 || !s.bytes_per_pair.is_finite() {
                 return Err(CollectiveError::BadMessageSize(s.bytes_per_pair));
             }
         }
@@ -177,13 +177,9 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch() {
-        assert!(Schedule::new(
-            4,
-            CollectiveKind::Barrier,
-            "x",
-            vec![shift_step(6, 1, 1.0)]
-        )
-        .is_err());
+        assert!(
+            Schedule::new(4, CollectiveKind::Barrier, "x", vec![shift_step(6, 1, 1.0)]).is_err()
+        );
     }
 
     #[test]
@@ -202,7 +198,11 @@ mod tests {
             4,
             CollectiveKind::AllToAll,
             "linear",
-            vec![shift_step(4, 1, 3.0), shift_step(4, 2, 3.0), shift_step(4, 3, 3.0)],
+            vec![
+                shift_step(4, 1, 3.0),
+                shift_step(4, 2, 3.0),
+                shift_step(4, 3, 3.0),
+            ],
         )
         .unwrap();
         let d = s.aggregate_demand().unwrap();
@@ -214,10 +214,20 @@ mod tests {
 
     #[test]
     fn composition_concatenates() {
-        let a = Schedule::new(4, CollectiveKind::AllGather, "ring", vec![shift_step(4, 1, 1.0)])
-            .unwrap();
-        let b = Schedule::new(4, CollectiveKind::AllToAll, "linear", vec![shift_step(4, 2, 2.0)])
-            .unwrap();
+        let a = Schedule::new(
+            4,
+            CollectiveKind::AllGather,
+            "ring",
+            vec![shift_step(4, 1, 1.0)],
+        )
+        .unwrap();
+        let b = Schedule::new(
+            4,
+            CollectiveKind::AllToAll,
+            "linear",
+            vec![shift_step(4, 2, 2.0)],
+        )
+        .unwrap();
         let c = a.then(b).unwrap();
         assert_eq!(c.num_steps(), 2);
         assert_eq!(c.kind(), CollectiveKind::Composite);
@@ -234,7 +244,10 @@ mod tests {
             4,
             CollectiveKind::Barrier,
             "noop",
-            vec![Step { matching: Matching::empty(4), bytes_per_pair: 100.0 }],
+            vec![Step {
+                matching: Matching::empty(4),
+                bytes_per_pair: 100.0,
+            }],
         )
         .unwrap();
         assert_eq!(s.total_bytes_per_node(), 0.0);

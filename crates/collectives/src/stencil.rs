@@ -27,7 +27,10 @@ use crate::schedule::CollectiveKind;
 /// Rejects degenerate grids and bad strip sizes.
 pub fn halo_2d(rows: usize, cols: usize, halo_bytes: f64) -> Result<Collective, CollectiveError> {
     if rows < 3 || cols < 3 {
-        return Err(CollectiveError::TooFewNodes { n: rows * cols, min: 9 });
+        return Err(CollectiveError::TooFewNodes {
+            n: rows * cols,
+            min: 9,
+        });
     }
     check_message_bytes(halo_bytes)?;
     let n = rows * cols;

@@ -32,11 +32,17 @@ pub fn execute(flow: &DataFlow) -> Result<SymbolicState, VerifyError> {
     let mut state: SymbolicState = vec![vec![BitSet::new(n); c]; n];
     for (node, chunks) in flow.initial.iter().enumerate() {
         if node >= n {
-            return Err(VerifyError::OutOfRange { step: 0, what: "initial node" });
+            return Err(VerifyError::OutOfRange {
+                step: 0,
+                what: "initial node",
+            });
         }
         for &ch in chunks {
             if ch >= c {
-                return Err(VerifyError::OutOfRange { step: 0, what: "initial chunk" });
+                return Err(VerifyError::OutOfRange {
+                    step: 0,
+                    what: "initial chunk",
+                });
             }
             state[node][ch].insert(node);
         }
@@ -46,11 +52,17 @@ pub fn execute(flow: &DataFlow) -> Result<SymbolicState, VerifyError> {
         let mut outgoing: Vec<(usize, usize, BitSet, Combine)> = Vec::new();
         for t in &step.transfers {
             if t.src >= n || t.dst >= n {
-                return Err(VerifyError::OutOfRange { step: step_idx, what: "transfer endpoint" });
+                return Err(VerifyError::OutOfRange {
+                    step: step_idx,
+                    what: "transfer endpoint",
+                });
             }
             for &ch in &t.chunks {
                 if ch >= c {
-                    return Err(VerifyError::OutOfRange { step: step_idx, what: "transfer chunk" });
+                    return Err(VerifyError::OutOfRange {
+                        step: step_idx,
+                        what: "transfer chunk",
+                    });
                 }
                 let copy = state[t.src][ch].clone();
                 if copy.is_empty() {
@@ -226,7 +238,12 @@ mod tests {
     fn tiny_allgather(correct: bool) -> DataFlow {
         let step = DataFlowStep {
             transfers: vec![
-                Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    chunks: vec![0],
+                    combine: Combine::Replace,
+                },
                 Transfer {
                     src: 1,
                     dst: 0,
@@ -256,7 +273,11 @@ mod tests {
     fn missing_chunk_is_caught() {
         assert_eq!(
             verify_dataflow(&tiny_allgather(false)),
-            Err(VerifyError::MissingChunk { step: 0, src: 1, chunk: 0 })
+            Err(VerifyError::MissingChunk {
+                step: 0,
+                src: 1,
+                chunk: 0
+            })
         );
     }
 
@@ -271,8 +292,18 @@ mod tests {
             initial: vec![vec![0], vec![0]],
             steps: vec![DataFlowStep {
                 transfers: vec![
-                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
-                    Transfer { src: 1, dst: 0, chunks: vec![0], combine: Combine::Replace },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        chunks: vec![0],
+                        combine: Combine::Replace,
+                    },
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        chunks: vec![0],
+                        combine: Combine::Replace,
+                    },
                 ],
             }],
             semantics: Semantics::Barrier,
@@ -292,8 +323,18 @@ mod tests {
             initial: vec![vec![0], vec![0]],
             steps: vec![DataFlowStep {
                 transfers: vec![
-                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Reduce },
-                    Transfer { src: 1, dst: 0, chunks: vec![0], combine: Combine::Reduce },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        chunks: vec![0],
+                        combine: Combine::Reduce,
+                    },
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        chunks: vec![0],
+                        combine: Combine::Reduce,
+                    },
                 ],
             }],
             semantics: Semantics::AllReduce,
@@ -331,19 +372,28 @@ mod tests {
         flow.steps[0].transfers[0].chunks = vec![5];
         assert!(matches!(
             verify_dataflow(&flow),
-            Err(VerifyError::OutOfRange { what: "transfer chunk", .. })
+            Err(VerifyError::OutOfRange {
+                what: "transfer chunk",
+                ..
+            })
         ));
         let mut flow2 = tiny_allgather(true);
         flow2.steps[0].transfers[0].dst = 9;
         assert!(matches!(
             verify_dataflow(&flow2),
-            Err(VerifyError::OutOfRange { what: "transfer endpoint", .. })
+            Err(VerifyError::OutOfRange {
+                what: "transfer endpoint",
+                ..
+            })
         ));
         let mut flow3 = tiny_allgather(true);
         flow3.initial[0] = vec![17];
         assert!(matches!(
             verify_dataflow(&flow3),
-            Err(VerifyError::OutOfRange { what: "initial chunk", .. })
+            Err(VerifyError::OutOfRange {
+                what: "initial chunk",
+                ..
+            })
         ));
     }
 
@@ -360,8 +410,18 @@ mod tests {
             initial: vec![vec![0], vec![0]],
             steps: vec![DataFlowStep {
                 transfers: vec![
-                    Transfer { src: 0, dst: 1, chunks: vec![0], combine: Combine::Replace },
-                    Transfer { src: 1, dst: 0, chunks: vec![0], combine: Combine::Reduce },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        chunks: vec![0],
+                        combine: Combine::Replace,
+                    },
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        chunks: vec![0],
+                        combine: Combine::Reduce,
+                    },
                 ],
             }],
             semantics: Semantics::AllReduce,

@@ -1,7 +1,9 @@
 //! Property-based tests for collective algorithms: every builder verifies
 //! semantically at random sizes, conserves volume, and produces matchings.
 
-use aps_collectives::{allgather, allreduce, alltoall, barrier, broadcast, gather, reduce_scatter, scatter};
+use aps_collectives::{
+    allgather, allreduce, alltoall, barrier, broadcast, gather, reduce_scatter, scatter,
+};
 use proptest::prelude::*;
 
 proptest! {

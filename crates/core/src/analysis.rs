@@ -108,7 +108,12 @@ mod tests {
     use super::*;
 
     fn cell(st: f64, bvn: f64, opt: f64) -> SweepCell {
-        SweepCell { t_static_s: st, t_bvn_s: bvn, t_opt_s: opt, t_threshold_s: opt }
+        SweepCell {
+            t_static_s: st,
+            t_bvn_s: bvn,
+            t_opt_s: opt,
+            t_threshold_s: opt,
+        }
     }
 
     #[test]
@@ -145,6 +150,9 @@ mod tests {
             message_bytes: vec![1024.0],
         };
         let csv = to_csv(&grid, &[vec![2.5]]);
-        assert_eq!(csv, "message_bytes,reconf_delay_s,value\n1024,0.0000001,2.5\n");
+        assert_eq!(
+            csv,
+            "message_bytes,reconf_delay_s,value\n1024,0.0000001,2.5\n"
+        );
     }
 }

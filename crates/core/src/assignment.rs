@@ -23,12 +23,16 @@ impl SwitchSchedule {
 
     /// The static policy: never reconfigure.
     pub fn all_base(s: usize) -> Self {
-        Self { choices: vec![ConfigChoice::Base; s] }
+        Self {
+            choices: vec![ConfigChoice::Base; s],
+        }
     }
 
     /// The per-step BvN policy: reconfigure to match every step.
     pub fn all_matched(s: usize) -> Self {
-        Self { choices: vec![ConfigChoice::Matched; s] }
+        Self {
+            choices: vec![ConfigChoice::Matched; s],
+        }
     }
 
     /// The choice for step `i`.

@@ -23,7 +23,10 @@ pub fn optimize_exhaustive(
 ) -> Result<(SwitchSchedule, CostReport), CoreError> {
     let s = problem.num_steps();
     if s > MAX_EXHAUSTIVE_STEPS {
-        return Err(CoreError::TooManySteps { steps: s, limit: MAX_EXHAUSTIVE_STEPS });
+        return Err(CoreError::TooManySteps {
+            steps: s,
+            limit: MAX_EXHAUSTIVE_STEPS,
+        });
     }
     let mut best: Option<(SwitchSchedule, CostReport)> = None;
     for bits in 0u64..(1u64 << s) {

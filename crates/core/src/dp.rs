@@ -78,7 +78,11 @@ pub fn optimize(
     }
 
     // Reconstruct.
-    let mut state = if best[s - 1][0] <= best[s - 1][1] { 0 } else { 1 };
+    let mut state = if best[s - 1][0] <= best[s - 1][1] {
+        0
+    } else {
+        1
+    };
     let mut choices = vec![ConfigChoice::Base; s];
     for i in (0..s).rev() {
         choices[i] = STATES[state];
@@ -178,12 +182,14 @@ mod tests {
     fn optimal_beats_or_ties_both_baselines() {
         for m in [1e3, 1e5, 1e7] {
             for alpha_r in [1e-8, 1e-6, 1e-4] {
-                let p = problem_for(16, m, alpha_r, |n, m| {
-                    alltoall::linear_shift(n, m).unwrap()
-                });
+                let p = problem_for(16, m, alpha_r, |n, m| alltoall::linear_shift(n, m).unwrap());
                 let (_, opt) = optimize(&p, Default::default()).unwrap();
-                let st = evaluate(&p, &SwitchSchedule::all_base(p.num_steps()), Default::default())
-                    .unwrap();
+                let st = evaluate(
+                    &p,
+                    &SwitchSchedule::all_base(p.num_steps()),
+                    Default::default(),
+                )
+                .unwrap();
                 let bvn = evaluate(
                     &p,
                     &SwitchSchedule::all_matched(p.num_steps()),

@@ -49,7 +49,10 @@ impl fmt::Display for CoreError {
                 write!(f, "switch schedule has {got} choices for {expected} steps")
             }
             Self::TooManySteps { steps, limit } => {
-                write!(f, "exhaustive search over {steps} steps exceeds limit {limit}")
+                write!(
+                    f,
+                    "exhaustive search over {steps} steps exceeds limit {limit}"
+                )
             }
             Self::NoBases => write!(f, "multi-base optimization needs at least one base"),
             Self::StartBaseOutOfRange { start, bases } => {

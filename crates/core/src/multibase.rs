@@ -74,7 +74,10 @@ pub fn build_multibase(
         return Err(CoreError::NoBases);
     }
     if start_base >= pool.len() {
-        return Err(CoreError::StartBaseOutOfRange { start: start_base, bases: pool.len() });
+        return Err(CoreError::StartBaseOutOfRange {
+            start: start_base,
+            bases: pool.len(),
+        });
     }
     let mut bases = Vec::with_capacity(pool.len());
     for topo in pool {
@@ -92,7 +95,11 @@ pub fn build_multibase(
         reconfig,
         bases,
         volumes: schedule.steps().iter().map(|s| s.bytes_per_pair).collect(),
-        matchings: schedule.steps().iter().map(|s| s.matching.clone()).collect(),
+        matchings: schedule
+            .steps()
+            .iter()
+            .map(|s| s.matching.clone())
+            .collect(),
         start_base,
     })
 }
@@ -119,7 +126,11 @@ impl MultiBaseProblem {
                 p.alpha_s + p.delta_s * ell as f64 + p.beta_s_per_byte * m / theta
             }
             MultiChoice::Matched => {
-                let ell = if self.matchings[i].is_empty() { 0.0 } else { 1.0 };
+                let ell = if self.matchings[i].is_empty() {
+                    0.0
+                } else {
+                    1.0
+                };
                 p.alpha_s + p.delta_s * ell + p.beta_s_per_byte * m
             }
         }
@@ -171,7 +182,8 @@ impl MultiBaseProblem {
         let mut prev = MultiChoice::Base(self.start_base);
         let mut prev_step = None;
         for (i, &cur) in choices.iter().enumerate() {
-            total += self.run_cost(i, cur) + self.transition_cost(prev_step, prev, i, cur, accounting);
+            total +=
+                self.run_cost(i, cur) + self.transition_cost(prev_step, prev, i, cur, accounting);
             prev = cur;
             prev_step = Some(i);
         }
@@ -200,7 +212,13 @@ impl MultiBaseProblem {
         let mut parent = vec![vec![0usize; states.len()]; s];
         for (ci, &cur) in states.iter().enumerate() {
             best[0][ci] = self.run_cost(0, cur)
-                + self.transition_cost(None, MultiChoice::Base(self.start_base), 0, cur, accounting);
+                + self.transition_cost(
+                    None,
+                    MultiChoice::Base(self.start_base),
+                    0,
+                    cur,
+                    accounting,
+                );
         }
         for i in 1..s {
             for (ci, &cur) in states.iter().enumerate() {
@@ -261,8 +279,8 @@ mod tests {
         .unwrap();
         let (_, mb_cost) = mb.optimize(Default::default()).unwrap();
         let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
-        let p = SwitchingProblem::build(&topo, &c.schedule, &mut cache, params(), reconfig)
-            .unwrap();
+        let p =
+            SwitchingProblem::build(&topo, &c.schedule, &mut cache, params(), reconfig).unwrap();
         let (_, report) = dp::optimize(&p, Default::default()).unwrap();
         assert!((mb_cost - report.total_s()).abs() < 1e-12 * (1.0 + mb_cost));
     }
@@ -321,7 +339,14 @@ mod tests {
             Err(CoreError::NoBases)
         ));
         assert!(matches!(
-            build_multibase(&[&topo], &c.schedule, params(), reconfig, Default::default(), 3),
+            build_multibase(
+                &[&topo],
+                &c.schedule,
+                params(),
+                reconfig,
+                Default::default(),
+                3
+            ),
             Err(CoreError::StartBaseOutOfRange { start: 3, bases: 1 })
         ));
         let mb = build_multibase(

@@ -74,7 +74,11 @@ pub fn build_multiport(
                 let r = gk_demand_throughput(base, &union, epsilon)?;
                 (
                     r.lower_bound.min(r.upper_bound),
-                    if union.support_size() == 0 { 0 } else { r.max_hops },
+                    if union.support_size() == 0 {
+                        0
+                    } else {
+                        r.max_hops
+                    },
                 )
             }
             ThroughputSolver::DegreeProxy => {
@@ -113,9 +117,7 @@ impl MultiPortProblem {
             // k planes of capacity 1/k: each circuit carries `bytes` at b/k.
             p.alpha_s + p.delta_s + p.beta_s_per_byte * s.bytes * self.ports as f64
         } else {
-            p.alpha_s
-                + p.delta_s * s.ell_base as f64
-                + p.beta_s_per_byte * s.bytes / s.theta_base
+            p.alpha_s + p.delta_s * s.ell_base as f64 + p.beta_s_per_byte * s.bytes / s.theta_base
         }
     }
 
@@ -159,17 +161,14 @@ impl MultiPortProblem {
         // State 0 = base, 1 = matched.
         let mut best = vec![[f64::INFINITY; 2]; s];
         let mut parent = vec![[0usize; 2]; s];
-        for cur in 0..2 {
-            best[0][cur] =
-                self.run_cost(0, cur == 1) + self.reconfig_charge(true, cur == 0);
+        for (cur, cell) in best[0].iter_mut().enumerate() {
+            *cell = self.run_cost(0, cur == 1) + self.reconfig_charge(true, cur == 0);
         }
         for i in 1..s {
             for cur in 0..2 {
                 let run = self.run_cost(i, cur == 1);
                 for prev in 0..2 {
-                    let cand = best[i - 1][prev]
-                        + run
-                        + self.reconfig_charge(prev == 0, cur == 0);
+                    let cand = best[i - 1][prev] + run + self.reconfig_charge(prev == 0, cur == 0);
                     if cand < best[i][cur] {
                         best[i][cur] = cand;
                         parent[i][cur] = prev;
@@ -177,7 +176,11 @@ impl MultiPortProblem {
                 }
             }
         }
-        let mut state = if best[s - 1][0] <= best[s - 1][1] { 0 } else { 1 };
+        let mut state = if best[s - 1][0] <= best[s - 1][1] {
+            0
+        } else {
+            1
+        };
         let total = best[s - 1][state];
         let mut flags = vec![false; s];
         for i in (0..s).rev() {
@@ -255,14 +258,14 @@ mod tests {
             n,
             aps_collectives::CollectiveKind::Composite,
             "far-shift",
-            vec![aps_collectives::Step { matching: shift7, bytes_per_pair: 64.0 * MIB }],
+            vec![aps_collectives::Step {
+                matching: shift7,
+                bytes_per_pair: 64.0 * MIB,
+            }],
         )
         .unwrap();
-        let mp = aps_collectives::multiport::MultiPortSchedule::mirrored(&[
-            sched.clone(),
-            sched,
-        ])
-        .unwrap();
+        let mp = aps_collectives::multiport::MultiPortSchedule::mirrored(&[sched.clone(), sched])
+            .unwrap();
         let p = build_multiport(
             &base,
             &mp,

@@ -94,9 +94,7 @@ pub(crate) fn step_run_cost(problem: &SwitchingProblem, i: usize, choice: Config
     let p = &problem.params;
     match choice {
         ConfigChoice::Base => {
-            p.alpha_s
-                + p.delta_s * s.ell_base as f64
-                + p.beta_s_per_byte * s.bytes / s.theta_base
+            p.alpha_s + p.delta_s * s.ell_base as f64 + p.beta_s_per_byte * s.bytes / s.theta_base
         }
         ConfigChoice::Matched => {
             // Direct circuits: θ = 1, ℓ = 1 (§3.3: "congestion and path
@@ -178,8 +176,12 @@ mod tests {
     #[test]
     fn static_schedule_pays_no_reconfig() {
         let p = problem(8, 1e6, 1e-5);
-        let r = evaluate(&p, &SwitchSchedule::all_base(p.num_steps()), Default::default())
-            .unwrap();
+        let r = evaluate(
+            &p,
+            &SwitchSchedule::all_base(p.num_steps()),
+            Default::default(),
+        )
+        .unwrap();
         assert_eq!(r.reconfig_s, 0.0);
         assert_eq!(r.reconfig_events, 0);
         // Latency term is s·α.
@@ -239,7 +241,10 @@ mod tests {
         let p = problem(8, 1e6, 1e-5);
         assert!(matches!(
             evaluate(&p, &SwitchSchedule::all_base(3), Default::default()),
-            Err(CoreError::ScheduleLengthMismatch { expected: 6, got: 3 })
+            Err(CoreError::ScheduleLengthMismatch {
+                expected: 6,
+                got: 3
+            })
         ));
     }
 

@@ -105,10 +105,7 @@ mod tests {
         assert_eq!(p.num_steps(), 6);
         // The uni ring IS a circuit configuration: shift(1).
         assert_eq!(p.base_config, Some(Matching::shift(n, 1).unwrap()));
-        assert_eq!(
-            p.config_at(0, true),
-            Some(&c.schedule.steps()[0].matching)
-        );
+        assert_eq!(p.config_at(0, true), Some(&c.schedule.steps()[0].matching));
         assert_eq!(p.config_at(0, false), Some(&Matching::shift(n, 1).unwrap()));
     }
 
@@ -117,8 +114,14 @@ mod tests {
         let topo = builders::ring_bidirectional(8).unwrap();
         assert_eq!(config_of_topology(&topo), None);
         let uni = builders::ring_unidirectional(8).unwrap();
-        assert_eq!(config_of_topology(&uni), Some(Matching::shift(8, 1).unwrap()));
+        assert_eq!(
+            config_of_topology(&uni),
+            Some(Matching::shift(8, 1).unwrap())
+        );
         let matched = builders::from_matching(&Matching::xor(8, 2).unwrap());
-        assert_eq!(config_of_topology(&matched), Some(Matching::xor(8, 2).unwrap()));
+        assert_eq!(
+            config_of_topology(&matched),
+            Some(Matching::xor(8, 2).unwrap())
+        );
     }
 }

@@ -143,13 +143,15 @@ pub fn run_sweep(
                 t_static_s: evaluate_policy(&problem, Policy::StaticBase, accounting)?.total_s(),
                 t_bvn_s: evaluate_policy(&problem, Policy::AlwaysMatched, accounting)?.total_s(),
                 t_opt_s: evaluate_policy(&problem, Policy::Optimal, accounting)?.total_s(),
-                t_threshold_s: evaluate_policy(&problem, Policy::Threshold, accounting)?
-                    .total_s(),
+                t_threshold_s: evaluate_policy(&problem, Policy::Threshold, accounting)?.total_s(),
             });
         }
         cells.push(row);
     }
-    Ok(SweepResult { grid: grid.clone(), cells })
+    Ok(SweepResult {
+        grid: grid.clone(),
+        cells,
+    })
 }
 
 #[cfg(test)]

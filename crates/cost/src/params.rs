@@ -36,7 +36,10 @@ impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Invalid { name, value } => {
-                write!(f, "cost parameter {name} = {value} must be finite and non-negative")
+                write!(
+                    f,
+                    "cost parameter {name} = {value} must be finite and non-negative"
+                )
             }
         }
     }
@@ -60,8 +63,11 @@ impl CostParams {
         };
         check("alpha", alpha_s)?;
         check("delta", delta_s)?;
-        if !(bandwidth_gbps > 0.0) || !bandwidth_gbps.is_finite() {
-            return Err(ParamError::Invalid { name: "bandwidth_gbps", value: bandwidth_gbps });
+        if bandwidth_gbps <= 0.0 || !bandwidth_gbps.is_finite() {
+            return Err(ParamError::Invalid {
+                name: "bandwidth_gbps",
+                value: bandwidth_gbps,
+            });
         }
         Ok(Self {
             alpha_s,

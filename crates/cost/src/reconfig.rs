@@ -33,7 +33,11 @@ pub struct BadReconfigModel(pub f64);
 
 impl fmt::Display for BadReconfigModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "reconfiguration delay {} must be finite and non-negative", self.0)
+        write!(
+            f,
+            "reconfiguration delay {} must be finite and non-negative",
+            self.0
+        )
     }
 }
 
@@ -63,7 +67,10 @@ impl ReconfigModel {
                 return Err(BadReconfigModel(v));
             }
         }
-        Ok(Self::PerPortAffine { fixed_s, per_port_s })
+        Ok(Self::PerPortAffine {
+            fixed_s,
+            per_port_s,
+        })
     }
 
     /// Delay (seconds) for a reconfiguration retargeting `ports_changed`
@@ -75,9 +82,10 @@ impl ReconfigModel {
         }
         match *self {
             Self::Constant { delay_s } => delay_s,
-            Self::PerPortAffine { fixed_s, per_port_s } => {
-                fixed_s + per_port_s * ports_changed as f64
-            }
+            Self::PerPortAffine {
+                fixed_s,
+                per_port_s,
+            } => fixed_s + per_port_s * ports_changed as f64,
         }
     }
 

@@ -33,7 +33,10 @@ impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::DimensionMismatch { fabric, target } => {
-                write!(f, "fabric has {fabric} ports but target configuration has {target}")
+                write!(
+                    f,
+                    "fabric has {fabric} ports but target configuration has {target}"
+                )
             }
             Self::Busy { until } => {
                 write!(f, "fabric busy reconfiguring until t={until} ps")

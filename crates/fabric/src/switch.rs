@@ -57,7 +57,10 @@ impl CircuitSwitch {
     /// Rejects out-of-range ports.
     pub fn stick_port(&mut self, port: usize) -> Result<(), FabricError> {
         if port >= self.current.n() {
-            return Err(FabricError::PortOutOfRange { port, n: self.current.n() });
+            return Err(FabricError::PortOutOfRange {
+                port,
+                n: self.current.n(),
+            });
         }
         self.stuck.insert(port);
         Ok(())
@@ -136,7 +139,9 @@ impl Fabric for CircuitSwitch {
             });
         }
         if now < self.busy_until {
-            return Err(FabricError::Busy { until: self.busy_until });
+            return Err(FabricError::Busy {
+                until: self.busy_until,
+            });
         }
         let achieved = self.achievable(target);
         let ports_changed = self.current.tx_ports_changed(&achieved);
@@ -149,7 +154,11 @@ impl Fabric for CircuitSwitch {
         }
         self.current = achieved.clone();
         self.busy_until = ready_at;
-        Ok(ReconfigOutcome { ready_at, ports_changed, achieved })
+        Ok(ReconfigOutcome {
+            ready_at,
+            ports_changed,
+            achieved,
+        })
     }
 }
 
@@ -194,8 +203,7 @@ mod tests {
 
     #[test]
     fn per_port_delay_scales() {
-        let mut sw =
-            CircuitSwitch::new(shift(8, 1), ReconfigModel::per_port(1e-6, 1e-7).unwrap());
+        let mut sw = CircuitSwitch::new(shift(8, 1), ReconfigModel::per_port(1e-6, 1e-7).unwrap());
         // shift(1) → xor(4): all 8 TX ports move.
         let out = sw.request(&Matching::xor(8, 4).unwrap(), 0).unwrap();
         assert_eq!(out.ready_at, secs_to_picos(1e-6 + 8.0 * 1e-7));
@@ -230,7 +238,10 @@ mod tests {
         let mut sw = CircuitSwitch::new(shift(8, 1), ReconfigModel::constant(1e-6).unwrap());
         assert!(matches!(
             sw.request(&shift(4, 1), 0),
-            Err(FabricError::DimensionMismatch { fabric: 8, target: 4 })
+            Err(FabricError::DimensionMismatch {
+                fabric: 8,
+                target: 4
+            })
         ));
     }
 

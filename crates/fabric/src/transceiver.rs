@@ -15,7 +15,11 @@ pub struct BadTransceiver(pub f64);
 
 impl fmt::Display for BadTransceiver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transceiver bandwidth {} Gbps must be positive and finite", self.0)
+        write!(
+            f,
+            "transceiver bandwidth {} Gbps must be positive and finite",
+            self.0
+        )
     }
 }
 
@@ -31,7 +35,7 @@ impl Transceiver {
     ///
     /// Rejects non-positive or non-finite rates.
     pub fn new(bandwidth_gbps: f64) -> Result<Self, BadTransceiver> {
-        if !(bandwidth_gbps > 0.0) || !bandwidth_gbps.is_finite() {
+        if bandwidth_gbps <= 0.0 || !bandwidth_gbps.is_finite() {
             return Err(BadTransceiver(bandwidth_gbps));
         }
         Ok(Self { bandwidth_gbps })

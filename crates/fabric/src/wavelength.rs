@@ -51,7 +51,11 @@ impl WavelengthFabric {
                 return Err(FabricError::BadTuningDelay(t));
             }
         }
-        Ok(Self { current: initial, tuning_s, busy_until: 0 })
+        Ok(Self {
+            current: initial,
+            tuning_s,
+            busy_until: 0,
+        })
     }
 
     /// Degrades one port's laser to a slower tuning time (fault injection).
@@ -61,7 +65,10 @@ impl WavelengthFabric {
     /// Rejects out-of-range ports and invalid times.
     pub fn set_port_tuning(&mut self, port: usize, tuning_s: f64) -> Result<(), FabricError> {
         if port >= self.current.n() {
-            return Err(FabricError::PortOutOfRange { port, n: self.current.n() });
+            return Err(FabricError::PortOutOfRange {
+                port,
+                n: self.current.n(),
+            });
         }
         if !tuning_s.is_finite() || tuning_s < 0.0 {
             return Err(FabricError::BadTuningDelay(tuning_s));
@@ -94,7 +101,9 @@ impl Fabric for WavelengthFabric {
             });
         }
         if now < self.busy_until {
-            return Err(FabricError::Busy { until: self.busy_until });
+            return Err(FabricError::Busy {
+                until: self.busy_until,
+            });
         }
         // Only ports whose destination wavelength changes retune; the
         // slowest retuning port gates readiness (synchronous steps).
@@ -106,7 +115,11 @@ impl Fabric for WavelengthFabric {
         let ready_at = now + secs_to_picos(slowest);
         self.current = target.clone();
         self.busy_until = ready_at;
-        Ok(ReconfigOutcome { ready_at, ports_changed, achieved: target.clone() })
+        Ok(ReconfigOutcome {
+            ready_at,
+            ports_changed,
+            achieved: target.clone(),
+        })
     }
 }
 

@@ -109,10 +109,8 @@ pub fn degree_proxy_demand_throughput(
     let mut max_hops = 0usize;
     let mut any = false;
     for (src, dst, v) in demand.entries() {
-        let h = hops[src][dst].ok_or(FlowError::Routing(TopologyError::Unreachable {
-            src,
-            dst,
-        }))? as usize;
+        let h = hops[src][dst].ok_or(FlowError::Routing(TopologyError::Unreachable { src, dst }))?
+            as usize;
         hop_volume += v * h as f64;
         max_hops = max_hops.max(h);
         any = true;
@@ -221,7 +219,10 @@ mod tests {
         let t = builders::ring_unidirectional(4).unwrap();
         let empty = DemandMatrix::zeros(4);
         assert_eq!(forced_path_demand_throughput(&t, &empty).unwrap(), (1.0, 0));
-        assert_eq!(degree_proxy_demand_throughput(&t, &empty).unwrap(), (1.0, 0));
+        assert_eq!(
+            degree_proxy_demand_throughput(&t, &empty).unwrap(),
+            (1.0, 0)
+        );
         let wrong = DemandMatrix::zeros(6);
         assert!(forced_path_demand_throughput(&t, &wrong).is_err());
         assert!(gk_demand_throughput(&t, &wrong, 0.1).is_err());

@@ -34,12 +34,23 @@ impl Dinic {
     ///
     /// Panics if an endpoint is out of range or the capacity is negative.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
-        assert!(u < self.graph.len() && v < self.graph.len(), "endpoint out of range");
+        assert!(
+            u < self.graph.len() && v < self.graph.len(),
+            "endpoint out of range"
+        );
         assert!(cap >= 0.0, "negative capacity");
         let rev_u = self.graph[v].len();
         let rev_v = self.graph[u].len();
-        self.graph[u].push(Edge { to: v, cap, rev: rev_u });
-        self.graph[v].push(Edge { to: u, cap: 0.0, rev: rev_v });
+        self.graph[u].push(Edge {
+            to: v,
+            cap,
+            rev: rev_u,
+        });
+        self.graph[v].push(Edge {
+            to: u,
+            cap: 0.0,
+            rev: rev_v,
+        });
     }
 
     /// Computes the maximum `s → t` flow. `O(V²E)` worst case, far better on

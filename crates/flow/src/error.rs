@@ -31,10 +31,16 @@ impl fmt::Display for FlowError {
         match self {
             Self::Routing(e) => write!(f, "routing failed: {e}"),
             Self::BadEpsilon(eps) => {
-                write!(f, "FPTAS epsilon {eps} outside the supported range (0, 0.5)")
+                write!(
+                    f,
+                    "FPTAS epsilon {eps} outside the supported range (0, 0.5)"
+                )
             }
             Self::DimensionMismatch { topology, matching } => {
-                write!(f, "topology has {topology} nodes but matching has {matching}")
+                write!(
+                    f,
+                    "topology has {topology} nodes but matching has {matching}"
+                )
             }
             Self::CacheTopologyMismatch { expected, got } => {
                 write!(f, "theta cache built for '{expected}' queried with '{got}'")

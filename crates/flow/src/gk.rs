@@ -106,11 +106,12 @@ pub fn max_concurrent_flow(
         for com in commodities {
             let mut remaining = com.demand;
             while d_sum < 1.0 && remaining > 0.0 {
-                let (_, path) = shortest_path_weighted(topo, com.src, com.dst, &len)
-                    .ok_or(FlowError::Routing(TopologyError::Unreachable {
+                let (_, path) = shortest_path_weighted(topo, com.src, com.dst, &len).ok_or(
+                    FlowError::Routing(TopologyError::Unreachable {
                         src: com.src,
                         dst: com.dst,
-                    }))?;
+                    }),
+                )?;
                 let bottleneck = path
                     .links
                     .iter()
@@ -148,7 +149,11 @@ pub fn max_concurrent_flow(
         )?;
         alpha += com.demand * dist;
     }
-    let upper_dual = if alpha > 0.0 { d_sum / alpha } else { f64::INFINITY };
+    let upper_dual = if alpha > 0.0 {
+        d_sum / alpha
+    } else {
+        f64::INFINITY
+    };
     // Cheap structural bounds: no sender can exceed its egress capacity, no
     // receiver its ingress capacity.
     let mut structural = f64::INFINITY;
@@ -193,7 +198,11 @@ mod tests {
     #[test]
     fn single_commodity_on_uni_ring() {
         let t = builders::ring_unidirectional(6).unwrap();
-        let coms = [Commodity { src: 0, dst: 3, demand: 1.0 }];
+        let coms = [Commodity {
+            src: 0,
+            dst: 3,
+            demand: 1.0,
+        }];
         let r = max_concurrent_flow(&t, &coms, 0.1).unwrap();
         // Unique path of capacity 1 → θ* = 1.
         check_sandwich(r.lower_bound, 1.0, r.upper_bound, 0.1);
@@ -274,10 +283,17 @@ mod tests {
         t.add_link(1, 0, 1.0).unwrap();
         t.add_link(2, 3, 1.0).unwrap();
         t.add_link(3, 2, 1.0).unwrap();
-        let coms = [Commodity { src: 0, dst: 2, demand: 1.0 }];
+        let coms = [Commodity {
+            src: 0,
+            dst: 2,
+            demand: 1.0,
+        }];
         assert!(matches!(
             max_concurrent_flow(&t, &coms, 0.1),
-            Err(FlowError::Routing(TopologyError::Unreachable { src: 0, dst: 2 }))
+            Err(FlowError::Routing(TopologyError::Unreachable {
+                src: 0,
+                dst: 2
+            }))
         ));
     }
 

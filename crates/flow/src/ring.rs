@@ -97,10 +97,7 @@ pub fn bi_ring_cut_upper_bound(n: usize, matching: &Matching, cap: f64) -> f64 {
         for b in (a + 1)..n {
             // Arc S = nodes [a, b); arc T = the rest.
             let in_s = |v: usize| v >= a && v < b;
-            let crossing = pairs
-                .iter()
-                .filter(|&&(s, d)| in_s(s) != in_s(d))
-                .count();
+            let crossing = pairs.iter().filter(|&&(s, d)| in_s(s) != in_s(d)).count();
             if crossing > 0 {
                 best = best.min(4.0 * cap / crossing as f64);
             }

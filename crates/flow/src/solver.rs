@@ -15,11 +15,12 @@ use aps_topology::Topology;
 use std::collections::HashMap;
 
 /// Which algorithm computes `θ(G, M)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ThroughputSolver {
     /// Deterministic shortest-path routing; exact on forced-routing
     /// topologies (unidirectional rings, matched configurations) and exactly
     /// what the flow-level simulator achieves elsewhere. The default.
+    #[default]
     ForcedPath,
     /// Garg–Könemann FPTAS with splittable routing; `θ` is the certified
     /// achievable lower bound.
@@ -31,12 +32,6 @@ pub enum ThroughputSolver {
     /// The cheap degree/path-length upper bound of the paper's research
     /// agenda (§4). Optimistic: `θ̂ ≥ θ`.
     DegreeProxy,
-}
-
-impl Default for ThroughputSolver {
-    fn default() -> Self {
-        Self::ForcedPath
-    }
 }
 
 /// Throughput figures for one step on one topology.

@@ -12,8 +12,12 @@ use proptest::prelude::*;
 
 /// Strategy: a ring-spined random topology plus a random shift matching.
 fn arb_instance() -> impl Strategy<Value = (Topology, Matching)> {
-    (3usize..10, 1usize..9, proptest::collection::vec((0usize..10, 0usize..10), 0..10)).prop_map(
-        |(n, k, chords)| {
+    (
+        3usize..10,
+        1usize..9,
+        proptest::collection::vec((0usize..10, 0usize..10), 0..10),
+    )
+        .prop_map(|(n, k, chords)| {
             let mut t = Topology::new(n, "random");
             for i in 0..n {
                 t.add_link(i, (i + 1) % n, 1.0).unwrap();
@@ -26,8 +30,7 @@ fn arb_instance() -> impl Strategy<Value = (Topology, Matching)> {
             }
             let m = Matching::shift(n, (k % (n - 1)) + 1).unwrap();
             (t, m)
-        },
-    )
+        })
 }
 
 proptest! {

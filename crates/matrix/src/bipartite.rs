@@ -12,7 +12,11 @@
 /// Returns `match_of_left` where `match_of_left[u] = Some(v)` iff the edge
 /// `(u, v)` is in the matching.
 pub fn maximum_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Vec<Option<usize>> {
-    assert_eq!(adj.len(), n_left, "adjacency list must cover all left vertices");
+    assert_eq!(
+        adj.len(),
+        n_left,
+        "adjacency list must cover all left vertices"
+    );
     debug_assert!(adj.iter().flatten().all(|&v| v < n_right));
 
     const INF: u32 = u32::MAX;
@@ -23,8 +27,11 @@ pub fn maximum_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Ve
     let mut queue = std::collections::VecDeque::new();
 
     // BFS builds the layered graph of shortest alternating paths.
-    let bfs = |pair_u: &[usize], pair_v: &[usize], dist: &mut [u32],
-               queue: &mut std::collections::VecDeque<usize>| -> bool {
+    let bfs = |pair_u: &[usize],
+               pair_v: &[usize],
+               dist: &mut [u32],
+               queue: &mut std::collections::VecDeque<usize>|
+     -> bool {
         queue.clear();
         for u in 1..=n_left {
             if pair_u[u] == 0 {
@@ -169,6 +176,66 @@ mod tests {
         }
         let _ = n_left;
         rec(0, adj, &mut vec![false; n_right])
+    }
+
+    #[test]
+    fn known_matching_numbers_on_structured_families() {
+        // Path-like bipartite graph P: left i ~ right {i, i+1} has a perfect
+        // matching; crown graph (complete minus the identity) has one for
+        // n ≥ 2; a star from one left vertex saturates exactly one edge.
+        let n = 7;
+        let path: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1).min(n - 1)]).collect();
+        let m = maximum_matching(n, n, &path);
+        assert_eq!(matching_size(&m), n);
+        check_valid(n, &path, &m);
+
+        let crown: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        let m = maximum_matching(n, n, &crown);
+        assert_eq!(matching_size(&m), n);
+        check_valid(n, &crown, &m);
+
+        let mut star: Vec<Vec<usize>> = vec![vec![]; n];
+        star[3] = (0..n).collect();
+        let m = maximum_matching(n, n, &star);
+        assert_eq!(matching_size(&m), 1);
+        check_valid(n, &star, &m);
+
+        // Disjoint union of k complete blocks of size 2: matching number is
+        // exactly one per block-row pair, i.e. 2 per block.
+        let blocks = 3;
+        let union: Vec<Vec<usize>> = (0..2 * blocks)
+            .map(|i| {
+                let b = i / 2;
+                vec![2 * b, 2 * b + 1]
+            })
+            .collect();
+        let m = maximum_matching(2 * blocks, 2 * blocks, &union);
+        assert_eq!(matching_size(&m), 2 * blocks);
+        check_valid(2 * blocks, &union, &m);
+    }
+
+    #[test]
+    fn perfect_matchings_convert_to_valid_matching_objects() {
+        // Bridge to `Matching`: a perfect Hopcroft–Karp result on a support
+        // without self-pairs is exactly a circuit-switch configuration.
+        let n = 6;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        let m = maximum_matching(n, n, &adj);
+        assert_eq!(matching_size(&m), n);
+        let pairs: Vec<(usize, usize)> = m
+            .iter()
+            .enumerate()
+            .filter_map(|(u, v)| v.map(|v| (u, v)))
+            .collect();
+        let matching = crate::Matching::from_pairs(n, &pairs).unwrap();
+        assert!(matching.is_full());
+        for (s, d) in matching.pairs() {
+            assert!(adj[s].contains(&d));
+        }
     }
 
     #[test]

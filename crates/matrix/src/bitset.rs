@@ -103,7 +103,10 @@ impl BitSet {
     /// `true` when every element of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &Self) -> bool {
         assert_eq!(self.n, other.n, "bitset universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterator over the elements in ascending order.

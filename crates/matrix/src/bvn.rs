@@ -277,6 +277,67 @@ mod tests {
     }
 
     #[test]
+    fn terms_sum_back_to_demand_with_positive_weights() {
+        // A composite demand: uniform All-to-All plus two weighted shifts —
+        // still doubly balanced, so the strict decomposition must be exact.
+        let n = 9;
+        let mut d = DemandMatrix::uniform_all_to_all(n, 1.5);
+        d.add_matching(2.25, &Matching::shift(n, 2).unwrap())
+            .unwrap();
+        d.add_matching(0.75, &Matching::shift(n, 4).unwrap())
+            .unwrap();
+        let b = decompose(&d, TOL).unwrap();
+
+        // Coefficients are strictly positive (non-negative and non-trivial).
+        assert!(b.terms.iter().all(|t| t.weight > 0.0));
+        // Each term is a genuine matching of the right dimension.
+        assert!(b
+            .terms
+            .iter()
+            .all(|t| t.matching.n() == n && !t.matching.is_empty()));
+        // The terms sum back to the demand matrix entry-for-entry.
+        let rec = b.reconstruct().unwrap();
+        for s in 0..n {
+            for t in 0..n {
+                assert!(
+                    (rec.get(s, t) - d.get(s, t)).abs() < 1e-6,
+                    "entry ({s},{t}): {} vs {}",
+                    rec.get(s, t),
+                    d.get(s, t)
+                );
+            }
+        }
+        // For a balanced matrix the decomposed volume equals the row sum.
+        let row = d.row_sums()[0];
+        assert!((b.total_weight() - row).abs() < 1e-6);
+        assert!(b.residual < 1e-6);
+    }
+
+    #[test]
+    fn relaxed_terms_never_exceed_demand_and_conserve_mass() {
+        // An arbitrary unbalanced sparse matrix: the relaxed decomposition
+        // must keep weights non-negative and conserve total mass between the
+        // reconstruction and the residual.
+        let mut d = DemandMatrix::zeros(5);
+        for (s, t, v) in [
+            (0, 3, 2.0),
+            (1, 3, 0.5),
+            (2, 0, 1.25),
+            (4, 1, 3.0),
+            (1, 2, 0.25),
+        ] {
+            d.set(s, t, v).unwrap();
+        }
+        let b = decompose_relaxed(&d, TOL).unwrap();
+        assert!(b.terms.iter().all(|t| t.weight > 0.0));
+        let rec = b.reconstruct().unwrap();
+        for (s, t, v) in rec.entries() {
+            assert!(v <= d.get(s, t) + TOL, "entry ({s},{t}) overshoots demand");
+        }
+        assert!((rec.total() + b.residual - d.total()).abs() < 1e-6);
+    }
+
+    #[test]
     fn zero_matrix_decomposes_trivially() {
         let d = DemandMatrix::zeros(4);
         let b = decompose(&d, TOL).unwrap();

@@ -100,10 +100,16 @@ impl DemandMatrix {
     /// Returns an error when an index is out of range or the value negative.
     pub fn set(&mut self, src: usize, dst: usize, value: f64) -> Result<(), MatrixError> {
         if src >= self.n {
-            return Err(MatrixError::EndpointOutOfRange { endpoint: src, n: self.n });
+            return Err(MatrixError::EndpointOutOfRange {
+                endpoint: src,
+                n: self.n,
+            });
         }
         if dst >= self.n {
-            return Err(MatrixError::EndpointOutOfRange { endpoint: dst, n: self.n });
+            return Err(MatrixError::EndpointOutOfRange {
+                endpoint: dst,
+                n: self.n,
+            });
         }
         if value < 0.0 {
             return Err(MatrixError::NegativeDemand { src, dst, value });
@@ -123,8 +129,8 @@ impl DemandMatrix {
     pub fn col_sums(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.n];
         for j in 0..self.n {
-            for k in 0..self.n {
-                sums[k] += self.data[j * self.n + k];
+            for (k, sum) in sums.iter_mut().enumerate() {
+                *sum += self.data[j * self.n + k];
             }
         }
         sums
@@ -199,9 +205,10 @@ impl DemandMatrix {
     /// Iterator over `(src, dst, volume)` for strictly positive entries.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         let n = self.n;
-        self.data.iter().enumerate().filter_map(move |(idx, &v)| {
-            (v > 0.0).then_some((idx / n, idx % n, v))
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, &v)| (v > 0.0).then_some((idx / n, idx % n, v)))
     }
 }
 

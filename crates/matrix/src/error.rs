@@ -76,13 +76,19 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::EndpointOutOfRange { endpoint, n } => {
-                write!(f, "endpoint {endpoint} out of range for domain of {n} nodes")
+                write!(
+                    f,
+                    "endpoint {endpoint} out of range for domain of {n} nodes"
+                )
             }
             Self::DuplicateSender(s) => write!(f, "node {s} appears twice as a sender"),
             Self::DuplicateReceiver(r) => write!(f, "node {r} appears twice as a receiver"),
             Self::SelfLoop(v) => write!(f, "self-loop at node {v} is not a valid circuit"),
             Self::IdentityShift { shift, n } => {
-                write!(f, "shift {shift} mod {n} is the identity, not a communication step")
+                write!(
+                    f,
+                    "shift {shift} mod {n} is the identity, not a communication step"
+                )
             }
             Self::NotPowerOfTwo(n) => write!(f, "domain size {n} is not a power of two"),
             Self::BadXorMask { mask, n } => {
@@ -98,7 +104,10 @@ impl fmt::Display for MatrixError {
                 write!(f, "demand matrix has self-demand {value} at node {node}")
             }
             Self::NotDoublyBalanced { deviation } => {
-                write!(f, "row/column sums differ by {deviation}; matrix is not doubly balanced")
+                write!(
+                    f,
+                    "row/column sums differ by {deviation}; matrix is not doubly balanced"
+                )
             }
             Self::DecompositionStalled { residual } => {
                 write!(f, "BvN decomposition stalled with residual mass {residual}")

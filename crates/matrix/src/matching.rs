@@ -66,7 +66,7 @@ impl Matching {
     ///
     /// Returns [`MatrixError::IdentityShift`] when `k ≡ 0 (mod n)`.
     pub fn shift(n: usize, k: usize) -> Result<Self, MatrixError> {
-        if n == 0 || k % n == 0 {
+        if n == 0 || k.is_multiple_of(n) {
             return Err(MatrixError::IdentityShift { shift: k, n });
         }
         let k = k % n;
@@ -263,7 +263,10 @@ mod tests {
 
     #[test]
     fn shift_reduces_modulo_n() {
-        assert_eq!(Matching::shift(5, 7).unwrap(), Matching::shift(5, 2).unwrap());
+        assert_eq!(
+            Matching::shift(5, 7).unwrap(),
+            Matching::shift(5, 2).unwrap()
+        );
     }
 
     #[test]

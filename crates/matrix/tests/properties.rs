@@ -8,7 +8,12 @@ use std::collections::HashSet;
 /// Strategy: a random derangement over `n ∈ [2, 12]` as pair list.
 fn arb_derangement() -> impl Strategy<Value = (usize, Vec<usize>)> {
     (2usize..12)
-        .prop_flat_map(|n| (Just(n), proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n)))
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n),
+            )
+        })
         .prop_flat_map(|(n, _)| {
             // Build via random shuffle, rejecting fixed points by rotation.
             (Just(n), proptest::collection::vec(0u64..u64::MAX, n))

@@ -38,13 +38,19 @@ impl fmt::Display for SimError {
         match self {
             Self::Fabric(e) => write!(f, "fabric error: {e}"),
             Self::Unroutable { step, src, dst } => {
-                write!(f, "step {step}: no route from GPU {src} to GPU {dst} on current circuits")
+                write!(
+                    f,
+                    "step {step}: no route from GPU {src} to GPU {dst} on current circuits"
+                )
             }
             Self::ScheduleLengthMismatch { expected, got } => {
                 write!(f, "switch schedule has {got} choices for {expected} steps")
             }
             Self::DimensionMismatch { fabric, collective } => {
-                write!(f, "fabric has {fabric} ports but collective spans {collective} GPUs")
+                write!(
+                    f,
+                    "fabric has {fabric} ports but collective spans {collective} GPUs"
+                )
             }
         }
     }

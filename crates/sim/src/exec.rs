@@ -68,7 +68,10 @@ pub fn run_collective(
 ) -> Result<SimReport, SimError> {
     let n = schedule.n();
     if fabric.n() != n {
-        return Err(SimError::DimensionMismatch { fabric: fabric.n(), collective: n });
+        return Err(SimError::DimensionMismatch {
+            fabric: fabric.n(),
+            collective: n,
+        });
     }
     if switch_schedule.len() != schedule.num_steps() {
         return Err(SimError::ScheduleLengthMismatch {
@@ -91,7 +94,10 @@ pub fn run_collective(
 
         // Control path: compute → barrier → α.
         if barrier_ps > 0 {
-            report.trace.push(TraceEvent { at: gpu_free + barrier_ps, kind: TraceKind::Barrier });
+            report.trace.push(TraceEvent {
+                at: gpu_free + barrier_ps,
+                kind: TraceKind::Barrier,
+            });
         }
         let control_ready = gpu_free + barrier_ps + alpha_ps;
 
@@ -108,9 +114,14 @@ pub fn run_collective(
         if outcome.ports_changed > 0 {
             report.trace.push(TraceEvent {
                 at: request_at,
-                kind: TraceKind::ReconfigStart { ports: outcome.ports_changed },
+                kind: TraceKind::ReconfigStart {
+                    ports: outcome.ports_changed,
+                },
             });
-            report.trace.push(TraceEvent { at: outcome.ready_at, kind: TraceKind::ReconfigDone });
+            report.trace.push(TraceEvent {
+                at: outcome.ready_at,
+                kind: TraceKind::ReconfigDone,
+            });
         }
         let flows_start = control_ready.max(outcome.ready_at);
         let reconfig_visible = flows_start - control_ready;
@@ -124,10 +135,16 @@ pub fn run_collective(
         let mut specs = Vec::with_capacity(step.matching.len());
         let mut max_hops = 0usize;
         for (src, dst) in step.matching.pairs() {
-            let path = shortest_path(&circuit_topo, src, dst)
-                .ok_or(SimError::Unroutable { step: i, src, dst })?;
+            let path = shortest_path(&circuit_topo, src, dst).ok_or(SimError::Unroutable {
+                step: i,
+                src,
+                dst,
+            })?;
             max_hops = max_hops.max(path.hops());
-            specs.push(FlowSpec { bytes: step.bytes_per_pair, path: path.links });
+            specs.push(FlowSpec {
+                bytes: step.bytes_per_pair,
+                path: path.links,
+            });
         }
         let transfer_ps = if specs.is_empty() {
             0
@@ -146,15 +163,24 @@ pub fn run_collective(
             secs_to_picos(worst_s)
         };
         comm_end = flows_start + transfer_ps;
-        report.trace.push(TraceEvent { at: comm_end, kind: TraceKind::StepDone { step: i } });
+        report.trace.push(TraceEvent {
+            at: comm_end,
+            kind: TraceKind::StepDone { step: i },
+        });
 
         // Compute phase on the received data.
         let compute_ps = match cfg.compute {
             Some(c) if !step.matching.is_empty() => {
                 let d = secs_to_picos(c.per_byte_s * step.bytes_per_pair);
                 if d > 0 {
-                    report.trace.push(TraceEvent { at: comm_end, kind: TraceKind::ComputeStart });
-                    report.trace.push(TraceEvent { at: comm_end + d, kind: TraceKind::ComputeDone });
+                    report.trace.push(TraceEvent {
+                        at: comm_end,
+                        kind: TraceKind::ComputeStart,
+                    });
+                    report.trace.push(TraceEvent {
+                        at: comm_end + d,
+                        kind: TraceKind::ComputeDone,
+                    });
                 }
                 d
             }
@@ -270,7 +296,10 @@ mod tests {
             compute: Some(compute),
             ..RunConfig::paper_defaults()
         };
-        let overlap_cfg = RunConfig { overlap_reconfig_with_compute: true, ..base_cfg };
+        let overlap_cfg = RunConfig {
+            overlap_reconfig_with_compute: true,
+            ..base_cfg
+        };
         let mut f1 = switch(n, 5e-6);
         let r_serial = run_collective(
             &mut f1,
@@ -297,7 +326,10 @@ mod tests {
         assert_eq!(physical_events, s - 1);
         let hidden = (physical_events - 1) as f64 * 5e-6;
         let diff = r_serial.total_s() - r_overlap.total_s();
-        assert!((diff - hidden).abs() < 1e-9, "hid {diff}, expected {hidden}");
+        assert!(
+            (diff - hidden).abs() < 1e-9,
+            "hid {diff}, expected {hidden}"
+        );
     }
 
     #[test]

@@ -37,12 +37,14 @@ fn max_min_rates(link_caps: &[f64], paths: &[&[usize]]) -> Vec<f64> {
         for (l, &users) in link_users.iter().enumerate() {
             if users > 0 {
                 let fair = cap_left[l] / users as f64;
-                if best.map_or(true, |(_, b)| fair < b) {
+                if best.is_none_or(|(_, b)| fair < b) {
                     best = Some((l, fair));
                 }
             }
         }
-        let Some((bottleneck, fair)) = best else { break };
+        let Some((bottleneck, fair)) = best else {
+            break;
+        };
         // Freeze every unfrozen flow crossing the bottleneck at `fair`.
         for (i, p) in paths.iter().enumerate() {
             if !frozen[i] && p.contains(&bottleneck) {
@@ -70,7 +72,10 @@ fn max_min_rates(link_caps: &[f64], paths: &[&[usize]]) -> Vec<f64> {
 pub fn simulate_flows(link_caps_bytes_per_s: &[f64], specs: &[FlowSpec]) -> Vec<f64> {
     for s in specs {
         for &l in &s.path {
-            assert!(l < link_caps_bytes_per_s.len(), "path references unknown link {l}");
+            assert!(
+                l < link_caps_bytes_per_s.len(),
+                "path references unknown link {l}"
+            );
             assert!(link_caps_bytes_per_s[l] > 0.0, "link {l} has no capacity");
         }
     }
@@ -112,7 +117,13 @@ mod tests {
 
     #[test]
     fn single_flow_drains_at_line_rate() {
-        let finish = simulate_flows(&[100.0], &[FlowSpec { bytes: 50.0, path: vec![0] }]);
+        let finish = simulate_flows(
+            &[100.0],
+            &[FlowSpec {
+                bytes: 50.0,
+                path: vec![0],
+            }],
+        );
         assert!((finish[0] - 0.5).abs() < 1e-12);
     }
 
@@ -124,8 +135,14 @@ mod tests {
         let finish = simulate_flows(
             &[100.0],
             &[
-                FlowSpec { bytes: 50.0, path: vec![0] },
-                FlowSpec { bytes: 100.0, path: vec![0] },
+                FlowSpec {
+                    bytes: 50.0,
+                    path: vec![0],
+                },
+                FlowSpec {
+                    bytes: 100.0,
+                    path: vec![0],
+                },
             ],
         );
         assert!((finish[0] - 1.0).abs() < 1e-9);
@@ -140,8 +157,14 @@ mod tests {
         let finish = simulate_flows(
             &[10.0, 100.0],
             &[
-                FlowSpec { bytes: 10.0, path: vec![0, 1] },
-                FlowSpec { bytes: 90.0, path: vec![1] },
+                FlowSpec {
+                    bytes: 10.0,
+                    path: vec![0, 1],
+                },
+                FlowSpec {
+                    bytes: 90.0,
+                    path: vec![1],
+                },
             ],
         );
         assert!((finish[0] - 1.0).abs() < 1e-9);
@@ -156,10 +179,22 @@ mod tests {
         let c = 100.0;
         let m = 200.0;
         let specs = vec![
-            FlowSpec { bytes: m, path: vec![0, 1] },
-            FlowSpec { bytes: m, path: vec![1, 2] },
-            FlowSpec { bytes: m, path: vec![2, 3] },
-            FlowSpec { bytes: m, path: vec![3, 0] },
+            FlowSpec {
+                bytes: m,
+                path: vec![0, 1],
+            },
+            FlowSpec {
+                bytes: m,
+                path: vec![1, 2],
+            },
+            FlowSpec {
+                bytes: m,
+                path: vec![2, 3],
+            },
+            FlowSpec {
+                bytes: m,
+                path: vec![3, 0],
+            },
         ];
         let finish = simulate_flows(&[c; 4], &specs);
         for f in finish {
@@ -172,9 +207,18 @@ mod tests {
         let finish = simulate_flows(
             &[10.0],
             &[
-                FlowSpec { bytes: 0.0, path: vec![0] },
-                FlowSpec { bytes: 5.0, path: vec![] },
-                FlowSpec { bytes: 10.0, path: vec![0] },
+                FlowSpec {
+                    bytes: 0.0,
+                    path: vec![0],
+                },
+                FlowSpec {
+                    bytes: 5.0,
+                    path: vec![],
+                },
+                FlowSpec {
+                    bytes: 10.0,
+                    path: vec![0],
+                },
             ],
         );
         assert_eq!(finish[0], 0.0);
@@ -185,6 +229,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown link")]
     fn bad_path_panics() {
-        simulate_flows(&[10.0], &[FlowSpec { bytes: 1.0, path: vec![3] }]);
+        simulate_flows(
+            &[10.0],
+            &[FlowSpec {
+                bytes: 1.0,
+                path: vec![3],
+            }],
+        );
     }
 }

@@ -86,8 +86,16 @@ mod tests {
         let r = SimReport {
             total_ps: 1_000_000,
             steps: vec![
-                StepReport { reconfig_ps: 100, ports_changed: 8, ..Default::default() },
-                StepReport { reconfig_ps: 0, ports_changed: 0, ..Default::default() },
+                StepReport {
+                    reconfig_ps: 100,
+                    ports_changed: 8,
+                    ..Default::default()
+                },
+                StepReport {
+                    reconfig_ps: 0,
+                    ports_changed: 0,
+                    ..Default::default()
+                },
             ],
             trace: vec![],
         };

@@ -53,7 +53,11 @@ impl fmt::Display for TraceEvent {
         match &self.kind {
             TraceKind::Barrier => write!(f, "barrier"),
             TraceKind::StepStart { step, matched } => {
-                write!(f, "step {step} start ({})", if *matched { "matched" } else { "base" })
+                write!(
+                    f,
+                    "step {step} start ({})",
+                    if *matched { "matched" } else { "base" }
+                )
             }
             TraceKind::ReconfigStart { ports } => write!(f, "reconfigure {ports} ports"),
             TraceKind::ReconfigDone => write!(f, "reconfiguration done"),
@@ -73,12 +77,18 @@ mod tests {
     fn display_formats() {
         let e = TraceEvent {
             at: 1_500_000,
-            kind: TraceKind::StepStart { step: 2, matched: true },
+            kind: TraceKind::StepStart {
+                step: 2,
+                matched: true,
+            },
         };
         let s = e.to_string();
         assert!(s.contains("step 2 start (matched)"));
         assert!(s.contains("1.500"));
-        let e = TraceEvent { at: 0, kind: TraceKind::ReconfigStart { ports: 8 } };
+        let e = TraceEvent {
+            at: 0,
+            kind: TraceKind::ReconfigStart { ports: 8 },
+        };
         assert!(e.to_string().contains("reconfigure 8 ports"));
     }
 }

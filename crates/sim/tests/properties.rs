@@ -11,8 +11,11 @@ use proptest::prelude::*;
 
 /// Strategy: a random schedule of shift steps over `n ∈ [3, 12]`.
 fn arb_schedule() -> impl Strategy<Value = Schedule> {
-    (3usize..12, proptest::collection::vec((1usize..11, 1.0f64..1e7), 1..10)).prop_map(
-        |(n, raw)| {
+    (
+        3usize..12,
+        proptest::collection::vec((1usize..11, 1.0f64..1e7), 1..10),
+    )
+        .prop_map(|(n, raw)| {
             let steps = raw
                 .into_iter()
                 .map(|(k, bytes)| Step {
@@ -21,8 +24,7 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
                 })
                 .collect();
             Schedule::new(n, CollectiveKind::Composite, "random-shifts", steps).unwrap()
-        },
-    )
+        })
 }
 
 fn simulate(schedule: &Schedule, switches: &SwitchSchedule, cfg: &RunConfig, alpha_r: f64) -> f64 {

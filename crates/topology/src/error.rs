@@ -14,7 +14,7 @@ pub enum TopologyError {
     },
     /// A link connected a node to itself.
     SelfLoopLink(usize),
-    /// A link capacity was zero or negative.
+    /// A link capacity was not a positive finite number.
     NonPositiveCapacity {
         /// Source node of the offending link.
         src: usize,
@@ -67,13 +67,16 @@ impl fmt::Display for TopologyError {
             }
             Self::SelfLoopLink(v) => write!(f, "self-loop link at node {v}"),
             Self::NonPositiveCapacity { src, dst, capacity } => {
-                write!(f, "link {src}->{dst} has non-positive capacity {capacity}")
+                write!(f, "link {src}->{dst} has invalid capacity {capacity} (must be positive and finite)")
             }
             Self::TooSmall { n, min } => {
                 write!(f, "topology of {n} nodes is too small (minimum {min})")
             }
             Self::InvalidStride { stride, n } => {
-                write!(f, "stride {stride} is not coprime with {n}; ring would be disconnected")
+                write!(
+                    f,
+                    "stride {stride} is not coprime with {n}; ring would be disconnected"
+                )
             }
             Self::DuplicateStride(s) => write!(f, "duplicate ring stride {s}"),
             Self::EmptyStrides => write!(f, "at least one ring stride is required"),

@@ -49,13 +49,13 @@ impl Topology {
 
     /// Adds a directed link and returns its id.
     ///
-    /// Parallel links are allowed (multigraph); self-loops and non-positive
-    /// capacities are not.
+    /// Parallel links are allowed (multigraph); self-loops are not, and
+    /// capacities must be positive finite numbers.
     ///
     /// # Errors
     ///
-    /// Returns an error for out-of-range endpoints, self-loops, or
-    /// non-positive capacity.
+    /// Returns an error for out-of-range endpoints, self-loops, or a
+    /// capacity that is not positive and finite (zero, negative, NaN, ±∞).
     pub fn add_link(
         &mut self,
         src: usize,
@@ -63,15 +63,21 @@ impl Topology {
         capacity: f64,
     ) -> Result<LinkId, TopologyError> {
         if src >= self.n {
-            return Err(TopologyError::NodeOutOfRange { node: src, n: self.n });
+            return Err(TopologyError::NodeOutOfRange {
+                node: src,
+                n: self.n,
+            });
         }
         if dst >= self.n {
-            return Err(TopologyError::NodeOutOfRange { node: dst, n: self.n });
+            return Err(TopologyError::NodeOutOfRange {
+                node: dst,
+                n: self.n,
+            });
         }
         if src == dst {
             return Err(TopologyError::SelfLoopLink(src));
         }
-        if !(capacity > 0.0) {
+        if capacity <= 0.0 || !capacity.is_finite() {
             return Err(TopologyError::NonPositiveCapacity { src, dst, capacity });
         }
         let id = self.links.len();
@@ -141,12 +147,18 @@ impl Topology {
     /// Total egress capacity of `node` (should be ≤ 1.0 under the
     /// transceiver-normalized convention).
     pub fn egress_capacity(&self, node: usize) -> f64 {
-        self.out_adj[node].iter().map(|&l| self.links[l].capacity).sum()
+        self.out_adj[node]
+            .iter()
+            .map(|&l| self.links[l].capacity)
+            .sum()
     }
 
     /// Total ingress capacity of `node`.
     pub fn ingress_capacity(&self, node: usize) -> f64 {
-        self.in_adj[node].iter().map(|&l| self.links[l].capacity).sum()
+        self.in_adj[node]
+            .iter()
+            .map(|&l| self.links[l].capacity)
+            .sum()
     }
 
     /// Smallest link capacity (useful as a scale for tolerances).
@@ -201,6 +213,10 @@ mod tests {
         ));
         assert!(matches!(
             t.add_link(0, 1, f64::NAN),
+            Err(TopologyError::NonPositiveCapacity { .. })
+        ));
+        assert!(matches!(
+            t.add_link(0, 1, f64::INFINITY),
             Err(TopologyError::NonPositiveCapacity { .. })
         ));
     }

@@ -224,7 +224,7 @@ mod tests {
         let t = builders::ring_unidirectional(4).unwrap();
         assert!(shortest_path(&t, 1, 1).is_none());
         assert!(shortest_path(&t, 0, 9).is_none());
-        assert!(shortest_path_weighted(&t, 1, 1, &vec![1.0; 4]).is_none());
+        assert!(shortest_path_weighted(&t, 1, 1, &[1.0; 4]).is_none());
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn reaches_all(topo: &Topology, reversed: bool) -> bool {
     let mut queue = std::collections::VecDeque::from([0usize]);
     let mut count = 1;
     while let Some(u) = queue.pop_front() {
-        let links = if reversed { topo.in_links(u) } else { topo.out_links(u) };
+        let links = if reversed {
+            topo.in_links(u)
+        } else {
+            topo.out_links(u)
+        };
         for &lid in links {
             let l = topo.link(lid);
             let v = if reversed { l.src } else { l.dst };

@@ -9,8 +9,11 @@ use proptest::prelude::*;
 /// Strategy: a random connected-ish directed graph built from a ring spine
 /// plus random chords (the spine guarantees strong connectivity).
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (3usize..14, proptest::collection::vec((0usize..14, 0usize..14), 0..20)).prop_map(
-        |(n, chords)| {
+    (
+        3usize..14,
+        proptest::collection::vec((0usize..14, 0usize..14), 0..20),
+    )
+        .prop_map(|(n, chords)| {
             let mut t = Topology::new(n, "random");
             for i in 0..n {
                 t.add_link(i, (i + 1) % n, 1.0).unwrap();
@@ -22,8 +25,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                 }
             }
             t
-        },
-    )
+        })
 }
 
 proptest! {

@@ -29,11 +29,7 @@ fn main() {
     );
     println!(
         "{:>10} | {:>22} {:>22} {:>22} {:>22}",
-        "size",
-        "ring",
-        "recursive-doubling",
-        "halving-doubling",
-        "swing"
+        "size", "ring", "recursive-doubling", "halving-doubling", "swing"
     );
 
     let mut domain = ScaleupDomain::new(

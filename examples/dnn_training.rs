@@ -21,15 +21,17 @@ fn main() {
     let layers = 8;
     let grad = 24.0 * MIB; // gradient shard per layer
     let moe = 32.0 * MIB; // MoE token buffer
-    let schedule =
-        training_iteration(n, layers, grad, 2, moe).expect("workload construction");
+    let schedule = training_iteration(n, layers, grad, 2, moe).expect("workload construction");
 
     println!(
         "Training iteration on {n} GPUs: {layers} layers × AllReduce({}) + MoE All-to-All({}) every 2nd layer",
         aps_cost::units::format_bytes(grad),
         aps_cost::units::format_bytes(moe),
     );
-    println!("total steps in the composite schedule: {}\n", schedule.num_steps());
+    println!(
+        "total steps in the composite schedule: {}\n",
+        schedule.num_steps()
+    );
 
     println!(
         "{:>10} | {:>12} {:>12} {:>12} {:>12} | {:>9}",
@@ -67,7 +69,10 @@ fn main() {
     let (switches, _) = domain.plan(&schedule).expect("plan");
     let ex = explain::explain(&problem, &switches, ReconfigAccounting::PaperConservative)
         .expect("explain");
-    println!("\nFirst 16 decisions at α_r = {} (AllReduce tail → All-to-All head):", format_time(alpha_r));
+    println!(
+        "\nFirst 16 decisions at α_r = {} (AllReduce tail → All-to-All head):",
+        format_time(alpha_r)
+    );
     let text = ex.to_string();
     for line in text.lines().take(17) {
         println!("  {line}");

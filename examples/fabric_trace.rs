@@ -26,7 +26,11 @@ fn main() {
         ReconfigModel::constant(5e-6).expect("α_r"),
     );
     let (switches, report) = domain.plan(&coll.schedule).expect("plan");
-    println!("planned schedule: {}  (analytic: {})\n", switches.compact(), format_time(report.total_s()));
+    println!(
+        "planned schedule: {}  (analytic: {})\n",
+        switches.compact(),
+        format_time(report.total_s())
+    );
 
     // Execute on a circuit switch.
     println!("— circuit switch, optimal schedule —");
@@ -42,7 +46,13 @@ fn main() {
     println!("— wavelength fabric (2 µs tuning, port 3 degraded to 20 µs), all matched —");
     let mut wdm = WavelengthFabric::uniform(ring.clone(), 2e-6).expect("fabric");
     wdm.set_port_tuning(3, 20e-6).expect("fault injection");
-    let run = sim(&mut wdm, &ring, &coll, &SwitchSchedule::all_matched(s), &cfg);
+    let run = sim(
+        &mut wdm,
+        &ring,
+        &coll,
+        &SwitchSchedule::all_matched(s),
+        &cfg,
+    );
     println!("simulated completion: {}", format_time(run.total_s()));
 }
 

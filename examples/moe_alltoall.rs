@@ -21,7 +21,10 @@ fn main() {
     // 8k tokens/GPU × 4 KiB activation slices ≈ 32 MiB send buffer/GPU.
     let buffer = 32.0 * MIB;
 
-    println!("MoE expert-parallel All-to-All, n = {n}, {} per GPU\n", format_bytes(buffer));
+    println!(
+        "MoE expert-parallel All-to-All, n = {n}, {} per GPU\n",
+        format_bytes(buffer)
+    );
     println!(
         "{:>10} | {:>12} {:>12} {:>12} | {:>14} {:>10}",
         "α_r", "static", "BvN", "OPT", "OPT schedule", "reconfigs"

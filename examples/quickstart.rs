@@ -36,10 +36,22 @@ fn main() {
     let (switches, report) = domain.plan(&coll.schedule).expect("plan");
     println!("optimal switch schedule : {}", switches.compact());
     println!("  (G = stay on base ring, M = reconfigure to the step's matching)\n");
-    println!("completion time         : {}", format_time(report.total_s()));
-    println!("  latency   (s·α)       : {}", format_time(report.latency_s));
-    println!("  propagation (δ·ℓ)     : {}", format_time(report.propagation_s));
-    println!("  transmission (β·m/θ)  : {}", format_time(report.transmission_s));
+    println!(
+        "completion time         : {}",
+        format_time(report.total_s())
+    );
+    println!(
+        "  latency   (s·α)       : {}",
+        format_time(report.latency_s)
+    );
+    println!(
+        "  propagation (δ·ℓ)     : {}",
+        format_time(report.propagation_s)
+    );
+    println!(
+        "  transmission (β·m/θ)  : {}",
+        format_time(report.transmission_s)
+    );
     println!(
         "  reconfiguration       : {} ({} events)\n",
         format_time(report.reconfig_s),

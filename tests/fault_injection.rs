@@ -77,8 +77,7 @@ fn unsticking_restores_the_plan() {
     let outcome = f.request(&ring(n), now).unwrap();
     assert_eq!(outcome.achieved, ring(n));
     f.reset_clock();
-    let report =
-        run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap();
+    let report = run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap();
     assert!(report.total_ps > 0);
 }
 
@@ -141,8 +140,14 @@ fn fabric_stats_track_degradation() {
     let coll = collectives::allreduce::halving_doubling::build(n, MIB).unwrap();
     let ss = SwitchSchedule::all_matched(coll.schedule.num_steps());
     let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(2e-6).unwrap());
-    run_collective(&mut f, &ring(n), &coll.schedule, &ss, &RunConfig::paper_defaults())
-        .unwrap();
+    run_collective(
+        &mut f,
+        &ring(n),
+        &coll.schedule,
+        &ss,
+        &RunConfig::paper_defaults(),
+    )
+    .unwrap();
     let stats = f.stats();
     assert_eq!(stats.reconfigurations, 5);
     assert!(stats.ports_retargeted >= 5 * n - n);

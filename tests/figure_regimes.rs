@@ -28,7 +28,10 @@ fn fig1_top_row_speedup_grows_with_delay_and_shrinks_with_size() {
         // large-message/low-delay corner is ~1 (OPT may shave a hair off
         // BvN when a step's matching coincides with the base ring).
         assert!(v[0][cols - 1] > 50.0, "{p:?}");
-        assert!(v[rows - 1][0] >= 1.0 - 1e-9 && v[rows - 1][0] < 1.05, "{p:?}");
+        assert!(
+            v[rows - 1][0] >= 1.0 - 1e-9 && v[rows - 1][0] < 1.05,
+            "{p:?}"
+        );
     }
 }
 
@@ -41,15 +44,18 @@ fn fig1_bottom_row_speedup_grows_with_size_and_shrinks_with_delay() {
         let v = r.map(SweepCell::speedup_vs_static);
         let (rows, cols) = (v.len(), v[0].len());
         // Monotone (weakly) down columns: larger messages → larger speedup.
-        for c in 0..cols {
-            for row in 1..rows {
-                assert!(v[row][c] >= v[row - 1][c] - 1e-9, "{p:?} col {c}");
+        for (row, (below, above)) in v.windows(2).map(|w| (&w[0], &w[1])).enumerate() {
+            for (c, (lo, hi)) in below.iter().zip(above).enumerate() {
+                assert!(hi >= &(lo - 1e-9), "{p:?} row {} col {c}", row + 1);
             }
         }
         // The large-message/low-delay corner is a big win (≈ n/2 for the
         // AllReduce panels); the small-message/high-delay corner is ~1.
         assert!(v[rows - 1][0] > 4.0, "{p:?}");
-        assert!(v[0][cols - 1] >= 1.0 - 1e-9 && v[0][cols - 1] < 1.05, "{p:?}");
+        assert!(
+            v[0][cols - 1] >= 1.0 - 1e-9 && v[0][cols - 1] < 1.05,
+            "{p:?}"
+        );
     }
 }
 

@@ -31,7 +31,9 @@ fn model_and_sim(
     // The simulator is physical: compare under PhysicalDiff accounting.
     let acc = ReconfigAccounting::PhysicalDiff;
     let switches = schedule_for(&problem, policy, acc).unwrap();
-    let model = aps_core::evaluate(&problem, &switches, acc).unwrap().total_s();
+    let model = aps_core::evaluate(&problem, &switches, acc)
+        .unwrap()
+        .total_s();
 
     let ring = Matching::shift(n, 1).unwrap();
     let mut fabric = CircuitSwitch::new(ring.clone(), ReconfigModel::constant(alpha_r).unwrap());

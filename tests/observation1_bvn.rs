@@ -33,7 +33,10 @@ fn every_collective_verifies_semantically() {
     for n in [4, 6, 8, 16] {
         for c in all_collectives(n, 4096.0) {
             c.check().unwrap_or_else(|e| {
-                panic!("{} (n={n}) failed verification: {e}", c.schedule.algorithm())
+                panic!(
+                    "{} (n={n}) failed verification: {e}",
+                    c.schedule.algorithm()
+                )
             });
         }
     }
@@ -114,7 +117,12 @@ fn temporal_structure_is_what_bvn_misses() {
     let n = 8;
     let m = 1024.0;
     let c = collectives::allreduce::halving_doubling::build(n, m).unwrap();
-    let vols: Vec<f64> = c.schedule.steps().iter().map(|s| s.bytes_per_pair).collect();
+    let vols: Vec<f64> = c
+        .schedule
+        .steps()
+        .iter()
+        .map(|s| s.bytes_per_pair)
+        .collect();
     // RS and AG phases traverse the same matchings with different volumes:
     // any per-matching aggregation (what a demand matrix keeps) must merge
     // steps 0 and 5, 1 and 4, 2 and 3 — destroying the dependency order.

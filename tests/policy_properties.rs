@@ -14,10 +14,10 @@ use proptest::prelude::*;
 /// a topology) lets proptest explore θ/ℓ combinations no ring produces.
 fn arb_problem() -> impl Strategy<Value = SwitchingProblem> {
     let step = (
-        1.0f64..1e9,       // bytes
-        0.01f64..1.0,      // theta_base
-        1usize..32,        // ell_base
-        0usize..7,         // shift distance for the matching
+        1.0f64..1e9,  // bytes
+        0.01f64..1.0, // theta_base
+        1usize..32,   // ell_base
+        0usize..7,    // shift distance for the matching
     );
     (proptest::collection::vec(step, 1..12), 0.0f64..1e-3).prop_map(|(raw, alpha_r)| {
         let n = 8;
@@ -134,7 +134,9 @@ fn threshold_heuristic_gap_is_bounded_on_real_collectives() {
             .unwrap();
             let acc = ReconfigAccounting::PaperConservative;
             let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
-            let th = evaluate_policy(&p, Policy::Threshold, acc).unwrap().total_s();
+            let th = evaluate_policy(&p, Policy::Threshold, acc)
+                .unwrap()
+                .total_s();
             worst = worst.max(th / opt);
         }
     }

@@ -20,11 +20,13 @@ use aps_cost::units::{format_bytes, format_time, MIB, NANOS};
 use aps_cost::{CostParams, ReconfigModel};
 use aps_flow::solver::{ThetaCache, ThroughputSolver};
 use aps_matrix::Matching;
-use aps_sim::{run_collective, ComputeModel, RunConfig};
+use aps_par::Pool;
+use aps_sim::{run_trials, ComputeModel, RunConfig, Trial};
 use aps_topology::builders;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let started = std::time::Instant::now();
     match which.as_str() {
         "heuristic" => heuristic(),
         "multibase" => multibase(),
@@ -52,6 +54,11 @@ fn main() {
             std::process::exit(2);
         }
     }
+    println!(
+        "done in {:.3} s ({} worker thread(s))",
+        started.elapsed().as_secs_f64(),
+        Pool::from_env().threads()
+    );
 }
 
 /// A1 — threshold heuristic vs exact DP across the Figure-1 grid.
@@ -91,28 +98,40 @@ fn multibase() {
         "  {:>10} | {:>12} {:>12} {:>12}",
         "α_r", "{1}", "{1,31}", "{1,15,31}"
     );
-    for alpha_r in [100.0 * NANOS, 1e-6, 1e-5, 1e-4, 1e-3] {
-        let reconfig = ReconfigModel::constant(alpha_r).unwrap();
-        let mut row = Vec::new();
-        for (name, pool) in [
-            ("{1}", vec![&ring1]),
-            ("{1,31}", vec![&ring1, &r31]),
-            ("{1,15,31}", vec![&ring1, &r15, &r31]),
-        ] {
-            let mb = build_multibase(
-                &pool,
-                &c.schedule,
-                CostParams::paper_defaults(),
-                reconfig,
-                ThroughputSolver::ForcedPath,
-                0,
-            )
-            .expect("multibase");
-            let (_, t) = mb
-                .optimize(ReconfigAccounting::PaperConservative)
-                .expect("opt");
+    let alphas = [100.0 * NANOS, 1e-6, 1e-5, 1e-4, 1e-3];
+    let base_pools = [
+        ("{1}", vec![&ring1]),
+        ("{1,31}", vec![&ring1, &r31]),
+        ("{1,15,31}", vec![&ring1, &r15, &r31]),
+    ];
+    // Every α_r × base-pool cell is an independent optimization.
+    let tasks: Vec<(f64, &str, &Vec<&aps_topology::Topology>)> = alphas
+        .iter()
+        .flat_map(|&a| {
+            base_pools
+                .iter()
+                .map(move |(name, bases)| (a, *name, bases))
+        })
+        .collect();
+    let times = Pool::from_env().map(&tasks, |_, &(alpha_r, _, bases)| {
+        let mb = build_multibase(
+            bases,
+            &c.schedule,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(alpha_r).expect("α_r"),
+            ThroughputSolver::ForcedPath,
+            0,
+        )
+        .expect("multibase");
+        let (_, t) = mb
+            .optimize(ReconfigAccounting::PaperConservative)
+            .expect("opt");
+        t
+    });
+    for (ai, &alpha_r) in alphas.iter().enumerate() {
+        let row = &times[ai * base_pools.len()..(ai + 1) * base_pools.len()];
+        for ((name, _), t) in base_pools.iter().zip(row) {
             csv.push_str(&format!("{alpha_r},{name},{t}\n"));
-            row.push(t);
         }
         println!(
             "  {:>10} | {:>12.6} {:>12.6} {:>12.6}",
@@ -134,23 +153,46 @@ fn theta_proxy() {
     let base = builders::ring_unidirectional(n).unwrap();
     let grid = SweepGrid::paper_default();
     let mut csv = String::from("workload,agreement,worst_cost_penalty\n");
-    for (name, build) in [
+    let workloads = [
         ("halving-doubling", allreduce::Algorithm::HalvingDoubling),
         ("swing", allreduce::Algorithm::Swing),
-    ] {
-        let mut agree = 0usize;
-        let mut cells = 0usize;
-        let mut worst_penalty = 1.0f64;
-        for &m in &grid.message_bytes {
-            let c = build.build(n, m).expect("collective");
-            let mut exact_cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
-            let mut proxy_cache = ThetaCache::new(&base, ThroughputSolver::DegreeProxy);
+    ];
+    // One task per workload × message size. The step matchings repeat at
+    // every message size, so price each unique matching once across the
+    // pool and give every worker a clone of the warmed caches.
+    let pool = Pool::from_env();
+    let tasks: Vec<(usize, aps_collectives::Collective)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, (_, alg))| {
+            grid.message_bytes
+                .iter()
+                .map(move |&m| (wi, alg.build(n, m).expect("collective")))
+        })
+        .collect();
+    let all_matchings = || {
+        tasks
+            .iter()
+            .flat_map(|(_, c)| c.schedule.steps().iter().map(|s| &s.matching))
+    };
+    let warm_exact = ThetaCache::warm(&pool, &base, ThroughputSolver::ForcedPath, all_matchings())
+        .expect("θ pricing");
+    let warm_proxy = ThetaCache::warm(&pool, &base, ThroughputSolver::DegreeProxy, all_matchings())
+        .expect("θ pricing");
+    let (per_task, _) = pool.map_with(
+        &tasks,
+        || (warm_exact.clone(), warm_proxy.clone()),
+        |(exact_cache, proxy_cache), _, (wi, c)| {
+            let wi = *wi;
+            let mut agree = 0usize;
+            let mut cells = 0usize;
+            let mut worst_penalty = 1.0f64;
             for &alpha_r in &grid.reconf_delays_s {
                 let reconfig = ReconfigModel::constant(alpha_r).unwrap();
                 let exact = SwitchingProblem::build(
                     &base,
                     &c.schedule,
-                    &mut exact_cache,
+                    exact_cache,
                     CostParams::paper_defaults(),
                     reconfig,
                 )
@@ -158,7 +200,7 @@ fn theta_proxy() {
                 let proxy = SwitchingProblem::build(
                     &base,
                     &c.schedule,
-                    &mut proxy_cache,
+                    proxy_cache,
                     CostParams::paper_defaults(),
                     reconfig,
                 )
@@ -175,6 +217,18 @@ fn theta_proxy() {
                     worst_penalty = worst_penalty.max(priced.total_s() / cost_exact.total_s());
                 }
             }
+            (wi, agree, cells, worst_penalty)
+        },
+    );
+    for (wi, (name, _)) in workloads.iter().enumerate() {
+        let mut agree = 0usize;
+        let mut cells = 0usize;
+        let mut worst_penalty = 1.0f64;
+        for &(twi, a, c, w) in per_task.iter().filter(|t| t.0 == wi) {
+            debug_assert_eq!(twi, wi);
+            agree += a;
+            cells += c;
+            worst_penalty = worst_penalty.max(w);
         }
         let pct = 100.0 * agree as f64 / cells as f64;
         println!(
@@ -245,32 +299,30 @@ fn overlap() {
         "  {:>16} | {:>12} {:>12} {:>10}",
         "compute/byte", "serial", "overlap", "saved"
     );
-    for per_byte_ns in [0.0, 0.1, 0.5, 2.0] {
-        let compute = (per_byte_ns > 0.0).then_some(ComputeModel {
-            per_byte_s: per_byte_ns * 1e-9,
-        });
-        let mk = |overlap_flag: bool| {
-            let mut fab = aps_fabric::CircuitSwitch::new(
-                ring.clone(),
-                ReconfigModel::constant(10e-6).unwrap(),
-            );
-            let cfg = RunConfig {
-                compute,
-                overlap_reconfig_with_compute: overlap_flag,
-                ..RunConfig::paper_defaults()
-            };
-            run_collective(
-                &mut fab,
-                &ring,
-                &c.schedule,
-                &SwitchSchedule::all_matched(s),
-                &cfg,
-            )
-            .expect("sim")
-            .total_s()
-        };
-        let serial = mk(false);
-        let overlapped = mk(true);
+    let compute_models = [0.0, 0.1, 0.5, 2.0];
+    // Serial/overlapped pairs as one trial batch on the pool.
+    let trials: Vec<Trial> = compute_models
+        .iter()
+        .flat_map(|&per_byte_ns| {
+            [false, true].map(|overlap_flag| Trial {
+                base_config: ring.clone(),
+                reconfig: ReconfigModel::constant(10e-6).unwrap(),
+                schedule: c.schedule.clone(),
+                switch_schedule: SwitchSchedule::all_matched(s),
+                config: RunConfig {
+                    compute: (per_byte_ns > 0.0).then_some(ComputeModel {
+                        per_byte_s: per_byte_ns * 1e-9,
+                    }),
+                    overlap_reconfig_with_compute: overlap_flag,
+                    ..RunConfig::paper_defaults()
+                },
+            })
+        })
+        .collect();
+    let reports = run_trials(&Pool::from_env(), &trials).expect("sim");
+    for (pi, &per_byte_ns) in compute_models.iter().enumerate() {
+        let serial = reports[2 * pi].total_s();
+        let overlapped = reports[2 * pi + 1].total_s();
         println!(
             "  {per_byte_ns:>13} ns | {serial:>12.6} {overlapped:>12.6} {:>10.6}",
             serial - overlapped
@@ -292,7 +344,8 @@ fn sim_validate() {
     let base = builders::ring_unidirectional(n).unwrap();
     let ring = Matching::shift(n, 1).unwrap();
     let mut csv = String::from("workload,policy,model_s,sim_s,rel_diff\n");
-    for (name, c) in [
+    let pool = Pool::from_env();
+    let workloads = [
         ("ring-allreduce", allreduce::ring::build(n, MIB).unwrap()),
         (
             "halving-doubling",
@@ -300,7 +353,13 @@ fn sim_validate() {
         ),
         ("swing", allreduce::swing::build(n, MIB).unwrap()),
         ("alltoall", alltoall::linear_shift(n, MIB).unwrap()),
-    ] {
+    ];
+    let policies = [Policy::StaticBase, Policy::AlwaysMatched, Policy::Optimal];
+    // The simulator is physical: compare under PhysicalDiff.
+    let acc = ReconfigAccounting::PhysicalDiff;
+    // Phase 1 — analytic side, one task per workload (private θ cache):
+    // the policy switch schedules and their model-predicted times.
+    let analytic = pool.map(&workloads, |_, (_, c)| {
         let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
         let problem = SwitchingProblem::build(
             &base,
@@ -310,26 +369,35 @@ fn sim_validate() {
             ReconfigModel::constant(5e-6).unwrap(),
         )
         .expect("problem");
-        for policy in [Policy::StaticBase, Policy::AlwaysMatched, Policy::Optimal] {
-            // The simulator is physical: compare under PhysicalDiff.
-            let acc = ReconfigAccounting::PhysicalDiff;
-            let schedule = aps_core::policies::schedule_for(&problem, policy, acc).unwrap();
-            let model = aps_core::objective::evaluate(&problem, &schedule, acc)
-                .unwrap()
-                .total_s();
-            let mut fab = aps_fabric::CircuitSwitch::new(
-                ring.clone(),
-                ReconfigModel::constant(5e-6).unwrap(),
-            );
-            let sim = run_collective(
-                &mut fab,
-                &ring,
-                &c.schedule,
-                &schedule,
-                &RunConfig::paper_defaults(),
-            )
-            .expect("sim")
-            .total_s();
+        policies
+            .map(|policy| {
+                let schedule = aps_core::policies::schedule_for(&problem, policy, acc).unwrap();
+                let model = aps_core::objective::evaluate(&problem, &schedule, acc)
+                    .unwrap()
+                    .total_s();
+                (schedule, model)
+            })
+            .to_vec()
+    });
+    // Phase 2 — one simulator trial per workload × policy, batched.
+    let trials: Vec<Trial> = workloads
+        .iter()
+        .zip(&analytic)
+        .flat_map(|((_, c), per_policy)| {
+            per_policy.iter().map(|(schedule, _)| Trial {
+                base_config: ring.clone(),
+                reconfig: ReconfigModel::constant(5e-6).unwrap(),
+                schedule: c.schedule.clone(),
+                switch_schedule: schedule.clone(),
+                config: RunConfig::paper_defaults(),
+            })
+        })
+        .collect();
+    let reports = run_trials(&pool, &trials).expect("sim");
+    for (wi, (name, _)) in workloads.iter().enumerate() {
+        for (pi, policy) in policies.iter().enumerate() {
+            let model = analytic[wi][pi].1;
+            let sim = reports[wi * policies.len() + pi].total_s();
             let rel = (sim - model).abs() / model;
             println!(
                 "  {name:>18} | {:>9}: model {model:.6e}  sim {sim:.6e}  Δ {:.3}%",
@@ -356,15 +424,22 @@ fn propagation() {
         "  {:>8} | {:>18} {:>14} {:>14}",
         "δ", "algorithm", "static", "opt(α_r=1µs)"
     );
-    for delta_ns in [10.0, 100.0, 1000.0] {
-        for alg in allreduce::Algorithm::ALL {
+    let deltas = [10.0, 100.0, 1000.0];
+    let tasks: Vec<(f64, allreduce::Algorithm)> = deltas
+        .iter()
+        .flat_map(|&d| allreduce::Algorithm::ALL.iter().map(move |&alg| (d, alg)))
+        .collect();
+    // θ is independent of δ, so a worker's cache serves its whole chunk.
+    let (rows, _) = Pool::from_env().map_with(
+        &tasks,
+        || ThetaCache::new(&base, ThroughputSolver::ForcedPath),
+        |cache, _, &(delta_ns, alg)| {
             let c = alg.build(n, m).expect("collective");
             let params = CostParams::new(100.0 * NANOS, 800.0, delta_ns * 1e-9).unwrap();
-            let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
             let p = SwitchingProblem::build(
                 &base,
                 &c.schedule,
-                &mut cache,
+                cache,
                 params,
                 ReconfigModel::constant(1e-6).unwrap(),
             )
@@ -374,13 +449,16 @@ fn propagation() {
                 .unwrap()
                 .total_s();
             let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
-            println!(
-                "  {:>8} | {:>18} {st:>14.6e} {opt:>14.6e}",
-                format_time(delta_ns * 1e-9),
-                alg.name()
-            );
-            csv.push_str(&format!("{delta_ns},{},{st},{opt}\n", alg.name()));
-        }
+            (st, opt)
+        },
+    );
+    for (&(delta_ns, alg), &(st, opt)) in tasks.iter().zip(&rows) {
+        println!(
+            "  {:>8} | {:>18} {st:>14.6e} {opt:>14.6e}",
+            format_time(delta_ns * 1e-9),
+            alg.name()
+        );
+        csv.push_str(&format!("{delta_ns},{},{st},{opt}\n", alg.name()));
     }
     println!("  ({} per node, {} GPUs)", format_bytes(m), n);
     if let Ok(p) = write_result("ablation_propagation.csv", &csv) {
@@ -404,7 +482,7 @@ fn basetopo() {
         "  {:>16} {:>12} {:>10} | {:>12} {:>12}",
         "base", "theta solver", "alpha_r", "static", "opt"
     );
-    for (bname, base, solver) in [
+    let configs = [
         ("uni-ring", &ring, ThroughputSolver::ForcedPath),
         ("torus 8x8", &torus, ThroughputSolver::ForcedPath),
         (
@@ -412,33 +490,41 @@ fn basetopo() {
             &torus,
             ThroughputSolver::GargKonemann { epsilon: 0.08 },
         ),
-    ] {
+    ];
+    let alphas = [1e-6, 1e-4];
+    let tasks: Vec<(usize, f64)> = (0..configs.len())
+        .flat_map(|ci| alphas.iter().map(move |&a| (ci, a)))
+        .collect();
+    let rows = Pool::from_env().map(&tasks, |_, &(ci, alpha_r)| {
+        let (_, base, solver) = configs[ci];
+        let mut cache = ThetaCache::new(base, solver);
+        let p = SwitchingProblem::build(
+            base,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(alpha_r).unwrap(),
+        )
+        .expect("problem");
+        let acc = ReconfigAccounting::PaperConservative;
+        let st = evaluate_policy(&p, Policy::StaticBase, acc)
+            .unwrap()
+            .total_s();
+        let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
+        (st, opt)
+    });
+    for (&(ci, alpha_r), &(st, opt)) in tasks.iter().zip(&rows) {
+        let (bname, _, solver) = configs[ci];
         let sname = match solver {
             ThroughputSolver::ForcedPath => "forced",
             ThroughputSolver::GargKonemann { .. } => "gk(0.08)",
             ThroughputSolver::DegreeProxy => "proxy",
         };
-        for alpha_r in [1e-6, 1e-4] {
-            let mut cache = ThetaCache::new(base, solver);
-            let p = SwitchingProblem::build(
-                base,
-                &c.schedule,
-                &mut cache,
-                CostParams::paper_defaults(),
-                ReconfigModel::constant(alpha_r).unwrap(),
-            )
-            .expect("problem");
-            let acc = ReconfigAccounting::PaperConservative;
-            let st = evaluate_policy(&p, Policy::StaticBase, acc)
-                .unwrap()
-                .total_s();
-            let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
-            println!(
-                "  {bname:>16} {sname:>12} {:>10} | {st:>12.6e} {opt:>12.6e}",
-                format_time(alpha_r)
-            );
-            csv.push_str(&format!("{bname},{sname},{alpha_r},{st},{opt}\n"));
-        }
+        println!(
+            "  {bname:>16} {sname:>12} {:>10} | {st:>12.6e} {opt:>12.6e}",
+            format_time(alpha_r)
+        );
+        csv.push_str(&format!("{bname},{sname},{alpha_r},{st},{opt}\n"));
     }
     println!(
         "  (a torus base makes every halo step single-hop: static wins regardless of α_r,\n   while the ring base must reconfigure the column shifts)"

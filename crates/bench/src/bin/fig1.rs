@@ -10,15 +10,24 @@
 //! cargo run -p aps-bench --release --bin fig1             # all panels
 //! cargo run -p aps-bench --release --bin fig1 -- --panel c
 //! cargo run -p aps-bench --release --bin fig1 -- --n 32   # smaller domain
+//! APS_THREADS=4 cargo run -p aps-bench --release --bin fig1
 //! ```
 //!
 //! Each panel prints an ASCII heatmap (rows: message size, columns: α_r)
-//! and writes `results/fig1<panel>.csv`.
+//! and writes `results/fig1<panel>.csv`; the whole run additionally writes
+//! the machine-readable `results/bench_fig1.json` report (see the README's
+//! "JSON bench reports" section). Grid cells are evaluated on an
+//! `APS_THREADS`-sized worker pool; the report's `data` section is
+//! bit-identical at any thread count.
 
-use aps_bench::figures::{panel, run_panel, Panel, PAPER_N};
-use aps_bench::output::write_result;
+use aps_bench::figures::{
+    grid_json, panel, panel_json, run_panel_on, theta_stats_json, Panel, PAPER_N,
+};
+use aps_bench::output::{write_bench_report, write_result, BenchMeta, Json};
 use aps_core::analysis::{render_heatmap, to_csv};
 use aps_core::sweep::{SweepCell, SweepGrid};
+use aps_flow::CacheStats;
+use aps_par::Pool;
 
 fn main() {
     let mut panels: Vec<Panel> = Panel::ALL.to_vec();
@@ -49,10 +58,19 @@ fn main() {
         }
     }
 
-    println!("Figure 1 — n = {n} GPUs, 800 Gbps links, δ = 100 ns, base = unidirectional ring\n");
+    let pool = Pool::from_env();
+    println!(
+        "Figure 1 — n = {n} GPUs, 800 Gbps links, δ = 100 ns, base = unidirectional ring, \
+         {} worker thread(s)\n",
+        pool.threads()
+    );
+    let grid = SweepGrid::paper_default();
+    let started = std::time::Instant::now();
+    let mut panel_reports = Vec::with_capacity(panels.len());
+    let mut theta_stats = CacheStats::default();
     for p in panels {
         let spec = panel(p);
-        let result = run_panel(&spec, n, &SweepGrid::paper_default())
+        let result = run_panel_on(&pool, &spec, n, &grid)
             .unwrap_or_else(|e| panic!("panel {:?} failed: {e}", p));
         let values = if spec.vs_bvn {
             result.map(SweepCell::speedup_vs_bvn)
@@ -65,5 +83,26 @@ fn main() {
             Ok(path) => println!("  → {}\n", path.display()),
             Err(e) => eprintln!("  (csv write failed: {e})\n"),
         }
+        theta_stats.merge(result.theta_stats);
+        panel_reports.push(panel_json(&spec, &result));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let meta = BenchMeta {
+        name: "fig1".into(),
+        seed: 0,
+        threads: pool.threads(),
+        wall_s,
+    };
+    let data = Json::obj([
+        ("figure", Json::Str("fig1".into())),
+        ("n", Json::UInt(n as u64)),
+        ("grid", grid_json(&grid)),
+        ("theta_cache", theta_stats_json(&theta_stats)),
+        ("panels", Json::Arr(panel_reports)),
+    ]);
+    match write_bench_report(&meta, data) {
+        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
+        Err(e) => eprintln!("  (json report write failed: {e})"),
     }
 }

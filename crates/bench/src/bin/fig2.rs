@@ -11,12 +11,17 @@
 //!
 //! Prints the best-of-both heatmap plus the per-cell regime map
 //! (S = static optimal, B = BvN optimal, * = only mixed wins) and writes
-//! `results/fig2.csv`.
+//! `results/fig2.csv` plus the machine-readable `results/bench_fig2.json`
+//! report. Grid cells are evaluated on an `APS_THREADS`-sized worker pool;
+//! the report's `data` section is bit-identical at any thread count.
 
-use aps_bench::figures::{panel, run_panel, Panel, PAPER_N};
-use aps_bench::output::write_result;
+use aps_bench::figures::{
+    grid_json, panel, panel_json, run_panel_on, theta_stats_json, Panel, PAPER_N,
+};
+use aps_bench::output::{write_bench_report, write_result, BenchMeta, Json};
 use aps_core::analysis::{render_heatmap, render_regimes, to_csv};
 use aps_core::sweep::{SweepCell, SweepGrid};
+use aps_par::Pool;
 
 fn main() {
     let mut n = PAPER_N;
@@ -38,12 +43,18 @@ fn main() {
 
     // Figure 2 uses the Figure-1a workload (bandwidth-optimal AllReduce at
     // α = 100 ns) but reports OPT against min(static, BvN).
+    let pool = Pool::from_env();
+    let grid = SweepGrid::paper_default();
     let spec = panel(Panel::A);
-    let result = run_panel(&spec, n, &SweepGrid::paper_default()).expect("figure 2 sweep failed");
+    let started = std::time::Instant::now();
+    let result = run_panel_on(&pool, &spec, n, &grid).expect("figure 2 sweep failed");
+    let wall_s = started.elapsed().as_secs_f64();
     let values = result.map(SweepCell::speedup_vs_best_of_both);
     let title = format!(
-        "Figure 2: speedup of OPT vs best-of-both (static, BvN) — {}, n = {n}",
-        spec.workload.name()
+        "Figure 2: speedup of OPT vs best-of-both (static, BvN) — {}, n = {n}, \
+         {} worker thread(s)",
+        spec.workload.name(),
+        pool.threads()
     );
     println!("{}", render_heatmap(&title, &result.grid, &values));
     println!(
@@ -54,5 +65,23 @@ fn main() {
     match write_result("fig2.csv", &csv) {
         Ok(path) => println!("  → {}", path.display()),
         Err(e) => eprintln!("  (csv write failed: {e})"),
+    }
+
+    let meta = BenchMeta {
+        name: "fig2".into(),
+        seed: 0,
+        threads: pool.threads(),
+        wall_s,
+    };
+    let data = Json::obj([
+        ("figure", Json::Str("fig2".into())),
+        ("n", Json::UInt(n as u64)),
+        ("grid", grid_json(&grid)),
+        ("theta_cache", theta_stats_json(&result.theta_stats)),
+        ("panels", Json::Arr(vec![panel_json(&spec, &result)])),
+    ]);
+    match write_bench_report(&meta, data) {
+        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
+        Err(e) => eprintln!("  (json report write failed: {e})"),
     }
 }

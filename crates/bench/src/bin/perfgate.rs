@@ -1,0 +1,217 @@
+//! CI gatekeeper for the JSON bench reports (`results/bench_<name>.json`).
+//!
+//! ```text
+//! perfgate compare <a.json> <b.json> [<c.json> ...]
+//! perfgate baseline -o BENCH_baseline.json <report.json> [...]
+//! perfgate gate --baseline BENCH_baseline.json [--max-regress 0.25] <report.json> [...]
+//! ```
+//!
+//! * `compare` — asserts the reports are **byte-identical** once the two
+//!   runtime `meta` lines (`threads`, `wall_s`) are stripped. This is the
+//!   determinism check: the same commit must produce the same sweep data at
+//!   `APS_THREADS=1` and `APS_THREADS=4`.
+//! * `baseline` — distills reports into a committed baseline file carrying
+//!   each report's name, thread count and wall-clock.
+//! * `gate` — compares each report's wall-clock against its baseline
+//!   entry; exits non-zero when a report regressed by more than
+//!   `--max-regress` (default 0.25 = 25%).
+//!
+//! Exit codes: 0 pass, 1 check failed, 2 usage/IO error.
+
+use aps_bench::output::{extract_number, extract_string, strip_runtime_meta, Json};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn report_name(body: &str, path: &str) -> String {
+    extract_string(body, "name").unwrap_or_else(|| {
+        eprintln!("perfgate: {path} has no \"name\" meta key");
+        std::process::exit(2);
+    })
+}
+
+fn report_wall_s(body: &str, path: &str) -> f64 {
+    extract_number(body, "wall_s").unwrap_or_else(|| {
+        eprintln!("perfgate: {path} has no \"wall_s\" meta key");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  perfgate compare <a.json> <b.json> [...]\n  perfgate baseline -o <out.json> \
+         <report.json> [...]\n  perfgate gate --baseline <baseline.json> [--max-regress <frac>] \
+         <report.json> [...]"
+    );
+    std::process::exit(2);
+}
+
+fn compare(paths: &[String]) -> i32 {
+    if paths.len() < 2 {
+        usage();
+    }
+    let reference = strip_runtime_meta(&read(&paths[0]));
+    let mut failed = false;
+    for p in &paths[1..] {
+        let candidate = strip_runtime_meta(&read(p));
+        if candidate == reference {
+            println!("perfgate: {} == {} (modulo runtime meta)", paths[0], p);
+        } else {
+            failed = true;
+            let diff_line = reference
+                .lines()
+                .zip(candidate.lines())
+                .position(|(a, b)| a != b)
+                .map_or("line count differs".to_string(), |i| {
+                    format!("first difference at stripped line {}", i + 1)
+                });
+            eprintln!(
+                "perfgate: DETERMINISM FAILURE {} != {} ({diff_line})",
+                paths[0], p
+            );
+        }
+    }
+    i32::from(failed)
+}
+
+fn baseline(args: &[String]) -> i32 {
+    let mut out_path = None;
+    let mut reports = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out_path = it.next().cloned(),
+            p => reports.push(p.to_string()),
+        }
+    }
+    let (Some(out_path), false) = (out_path, reports.is_empty()) else {
+        usage();
+    };
+    let entries: Vec<Json> = reports
+        .iter()
+        .map(|p| {
+            let body = read(p);
+            Json::obj([
+                ("name", Json::Str(report_name(&body, p))),
+                (
+                    "threads",
+                    Json::UInt(extract_number(&body, "threads").unwrap_or(1.0) as u64),
+                ),
+                ("wall_s", Json::Num(report_wall_s(&body, p))),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("schema_version", Json::UInt(1)),
+        ("entries", Json::Arr(entries)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.render()) {
+        eprintln!("perfgate: cannot write {out_path}: {e}");
+        return 2;
+    }
+    println!("perfgate: wrote {out_path} ({} entries)", reports.len());
+    0
+}
+
+/// Parses the `entries` of a baseline file written by [`baseline`]:
+/// `(name, threads, wall_s)` triples, read line-by-line from this tool's
+/// own format (keys appear in `name`, `threads`, `wall_s` order).
+fn baseline_entries(body: &str) -> Vec<(String, u64, f64)> {
+    let mut entries = Vec::new();
+    let mut name: Option<String> = None;
+    let mut threads = 1u64;
+    for line in body.lines() {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("\"name\":") {
+            let v = rest.trim().trim_end_matches(',');
+            name = v
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string);
+        } else if let Some(rest) = t.strip_prefix("\"threads\":") {
+            threads = rest.trim().trim_end_matches(',').parse().unwrap_or(1);
+        } else if let Some(rest) = t.strip_prefix("\"wall_s\":") {
+            if let (Some(n), Ok(w)) = (
+                name.take(),
+                rest.trim().trim_end_matches(',').parse::<f64>(),
+            ) {
+                entries.push((n, threads, w));
+            }
+        }
+    }
+    entries
+}
+
+fn gate(args: &[String]) -> i32 {
+    let mut baseline_path = None;
+    let mut max_regress = 0.25f64;
+    let mut reports = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--max-regress" => {
+                max_regress = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            p => reports.push(p.to_string()),
+        }
+    }
+    let (Some(baseline_path), false) = (baseline_path, reports.is_empty()) else {
+        usage();
+    };
+    let entries = baseline_entries(&read(&baseline_path));
+    let mut failed = false;
+    for p in &reports {
+        let body = read(p);
+        let name = report_name(&body, p);
+        let wall = report_wall_s(&body, p);
+        let threads = extract_number(&body, "threads").unwrap_or(1.0) as u64;
+        // Prefer the entry recorded at the same thread count; fall back to
+        // any entry of the same name.
+        let Some((_, _, base_wall)) = entries
+            .iter()
+            .find(|(n, t, _)| *n == name && *t == threads)
+            .or_else(|| entries.iter().find(|(n, _, _)| *n == name))
+        else {
+            eprintln!("perfgate: no baseline entry for '{name}' in {baseline_path}");
+            failed = true;
+            continue;
+        };
+        let limit = base_wall * (1.0 + max_regress);
+        let ratio = wall / base_wall;
+        if wall > limit {
+            failed = true;
+            eprintln!(
+                "perfgate: PERF REGRESSION '{name}': {wall:.3} s vs baseline {base_wall:.3} s \
+                 ({ratio:.2}x > allowed {:.2}x)",
+                1.0 + max_regress
+            );
+        } else {
+            println!(
+                "perfgate: '{name}' ok: {wall:.3} s vs baseline {base_wall:.3} s ({ratio:.2}x)"
+            );
+        }
+    }
+    i32::from(failed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let code = match cmd.as_str() {
+        "compare" => compare(rest),
+        "baseline" => baseline(rest),
+        "gate" => gate(rest),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

@@ -5,12 +5,14 @@
 //! (bandwidth-optimal) recursive halving-doubling and Swing, plus the
 //! All-to-All transpose; sweep `α_r` (columns) × message size (rows).
 
+use crate::output::Json;
 use aps_collectives::{allreduce, alltoall, Collective, CollectiveError};
 use aps_core::objective::ReconfigAccounting;
-use aps_core::sweep::{run_sweep, SweepGrid, SweepResult};
+use aps_core::sweep::{run_sweep_on, SweepGrid, SweepResult};
 use aps_core::CoreError;
 use aps_cost::CostParams;
 use aps_flow::solver::ThroughputSolver;
+use aps_par::Pool;
 use aps_topology::builders;
 
 /// GPUs in the evaluated scale-up domain.
@@ -204,14 +206,29 @@ pub fn panel(p: Panel) -> PanelSpec {
 }
 
 /// Runs one panel's sweep on the paper's setup (`n = 64`, unidirectional
-/// ring base, exact forced-path θ).
+/// ring base, exact forced-path θ) with a pool sized from `APS_THREADS`.
 ///
 /// # Errors
 ///
 /// Propagates sweep errors.
 pub fn run_panel(spec: &PanelSpec, n: usize, grid: &SweepGrid) -> Result<SweepResult, CoreError> {
+    run_panel_on(&Pool::from_env(), spec, n, grid)
+}
+
+/// [`run_panel`] on an explicit pool.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn run_panel_on(
+    pool: &Pool,
+    spec: &PanelSpec,
+    n: usize,
+    grid: &SweepGrid,
+) -> Result<SweepResult, CoreError> {
     let base = builders::ring_unidirectional(n).expect("n >= 2");
-    run_sweep(
+    run_sweep_on(
+        pool,
         &base,
         |m| spec.workload.build(n, m),
         spec.params,
@@ -219,6 +236,66 @@ pub fn run_panel(spec: &PanelSpec, n: usize, grid: &SweepGrid) -> Result<SweepRe
         ReconfigAccounting::PaperConservative,
         ThroughputSolver::ForcedPath,
     )
+}
+
+/// The sweep axes as a JSON object (`data.grid` of a bench report).
+pub fn grid_json(grid: &SweepGrid) -> Json {
+    Json::obj([
+        (
+            "reconf_delays_s",
+            Json::nums(grid.reconf_delays_s.iter().copied()),
+        ),
+        (
+            "message_bytes",
+            Json::nums(grid.message_bytes.iter().copied()),
+        ),
+    ])
+}
+
+/// Per-policy completion times a sweep cell contributes to a report, in
+/// [`CELL_POLICIES`] order.
+pub const CELL_POLICIES: [&str; 4] = ["static", "bvn", "opt", "threshold"];
+
+/// One panel's sweep as a JSON object: the workload, α, and the row-major
+/// `cells_s[msg][α_r]` grid of `[static, bvn, opt, threshold]` completion
+/// times.
+pub fn panel_json(spec: &PanelSpec, result: &SweepResult) -> Json {
+    let cells = result
+        .cells
+        .iter()
+        .map(|row| {
+            Json::Arr(
+                row.iter()
+                    .map(|c| Json::nums([c.t_static_s, c.t_bvn_s, c.t_opt_s, c.t_threshold_s]))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("panel", Json::Str(spec.panel.letter().to_string())),
+        ("workload", Json::Str(spec.workload.name().to_string())),
+        ("alpha_s", Json::Num(spec.params.alpha_s)),
+        ("vs_bvn", Json::Bool(spec.vs_bvn)),
+        (
+            "policies",
+            Json::Arr(
+                CELL_POLICIES
+                    .iter()
+                    .map(|p| Json::Str((*p).to_string()))
+                    .collect(),
+            ),
+        ),
+        ("cells_s", Json::Arr(cells)),
+    ])
+}
+
+/// θ-cache counters as a JSON object (`data.theta_cache`).
+pub fn theta_stats_json(stats: &aps_flow::CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::UInt(stats.hits)),
+        ("misses", Json::UInt(stats.misses)),
+        ("entries", Json::UInt(stats.entries as u64)),
+    ])
 }
 
 #[cfg(test)]

@@ -8,7 +8,15 @@
 //!   All-to-All across columns, plus the α = 10 µs variants);
 //! * `fig2` — Figure 2's OPT vs best-of-both heatmap and the regime map
 //!   showing the transitional diagonal;
-//! * `ablations` — the research-agenda experiments A1–A7.
+//! * `ablations` — the research-agenda experiments A1–A7;
+//! * `perfgate` — the CI gatekeeper that checks bench reports for
+//!   thread-count determinism (`compare`), distills committed baselines
+//!   (`baseline`), and fails on wall-clock regressions (`gate`).
+//!
+//! The figure harnesses evaluate their sweep grids on an
+//! `APS_THREADS`-sized [`aps_par::Pool`] and emit versioned JSON reports
+//! (`results/bench_<name>.json`, see [`output`]) whose `data` sections are
+//! bit-identical at any thread count.
 //!
 //! Criterion benches (`benches/`) time the computational kernels: the DP
 //! solver, BvN decomposition, θ solvers and the event simulator.
@@ -17,4 +25,4 @@ pub mod figures;
 pub mod output;
 pub mod workload;
 
-pub use figures::{panel, run_panel, Panel, PanelSpec};
+pub use figures::{panel, run_panel, run_panel_on, Panel, PanelSpec};

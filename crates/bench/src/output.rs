@@ -1,4 +1,22 @@
-//! Result output: CSV files under `results/`.
+//! Result output: CSV and versioned JSON reports under `results/`.
+//!
+//! ## The JSON bench report (`results/bench_<name>.json`)
+//!
+//! Machine-readable sweep artifacts that CI can diff and gate on. The
+//! serializer is hand-rolled (no crates.io access) with **stable key
+//! order**, two-space indentation, one key per line, and locale-independent
+//! number formatting (Rust's shortest round-trip `f64` display), so the
+//! same data always produces the same bytes.
+//!
+//! A report has exactly two top-level sections:
+//!
+//! * `meta` — run provenance: schema version, report name, seed, **thread
+//!   count and wall-clock**. These two are the only values that may differ
+//!   between runs of the same code.
+//! * `data` — the deterministic payload (grid axes, per-cell policy
+//!   completion times, θ-cache counters). Bit-identical at any
+//!   `APS_THREADS` setting; `perfgate compare` enforces exactly that by
+//!   comparing reports with the `meta` runtime lines stripped.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -6,14 +24,26 @@ use std::path::{Path, PathBuf};
 /// Default output directory, relative to the invocation directory.
 pub const RESULTS_DIR: &str = "results";
 
-/// Writes `content` to `results/<name>`, creating the directory if needed.
+/// Current bench-report schema version; bump on any `data` layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// `meta` keys that legitimately differ between runs of identical code.
+/// `perfgate compare` strips lines carrying these keys before byte
+/// comparison.
+pub const RUNTIME_META_KEYS: [&str; 2] = ["threads", "wall_s"];
+
+/// Writes `content` to `<dir>/<name>`, creating the directory if needed.
 /// Returns the written path.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_result(name: &str, content: &str) -> std::io::Result<PathBuf> {
-    let dir = Path::new(RESULTS_DIR);
+pub fn write_result_in(
+    dir: impl AsRef<Path>,
+    name: &str,
+    content: &str,
+) -> std::io::Result<PathBuf> {
+    let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path)?;
@@ -21,20 +51,338 @@ pub fn write_result(name: &str, content: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes `content` to `results/<name>` (see [`write_result_in`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_result(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    write_result_in(RESULTS_DIR, name, content)
+}
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// Finite float, serialized with Rust's shortest round-trip display.
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; keys render in insertion order — never sorted, never hashed.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array of floats.
+    pub fn nums(values: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent, one
+    /// object key per line, scalar-only arrays inline) with a trailing
+    /// newline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite floats: NaN/∞ have no JSON representation and
+    /// a bench report containing one is a bug worth failing loudly on.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Arr(_) | Json::Obj(_))
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(x) => {
+                assert!(x.is_finite(), "non-finite value {x} in a JSON report");
+                // `{}` on f64 is locale-independent and round-trips, but
+                // renders whole numbers without a distinguishing mark;
+                // keep them visibly floats.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else if items.iter().all(Json::is_scalar) {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        v.render_into(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    let pad = "  ".repeat(indent + 1);
+                    for (i, v) in items.iter().enumerate() {
+                        out.push_str(&pad);
+                        v.render_into(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str(&"  ".repeat(indent));
+                    out.push(']');
+                }
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                } else {
+                    out.push_str("{\n");
+                    let pad = "  ".repeat(indent + 1);
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        out.push_str(&pad);
+                        out.push('"');
+                        out.push_str(k);
+                        out.push_str("\": ");
+                        v.render_into(out, indent + 1);
+                        if i + 1 < entries.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str(&"  ".repeat(indent));
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
+/// Run provenance of a bench report (the `meta` section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMeta {
+    /// Report name; the file becomes `bench_<name>.json`.
+    pub name: String,
+    /// Seed of any randomized workload in the run (0 for the deterministic
+    /// paper figures).
+    pub seed: u64,
+    /// Worker threads the run used (`APS_THREADS`).
+    pub threads: usize,
+    /// End-to-end wall-clock of the run in seconds.
+    pub wall_s: f64,
+}
+
+/// Assembles the canonical `{meta, data}` report document.
+pub fn bench_report(meta: &BenchMeta, data: Json) -> Json {
+    Json::obj([
+        (
+            "meta",
+            Json::obj([
+                ("schema_version", Json::UInt(SCHEMA_VERSION)),
+                ("name", Json::Str(meta.name.clone())),
+                ("seed", Json::UInt(meta.seed)),
+                ("threads", Json::UInt(meta.threads as u64)),
+                ("wall_s", Json::Num(meta.wall_s)),
+            ]),
+        ),
+        ("data", data),
+    ])
+}
+
+/// Renders and writes `bench_<name>.json` into `dir`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bench_report_in(
+    dir: impl AsRef<Path>,
+    meta: &BenchMeta,
+    data: Json,
+) -> std::io::Result<PathBuf> {
+    write_result_in(
+        dir,
+        &format!("bench_{}.json", meta.name),
+        &bench_report(meta, data).render(),
+    )
+}
+
+/// [`write_bench_report_in`] into the default [`RESULTS_DIR`].
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bench_report(meta: &BenchMeta, data: Json) -> std::io::Result<PathBuf> {
+    write_bench_report_in(RESULTS_DIR, meta, data)
+}
+
+/// Strips the lines carrying [`RUNTIME_META_KEYS`] — the only
+/// legitimately run-dependent bytes of a report. What remains must be
+/// byte-identical across runs of the same code at any thread count.
+pub fn strip_runtime_meta(report: &str) -> String {
+    report
+        .lines()
+        .filter(|line| {
+            let t = line.trim_start();
+            !RUNTIME_META_KEYS
+                .iter()
+                .any(|k| t.starts_with(&format!("\"{k}\":")))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Extracts the first `"key": <number>` scalar from a report rendered by
+/// [`Json::render`] (one key per line). Not a general JSON parser — it
+/// reads back only what this module writes.
+pub fn extract_number(report: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    report.lines().find_map(|line| {
+        let t = line.trim_start().strip_prefix(&needle)?;
+        t.trim().trim_end_matches(',').parse::<f64>().ok()
+    })
+}
+
+/// Extracts the first `"key": "<string>"` from a rendered report. Same
+/// caveat as [`extract_number`]: only for this module's own output.
+pub fn extract_string(report: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    report.lines().find_map(|line| {
+        let t = line.trim_start().strip_prefix(&needle)?;
+        let t = t.trim().trim_end_matches(',');
+        let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+        Some(inner.to_string())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aps-bench-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
-    fn writes_into_results_dir() {
-        let tmp = std::env::temp_dir().join(format!("aps-bench-test-{}", std::process::id()));
-        std::fs::create_dir_all(&tmp).unwrap();
-        let old = std::env::current_dir().unwrap();
-        std::env::set_current_dir(&tmp).unwrap();
-        let p = write_result("unit.csv", "a,b\n1,2\n").unwrap();
-        let back = std::fs::read_to_string(&p).unwrap();
-        std::env::set_current_dir(old).unwrap();
-        assert_eq!(back, "a,b\n1,2\n");
+    fn writes_into_explicit_dir_without_touching_cwd() {
+        let tmp = tmp_dir("write");
+        let p = write_result_in(&tmp, "unit.csv", "a,b\n1,2\n").unwrap();
+        assert!(p.starts_with(&tmp));
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_ordered() {
+        let v = Json::obj([
+            ("b_first", Json::UInt(2)),
+            ("a_second", Json::nums([1.0, 0.5, 1e-7])),
+            ("s", Json::Str("q\"\\\n".into())),
+            ("nested", Json::obj([("x", Json::Bool(true))])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        // Insertion order, not alphabetical.
+        assert!(s.find("b_first").unwrap() < s.find("a_second").unwrap());
+        // Scalar arrays inline; floats keep a decimal point; escaping works.
+        assert!(s.contains("[1.0, 0.5, 0.0000001]"));
+        assert!(s.contains("\"q\\\"\\\\\\n\""));
+        assert!(s.contains("\"empty\": []"));
+        // Stable: rendering twice is byte-identical.
+        assert_eq!(s, v.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_are_rejected() {
+        Json::Num(f64::NAN).render();
+    }
+
+    #[test]
+    fn bench_report_roundtrips_meta_and_strips_runtime_keys() {
+        let meta = BenchMeta {
+            name: "unit".into(),
+            seed: 7,
+            threads: 4,
+            wall_s: 1.25,
+        };
+        let report = bench_report(&meta, Json::obj([("cells", Json::nums([1.0]))])).render();
+        assert_eq!(extract_string(&report, "name").as_deref(), Some("unit"));
+        assert_eq!(extract_number(&report, "seed"), Some(7.0));
+        assert_eq!(extract_number(&report, "wall_s"), Some(1.25));
+        assert_eq!(
+            extract_number(&report, "schema_version"),
+            Some(SCHEMA_VERSION as f64)
+        );
+
+        // A rerun differing only in threads/wall_s is identical once the
+        // runtime meta lines are stripped.
+        let rerun = bench_report(
+            &BenchMeta {
+                threads: 1,
+                wall_s: 9.75,
+                ..meta
+            },
+            Json::obj([("cells", Json::nums([1.0]))]),
+        )
+        .render();
+        assert_ne!(report, rerun);
+        assert_eq!(strip_runtime_meta(&report), strip_runtime_meta(&rerun));
+    }
+
+    #[test]
+    fn bench_report_file_name_carries_the_report_name() {
+        let tmp = tmp_dir("report");
+        let meta = BenchMeta {
+            name: "fig0".into(),
+            seed: 0,
+            threads: 1,
+            wall_s: 0.0,
+        };
+        let p = write_bench_report_in(&tmp, &meta, Json::obj([])).unwrap();
+        assert!(p.ends_with("bench_fig0.json"));
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.starts_with("{\n  \"meta\": {"));
+        assert!(body.ends_with("}\n"));
         std::fs::remove_dir_all(&tmp).ok();
     }
 }

@@ -9,7 +9,8 @@ use aps_collectives::{Collective, CollectiveError};
 use aps_cost::steptable::step_cost_table;
 use aps_cost::units::{GIB, KIB, MICROS, MILLIS, NANOS};
 use aps_cost::{CostParams, ReconfigModel};
-use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_flow::solver::{CacheStats, ThetaCache, ThroughputSolver};
+use aps_par::Pool;
 use aps_topology::Topology;
 
 /// The sweep axes: reconfiguration delays (columns) × message sizes (rows).
@@ -98,6 +99,8 @@ pub struct SweepResult {
     pub grid: SweepGrid,
     /// Row-major policy timings.
     pub cells: Vec<Vec<SweepCell>>,
+    /// θ-cache counters, merged across the pool's per-worker caches.
+    pub theta_stats: CacheStats,
 }
 
 impl SweepResult {
@@ -110,26 +113,81 @@ impl SweepResult {
     }
 }
 
-/// Runs the sweep: for every message size builds the collective once, prices
-/// the step table once (θ memoized across everything), then evaluates all
-/// four policies at every reconfiguration delay.
+/// Runs the sweep on a pool sized from `APS_THREADS` (see
+/// [`aps_par::Pool::from_env`]); identical to [`run_sweep_on`] otherwise.
 ///
 /// # Errors
 ///
 /// Propagates collective construction and routing errors.
 pub fn run_sweep(
     base: &Topology,
-    build: impl Fn(f64) -> Result<Collective, CollectiveError>,
+    build: impl Fn(f64) -> Result<Collective, CollectiveError> + Sync,
     params: CostParams,
     grid: &SweepGrid,
     accounting: ReconfigAccounting,
     solver: ThroughputSolver,
 ) -> Result<SweepResult, CoreError> {
-    let mut cache = ThetaCache::new(base, solver);
-    let mut cells = Vec::with_capacity(grid.message_bytes.len());
-    for &m in &grid.message_bytes {
-        let collective = build(m)?;
-        let table = step_cost_table(base, &collective.schedule, &mut cache)?;
+    run_sweep_on(
+        &Pool::from_env(),
+        base,
+        build,
+        params,
+        grid,
+        accounting,
+        solver,
+    )
+}
+
+/// Runs the sweep on `pool` in two parallel phases:
+///
+/// 1. **θ pricing** — the collectives of all rows are built, their step
+///    matchings deduplicated, and each *unique* matching priced once,
+///    distributed over the pool ([`ThetaCache::warm`]). This is the hot
+///    part of a sweep and it parallelizes without redundancy — naively
+///    parallelizing rows instead would re-price the same matchings once
+///    per worker, because every message size reuses the same patterns.
+/// 2. **cell evaluation** — rows are distributed over the pool; each
+///    worker clones the warmed cache (all lookups hit) and evaluates the
+///    four policies at every reconfiguration delay.
+///
+/// Results are **bit-identical at any thread count**: every θ solve and
+/// every cell is a pure function of its inputs, and ordering is fixed by
+/// [`aps_par::Pool::map_with`]'s chunked index assignment.
+///
+/// # Errors
+///
+/// Propagates collective construction and routing errors; when several rows
+/// fail, the error of the lowest row index is returned.
+pub fn run_sweep_on(
+    pool: &Pool,
+    base: &Topology,
+    build: impl Fn(f64) -> Result<Collective, CollectiveError> + Sync,
+    params: CostParams,
+    grid: &SweepGrid,
+    accounting: ReconfigAccounting,
+    solver: ThroughputSolver,
+) -> Result<SweepResult, CoreError> {
+    // Phase 1: build each row's collective, then price the union of their
+    // step matchings across the pool.
+    let collectives = grid
+        .message_bytes
+        .iter()
+        .map(|&m| build(m))
+        .collect::<Result<Vec<_>, _>>()?;
+    let warm = ThetaCache::warm(
+        pool,
+        base,
+        solver,
+        collectives
+            .iter()
+            .flat_map(|c| c.schedule.steps().iter().map(|s| &s.matching)),
+    )?;
+
+    // Phase 2: evaluate rows; every θ lookup hits the warmed cache.
+    let sweep_row = |cache: &mut ThetaCache,
+                     collective: &Collective|
+     -> Result<Vec<SweepCell>, CoreError> {
+        let table = step_cost_table(base, &collective.schedule, cache)?;
         let mut row = Vec::with_capacity(grid.reconf_delays_s.len());
         for &alpha_r in &grid.reconf_delays_s {
             let problem = SwitchingProblem {
@@ -146,11 +204,29 @@ pub fn run_sweep(
                 t_threshold_s: evaluate_policy(&problem, Policy::Threshold, accounting)?.total_s(),
             });
         }
-        cells.push(row);
+        Ok(row)
+    };
+    let (rows, worker_caches) = pool.map_with(
+        &collectives,
+        || {
+            let mut cache = warm.clone();
+            cache.reset_stats();
+            cache
+        },
+        |cache, _, collective| sweep_row(cache, collective),
+    );
+    let cells = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    // Pricing counted once (phase 1); workers contribute only lookups.
+    let mut theta_stats = warm.stats();
+    for c in &worker_caches {
+        theta_stats.hits += c.stats().hits;
+        theta_stats.misses += c.stats().misses;
     }
     Ok(SweepResult {
         grid: grid.clone(),
         cells,
+        theta_stats,
     })
 }
 
@@ -213,6 +289,34 @@ mod tests {
         let m = r.map(SweepCell::speedup_vs_static);
         assert_eq!(m.len(), 3);
         assert_eq!(m[0].len(), 3);
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let topo = builders::ring_unidirectional(16).unwrap();
+        let run = |threads: usize| {
+            run_sweep_on(
+                &Pool::new(threads),
+                &topo,
+                |m| allreduce::halving_doubling::build(16, m),
+                CostParams::paper_defaults(),
+                &SweepGrid::small(),
+                Default::default(),
+                ThroughputSolver::ForcedPath,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            assert_eq!(serial.cells, parallel.cells, "threads = {threads}");
+            // The same lookups are served regardless of the partitioning.
+            assert_eq!(serial.theta_stats.lookups(), parallel.theta_stats.lookups());
+        }
+        // Per-worker caches actually memoize: with every row on one worker
+        // all repeated matchings hit.
+        assert!(serial.theta_stats.hits > 0);
+        assert!(serial.theta_stats.misses > 0);
     }
 
     #[test]

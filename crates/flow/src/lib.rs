@@ -34,4 +34,4 @@ pub mod ring;
 pub mod solver;
 
 pub use error::FlowError;
-pub use solver::{step_throughput, StepThroughput, ThetaCache, ThroughputSolver};
+pub use solver::{step_throughput, CacheStats, StepThroughput, ThetaCache, ThroughputSolver};

@@ -85,13 +85,47 @@ pub fn step_throughput(
     }
 }
 
+/// Hit/miss counters of a [`ThetaCache`] — mergeable across the per-worker
+/// caches of a parallel sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that had to run the solver.
+    pub misses: u64,
+    /// Matchings currently memoized (equals `misses` for a cache that was
+    /// never queried across topologies; summed over workers it counts each
+    /// worker's copy separately).
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Accumulates another cache's counters (e.g. a parallel worker's).
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+    }
+
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
 /// Memoizes [`step_throughput`] per `(topology, solver)` over matchings.
-#[derive(Debug)]
+///
+/// Cloning a cache clones its memo table — the cheap way to hand each
+/// worker of a parallel sweep a private, pre-warmed copy (see
+/// [`ThetaCache::warm`]).
+#[derive(Debug, Clone)]
 pub struct ThetaCache {
     topology_name: String,
     topology_n: usize,
     solver: ThroughputSolver,
     map: HashMap<Matching, StepThroughput>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ThetaCache {
@@ -102,6 +136,8 @@ impl ThetaCache {
             topology_n: topo.n(),
             solver,
             map: HashMap::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -124,11 +160,64 @@ impl ThetaCache {
             });
         }
         if let Some(hit) = self.map.get(matching) {
+            self.hits += 1;
             return Ok(*hit);
         }
         let v = step_throughput(topo, matching, self.solver)?;
         self.map.insert(matching.clone(), v);
+        self.misses += 1;
         Ok(v)
+    }
+
+    /// Prices a set of matchings **in parallel** and returns a cache with
+    /// every one memoized. This is the hot phase of a sweep: θ solves are
+    /// embarrassingly parallel across matchings, whereas parallelizing the
+    /// sweep rows would re-price the same matchings once per worker.
+    /// Duplicate matchings are deduplicated (first occurrence wins — the
+    /// result is identical either way, since solving is pure).
+    ///
+    /// The returned cache counts one miss per unique matching priced and no
+    /// hits. Results are bit-identical at any `pool` width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; across failing matchings, the error of the
+    /// first (in iteration order) is returned.
+    pub fn warm<'a>(
+        pool: &aps_par::Pool,
+        topo: &Topology,
+        solver: ThroughputSolver,
+        matchings: impl IntoIterator<Item = &'a Matching>,
+    ) -> Result<Self, FlowError> {
+        let mut unique: Vec<&Matching> = Vec::new();
+        let mut seen: std::collections::HashSet<&Matching> = std::collections::HashSet::new();
+        for m in matchings {
+            if seen.insert(m) {
+                unique.push(m);
+            }
+        }
+        let priced = pool.try_map(&unique, |_, m| step_throughput(topo, m, solver))?;
+        let mut cache = Self::new(topo, solver);
+        cache.misses = unique.len() as u64;
+        cache.map = unique.into_iter().cloned().zip(priced).collect();
+        Ok(cache)
+    }
+
+    /// Zeroes the hit/miss counters, keeping the memo table. Used after
+    /// cloning a warmed cache into a worker so per-worker counters measure
+    /// only that worker's lookups.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Hit/miss/entry counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
     }
 
     /// Number of memoized matchings.
@@ -171,11 +260,75 @@ mod tests {
         let b = cache.get(&t, &m).unwrap();
         assert_eq!(a, b);
         assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.lookups(), 2);
+        let mut merged = CacheStats::default();
+        merged.merge(stats);
+        merged.merge(stats);
+        assert_eq!(merged.hits, 2);
+        assert_eq!(merged.entries, 2);
         let other = builders::ring_bidirectional(8).unwrap();
         assert!(matches!(
             cache.get(&other, &m),
             Err(FlowError::CacheTopologyMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn warm_prices_unique_matchings_in_parallel_and_identically() {
+        let t = builders::ring_unidirectional(8).unwrap();
+        let shifts: Vec<Matching> = [1, 2, 3, 2, 1, 5]
+            .iter()
+            .map(|&k| Matching::shift(8, k).unwrap())
+            .collect();
+        let mut serial = ThetaCache::warm(
+            &aps_par::Pool::serial(),
+            &t,
+            ThroughputSolver::ForcedPath,
+            &shifts,
+        )
+        .unwrap();
+        let warm4 = ThetaCache::warm(
+            &aps_par::Pool::new(4),
+            &t,
+            ThroughputSolver::ForcedPath,
+            &shifts,
+        )
+        .unwrap();
+        // Duplicates deduplicated: 4 unique shifts, all counted as misses.
+        for c in [&serial, &warm4] {
+            assert_eq!(c.len(), 4);
+            assert_eq!(c.stats().misses, 4);
+            assert_eq!(c.stats().hits, 0);
+        }
+        // Every lookup on a warmed cache is a hit, and values match the
+        // direct solver at any pool width.
+        let mut warm4 = warm4;
+        for m in &shifts {
+            let direct = step_throughput(&t, m, ThroughputSolver::ForcedPath).unwrap();
+            assert_eq!(serial.get(&t, m).unwrap(), direct);
+            assert_eq!(warm4.get(&t, m).unwrap(), direct);
+        }
+        assert_eq!(warm4.stats().hits, 6);
+        // Clone + reset gives a fresh counter over the same memo table.
+        let mut clone = warm4.clone();
+        clone.reset_stats();
+        assert_eq!(clone.len(), 4);
+        assert_eq!(
+            clone.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 4
+            }
+        );
+        // Reset or not, the underlying values are still all hits.
+        serial.reset_stats();
+        serial.get(&t, &shifts[0]).unwrap();
+        assert_eq!(serial.stats().hits, 1);
     }
 
     #[test]

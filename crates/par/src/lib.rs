@@ -1,0 +1,325 @@
+//! # aps-par — deterministic scoped worker pool
+//!
+//! The sweep grids behind the paper's Figures 1–2 and the A1–A9 ablations
+//! are embarrassingly parallel: every `α_r × message-size` cell (and every
+//! simulator trial) is independent of every other. This crate provides the
+//! one primitive all of those loops need — a parallel `map` over a slice —
+//! built on `std::thread::scope` only, because the build environment has no
+//! crates.io access (no rayon).
+//!
+//! ## Determinism
+//!
+//! Results are returned **in input order regardless of thread count**:
+//! workers receive contiguous index chunks up front (chunked
+//! index-assignment, not work-stealing), compute into their own buffers,
+//! and the buffers are concatenated in chunk order after the join. The same
+//! input therefore produces the *same* output `Vec` with 1, 2 or 64
+//! threads — bit-identical, not just "equal up to reordering". The figure
+//! harnesses rely on this to emit byte-identical JSON reports at any
+//! `APS_THREADS` setting.
+//!
+//! ## Worker-local state
+//!
+//! [`Pool::map_with`] gives every worker a private state value built by an
+//! `init` closure (e.g. a `ThetaCache`) and hands all states back after the
+//! join so the caller can merge statistics. A worker reuses its state
+//! across every item in its chunk, which is where sweep-level memoization
+//! comes from.
+//!
+//! ## Panics
+//!
+//! A panic in any worker is propagated to the caller with its original
+//! payload after all workers have been joined (no detached threads, no
+//! poisoned state).
+
+use std::num::NonZeroUsize;
+
+/// Environment variable selecting the worker count, e.g. `APS_THREADS=4`.
+pub const THREADS_ENV: &str = "APS_THREADS";
+
+/// A fixed-width worker pool. Cheap to construct; threads are scoped to
+/// each `map` call rather than kept alive between calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: NonZeroUsize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"),
+        }
+    }
+
+    /// A single-threaded pool: every `map` runs inline on the caller.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Reads [`THREADS_ENV`] (`APS_THREADS`); when unset or unparsable,
+    /// falls back to [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var(THREADS_ENV).ok().as_deref())
+    }
+
+    /// The pure core of [`Pool::from_env`], split out for testability:
+    /// `value` is the raw `APS_THREADS` setting, if any.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        match value.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+            Some(t) if t >= 1 => Self::new(t),
+            _ => Self::new(
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
+        }
+    }
+
+    /// Number of workers this pool runs.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Parallel map with input-order results: `out[i] == f(i, &items[i])`.
+    pub fn map<T, R>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_with(items, || (), |(), i, t| f(i, t)).0
+    }
+
+    /// Parallel map where each worker carries private state created by
+    /// `init` and reused across every item of its chunk. Returns the
+    /// results in input order plus the final worker states in chunk order
+    /// (one per worker that received at least one item).
+    pub fn map_with<T, R, S>(
+        &self,
+        items: &[T],
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> (Vec<R>, Vec<S>)
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+    {
+        let n = items.len();
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let workers = self.threads().min(n);
+        if workers == 1 {
+            let mut state = init();
+            let out = items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
+            return (out, vec![state]);
+        }
+        // Contiguous chunks assigned up front: worker w owns
+        // [w·chunk, (w+1)·chunk) ∩ [0, n). Output order is therefore a
+        // pure function of the input, never of scheduling. Recomputing the
+        // worker count from the chunk size drops trailing workers whose
+        // range would be empty (e.g. 9 items on 8 threads: chunks of 2 →
+        // 5 workers, not 8), so every spawned worker — and every returned
+        // state — really did receive items.
+        let chunk = n.div_ceil(workers);
+        let workers = n.div_ceil(chunk);
+        let per_worker: Vec<(Vec<R>, S)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let out: Vec<R> = items[lo..hi]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, t)| f(&mut state, lo + k, t))
+                            .collect();
+                        (out, state)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(per_worker.len());
+        for (results, state) in per_worker {
+            out.extend(results);
+            states.push(state);
+        }
+        (out, states)
+    }
+
+    /// [`Pool::map`] for fallible work: stops at nothing (all items are
+    /// evaluated) but returns the error of the **lowest input index** so
+    /// the failure is as deterministic as the successes.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input index) error produced by `f`.
+    pub fn try_map<T, R, E>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> Result<R, E> + Sync,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+    {
+        self.map(items, f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order_across_thread_counts() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::new(threads).map(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_the_true_input_index() {
+        let items = vec!["a"; 41];
+        for threads in [1, 2, 8] {
+            let got = Pool::new(threads).map(&items, |i, _| i);
+            assert_eq!(got, (0..41).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_worker_state_within_a_chunk() {
+        let items: Vec<u32> = (0..16).collect();
+        let (out, states) = Pool::new(4).map_with(
+            &items,
+            || 0usize,
+            |seen, _, &x| {
+                *seen += 1;
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(states.len(), 4);
+        // Every item was counted by exactly one worker.
+        assert_eq!(states.iter().sum::<usize>(), 16);
+        // Chunked assignment: 16 items / 4 workers = 4 each.
+        assert!(states.iter().all(|&s| s == 4));
+    }
+
+    #[test]
+    fn more_threads_than_items_spawns_only_len_workers() {
+        let items = [1, 2, 3];
+        let (out, states) = Pool::new(64).map_with(&items, || (), |(), _, &x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(states.len(), 3);
+    }
+
+    #[test]
+    fn uneven_chunking_never_spawns_idle_workers() {
+        // 9 items on 8 threads: chunks of 2 → 5 workers, each non-empty.
+        let items: Vec<usize> = (0..9).collect();
+        let (out, states) = Pool::new(8).map_with(
+            &items,
+            || 0usize,
+            |seen, _, &x| {
+                *seen += 1;
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(states, vec![2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let items: [u8; 0] = [];
+        let spawned = AtomicUsize::new(0);
+        let (out, states) = Pool::new(8).map_with(
+            &items,
+            || spawned.fetch_add(1, Ordering::SeqCst),
+            |_, _, &x| x,
+        );
+        assert!(out.is_empty());
+        assert!(states.is_empty());
+        assert_eq!(spawned.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 4] {
+            let err = std::panic::catch_unwind(|| {
+                Pool::new(threads).map(&items, |_, &x| {
+                    assert!(x != 17, "boom at {x}");
+                    x
+                })
+            })
+            .expect_err("worker panic must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+            assert!(msg.contains("boom at 17"), "got panic payload: {msg}");
+        }
+    }
+
+    #[test]
+    fn try_map_returns_the_lowest_index_error() {
+        let items: Vec<i32> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let r: Result<Vec<i32>, String> = Pool::new(threads).try_map(&items, |i, &x| {
+                if i % 10 == 3 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(r.unwrap_err(), "bad 3", "threads = {threads}");
+        }
+        let ok: Result<Vec<i32>, String> = Pool::new(4).try_map(&items, |_, &x| Ok(x + 1));
+        assert_eq!(ok.unwrap()[0], 1);
+    }
+
+    #[test]
+    fn from_env_value_parses_and_falls_back() {
+        assert_eq!(Pool::from_env_value(Some("4")).threads(), 4);
+        assert_eq!(Pool::from_env_value(Some(" 2 ")).threads(), 2);
+        // Zero, garbage, and unset all fall back to a machine default ≥ 1.
+        assert!(Pool::from_env_value(Some("0")).threads() >= 1);
+        assert!(Pool::from_env_value(Some("kittens")).threads() >= 1);
+        assert!(Pool::from_env_value(None).threads() >= 1);
+    }
+
+    #[test]
+    fn pool_constructors_clamp() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::serial().threads(), 1);
+    }
+}

@@ -227,6 +227,42 @@ mod tests {
     }
 
     #[test]
+    fn max_min_empty_active_set_yields_no_rates() {
+        assert!(max_min_rates(&[10.0, 20.0], &[]).is_empty());
+        // Links with no users are simply never bottlenecks.
+        let rates = max_min_rates(&[10.0, 20.0], &[&[1][..]]);
+        assert_eq!(rates, vec![20.0]);
+    }
+
+    #[test]
+    fn max_min_zero_capacity_link_starves_its_flows_only() {
+        // Flow 0 crosses the dead link and is frozen at rate 0; flow 1
+        // still gets all of link 1. Termination is the real property under
+        // test: the dead link must not spin the progressive-filling loop.
+        let rates = max_min_rates(&[0.0, 100.0], &[&[0, 1][..], &[1][..]]);
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_flow_sharing_every_link_gets_the_global_bottleneck() {
+        // Flow 0 crosses all three links; flows 1 and 2 each cross one.
+        // Link 1 (cap 30) is the first bottleneck: both its users freeze at
+        // 15. Flow 2 then takes what flow 0 left free on link 2.
+        let rates = max_min_rates(&[100.0, 30.0, 40.0], &[&[0, 1, 2][..], &[1][..], &[2][..]]);
+        assert!((rates[0] - 15.0).abs() < 1e-12);
+        assert!((rates[1] - 15.0).abs() < 1e-12);
+        assert!((rates[2] - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_equal_flows_on_one_link_split_evenly() {
+        let paths: Vec<&[usize]> = vec![&[0]; 4];
+        let rates = max_min_rates(&[100.0], &paths);
+        assert!(rates.iter().all(|&r| (r - 25.0).abs() < 1e-12));
+    }
+
+    #[test]
     #[should_panic(expected = "unknown link")]
     fn bad_path_panics() {
         simulate_flows(

@@ -29,11 +29,13 @@
 pub mod error;
 pub mod exec;
 pub mod fluid;
+pub mod harness;
 pub mod report;
 pub mod trace;
 
 pub use error::SimError;
 pub use exec::{run_collective, ComputeModel, RunConfig};
 pub use fluid::{simulate_flows, FlowSpec};
+pub use harness::{run_trials, Trial};
 pub use report::{SimReport, StepReport};
 pub use trace::{TraceEvent, TraceKind};

@@ -40,6 +40,7 @@
 //! | [`topology`] | `aps-topology` | capacitated graphs, ring/torus/hypercube/co-prime builders, routing |
 //! | [`matrix`] | `aps-matrix` | matchings, demand matrices, Hopcroft–Karp, BvN decomposition |
 //! | [`flow`] | `aps-flow` | maximum concurrent flow: exact ring forms, Garg–Könemann FPTAS, degree proxy |
+//! | [`par`] | `aps-par` | deterministic scoped worker pool (`APS_THREADS`) behind sweeps and trial batches |
 //! | [`collectives`] | `aps-collectives` | AllReduce/All-to-All/AllGather/… as matching sequences + semantic verifier |
 //! | [`cost`] | `aps-cost` | the α–β–δ cost model grounded in concurrent flow (Observation 2) |
 //! | [`core`] | `aps-core` | the eq. (7) optimization: DP solver, policies, multi-base pools, sweeps |
@@ -52,6 +53,7 @@ pub use aps_cost as cost;
 pub use aps_fabric as fabric;
 pub use aps_flow as flow;
 pub use aps_matrix as matrix;
+pub use aps_par as par;
 pub use aps_sim as sim;
 pub use aps_topology as topology;
 
@@ -68,7 +70,8 @@ pub mod prelude {
     pub use aps_fabric::{BarrierModel, CircuitSwitch, Fabric, WavelengthFabric};
     pub use aps_flow::{ThetaCache, ThroughputSolver};
     pub use aps_matrix::{DemandMatrix, Matching};
-    pub use aps_sim::{run_collective, RunConfig, SimReport};
+    pub use aps_par::Pool;
+    pub use aps_sim::{run_collective, run_trials, RunConfig, SimReport, Trial};
 }
 
 #[cfg(test)]

@@ -1,0 +1,160 @@
+//! Multi-tenant fabric benchmark: the named workload mixes of
+//! `aps-sim::scenarios` across a ladder of reconfiguration delays, under
+//! both the static per-tenant switch policies and the eq. (7) DP plan.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p aps-bench --release --bin fig_multitenant [-- --bytes 4194304]
+//! APS_THREADS=4 cargo run -p aps-bench --release --bin fig_multitenant
+//! ```
+//!
+//! Prints a per-cell summary (per-tenant makespans, arbitration waits,
+//! reconfiguration counts) and writes the machine-readable
+//! `results/bench_multitenant.json` report. Cells are evaluated on an
+//! `APS_THREADS`-sized worker pool; every simulated quantity is an exact
+//! function of the cell inputs, so the report's `data` section is
+//! bit-identical at any thread count and `perfgate compare`/`gate` accept
+//! it alongside the figure reports.
+
+use aps_bench::output::{write_bench_report, BenchMeta, Json};
+use aps_cost::units::{format_time, MIB};
+use aps_cost::{CostParams, ReconfigModel};
+use aps_par::Pool;
+use aps_sim::harness::{run_scenario_trials, ScenarioTrial};
+use aps_sim::{scenarios, RunConfig};
+
+/// One benchmark cell: a scenario at one reconfiguration delay under one
+/// switch-schedule policy.
+struct Cell {
+    policy: &'static str,
+    alpha_r_s: f64,
+    trial: ScenarioTrial,
+}
+
+fn main() {
+    let mut bytes = 4.0 * MIB;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bytes" => {
+                bytes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--bytes requires a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pool = Pool::from_env();
+    let cfg = RunConfig::paper_defaults();
+    let params = CostParams::paper_defaults();
+    let delays = [1e-6, 10e-6, 100e-6];
+    println!(
+        "Multi-tenant fabric scenarios — base volume {:.0} KiB, α_r ∈ {{1, 10, 100}} µs, \
+         {} worker thread(s)\n",
+        bytes / 1024.0,
+        pool.threads()
+    );
+
+    let started = std::time::Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+    for &alpha_r in &delays {
+        let reconfig = ReconfigModel::constant(alpha_r).expect("valid delay");
+        for scenario in scenarios::all(bytes) {
+            cells.push(Cell {
+                policy: "static",
+                alpha_r_s: alpha_r,
+                trial: ScenarioTrial {
+                    scenario: scenario.clone(),
+                    reconfig,
+                    config: cfg,
+                },
+            });
+            let mut planned = scenario;
+            planned
+                .plan(&pool, params, reconfig)
+                .expect("tenant planning failed");
+            cells.push(Cell {
+                policy: "planned",
+                alpha_r_s: alpha_r,
+                trial: ScenarioTrial {
+                    scenario: planned,
+                    reconfig,
+                    config: cfg,
+                },
+            });
+        }
+    }
+
+    let trials: Vec<ScenarioTrial> = cells.iter().map(|c| c.trial.clone()).collect();
+    let outcomes = run_scenario_trials(&pool, &trials).expect("scenario batch failed");
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut cell_reports = Vec::with_capacity(cells.len());
+    for (cell, outcome) in cells.iter().zip(&outcomes) {
+        println!(
+            "── {} · α_r = {} · {} policy",
+            cell.trial.scenario.name,
+            format_time(cell.alpha_r_s),
+            cell.policy
+        );
+        let mut tenant_reports = Vec::with_capacity(outcome.len());
+        for (spec, result) in cell.trial.scenario.tenants.iter().zip(outcome) {
+            let r = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("tenant '{}' failed: {e}", spec.name));
+            println!(
+                "   {:<16} {:>2} ports  makespan {:>12}  arbitration {:>12}  {} reconfigs",
+                spec.name,
+                spec.ports.len(),
+                format_time(r.makespan_s()),
+                format_time(r.report.arbitration_s()),
+                r.report.reconfig_events(),
+            );
+            tenant_reports.push(Json::obj([
+                ("name", Json::Str(spec.name.clone())),
+                ("ports", Json::UInt(spec.ports.len() as u64)),
+                ("steps", Json::UInt(r.report.steps.len() as u64)),
+                (
+                    "reconfig_events",
+                    Json::UInt(r.report.reconfig_events() as u64),
+                ),
+                ("makespan_s", Json::Num(r.makespan_s())),
+                ("arbitration_s", Json::Num(r.report.arbitration_s())),
+                ("transfer_s", Json::Num(r.report.transfer_s())),
+            ]));
+        }
+        cell_reports.push(Json::obj([
+            ("scenario", Json::Str(cell.trial.scenario.name.clone())),
+            ("policy", Json::Str(cell.policy.into())),
+            ("alpha_r_s", Json::Num(cell.alpha_r_s)),
+            ("tenants", Json::Arr(tenant_reports)),
+        ]));
+    }
+    println!();
+
+    let meta = BenchMeta {
+        name: "multitenant".into(),
+        seed: 0,
+        threads: pool.threads(),
+        wall_s,
+    };
+    let data = Json::obj([
+        ("figure", Json::Str("multitenant".into())),
+        ("bytes", Json::Num(bytes)),
+        ("alpha_r_s", Json::nums(delays)),
+        ("cells", Json::Arr(cell_reports)),
+    ]);
+    match write_bench_report(&meta, data) {
+        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
+        Err(e) => {
+            eprintln!("json report write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

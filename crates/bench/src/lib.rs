@@ -9,6 +9,9 @@
 //! * `fig2` — Figure 2's OPT vs best-of-both heatmap and the regime map
 //!   showing the transitional diagonal;
 //! * `ablations` — the research-agenda experiments A1–A7;
+//! * `fig_multitenant` — the named multi-tenant fabric scenarios
+//!   (`aps-sim::scenarios`) across a reconfiguration-delay ladder, under
+//!   static and DP-planned per-tenant switch policies;
 //! * `perfgate` — the CI gatekeeper that checks bench reports for
 //!   thread-count determinism (`compare`), distills committed baselines
 //!   (`baseline`), and fails on wall-clock regressions (`gate`).

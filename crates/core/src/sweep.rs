@@ -230,6 +230,43 @@ pub fn run_sweep_on(
     })
 }
 
+/// One independent planning job for [`plan_schedules_on`]: a collective
+/// bound to the base topology it would run on (jobs may differ in size —
+/// e.g. the tenants of a partitioned fabric).
+#[derive(Debug, Clone)]
+pub struct PlanJob {
+    /// Base topology of the job's domain (or partition).
+    pub base: Topology,
+    /// The collective to plan.
+    pub schedule: aps_collectives::Schedule,
+}
+
+/// Plans the eq. (7) optimum for every job on `pool`, one independent
+/// [`crate::ScaleupDomain`] per job (forced-path θ solver, paper
+/// accounting). `plans[i]` belongs to `jobs[i]` at any thread count — the
+/// DP is deterministic and jobs share no state, so the batch is
+/// bit-identical at any `APS_THREADS` setting.
+///
+/// This is the sweep engine's integration point for multi-tenant
+/// scenarios: `aps-sim`'s scenario generator plans each tenant's switch
+/// schedule here before handing the mix to the tenant executor.
+///
+/// # Errors
+///
+/// All jobs are evaluated; when several fail, the error of the lowest job
+/// index is returned.
+pub fn plan_schedules_on(
+    pool: &Pool,
+    jobs: &[PlanJob],
+    params: CostParams,
+    reconfig: ReconfigModel,
+) -> Result<Vec<(crate::SwitchSchedule, crate::CostReport)>, CoreError> {
+    pool.try_map(jobs, |_, job| {
+        let mut domain = crate::ScaleupDomain::new(job.base.clone(), params, reconfig);
+        domain.plan(&job.schedule)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +354,33 @@ mod tests {
         // all repeated matchings hit.
         assert!(serial.theta_stats.hits > 0);
         assert!(serial.theta_stats.misses > 0);
+    }
+
+    #[test]
+    fn plan_batch_matches_individual_plans_at_any_thread_count() {
+        let jobs: Vec<PlanJob> = [(8usize, 4.0 * 1024.0 * 1024.0), (16, 64.0), (4, 1e9)]
+            .into_iter()
+            .map(|(n, bytes)| PlanJob {
+                base: builders::ring_unidirectional(n).unwrap(),
+                schedule: allreduce::halving_doubling::build(n, bytes)
+                    .unwrap()
+                    .schedule,
+            })
+            .collect();
+        let params = CostParams::paper_defaults();
+        let reconfig = ReconfigModel::constant(10e-6).unwrap();
+        let serial = plan_schedules_on(&Pool::serial(), &jobs, params, reconfig).unwrap();
+        assert_eq!(serial.len(), jobs.len());
+        for (job, (schedule, report)) in jobs.iter().zip(&serial) {
+            let mut d = crate::ScaleupDomain::new(job.base.clone(), params, reconfig);
+            let (want_s, want_r) = d.plan(&job.schedule).unwrap();
+            assert_eq!(schedule, &want_s);
+            assert_eq!(report, &want_r);
+        }
+        for threads in [2, 4] {
+            let parallel = plan_schedules_on(&Pool::new(threads), &jobs, params, reconfig).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

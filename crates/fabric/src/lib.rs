@@ -62,4 +62,29 @@ pub trait Fabric {
     ///
     /// Implementations reject dimension mismatches and overlapping requests.
     fn request(&mut self, target: &Matching, now: Picos) -> Result<ReconfigOutcome, FabricError>;
+
+    /// When the controller is free again: requests before this instant are
+    /// rejected with [`FabricError::Busy`]. This is the arbitration hook
+    /// multi-tenant executors use to queue behind an in-flight
+    /// reconfiguration instead of failing (see `aps-sim`'s tenant
+    /// executor).
+    fn busy_until(&self) -> Picos;
+
+    /// [`Fabric::request`] deferred past any in-flight reconfiguration:
+    /// the request is issued at `max(now, busy_until())` and that granted
+    /// instant is returned alongside the outcome. This is how a shared
+    /// fabric arbitrates between tenants — first come, first served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every error except [`FabricError::Busy`], which the
+    /// deferral prevents.
+    fn request_when_free(
+        &mut self,
+        target: &Matching,
+        now: Picos,
+    ) -> Result<(Picos, ReconfigOutcome), FabricError> {
+        let granted = now.max(self.busy_until());
+        self.request(target, granted).map(|o| (granted, o))
+    }
 }

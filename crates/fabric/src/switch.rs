@@ -131,6 +131,10 @@ impl Fabric for CircuitSwitch {
         &self.current
     }
 
+    fn busy_until(&self) -> Picos {
+        self.busy_until
+    }
+
     fn request(&mut self, target: &Matching, now: Picos) -> Result<ReconfigOutcome, FabricError> {
         if target.n() != self.current.n() {
             return Err(FabricError::DimensionMismatch {
@@ -243,6 +247,25 @@ mod tests {
                 target: 4
             })
         ));
+    }
+
+    #[test]
+    fn request_when_free_defers_instead_of_failing() {
+        use crate::Fabric;
+        let mut sw = CircuitSwitch::new(shift(8, 1), ReconfigModel::constant(1e-6).unwrap());
+        let out = sw.request(&shift(8, 2), 0).unwrap();
+        assert_eq!(sw.busy_until(), out.ready_at);
+        // A second tenant arriving mid-reconfiguration queues behind it.
+        let (granted, out2) = sw
+            .request_when_free(&shift(8, 3), out.ready_at / 2)
+            .unwrap();
+        assert_eq!(granted, out.ready_at);
+        assert_eq!(out2.ready_at, out.ready_at + secs_to_picos(1e-6));
+        // A request after the fabric freed is granted immediately.
+        let (granted, _) = sw
+            .request_when_free(&shift(8, 4), out2.ready_at + 7)
+            .unwrap();
+        assert_eq!(granted, out2.ready_at + 7);
     }
 
     #[test]

@@ -93,6 +93,10 @@ impl Fabric for WavelengthFabric {
         &self.current
     }
 
+    fn busy_until(&self) -> Picos {
+        self.busy_until
+    }
+
     fn request(&mut self, target: &Matching, now: Picos) -> Result<ReconfigOutcome, FabricError> {
         if target.n() != self.current.n() {
             return Err(FabricError::DimensionMismatch {

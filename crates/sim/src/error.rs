@@ -31,6 +31,25 @@ pub enum SimError {
         /// Collective nodes.
         collective: usize,
     },
+    /// A tenant's port list is invalid: out of range, duplicated within
+    /// the tenant, or overlapping another tenant's partition.
+    BadTenantPorts {
+        /// Tenant index.
+        tenant: usize,
+        /// The offending global port.
+        port: usize,
+    },
+    /// A simulation error attributed to one tenant of a multi-tenant run.
+    /// Other tenants sharing the fabric are unaffected and complete
+    /// normally.
+    Tenant {
+        /// Tenant index in the `run_tenants` input.
+        tenant: usize,
+        /// Tenant name, for log triage.
+        name: String,
+        /// The underlying failure.
+        source: Box<SimError>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +70,20 @@ impl fmt::Display for SimError {
                     f,
                     "fabric has {fabric} ports but collective spans {collective} GPUs"
                 )
+            }
+            Self::BadTenantPorts { tenant, port } => {
+                write!(
+                    f,
+                    "tenant {tenant}: port {port} is out of range, duplicated, or \
+                     claimed by another tenant"
+                )
+            }
+            Self::Tenant {
+                tenant,
+                name,
+                source,
+            } => {
+                write!(f, "tenant '{name}' (#{tenant}): {source}")
             }
         }
     }

@@ -8,10 +8,12 @@ use aps_collectives::Schedule;
 use aps_core::{ConfigChoice, SwitchSchedule};
 use aps_cost::units::{secs_to_picos, Picos};
 use aps_cost::CostParams;
-use aps_fabric::{BarrierModel, Fabric};
+use aps_fabric::{BarrierModel, Fabric, ReconfigOutcome};
 use aps_matrix::Matching;
 use aps_topology::builders::from_matching;
 use aps_topology::paths::shortest_path;
+
+pub use crate::tenant::{run_tenants, TenantReport, TenantSpec};
 
 /// Reduction compute following each step's communication.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,11 +50,211 @@ impl RunConfig {
     }
 }
 
+/// One step's worth of work for [`execute_step`]: the communication
+/// pattern already resolved to global fabric ports.
+pub(crate) struct StepInput<'a> {
+    /// Step index (for traces and errors).
+    pub step: usize,
+    /// Whether the step runs on a matched configuration.
+    pub matched: bool,
+    /// Fabric configuration the step asks for.
+    pub target: &'a Matching,
+    /// Communicating `(src, dst)` port pairs.
+    pub pairs: Vec<(usize, usize)>,
+    /// Bytes each pair exchanges.
+    pub bytes_per_pair: f64,
+    /// Nodes synchronizing at the step's barrier.
+    pub barrier_n: usize,
+    /// `true` for the first step of its collective (no overlap window yet).
+    pub first: bool,
+}
+
+/// When the step's reconfiguration request would reach the fabric: with
+/// overlap enabled, as soon as the previous step's flows drain; otherwise
+/// once the control path (barrier + α) arrives. The tenant scheduler
+/// orders tenants by exactly this instant, so it must stay the single
+/// source of truth for both executors.
+pub(crate) fn natural_request_at(
+    cfg: &RunConfig,
+    barrier_n: usize,
+    first: bool,
+    comm_end: Picos,
+    gpu_free: Picos,
+) -> Picos {
+    let control_ready = gpu_free
+        + secs_to_picos(cfg.barrier.latency_s(barrier_n))
+        + secs_to_picos(cfg.params.alpha_s);
+    if cfg.overlap_reconfig_with_compute && !first {
+        comm_end.min(control_ready)
+    } else {
+        control_ready
+    }
+}
+
+/// Executes one step's timeline — barrier → α → (arbitrated)
+/// reconfiguration → routed max-min transfer → compute — appending to
+/// `report` and returning the updated `(comm_end, gpu_free)` clocks.
+///
+/// A step whose target is already the fabric's current configuration never
+/// touches the controller: its circuits are in place, so it neither waits
+/// for nor contends with other tenants' reconfigurations. Every other
+/// request depends on `arbitrate`: the multi-tenant executor passes `true`
+/// and the request queues behind an in-flight reconfiguration via
+/// [`Fabric::request_when_free`], recording the wait as `arbitration_ps`;
+/// a collective running a fabric alone passes `false` and a busy fabric is
+/// a hard [`aps_fabric::FabricError::Busy`] error, exactly as in the seed
+/// executor.
+pub(crate) fn execute_step(
+    fabric: &mut dyn Fabric,
+    input: &StepInput<'_>,
+    cfg: &RunConfig,
+    arbitrate: bool,
+    comm_end: Picos,
+    gpu_free: Picos,
+    report: &mut SimReport,
+) -> Result<(Picos, Picos), SimError> {
+    let bandwidth = cfg.params.bandwidth_bytes_per_sec();
+    let barrier_ps = secs_to_picos(cfg.barrier.latency_s(input.barrier_n));
+    let alpha_ps = secs_to_picos(cfg.params.alpha_s);
+
+    // Control path: compute → barrier → α.
+    if barrier_ps > 0 {
+        report.trace.push(TraceEvent {
+            at: gpu_free + barrier_ps,
+            kind: TraceKind::Barrier,
+        });
+    }
+    let control_ready = gpu_free + barrier_ps + alpha_ps;
+
+    // Reconfiguration path: overlapped requests start as soon as the
+    // previous step's flows drain (the fabric is idle while GPUs
+    // compute); otherwise the fabric is asked only once control
+    // arrives. A request queues behind an in-flight reconfiguration by
+    // another tenant — unless the circuits are already in place, in which
+    // case the controller is never involved.
+    let natural_request = natural_request_at(cfg, input.barrier_n, input.first, comm_end, gpu_free);
+    let (request_at, outcome) = if fabric.current() == input.target {
+        let outcome = ReconfigOutcome {
+            ready_at: natural_request,
+            ports_changed: 0,
+            achieved: input.target.clone(),
+        };
+        (natural_request, outcome)
+    } else if arbitrate {
+        fabric.request_when_free(input.target, natural_request)?
+    } else {
+        let outcome = fabric.request(input.target, natural_request)?;
+        (natural_request, outcome)
+    };
+    let arbitration_ps = request_at - natural_request;
+    if arbitration_ps > 0 {
+        report.trace.push(TraceEvent {
+            at: natural_request,
+            kind: TraceKind::ArbitrationWait {
+                granted_at: request_at,
+            },
+        });
+    }
+    if outcome.ports_changed > 0 {
+        report.trace.push(TraceEvent {
+            at: request_at,
+            kind: TraceKind::ReconfigStart {
+                ports: outcome.ports_changed,
+            },
+        });
+        report.trace.push(TraceEvent {
+            at: outcome.ready_at,
+            kind: TraceKind::ReconfigDone,
+        });
+    }
+    let flows_start = control_ready.max(outcome.ready_at);
+    let reconfig_visible = flows_start - control_ready;
+    report.trace.push(TraceEvent {
+        at: flows_start,
+        kind: TraceKind::StepStart {
+            step: input.step,
+            matched: input.matched,
+        },
+    });
+
+    // Transfer: route every pair on the achieved circuit topology.
+    let circuit_topo = from_matching(&outcome.achieved);
+    let mut specs = Vec::with_capacity(input.pairs.len());
+    let mut max_hops = 0usize;
+    for &(src, dst) in &input.pairs {
+        let path = shortest_path(&circuit_topo, src, dst).ok_or(SimError::Unroutable {
+            step: input.step,
+            src,
+            dst,
+        })?;
+        max_hops = max_hops.max(path.hops());
+        specs.push(FlowSpec {
+            bytes: input.bytes_per_pair,
+            path: path.links,
+        });
+    }
+    let transfer_ps = if specs.is_empty() {
+        0
+    } else {
+        report.trace.push(TraceEvent {
+            at: flows_start,
+            kind: TraceKind::FlowsStart { count: specs.len() },
+        });
+        let caps = vec![bandwidth; circuit_topo.num_links()];
+        let finish = simulate_flows(&caps, &specs);
+        let worst_s = finish
+            .iter()
+            .zip(&specs)
+            .map(|(f, s)| f + cfg.params.delta_s * s.path.len() as f64)
+            .fold(0.0f64, f64::max);
+        secs_to_picos(worst_s)
+    };
+    let comm_end = flows_start + transfer_ps;
+    report.trace.push(TraceEvent {
+        at: comm_end,
+        kind: TraceKind::StepDone { step: input.step },
+    });
+
+    // Compute phase on the received data.
+    let compute_ps = match cfg.compute {
+        Some(c) if !input.pairs.is_empty() => {
+            let d = secs_to_picos(c.per_byte_s * input.bytes_per_pair);
+            if d > 0 {
+                report.trace.push(TraceEvent {
+                    at: comm_end,
+                    kind: TraceKind::ComputeStart,
+                });
+                report.trace.push(TraceEvent {
+                    at: comm_end + d,
+                    kind: TraceKind::ComputeDone,
+                });
+            }
+            d
+        }
+        _ => 0,
+    };
+    let gpu_free = comm_end + compute_ps;
+
+    report.steps.push(StepReport {
+        barrier_ps,
+        alpha_ps,
+        reconfig_ps: reconfig_visible,
+        transfer_ps,
+        compute_ps,
+        arbitration_ps,
+        ports_changed: outcome.ports_changed,
+        max_hops,
+    });
+    Ok((comm_end, gpu_free))
+}
+
 /// Executes `schedule` under `switch_schedule` against the fabric.
 ///
 /// `base_config` is the circuit configuration realizing the base topology
 /// (e.g. the unidirectional ring): steps with [`ConfigChoice::Base`] target
 /// it, steps with [`ConfigChoice::Matched`] target their own matching.
+///
+/// For several jobs sharing one fabric, see [`crate::tenant::run_tenants`].
 ///
 /// # Errors
 ///
@@ -80,123 +282,23 @@ pub fn run_collective(
         });
     }
 
-    let bandwidth = cfg.params.bandwidth_bytes_per_sec();
-    let barrier_ps = secs_to_picos(cfg.barrier.latency_s(n));
-    let alpha_ps = secs_to_picos(cfg.params.alpha_s);
-
     let mut report = SimReport::default();
     let mut comm_end: Picos = 0; // When the previous step's flows drained.
     let mut gpu_free: Picos = 0; // When the GPUs finished computing on them.
 
     for (i, step) in schedule.steps().iter().enumerate() {
         let matched = switch_schedule.choice(i) == ConfigChoice::Matched;
-        let target = if matched { &step.matching } else { base_config };
-
-        // Control path: compute → barrier → α.
-        if barrier_ps > 0 {
-            report.trace.push(TraceEvent {
-                at: gpu_free + barrier_ps,
-                kind: TraceKind::Barrier,
-            });
-        }
-        let control_ready = gpu_free + barrier_ps + alpha_ps;
-
-        // Reconfiguration path: overlapped requests start as soon as the
-        // previous step's flows drain (the fabric is idle while GPUs
-        // compute); otherwise the fabric is asked only once control
-        // arrives.
-        let request_at = if cfg.overlap_reconfig_with_compute && i > 0 {
-            comm_end.min(control_ready)
-        } else {
-            control_ready
+        let input = StepInput {
+            step: i,
+            matched,
+            target: if matched { &step.matching } else { base_config },
+            pairs: step.matching.pairs().collect(),
+            bytes_per_pair: step.bytes_per_pair,
+            barrier_n: n,
+            first: i == 0,
         };
-        let outcome = fabric.request(target, request_at)?;
-        if outcome.ports_changed > 0 {
-            report.trace.push(TraceEvent {
-                at: request_at,
-                kind: TraceKind::ReconfigStart {
-                    ports: outcome.ports_changed,
-                },
-            });
-            report.trace.push(TraceEvent {
-                at: outcome.ready_at,
-                kind: TraceKind::ReconfigDone,
-            });
-        }
-        let flows_start = control_ready.max(outcome.ready_at);
-        let reconfig_visible = flows_start - control_ready;
-        report.trace.push(TraceEvent {
-            at: flows_start,
-            kind: TraceKind::StepStart { step: i, matched },
-        });
-
-        // Transfer: route every pair on the achieved circuit topology.
-        let circuit_topo = from_matching(&outcome.achieved);
-        let mut specs = Vec::with_capacity(step.matching.len());
-        let mut max_hops = 0usize;
-        for (src, dst) in step.matching.pairs() {
-            let path = shortest_path(&circuit_topo, src, dst).ok_or(SimError::Unroutable {
-                step: i,
-                src,
-                dst,
-            })?;
-            max_hops = max_hops.max(path.hops());
-            specs.push(FlowSpec {
-                bytes: step.bytes_per_pair,
-                path: path.links,
-            });
-        }
-        let transfer_ps = if specs.is_empty() {
-            0
-        } else {
-            report.trace.push(TraceEvent {
-                at: flows_start,
-                kind: TraceKind::FlowsStart { count: specs.len() },
-            });
-            let caps = vec![bandwidth; circuit_topo.num_links()];
-            let finish = simulate_flows(&caps, &specs);
-            let worst_s = finish
-                .iter()
-                .zip(&specs)
-                .map(|(f, s)| f + cfg.params.delta_s * s.path.len() as f64)
-                .fold(0.0f64, f64::max);
-            secs_to_picos(worst_s)
-        };
-        comm_end = flows_start + transfer_ps;
-        report.trace.push(TraceEvent {
-            at: comm_end,
-            kind: TraceKind::StepDone { step: i },
-        });
-
-        // Compute phase on the received data.
-        let compute_ps = match cfg.compute {
-            Some(c) if !step.matching.is_empty() => {
-                let d = secs_to_picos(c.per_byte_s * step.bytes_per_pair);
-                if d > 0 {
-                    report.trace.push(TraceEvent {
-                        at: comm_end,
-                        kind: TraceKind::ComputeStart,
-                    });
-                    report.trace.push(TraceEvent {
-                        at: comm_end + d,
-                        kind: TraceKind::ComputeDone,
-                    });
-                }
-                d
-            }
-            _ => 0,
-        };
-        gpu_free = comm_end + compute_ps;
-
-        report.steps.push(StepReport {
-            barrier_ps,
-            alpha_ps,
-            reconfig_ps: reconfig_visible,
-            transfer_ps,
-            compute_ps,
-            ports_changed: outcome.ports_changed,
-            max_hops,
-        });
+        (comm_end, gpu_free) =
+            execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
     }
     report.total_ps = gpu_free;
     Ok(report)

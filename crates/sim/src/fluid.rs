@@ -1,13 +1,63 @@
-//! Max-min fair fluid flow engine.
+//! Event-driven max-min fair fluid flow engine.
 //!
 //! Flows are fluids: each flow has a path and a remaining volume, link
 //! capacity is shared by progressive filling (the classic max-min fair
-//! allocation), and rates are recomputed at every flow completion — a
-//! textbook flow-level network model. For a set of equal-volume flows whose
-//! worst link has normalized load `L`, every flow crossing that link drains
-//! at `cap/L` for the whole step, so the step's transfer time equals the
-//! analytic `β·m·L` — the simulator-side face of the paper's concurrent-flow
-//! congestion factor.
+//! allocation), and rates change only at flow completions — a textbook
+//! flow-level network model. For a set of equal-volume flows whose worst
+//! link has normalized load `L`, every flow crossing that link drains at
+//! `cap/L` for the whole step, so the step's transfer time equals the
+//! analytic `β·m·L` — the simulator-side face of the paper's
+//! concurrent-flow congestion factor.
+//!
+//! ## The event engine
+//!
+//! The seed engine re-ran the full progressive-filling solver over *all*
+//! links and *all* active flows after every completion —
+//! `O(completions × bottlenecks × (links + flows·hops))`. This engine is
+//! event-driven instead:
+//!
+//! * **completion events** drive the clock: each round advances time to
+//!   the earliest candidate drain. Simultaneous completions are handled
+//!   deterministically with stable flow-id ordering — the active list is
+//!   kept ascending, completions are collected in that order, and the
+//!   per-component solver freezes flows in the same order — so results
+//!   are identical on every run and at any `APS_THREADS` setting. (A
+//!   *persistent* event queue would buy nothing here: bit-identity with
+//!   the seed arithmetic, below, requires re-materializing every flow's
+//!   remaining volume — and hence every candidate event — each round.);
+//! * rates are recomputed **incrementally**: when flows finish, only the
+//!   links whose user sets changed — the connected sharing component(s) of
+//!   the departed flows — are re-solved. Flows in untouched components keep
+//!   their cached rates and bottleneck levels. This removes the solver —
+//!   the `bottlenecks × (links + flows·hops)` factor — from the per-event
+//!   cost for everything the completion didn't touch.
+//!
+//! ## Incremental-recompute invariants
+//!
+//! The component-level caching is exact, not approximate, because the
+//! max-min allocation decomposes over the connected components of the
+//! flow/link sharing graph:
+//!
+//! 1. **Isolation** — a link's residual capacity is only ever reduced by
+//!    flows crossing it, and those flows are by definition in the link's
+//!    component. Solving a component alone therefore performs *bitwise*
+//!    the same arithmetic the global solver would perform on it.
+//! 2. **Restriction** — the global progressive-filling bottleneck sequence,
+//!    restricted to one component, equals the component-local bottleneck
+//!    sequence: picking a bottleneck in another component touches neither
+//!    this component's residual capacities nor its user counts.
+//! 3. **Stable order** — bottleneck links are scanned in ascending link id
+//!    and flows freeze in ascending flow id, in both the global and the
+//!    per-component solver, so ties break identically.
+//!
+//! Together these make the event engine **bit-identical** to the seed
+//! from-scratch engine (kept as [`reference`]): per round the engine
+//! advances `t += dt` with `dt` drawn from the earliest completion event
+//! (equal to the fold-min the seed computed, since `min` over finite
+//! floats is order-independent) and materializes every active flow's
+//! remaining volume with the same `remaining -= rate·dt` update — only
+//! the *solver* work is skipped for untouched components, and skipped
+//! work is exactly the work whose results are unchanged.
 
 /// One flow to simulate.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,9 +68,16 @@ pub struct FlowSpec {
     pub path: Vec<usize>,
 }
 
-/// Max-min fair rates for `active` flows over links with `cap_left`
-/// capacity. Returns bytes-per-second per active flow.
-fn max_min_rates(link_caps: &[f64], paths: &[&[usize]]) -> Vec<f64> {
+/// Max-min fair rates for the given flows over links with `link_caps`
+/// capacity, by progressive filling: repeatedly find the tightest link
+/// (smallest fair share among links still carrying unfrozen flows, ties to
+/// the lowest link id) and freeze every flow crossing it at that fair
+/// share. Returns bytes-per-second per flow, in input order.
+///
+/// The allocation is the unique max-min fair point: no link is
+/// oversubscribed, and no flow's rate can be raised without lowering the
+/// rate of a flow that is no faster (see `crates/sim/tests/maxmin.rs`).
+pub fn max_min_rates(link_caps: &[f64], paths: &[&[usize]]) -> Vec<f64> {
     let f = paths.len();
     let mut rates = vec![0.0f64; f];
     let mut frozen = vec![false; f];
@@ -60,10 +117,133 @@ fn max_min_rates(link_caps: &[f64], paths: &[&[usize]]) -> Vec<f64> {
     rates
 }
 
+/// Per-flow state of the event engine.
+struct Engine<'a> {
+    caps: &'a [f64],
+    specs: &'a [FlowSpec],
+    /// Current max-min rate per flow (stale for finished flows).
+    rates: Vec<f64>,
+    /// Remaining bytes per flow.
+    remaining: Vec<f64>,
+    /// Active flow ids, ascending.
+    active: Vec<usize>,
+}
+
+impl Engine<'_> {
+    /// Re-solves max-min progressive filling restricted to `flows`
+    /// (ascending flow ids forming a union of sharing components), writing
+    /// the new rates in place. Only links used by these flows are scanned —
+    /// by the isolation invariant the result is bitwise what a full global
+    /// re-solve would assign them.
+    fn solve_subset(&mut self, flows: &[usize]) {
+        let mut frozen = vec![false; flows.len()];
+        // Residual capacity and user count, only for links these flows use.
+        // Links are scanned in ascending id via a sorted dense list so tie
+        // breaking matches the global solver; `slot` maps link id → dense
+        // index for O(1) lookups on the freeze path.
+        const UNUSED: usize = usize::MAX;
+        let mut links: Vec<usize> = Vec::new();
+        let mut slot = vec![UNUSED; self.caps.len()];
+        for &i in flows {
+            for &l in &self.specs[i].path {
+                if slot[l] == UNUSED {
+                    slot[l] = 0; // mark; real indices assigned after sorting
+                    links.push(l);
+                }
+            }
+        }
+        links.sort_unstable();
+        for (s, &l) in links.iter().enumerate() {
+            slot[l] = s;
+        }
+        let mut cap_left: Vec<f64> = links.iter().map(|&l| self.caps[l]).collect();
+        let mut users: Vec<usize> = vec![0; links.len()];
+        for &i in flows {
+            for &l in &self.specs[i].path {
+                users[slot[l]] += 1;
+            }
+        }
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (s, &u) in users.iter().enumerate() {
+                if u > 0 {
+                    let fair = cap_left[s] / u as f64;
+                    if best.is_none_or(|(_, b)| fair < b) {
+                        best = Some((s, fair));
+                    }
+                }
+            }
+            let Some((bottleneck_slot, fair)) = best else {
+                break;
+            };
+            let bottleneck = links[bottleneck_slot];
+            for (k, &i) in flows.iter().enumerate() {
+                if !frozen[k] && self.specs[i].path.contains(&bottleneck) {
+                    frozen[k] = true;
+                    self.rates[i] = fair;
+                    for &l in &self.specs[i].path {
+                        let s = slot[l];
+                        cap_left[s] = (cap_left[s] - fair).max(0.0);
+                        users[s] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flows whose rates may change when `completed` depart: the
+    /// transitive closure, over the surviving active set, of link sharing
+    /// with the departed flows. Returned ascending. BFS over a link→flows
+    /// adjacency, linear in the total path length of the active set.
+    fn affected_by(&self, completed: &[usize]) -> Vec<usize> {
+        let mut flows_of_link: Vec<Vec<usize>> = vec![Vec::new(); self.caps.len()];
+        for &i in &self.active {
+            for &l in &self.specs[i].path {
+                flows_of_link[l].push(i);
+            }
+        }
+        let mut link_seen = vec![false; self.caps.len()];
+        let mut affected = vec![false; self.specs.len()];
+        let mut frontier: Vec<usize> = Vec::new(); // links to expand
+        for &i in completed {
+            for &l in &self.specs[i].path {
+                if !link_seen[l] {
+                    link_seen[l] = true;
+                    frontier.push(l);
+                }
+            }
+        }
+        while let Some(l) = frontier.pop() {
+            for &i in &flows_of_link[l] {
+                if !affected[i] {
+                    affected[i] = true;
+                    for &l2 in &self.specs[i].path {
+                        if !link_seen[l2] {
+                            link_seen[l2] = true;
+                            frontier.push(l2);
+                        }
+                    }
+                }
+            }
+        }
+        self.active
+            .iter()
+            .copied()
+            .filter(|&i| affected[i])
+            .collect()
+    }
+}
+
 /// Simulates the flows to completion; returns per-flow finish times in
 /// seconds (transmission only — the caller adds propagation).
 ///
-/// Zero-byte flows and empty-path flows finish at `t = 0`.
+/// Zero-byte flows and empty-path flows finish at `t = 0`. Flows only
+/// depart — the per-step model releases all of a step's flows together —
+/// so every rate change is triggered by a completion event. (Departures do
+/// *not* make individual rates monotone: a departure elsewhere in a
+/// component can speed up a neighbor that then claims more of a shared
+/// link. Only the minimum rate is non-decreasing, which is why the engine
+/// re-solves whole sharing components rather than patching rates locally.)
 ///
 /// # Panics
 ///
@@ -80,39 +260,126 @@ pub fn simulate_flows(link_caps_bytes_per_s: &[f64], specs: &[FlowSpec]) -> Vec<
         }
     }
     let mut finish = vec![0.0f64; specs.len()];
-    let mut remaining: Vec<f64> = specs.iter().map(|s| s.bytes).collect();
-    let mut active: Vec<usize> = (0..specs.len())
+    let active: Vec<usize> = (0..specs.len())
         .filter(|&i| specs[i].bytes > 0.0 && !specs[i].path.is_empty())
         .collect();
+    let mut engine = Engine {
+        caps: link_caps_bytes_per_s,
+        specs,
+        rates: vec![0.0f64; specs.len()],
+        remaining: specs.iter().map(|s| s.bytes).collect(),
+        active,
+    };
+    // Initial allocation: one full solve (all flows are "affected").
+    let all: Vec<usize> = engine.active.clone();
+    engine.solve_subset(&all);
+
     let mut t = 0.0f64;
-    // Each iteration retires at least one flow: ≤ F iterations.
-    while !active.is_empty() {
-        let paths: Vec<&[usize]> = active.iter().map(|&i| specs[i].path.as_slice()).collect();
-        let rates = max_min_rates(link_caps_bytes_per_s, &paths);
-        debug_assert!(rates.iter().all(|&r| r > 0.0), "active flow starved");
-        // Time until the first completion.
-        let dt = active
+    // Each round retires at least one flow: ≤ F rounds.
+    while !engine.active.is_empty() {
+        debug_assert!(
+            engine.active.iter().all(|&i| engine.rates[i] > 0.0),
+            "active flow starved"
+        );
+        // Time of the earliest candidate completion. (Every candidate
+        // changes every round — a by-product of the seed-identical
+        // materialization below — so a persistent event queue has nothing
+        // to cache; the plain minimum is the whole event selection. Which
+        // flow attains it is irrelevant: all flows within ε of zero at
+        // `t + dt` complete together, in ascending flow id, below.)
+        let dt = engine
+            .active
             .iter()
-            .zip(&rates)
-            .map(|(&i, &r)| remaining[i] / r)
+            .map(|&i| engine.remaining[i] / engine.rates[i])
             .fold(f64::INFINITY, f64::min);
         t += dt;
-        let mut still = Vec::with_capacity(active.len());
-        for (k, &i) in active.iter().enumerate() {
-            remaining[i] -= rates[k] * dt;
-            if remaining[i] <= 1e-9 * specs[i].bytes.max(1.0) {
+        // Materialize every active flow at the event time; flows at (or
+        // numerically within ε of) zero remaining complete together.
+        let mut still = Vec::with_capacity(engine.active.len());
+        let mut completed = Vec::new();
+        for &i in &engine.active {
+            engine.remaining[i] -= engine.rates[i] * dt;
+            if engine.remaining[i] <= 1e-9 * specs[i].bytes.max(1.0) {
                 finish[i] = t;
+                completed.push(i);
             } else {
                 still.push(i);
             }
         }
-        active = still;
+        engine.active = still;
+        if engine.active.is_empty() {
+            break;
+        }
+        // Incremental re-solve: only the sharing components the departures
+        // touched; everyone else keeps their cached bottleneck rate.
+        let affected = engine.affected_by(&completed);
+        if !affected.is_empty() {
+            engine.solve_subset(&affected);
+        }
     }
     finish
 }
 
+pub mod reference {
+    //! The seed from-scratch engine, kept verbatim as the differential
+    //! oracle: it re-runs the full progressive-filling solver over all
+    //! links and all active flows after every completion. The event engine
+    //! in the parent module must match it bit-for-bit (see
+    //! `tests/fluid_differential.rs` at the workspace root).
+
+    use super::{max_min_rates, FlowSpec};
+
+    /// Seed implementation of [`super::simulate_flows`]: full max-min
+    /// recompute at every completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range links or non-positive used capacities,
+    /// exactly like the event engine.
+    pub fn simulate_flows_reference(link_caps_bytes_per_s: &[f64], specs: &[FlowSpec]) -> Vec<f64> {
+        for s in specs {
+            for &l in &s.path {
+                assert!(
+                    l < link_caps_bytes_per_s.len(),
+                    "path references unknown link {l}"
+                );
+                assert!(link_caps_bytes_per_s[l] > 0.0, "link {l} has no capacity");
+            }
+        }
+        let mut finish = vec![0.0f64; specs.len()];
+        let mut remaining: Vec<f64> = specs.iter().map(|s| s.bytes).collect();
+        let mut active: Vec<usize> = (0..specs.len())
+            .filter(|&i| specs[i].bytes > 0.0 && !specs[i].path.is_empty())
+            .collect();
+        let mut t = 0.0f64;
+        while !active.is_empty() {
+            let paths: Vec<&[usize]> = active.iter().map(|&i| specs[i].path.as_slice()).collect();
+            let rates = max_min_rates(link_caps_bytes_per_s, &paths);
+            debug_assert!(rates.iter().all(|&r| r > 0.0), "active flow starved");
+            let dt = active
+                .iter()
+                .zip(&rates)
+                .map(|(&i, &r)| remaining[i] / r)
+                .fold(f64::INFINITY, f64::min);
+            t += dt;
+            let mut still = Vec::with_capacity(active.len());
+            for (k, &i) in active.iter().enumerate() {
+                remaining[i] -= rates[k] * dt;
+                if remaining[i] <= 1e-9 * specs[i].bytes.max(1.0) {
+                    finish[i] = t;
+                } else {
+                    still.push(i);
+                }
+            }
+            active = still;
+        }
+        finish
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::simulate_flows_reference;
     use super::*;
 
     #[test]
@@ -272,5 +539,115 @@ mod tests {
                 path: vec![3],
             }],
         );
+    }
+
+    #[test]
+    fn simultaneous_completions_finish_in_one_round() {
+        // Two disjoint flows with identical drain times complete in the
+        // same round at the same instant — the ascending-id scan makes
+        // tie handling deterministic without any per-event ordering.
+        let finish = simulate_flows(
+            &[10.0, 10.0],
+            &[
+                FlowSpec {
+                    bytes: 20.0,
+                    path: vec![1],
+                },
+                FlowSpec {
+                    bytes: 20.0,
+                    path: vec![0],
+                },
+            ],
+        );
+        assert_eq!(finish[0].to_bits(), finish[1].to_bits());
+        assert!((finish[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_components_keep_cached_rates() {
+        // Flows 0,1 share link 0; flow 2 is alone on link 1. When flow 2
+        // completes first nothing in component {0,1} changes; when flow 0
+        // completes, flow 1 speeds up. The finish times pin all of it.
+        let finish = simulate_flows(
+            &[100.0, 100.0],
+            &[
+                FlowSpec {
+                    bytes: 100.0,
+                    path: vec![0],
+                },
+                FlowSpec {
+                    bytes: 200.0,
+                    path: vec![0],
+                },
+                FlowSpec {
+                    bytes: 50.0,
+                    path: vec![1],
+                },
+            ],
+        );
+        assert!((finish[2] - 0.5).abs() < 1e-9); // alone at 100 B/s
+        assert!((finish[0] - 2.0).abs() < 1e-9); // 50 B/s until done
+        assert!((finish[1] - 3.0).abs() < 1e-9); // 100 B left at full rate
+    }
+
+    #[test]
+    fn transitive_sharing_is_one_component() {
+        // 0 shares link0 with 1; 1 shares link1 with 2 — completing 0 must
+        // re-solve 2 as well (its rate rises transitively).
+        let finish = simulate_flows(
+            &[90.0, 90.0],
+            &[
+                FlowSpec {
+                    bytes: 45.0,
+                    path: vec![0],
+                },
+                FlowSpec {
+                    bytes: 100.0,
+                    path: vec![0, 1],
+                },
+                FlowSpec {
+                    bytes: 100.0,
+                    path: vec![1],
+                },
+            ],
+        );
+        let oracle = simulate_flows_reference(
+            &[90.0, 90.0],
+            &[
+                FlowSpec {
+                    bytes: 45.0,
+                    path: vec![0],
+                },
+                FlowSpec {
+                    bytes: 100.0,
+                    path: vec![0, 1],
+                },
+                FlowSpec {
+                    bytes: 100.0,
+                    path: vec![1],
+                },
+            ],
+        );
+        for (a, b) in finish.iter().zip(&oracle) {
+            assert_eq!(a.to_bits(), b.to_bits(), "event {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn event_engine_matches_reference_bitwise_on_mixed_volumes() {
+        // Heterogeneous volumes and overlapping ring arcs: several rounds,
+        // several components merging and splitting.
+        let caps = vec![100.0; 6];
+        let specs: Vec<FlowSpec> = (0..9)
+            .map(|i| FlowSpec {
+                bytes: 10.0 + 37.0 * i as f64,
+                path: (0..=(i % 4)).map(|h| (i + h) % 6).collect(),
+            })
+            .collect();
+        let a = simulate_flows(&caps, &specs);
+        let b = simulate_flows_reference(&caps, &specs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "event {x} vs reference {y}");
+        }
     }
 }

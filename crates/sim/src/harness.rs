@@ -64,6 +64,46 @@ pub fn run_trials(pool: &Pool, trials: &[Trial]) -> Result<Vec<SimReport>, SimEr
     pool.try_map(trials, |_, trial| trial.run())
 }
 
+/// One multi-tenant simulator run: a [`Scenario`] on a fresh fabric with
+/// `reconfig` pricing (see [`crate::scenarios`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioTrial {
+    /// The workload mix.
+    pub scenario: crate::scenarios::Scenario,
+    /// Reconfiguration pricing of the shared fabric.
+    pub reconfig: ReconfigModel,
+    /// Simulation parameters.
+    pub config: RunConfig,
+}
+
+impl ScenarioTrial {
+    /// Runs this scenario alone on a fresh fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors; per-tenant failures land in the inner
+    /// results.
+    pub fn run(&self) -> Result<Vec<Result<crate::TenantReport, SimError>>, SimError> {
+        self.scenario.run(self.reconfig, &self.config)
+    }
+}
+
+/// Runs every scenario trial on `pool`; `outcomes[i]` corresponds to
+/// `trials[i]`, bit-identically at any thread count (each multi-tenant run
+/// is a pure, deterministic function of its trial).
+///
+/// # Errors
+///
+/// All trials are evaluated; when several fail *structurally*, the error
+/// of the lowest trial index is returned. Per-tenant failures do not fail
+/// the batch.
+pub fn run_scenario_trials(
+    pool: &Pool,
+    trials: &[ScenarioTrial],
+) -> Result<Vec<Vec<Result<crate::TenantReport, SimError>>>, SimError> {
+    pool.try_map(trials, |_, trial| trial.run())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +156,39 @@ mod tests {
         let serial = run_trials(&Pool::serial(), &ts).unwrap();
         for threads in [2, 3, 8] {
             assert_eq!(serial, run_trials(&Pool::new(threads), &ts).unwrap());
+        }
+    }
+
+    #[test]
+    fn scenario_batch_is_deterministic_and_ordered() {
+        let trials: Vec<ScenarioTrial> = [1e6, 4e6]
+            .into_iter()
+            .flat_map(|bytes| {
+                crate::scenarios::all(bytes)
+                    .into_iter()
+                    .map(|scenario| ScenarioTrial {
+                        scenario,
+                        reconfig: ReconfigModel::constant(5e-6).unwrap(),
+                        config: RunConfig::paper_defaults(),
+                    })
+            })
+            .collect();
+        let serial = run_scenario_trials(&Pool::serial(), &trials).unwrap();
+        assert_eq!(serial.len(), trials.len());
+        for (t, outcome) in trials.iter().zip(&serial) {
+            assert_eq!(outcome.len(), t.scenario.tenants.len());
+            let solo = t.run().unwrap();
+            for (a, b) in outcome.iter().zip(&solo) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+        for threads in [2, 4] {
+            let parallel = run_scenario_trials(&Pool::new(threads), &trials).unwrap();
+            for (a, b) in serial.iter().zip(&parallel) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+                }
+            }
         }
     }
 

@@ -26,16 +26,26 @@
 //! cross-validate each other (see `tests/model_vs_sim.rs` at the workspace
 //! root).
 
+//!
+//! Beyond single collectives, the [`tenant`] module executes several jobs
+//! sharing one fabric (disjoint port partitions, arbitrated controller)
+//! and [`scenarios`] packages named multi-tenant workload mixes for the
+//! bench harness.
+
 pub mod error;
 pub mod exec;
 pub mod fluid;
 pub mod harness;
 pub mod report;
+pub mod scenarios;
+pub mod tenant;
 pub mod trace;
 
 pub use error::SimError;
 pub use exec::{run_collective, ComputeModel, RunConfig};
-pub use fluid::{simulate_flows, FlowSpec};
+pub use fluid::{max_min_rates, simulate_flows, FlowSpec};
 pub use harness::{run_trials, Trial};
 pub use report::{SimReport, StepReport};
+pub use scenarios::Scenario;
+pub use tenant::{run_tenants, TenantReport, TenantSpec};
 pub use trace::{TraceEvent, TraceKind};

@@ -12,6 +12,14 @@ pub struct StepReport {
     pub alpha_ps: Picos,
     /// Reconfiguration wait (zero when the configuration is reused).
     pub reconfig_ps: Picos,
+    /// How long this step's reconfiguration request queued behind another
+    /// tenant's use of the shared fabric controller (multi-tenant runs
+    /// only; always zero for a collective running alone). Informational —
+    /// the wait surfaces inside `reconfig_ps` to the extent it delays the
+    /// flows (under reconfigure/compute overlap it can be partially or
+    /// fully hidden, so it is *not* bounded by `reconfig_ps`), and it
+    /// never enters [`StepReport::total_ps`] separately.
+    pub arbitration_ps: Picos,
     /// Transfer time: last flow completion including propagation.
     pub transfer_ps: Picos,
     /// Compute phase duration charged to this step (zero without a compute
@@ -57,6 +65,12 @@ impl SimReport {
         picos_to_secs(self.steps.iter().map(|s| s.transfer_ps).sum())
     }
 
+    /// Total time spent queued behind other tenants' reconfigurations of a
+    /// shared fabric (zero for single-tenant runs).
+    pub fn arbitration_s(&self) -> f64 {
+        picos_to_secs(self.steps.iter().map(|s| s.arbitration_ps).sum())
+    }
+
     /// Number of steps that triggered an actual reconfiguration.
     pub fn reconfig_events(&self) -> usize {
         self.steps.iter().filter(|s| s.ports_changed > 0).count()
@@ -75,9 +89,11 @@ mod tests {
             reconfig_ps: 3,
             transfer_ps: 4,
             compute_ps: 5,
+            arbitration_ps: 2,
             ports_changed: 0,
             max_hops: 1,
         };
+        // Arbitration is a breakdown of reconfig_ps, not an extra term.
         assert_eq!(s.total_ps(), 15);
     }
 

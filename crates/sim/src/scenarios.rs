@@ -1,0 +1,339 @@
+//! Named multi-tenant fabric scenarios.
+//!
+//! The workload mixes the multi-tenant executor ([`crate::tenant`]) is
+//! meant for, packaged as reproducible generators: every scenario is a
+//! fully deterministic function of its arguments — no RNG, no clocks — so
+//! scenario runs are bit-identical across machines and `APS_THREADS`
+//! settings, and the bench harness (`fig_multitenant`) can gate on their
+//! reports byte-for-byte.
+//!
+//! Three mixes cover the deployment patterns the paper's vision section
+//! anticipates for shared scale-up domains:
+//!
+//! * [`mixed_collectives`] — heterogeneous jobs side by side: a ring
+//!   AllReduce (data-parallel training), an MoE All-to-All token shuffle,
+//!   and a 2-D stencil halo exchange, each on its own partition of one
+//!   domain, with a few ports left idle.
+//! * [`skewed_tenants`] — one large tenant next to two small ones: the
+//!   large tenant's long schedule keeps the controller warm while the
+//!   small tenants repeatedly arbitrate for it.
+//! * [`staggered_arrivals`] — identical jobs arriving in a rolling
+//!   cadence, the classic queueing picture for a shared fabric.
+//!
+//! Tenant switch schedules default to simple static policies
+//! (reconfiguration-heavy jobs matched, ring-friendly jobs on base); use
+//! [`Scenario::plan`] to replace them with the per-tenant DP optimum from
+//! `aps-core` — the same eq. (7) machinery the single-tenant sweeps use.
+
+use crate::error::SimError;
+use crate::exec::RunConfig;
+use crate::tenant::{run_tenants, TenantReport, TenantSpec};
+use aps_collectives::{allreduce, alltoall, stencil, Collective};
+use aps_core::sweep::{plan_schedules_on, PlanJob};
+use aps_core::{CoreError, SwitchSchedule};
+use aps_cost::{CostParams, ReconfigModel};
+use aps_fabric::CircuitSwitch;
+use aps_matrix::Matching;
+use aps_par::Pool;
+use aps_topology::builders::from_matching;
+
+/// A ready-to-run multi-tenant workload: a fabric size, an initial
+/// (partition-respecting) configuration, and the tenant specs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (stable identifier used by benches and reports).
+    pub name: String,
+    /// Fabric port count (tenants may leave ports idle).
+    pub n: usize,
+    /// The tenants sharing the fabric.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl Scenario {
+    /// The union of the tenants' base configurations — the fabric's
+    /// initial state, with idle ports unconnected.
+    pub fn initial_config(&self) -> Matching {
+        let pairs: Vec<(usize, usize)> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.global_base().pairs().collect::<Vec<_>>())
+            .collect();
+        Matching::from_pairs(self.n, &pairs).expect("disjoint tenant bases form a matching")
+    }
+
+    /// A circuit-switch fabric initialized for this scenario.
+    pub fn fabric(&self, reconfig: ReconfigModel) -> CircuitSwitch {
+        CircuitSwitch::new(self.initial_config(), reconfig)
+    }
+
+    /// Replaces every tenant's switch schedule with the DP optimum for its
+    /// own partition — planned against the circuit topology its
+    /// `base_config` actually realizes — in parallel on `pool` via
+    /// [`plan_schedules_on`]. This is the multi-tenant face of the paper's
+    /// eq. (7) optimization: each job adapts independently; the fabric
+    /// arbitrates the shared controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors (steps unroutable on the tenant's base,
+    /// bad parameters).
+    pub fn plan(
+        &mut self,
+        pool: &Pool,
+        params: CostParams,
+        reconfig: ReconfigModel,
+    ) -> Result<(), CoreError> {
+        let jobs: Vec<PlanJob> = self
+            .tenants
+            .iter()
+            .map(|t| PlanJob {
+                base: from_matching(&t.base_config),
+                schedule: t.schedule.clone(),
+            })
+            .collect();
+        let plans = plan_schedules_on(pool, &jobs, params, reconfig)?;
+        for (t, (schedule, _)) in self.tenants.iter_mut().zip(plans) {
+            t.switch_schedule = schedule;
+        }
+        Ok(())
+    }
+
+    /// Runs the scenario on a fresh fabric with `reconfig` pricing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors from [`run_tenants`]; per-tenant
+    /// failures land in the returned per-tenant results.
+    pub fn run(
+        &self,
+        reconfig: ReconfigModel,
+        cfg: &RunConfig,
+    ) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
+        let mut fabric = self.fabric(reconfig);
+        run_tenants(&mut fabric, &self.tenants, cfg)
+    }
+}
+
+/// Builds one tenant on `ports` with a ring base over the partition.
+fn tenant(
+    name: &str,
+    ports: Vec<usize>,
+    collective: Collective,
+    switch_schedule: SwitchSchedule,
+    arrival_s: f64,
+) -> TenantSpec {
+    let n = ports.len();
+    TenantSpec {
+        name: name.into(),
+        ports,
+        base_config: Matching::shift(n, 1).expect("partitions have ≥ 2 ports"),
+        schedule: collective.schedule,
+        switch_schedule,
+        arrival_s,
+    }
+}
+
+/// Ring AllReduce + MoE All-to-All + 2-D stencil halo exchange sharing a
+/// 32-port domain (4 ports idle). `bytes` is the AllReduce gradient volume
+/// per node; the All-to-All moves `2·bytes` of tokens and the stencil
+/// exchanges `bytes/8` halo strips.
+///
+/// # Panics
+///
+/// Never for positive finite `bytes` (collective builders validate).
+pub fn mixed_collectives(bytes: f64) -> Scenario {
+    let ring = allreduce::ring::build(8, bytes).expect("valid ring allreduce");
+    let ring_steps = ring.schedule.num_steps();
+    let moe = alltoall::linear_shift(8, 2.0 * bytes).expect("valid all-to-all");
+    let moe_steps = moe.schedule.num_steps();
+    let halo = stencil::halo_2d(3, 4, bytes / 8.0).expect("valid halo exchange");
+    let halo_steps = halo.schedule.num_steps();
+    Scenario {
+        name: "mixed-collectives".into(),
+        n: 32,
+        tenants: vec![
+            // Ring AllReduce is ring-native: stays on base, never touches
+            // the controller.
+            tenant(
+                "ring-allreduce",
+                (0..8).collect(),
+                ring,
+                SwitchSchedule::all_base(ring_steps),
+                0.0,
+            ),
+            // All-to-All shifts are exactly the congestion-heavy patterns
+            // reconfiguration serves.
+            tenant(
+                "moe-alltoall",
+                (8..16).collect(),
+                moe,
+                SwitchSchedule::all_matched(moe_steps),
+                0.0,
+            ),
+            // Halo wrap shifts are ±1 / ±cols: only the ±cols directions
+            // profit from matching, but the static policy here is
+            // all-matched; `Scenario::plan` refines it.
+            tenant(
+                "stencil-halo",
+                (16..28).collect(),
+                halo,
+                SwitchSchedule::all_matched(halo_steps),
+                0.0,
+            ),
+        ],
+    }
+}
+
+/// One 16-port tenant next to two 4-port tenants on a 24-port domain —
+/// skewed partition sizes, all running bandwidth-optimal AllReduce on
+/// matched schedules so the controller stays contended.
+///
+/// # Panics
+///
+/// Never for positive finite `bytes`.
+pub fn skewed_tenants(bytes: f64) -> Scenario {
+    let mk = |n: usize, b: f64| allreduce::halving_doubling::build(n, b).expect("valid allreduce");
+    let big = mk(16, bytes);
+    let big_steps = big.schedule.num_steps();
+    let small_a = mk(4, bytes / 4.0);
+    let small_a_steps = small_a.schedule.num_steps();
+    let small_b = mk(4, bytes / 2.0);
+    let small_b_steps = small_b.schedule.num_steps();
+    Scenario {
+        name: "skewed-tenants".into(),
+        n: 24,
+        tenants: vec![
+            tenant(
+                "big-train",
+                (0..16).collect(),
+                big,
+                SwitchSchedule::all_matched(big_steps),
+                0.0,
+            ),
+            tenant(
+                "small-a",
+                (16..20).collect(),
+                small_a,
+                SwitchSchedule::all_matched(small_a_steps),
+                0.0,
+            ),
+            tenant(
+                "small-b",
+                (20..24).collect(),
+                small_b,
+                SwitchSchedule::all_matched(small_b_steps),
+                0.0,
+            ),
+        ],
+    }
+}
+
+/// Three identical 8-port AllReduce jobs arriving 20 µs apart on a
+/// 24-port domain — the rolling-submission pattern of a shared cluster.
+///
+/// # Panics
+///
+/// Never for positive finite `bytes`.
+pub fn staggered_arrivals(bytes: f64) -> Scenario {
+    let tenants = (0..3)
+        .map(|k| {
+            let c = allreduce::halving_doubling::build(8, bytes).expect("valid allreduce");
+            let steps = c.schedule.num_steps();
+            tenant(
+                &format!("job-{k}"),
+                (8 * k..8 * (k + 1)).collect(),
+                c,
+                SwitchSchedule::all_matched(steps),
+                20e-6 * k as f64,
+            )
+        })
+        .collect();
+    Scenario {
+        name: "staggered-arrivals".into(),
+        n: 24,
+        tenants,
+    }
+}
+
+/// Every named scenario at the given base volume, in a stable order.
+pub fn all(bytes: f64) -> Vec<Scenario> {
+    vec![
+        mixed_collectives(bytes),
+        skewed_tenants(bytes),
+        staggered_arrivals(bytes),
+    ]
+}
+
+/// Looks a scenario up by its stable name.
+pub fn by_name(name: &str, bytes: f64) -> Option<Scenario> {
+    all(bytes).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_cost::units::MIB;
+
+    #[test]
+    fn scenarios_are_well_formed_and_run() {
+        let cfg = RunConfig::paper_defaults();
+        let reconfig = ReconfigModel::constant(5e-6).unwrap();
+        for scenario in all(MIB) {
+            let config = scenario.initial_config();
+            assert_eq!(config.n(), scenario.n);
+            let reports = scenario.run(reconfig, &cfg).unwrap();
+            assert_eq!(reports.len(), scenario.tenants.len());
+            for (t, r) in scenario.tenants.iter().zip(&reports) {
+                let r = r.as_ref().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+                assert!(r.finish_ps > r.arrival_ps, "{} made progress", t.name);
+                assert_eq!(r.report.steps.len(), t.schedule.num_steps());
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = RunConfig::paper_defaults();
+        let reconfig = ReconfigModel::constant(5e-6).unwrap();
+        for (a, b) in all(4.0 * MIB).into_iter().zip(all(4.0 * MIB)) {
+            let ra = a.run(reconfig, &cfg).unwrap();
+            let rb = b.run(reconfig, &cfg).unwrap();
+            for (x, y) in ra.iter().zip(&rb) {
+                assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_finds_every_scenario() {
+        for s in all(MIB) {
+            assert_eq!(by_name(&s.name, MIB).unwrap().name, s.name);
+        }
+        assert!(by_name("no-such-mix", MIB).is_none());
+    }
+
+    #[test]
+    fn planning_adapts_to_the_message_size_regime() {
+        let cfg = RunConfig::paper_defaults();
+        let reconfig = ReconfigModel::constant(10e-6).unwrap();
+        let params = CostParams::paper_defaults();
+
+        // Tiny volumes: α_r dwarfs every transfer, the DP keeps all
+        // tenants on base — no reconfiguration events at all.
+        let mut small = mixed_collectives(8.0 * 1024.0);
+        small.plan(&Pool::serial(), params, reconfig).unwrap();
+        for (t, r) in small.tenants.iter().zip(small.run(reconfig, &cfg).unwrap()) {
+            let r = r.unwrap();
+            assert_eq!(r.report.reconfig_events(), 0, "{}", t.name);
+            assert_eq!(r.arbitration_ps(), 0, "{}", t.name);
+        }
+
+        // Huge volumes: congestion on the base ring dominates and the
+        // long-distance steps reconfigure again.
+        let mut big = mixed_collectives(64.0 * MIB);
+        big.plan(&Pool::serial(), params, reconfig).unwrap();
+        let reports = big.run(reconfig, &cfg).unwrap();
+        let stencil = reports[2].as_ref().unwrap();
+        assert!(stencil.report.reconfig_events() > 0);
+    }
+}

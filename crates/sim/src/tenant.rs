@@ -1,0 +1,472 @@
+//! Multi-tenant execution: several jobs share one photonic fabric.
+//!
+//! Scale-up domains are rarely dedicated to a single collective: the
+//! deployment model the photonic-systems literature anticipates is a
+//! domain *partitioned* between concurrent jobs — a training job's
+//! gradient AllReduce next to an MoE token shuffle next to an HPC halo
+//! exchange. This module executes such mixes: every [`TenantSpec`] owns a
+//! disjoint set of the fabric's ports and runs its own collective schedule
+//! there, while all tenants contend for the **one** fabric controller.
+//!
+//! ## Model
+//!
+//! * **Partitioned circuits** — tenant circuits connect only the tenant's
+//!   own ports. A tenant's reconfiguration target overrides its ports and
+//!   keeps every other circuit in place, so one tenant reconfiguring never
+//!   rewires another (a cross-partition circuit left over from the initial
+//!   configuration is torn down the first time a tenant claims its RX
+//!   port).
+//! * **Controller arbitration** — reconfiguration requests are granted
+//!   first-come-first-served through [`Fabric::request_when_free`]; a
+//!   tenant arriving while the controller is busy queues, and the wait is
+//!   recorded per step as `arbitration_ps` and per tenant as
+//!   [`TenantReport::arbitration_ps`]. A step whose circuits are already
+//!   in place (e.g. a base step after a base step) never touches the
+//!   controller and therefore never queues.
+//! * **Fault isolation** — a tenant whose step fails (e.g. a stuck port
+//!   disconnects one of its pairs) stops with a tenant-tagged
+//!   [`SimError::Tenant`]; the remaining tenants keep running and their
+//!   reports are unaffected.
+//!
+//! Execution order is deterministic: the tenant with the earliest next
+//! fabric request runs its next step, ties broken by tenant index — no
+//! randomness, no wall-clock, bit-identical results at any `APS_THREADS`.
+
+use crate::error::SimError;
+use crate::exec::{execute_step, RunConfig, StepInput};
+use crate::report::SimReport;
+use aps_core::ConfigChoice;
+use aps_cost::units::{secs_to_picos, Picos};
+use aps_fabric::Fabric;
+use aps_matrix::Matching;
+
+/// One job of a multi-tenant run: a collective schedule bound to a
+/// partition of the fabric's ports.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name, for reports and error tagging.
+    pub name: String,
+    /// Global fabric ports owned by the tenant; local rank `i` of the
+    /// collective maps to `ports[i]`. Must be disjoint from every other
+    /// tenant's ports.
+    pub ports: Vec<usize>,
+    /// Circuit configuration realizing the tenant's base topology, in
+    /// *local* coordinates (e.g. `Matching::shift(ports.len(), 1)` for a
+    /// ring over the partition).
+    pub base_config: Matching,
+    /// The collective to execute, over `ports.len()` local ranks.
+    pub schedule: aps_collectives::Schedule,
+    /// Per-step base/matched choices.
+    pub switch_schedule: aps_core::SwitchSchedule,
+    /// Job arrival time: the tenant's first step cannot start earlier.
+    pub arrival_s: f64,
+}
+
+impl TenantSpec {
+    /// The tenant's base configuration mapped to global fabric ports.
+    pub fn global_base(&self) -> Matching {
+        map_matching(&self.base_config, &self.ports)
+    }
+}
+
+/// Outcome of one tenant's run on the shared fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name (copied from the spec).
+    pub name: String,
+    /// Arrival time on the global clock.
+    pub arrival_ps: Picos,
+    /// When the tenant's last step (including compute) finished, on the
+    /// global clock.
+    pub finish_ps: Picos,
+    /// The tenant's own per-step report and trace (global clock).
+    pub report: SimReport,
+}
+
+impl TenantReport {
+    /// Job completion time in seconds, measured from the tenant's arrival.
+    pub fn makespan_s(&self) -> f64 {
+        aps_cost::units::picos_to_secs(self.finish_ps - self.arrival_ps)
+    }
+
+    /// Total time the tenant's steps spent queued behind other tenants'
+    /// reconfigurations (the picosecond face of
+    /// [`SimReport::arbitration_s`] on the embedded report).
+    pub fn arbitration_ps(&self) -> Picos {
+        self.report.steps.iter().map(|s| s.arbitration_ps).sum()
+    }
+}
+
+/// Maps a matching over local ranks onto global fabric ports.
+fn map_matching(local: &Matching, ports: &[usize]) -> Matching {
+    let n_global = ports.iter().copied().max().map_or(0, |m| m + 1);
+    let pairs: Vec<(usize, usize)> = local.pairs().map(|(s, d)| (ports[s], ports[d])).collect();
+    Matching::from_pairs(n_global.max(local.n()), &pairs)
+        .expect("a matching over distinct ports stays a matching")
+}
+
+/// Builds the global reconfiguration target for one tenant: the tenant's
+/// desired circuits on its own ports, everything else kept as-is. Foreign
+/// circuits landing on an RX port the tenant claims are dropped (they can
+/// only exist if the initial configuration crossed partitions).
+fn tenant_target(
+    current: &Matching,
+    ports: &[usize],
+    local_target: &Matching,
+    owned: &[bool],
+) -> Matching {
+    let n = current.n();
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n);
+    let mut rx_claimed = vec![false; n];
+    for (s, d) in local_target.pairs() {
+        let (gs, gd) = (ports[s], ports[d]);
+        pairs.push((gs, gd));
+        rx_claimed[gd] = true;
+    }
+    for (s, d) in current.pairs() {
+        if !owned[s] && !rx_claimed[d] {
+            pairs.push((s, d));
+        }
+    }
+    Matching::from_pairs(n, &pairs).expect("disjoint tenant circuits form a matching")
+}
+
+/// Per-tenant progress while the run interleaves steps.
+struct TenantState {
+    next_step: usize,
+    comm_end: Picos,
+    gpu_free: Picos,
+    report: SimReport,
+    failed: Option<SimError>,
+}
+
+/// Executes every tenant's schedule on the shared `fabric`.
+///
+/// Returns one result per tenant, in input order: a completed
+/// [`TenantReport`], or the tenant-tagged error that stopped that tenant.
+/// A failing tenant never corrupts another tenant's report — the survivors
+/// keep executing on their own partitions.
+///
+/// # Errors
+///
+/// Returns a top-level error only for structural problems: overlapping or
+/// out-of-range tenant ports ([`SimError::BadTenantPorts`]). Everything
+/// else — length mismatches, unroutable pairs, fabric refusals — is
+/// attributed to its tenant in the per-tenant results.
+pub fn run_tenants(
+    fabric: &mut dyn Fabric,
+    tenants: &[TenantSpec],
+    cfg: &RunConfig,
+) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
+    let n = fabric.n();
+    // Structural validation: the port partition must be sound before any
+    // tenant touches the fabric.
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    for (t, spec) in tenants.iter().enumerate() {
+        for &p in &spec.ports {
+            if p >= n || owner[p].is_some() {
+                return Err(SimError::BadTenantPorts { tenant: t, port: p });
+            }
+            owner[p] = Some(t);
+        }
+    }
+
+    let mut states: Vec<TenantState> = Vec::with_capacity(tenants.len());
+    for (t, spec) in tenants.iter().enumerate() {
+        let arrival = secs_to_picos(spec.arrival_s);
+        let mut state = TenantState {
+            next_step: 0,
+            comm_end: arrival,
+            gpu_free: arrival,
+            report: SimReport::default(),
+            failed: None,
+        };
+        let n_t = spec.ports.len();
+        if spec.schedule.n() != n_t || spec.base_config.n() != n_t {
+            state.failed = Some(tenant_err(
+                t,
+                spec,
+                SimError::DimensionMismatch {
+                    fabric: n_t,
+                    collective: spec.schedule.n().max(spec.base_config.n()),
+                },
+            ));
+        } else if spec.switch_schedule.len() != spec.schedule.num_steps() {
+            state.failed = Some(tenant_err(
+                t,
+                spec,
+                SimError::ScheduleLengthMismatch {
+                    expected: spec.schedule.num_steps(),
+                    got: spec.switch_schedule.len(),
+                },
+            ));
+        }
+        states.push(state);
+    }
+
+    // Interleave: always advance the tenant whose next fabric request is
+    // earliest (ties to the lowest tenant index). Requests therefore reach
+    // the controller in nondecreasing time order — first come, first
+    // served.
+    loop {
+        let mut next: Option<(Picos, usize)> = None;
+        for (t, spec) in tenants.iter().enumerate() {
+            let st = &states[t];
+            if st.failed.is_some() || st.next_step >= spec.schedule.num_steps() {
+                continue;
+            }
+            // The same instant execute_step will request at — computed by
+            // the shared helper so scheduler order and request order can
+            // never drift apart.
+            let natural = crate::exec::natural_request_at(
+                cfg,
+                spec.ports.len(),
+                st.next_step == 0,
+                st.comm_end,
+                st.gpu_free,
+            );
+            if next.is_none_or(|(at, _)| natural < at) {
+                next = Some((natural, t));
+            }
+        }
+        let Some((_, t)) = next else {
+            break; // every tenant finished or failed
+        };
+
+        let spec = &tenants[t];
+        let i = states[t].next_step;
+        let step = &spec.schedule.steps()[i];
+        let matched = spec.switch_schedule.choice(i) == ConfigChoice::Matched;
+        let local_target = if matched {
+            &step.matching
+        } else {
+            &spec.base_config
+        };
+        let owned: Vec<bool> = (0..n).map(|p| owner[p] == Some(t)).collect();
+        let target = tenant_target(fabric.current(), &spec.ports, local_target, &owned);
+        let pairs: Vec<(usize, usize)> = step
+            .matching
+            .pairs()
+            .map(|(s, d)| (spec.ports[s], spec.ports[d]))
+            .collect();
+        let input = StepInput {
+            step: i,
+            matched,
+            target: &target,
+            pairs,
+            bytes_per_pair: step.bytes_per_pair,
+            barrier_n: spec.ports.len(),
+            first: i == 0,
+        };
+        let (comm_end, gpu_free) = {
+            let st = &mut states[t];
+            match execute_step(
+                fabric,
+                &input,
+                cfg,
+                true,
+                st.comm_end,
+                st.gpu_free,
+                &mut st.report,
+            ) {
+                Ok(clocks) => clocks,
+                Err(e) => {
+                    st.failed = Some(tenant_err(t, spec, e));
+                    continue;
+                }
+            }
+        };
+        let st = &mut states[t];
+        st.comm_end = comm_end;
+        st.gpu_free = gpu_free;
+        st.next_step += 1;
+    }
+
+    Ok(states
+        .into_iter()
+        .zip(tenants)
+        .map(|(mut st, spec)| match st.failed.take() {
+            Some(e) => Err(e),
+            None => {
+                st.report.total_ps = st.gpu_free;
+                Ok(TenantReport {
+                    name: spec.name.clone(),
+                    arrival_ps: secs_to_picos(spec.arrival_s),
+                    finish_ps: st.gpu_free,
+                    report: st.report,
+                })
+            }
+        })
+        .collect())
+}
+
+fn tenant_err(t: usize, spec: &TenantSpec, source: SimError) -> SimError {
+    SimError::Tenant {
+        tenant: t,
+        name: spec.name.clone(),
+        source: Box::new(source),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_core::SwitchSchedule;
+    use aps_cost::units::MIB;
+    use aps_cost::ReconfigModel;
+    use aps_fabric::CircuitSwitch;
+
+    fn tenant(name: &str, ports: Vec<usize>, bytes: f64, matched: bool) -> TenantSpec {
+        let n = ports.len();
+        let schedule = allreduce::halving_doubling::build(n, bytes)
+            .unwrap()
+            .schedule;
+        let s = schedule.num_steps();
+        TenantSpec {
+            name: name.into(),
+            ports,
+            base_config: Matching::shift(n, 1).unwrap(),
+            schedule,
+            switch_schedule: if matched {
+                SwitchSchedule::all_matched(s)
+            } else {
+                SwitchSchedule::all_base(s)
+            },
+            arrival_s: 0.0,
+        }
+    }
+
+    /// A fabric initialized to the union of the tenants' base rings, via
+    /// the scenario machinery (the single implementation of that union).
+    fn fabric_for(n: usize, tenants: &[TenantSpec]) -> CircuitSwitch {
+        crate::scenarios::Scenario {
+            name: "test".into(),
+            n,
+            tenants: tenants.to_vec(),
+        }
+        .fabric(ReconfigModel::constant(5e-6).unwrap())
+    }
+
+    #[test]
+    fn lone_tenant_matches_run_collective() {
+        // A single tenant occupying the whole fabric must behave exactly
+        // like run_collective on a dedicated fabric.
+        let t = tenant("solo", (0..8).collect(), MIB, true);
+        let mut fab = fabric_for(8, std::slice::from_ref(&t));
+        let cfg = RunConfig::paper_defaults();
+        let reports = run_tenants(&mut fab, std::slice::from_ref(&t), &cfg).unwrap();
+        let got = reports[0].as_ref().unwrap();
+
+        let mut solo = CircuitSwitch::new(t.global_base(), ReconfigModel::constant(5e-6).unwrap());
+        let want = crate::exec::run_collective(
+            &mut solo,
+            &t.base_config,
+            &t.schedule,
+            &t.switch_schedule,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(got.report, want);
+        assert_eq!(got.arbitration_ps(), 0);
+        assert_eq!(got.finish_ps, want.total_ps);
+    }
+
+    #[test]
+    fn tenants_on_disjoint_partitions_do_not_slow_each_other_on_base() {
+        // Base-only tenants never reconfigure: no controller contention,
+        // both finish exactly when they would alone.
+        let a = tenant("a", (0..8).collect(), MIB, false);
+        let b = tenant("b", (8..16).collect(), 4.0 * MIB, false);
+        let cfg = RunConfig::paper_defaults();
+        let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
+        let reports = run_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap();
+        for (spec, rep) in [a, b].iter().zip(&reports) {
+            let rep = rep.as_ref().unwrap();
+            // Each tenant alone on the same fabric produces the same report.
+            let mut solo_fab = fabric_for(16, std::slice::from_ref(spec));
+            let solo = run_tenants(&mut solo_fab, std::slice::from_ref(spec), &cfg).unwrap();
+            assert_eq!(rep, solo[0].as_ref().unwrap(), "{}", rep.name);
+            assert_eq!(rep.arbitration_ps(), 0, "{}", rep.name);
+            assert_eq!(rep.report.reconfig_events(), 0);
+        }
+    }
+
+    #[test]
+    fn controller_contention_is_charged_as_arbitration() {
+        // Two matched tenants arriving together: their step-0
+        // reconfigurations collide on the single controller; the loser
+        // queues and the wait shows up as arbitration, tie broken by
+        // tenant index.
+        let a = tenant("a", (0..8).collect(), MIB, true);
+        let b = tenant("b", (8..16).collect(), MIB, true);
+        let cfg = RunConfig::paper_defaults();
+        let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
+        let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+        let ra = reports[0].as_ref().unwrap();
+        let rb = reports[1].as_ref().unwrap();
+        // Step 0: identical request instants, tenant 0 wins the tie and
+        // tenant 1 queues for the full 5 µs reconfiguration.
+        assert_eq!(
+            ra.report.steps[0].arbitration_ps, 0,
+            "tenant 0 wins the tie"
+        );
+        assert_eq!(rb.report.steps[0].arbitration_ps, secs_to_picos(5e-6));
+        assert!(rb.arbitration_ps() >= secs_to_picos(5e-6));
+        assert!(rb.finish_ps > ra.finish_ps);
+        // The wait is part of the visible reconfiguration stall.
+        assert!(rb.report.steps[0].reconfig_ps >= rb.report.steps[0].arbitration_ps);
+    }
+
+    #[test]
+    fn staggered_arrival_shifts_the_whole_timeline() {
+        let mut a = tenant("early", (0..8).collect(), MIB, true);
+        let mut b = tenant("late", (8..16).collect(), MIB, true);
+        a.arrival_s = 0.0;
+        b.arrival_s = 10e-3; // long after `early` finished: no contention
+        let cfg = RunConfig::paper_defaults();
+        let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
+        let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+        let ra = reports[0].as_ref().unwrap();
+        let rb = reports[1].as_ref().unwrap();
+        assert_eq!(rb.arrival_ps, secs_to_picos(10e-3));
+        assert!(rb.finish_ps >= rb.arrival_ps);
+        assert_eq!(rb.arbitration_ps(), 0);
+        // Same job, same partition size: identical makespans.
+        assert_eq!(ra.makespan_s(), rb.makespan_s());
+    }
+
+    #[test]
+    fn overlapping_ports_are_rejected_structurally() {
+        let a = tenant("a", (0..8).collect(), MIB, true);
+        let b = tenant("b", (7..15).collect(), MIB, true);
+        let mut fab = fabric_for(16, std::slice::from_ref(&a));
+        let err = run_tenants(&mut fab, &[a, b], &RunConfig::paper_defaults()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BadTenantPorts { tenant: 1, port: 7 }
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_tenant_tagged_and_isolated() {
+        let a = tenant("good", (0..8).collect(), MIB, true);
+        let mut b = tenant("bad", (8..16).collect(), MIB, true);
+        b.switch_schedule = SwitchSchedule::all_base(1);
+        let cfg = RunConfig::paper_defaults();
+        let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
+        let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+        assert!(reports[0].is_ok());
+        match reports[1].as_ref().unwrap_err() {
+            SimError::Tenant {
+                tenant: 1,
+                name,
+                source,
+            } => {
+                assert_eq!(name, "bad");
+                assert!(matches!(**source, SimError::ScheduleLengthMismatch { .. }));
+            }
+            other => panic!("expected tenant-tagged error, got {other}"),
+        }
+    }
+}

@@ -20,6 +20,12 @@ pub enum TraceKind {
         /// TX ports being retargeted.
         ports: usize,
     },
+    /// The fabric controller was busy with another tenant's
+    /// reconfiguration; this step's request queued until `granted_at`.
+    ArbitrationWait {
+        /// When the deferred request was finally issued.
+        granted_at: Picos,
+    },
     /// The fabric finished reconfiguring.
     ReconfigDone,
     /// The step's flows were released.
@@ -60,6 +66,13 @@ impl fmt::Display for TraceEvent {
                 )
             }
             TraceKind::ReconfigStart { ports } => write!(f, "reconfigure {ports} ports"),
+            TraceKind::ArbitrationWait { granted_at } => {
+                write!(
+                    f,
+                    "fabric busy — request granted at {:.3} µs",
+                    picos_to_secs(*granted_at) * 1e6
+                )
+            }
             TraceKind::ReconfigDone => write!(f, "reconfiguration done"),
             TraceKind::FlowsStart { count } => write!(f, "{count} flows released"),
             TraceKind::StepDone { step } => write!(f, "step {step} done"),

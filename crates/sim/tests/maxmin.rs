@@ -1,0 +1,173 @@
+//! Property tests for the max-min fair allocation invariants.
+//!
+//! The fluid engine's rate allocator must produce *the* max-min fair
+//! point, which is characterized by three properties tested here on
+//! randomized instances:
+//!
+//! 1. **feasibility** — no link carries more than its capacity;
+//! 2. **max-min optimality / Pareto efficiency** — every flow with a
+//!    positive rate crosses a saturated link on which it is among the
+//!    fastest flows. No flow can raise its rate without lowering the rate
+//!    of a flow that is no faster, which in particular implies the
+//!    allocation is Pareto-efficient;
+//! 3. **order independence** — the allocation is a function of the flow
+//!    *set*, not the flow *order*: permuting the input permutes the rates.
+
+use aps_sim::fluid::{max_min_rates, FlowSpec};
+use proptest::prelude::*;
+
+/// Random capacities and flows (in-order link subsequences, possibly
+/// empty) over 2–9 links.
+fn arb_network() -> impl Strategy<Value = (Vec<f64>, Vec<FlowSpec>)> {
+    (2usize..10).prop_flat_map(|links| {
+        let caps = proptest::collection::vec(0.5f64..100.0, links);
+        let flows = proptest::collection::vec(
+            proptest::sample::subsequence((0..links).collect::<Vec<usize>>(), 1..5),
+            1..12,
+        );
+        (caps, flows).prop_map(|(caps, raw)| {
+            let specs = raw
+                .into_iter()
+                .map(|path| FlowSpec { bytes: 1.0, path })
+                .collect();
+            (caps, specs)
+        })
+    })
+}
+
+fn rates_of(caps: &[f64], specs: &[FlowSpec]) -> Vec<f64> {
+    let paths: Vec<&[usize]> = specs.iter().map(|s| s.path.as_slice()).collect();
+    max_min_rates(caps, &paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn no_link_is_oversubscribed((caps, specs) in arb_network()) {
+        let rates = rates_of(&caps, &specs);
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = rates
+                .iter()
+                .zip(&specs)
+                .filter(|(_, s)| s.path.contains(&l))
+                .map(|(r, _)| r)
+                .sum();
+            prop_assert!(
+                used <= cap * (1.0 + 1e-9),
+                "link {l}: {used} exceeds capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flow_has_a_bottleneck_it_is_fastest_on((caps, specs) in arb_network()) {
+        // The max-min optimality certificate: each flow crosses a link
+        // that is (a) saturated and (b) carries no strictly faster flow.
+        // Raising this flow's rate therefore requires lowering some flow
+        // that is no faster — the allocation is max-min fair, hence
+        // Pareto-efficient.
+        let rates = rates_of(&caps, &specs);
+        for (i, s) in specs.iter().enumerate() {
+            let mut certified = false;
+            for &l in &s.path {
+                let used: f64 = rates
+                    .iter()
+                    .zip(&specs)
+                    .filter(|(_, t)| t.path.contains(&l))
+                    .map(|(r, _)| r)
+                    .sum();
+                let fastest = rates
+                    .iter()
+                    .zip(&specs)
+                    .filter(|(_, t)| t.path.contains(&l))
+                    .map(|(r, _)| *r)
+                    .fold(0.0f64, f64::max);
+                let saturated = used >= caps[l] * (1.0 - 1e-9);
+                if saturated && rates[i] >= fastest * (1.0 - 1e-9) {
+                    certified = true;
+                    break;
+                }
+            }
+            prop_assert!(
+                certified,
+                "flow {i} (rate {}) has no saturated bottleneck it is fastest on",
+                rates[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rates_are_independent_of_flow_insertion_order(
+        (caps, specs) in arb_network(),
+        rot in 1usize..11,
+    ) {
+        // The allocation is unique, so any permutation of the flow list
+        // yields the permuted rates. Rotations compose with the strategy's
+        // random sets to cover arbitrary reorderings across cases.
+        let rates = rates_of(&caps, &specs);
+        let rot = rot % specs.len().max(1);
+        let mut rotated = specs.clone();
+        rotated.rotate_left(rot);
+        let rotated_rates = rates_of(&caps, &rotated);
+        for i in 0..specs.len() {
+            let a = rates[i];
+            let b = rotated_rates[(i + specs.len() - rot) % specs.len()];
+            let rel = (a - b).abs() / a.abs().max(1e-300);
+            prop_assert!(
+                rel <= 1e-9,
+                "flow {i}: rate {a} in input order vs {b} rotated (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn departures_never_lower_the_minimum_rate((caps, specs) in arb_network()) {
+        // Individual rates are *not* monotone under departures (a
+        // departure can speed up a neighbor that then claims more of a
+        // shared link elsewhere) — but the leximin order only improves
+        // when the feasible set grows, so the slowest survivor is never
+        // slower than the old minimum. This is exactly why the event
+        // engine re-solves whole sharing components instead of patching
+        // rates locally.
+        if specs.len() < 2 {
+            return;
+        }
+        let rates = rates_of(&caps, &specs);
+        let old_min = rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let mut without_last = specs.clone();
+        without_last.pop();
+        let after = rates_of(&caps, &without_last);
+        let new_min = after.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        prop_assert!(
+            new_min >= old_min * (1.0 - 1e-9),
+            "minimum rate dropped from {old_min} to {new_min} after a departure"
+        );
+    }
+}
+
+#[test]
+fn bottleneck_certificate_on_a_hand_checked_instance() {
+    // Flow 0 spans both links; flows 1 and 2 sit on one link each.
+    // Link 0 (cap 30, 2 users) binds flows 0 and 1 at 15; flow 2 then
+    // takes the rest of link 1 (cap 100): 85.
+    let caps = [30.0, 100.0];
+    let specs = [
+        FlowSpec {
+            bytes: 1.0,
+            path: vec![0, 1],
+        },
+        FlowSpec {
+            bytes: 1.0,
+            path: vec![0],
+        },
+        FlowSpec {
+            bytes: 1.0,
+            path: vec![1],
+        },
+    ];
+    let rates = rates_of(&caps, &specs);
+    assert!((rates[0] - 15.0).abs() < 1e-12);
+    assert!((rates[1] - 15.0).abs() < 1e-12);
+    assert!((rates[2] - 85.0).abs() < 1e-12);
+}

@@ -71,7 +71,10 @@ pub mod prelude {
     pub use aps_flow::{ThetaCache, ThroughputSolver};
     pub use aps_matrix::{DemandMatrix, Matching};
     pub use aps_par::Pool;
-    pub use aps_sim::{run_collective, run_trials, RunConfig, SimReport, Trial};
+    pub use aps_sim::{
+        run_collective, run_tenants, run_trials, scenarios, RunConfig, SimReport, TenantReport,
+        TenantSpec, Trial,
+    };
 }
 
 #[cfg(test)]

@@ -134,6 +134,103 @@ fn degraded_laser_slows_only_steps_that_retune_it() {
     assert!(late.total_ps <= degraded.total_ps);
 }
 
+// ---------------------------------------------------------------------
+// Multi-tenant fault isolation: a degraded partition must stay contained.
+// ---------------------------------------------------------------------
+
+fn matched_tenant(name: &str, ports: Vec<usize>, bytes: f64) -> TenantSpec {
+    let n = ports.len();
+    let coll = collectives::alltoall::xor_exchange(n, bytes).unwrap();
+    let steps = coll.schedule.num_steps();
+    TenantSpec {
+        name: name.into(),
+        ports,
+        base_config: Matching::shift(n, 1).unwrap(),
+        schedule: coll.schedule,
+        switch_schedule: SwitchSchedule::all_matched(steps),
+        arrival_s: 0.0,
+    }
+}
+
+fn tenant_fabric(n: usize, tenants: &[TenantSpec], alpha_r: f64) -> CircuitSwitch {
+    // The scenario machinery owns the union-of-bases construction.
+    aps_sim::scenarios::Scenario {
+        name: "fault-injection".into(),
+        n,
+        tenants: tenants.to_vec(),
+    }
+    .fabric(ReconfigModel::constant(alpha_r).unwrap())
+}
+
+#[test]
+fn one_tenants_stuck_port_does_not_corrupt_the_other_tenants_report() {
+    // Tenant A's partition has a stuck port that disconnects its matched
+    // steps; tenant B shares only the fabric controller. B's report must
+    // be byte-for-byte what it is on a healthy fabric, and A must fail
+    // with a tenant-tagged error naming it.
+    let a = matched_tenant("victim", (0..4).collect(), 4096.0);
+    let b = matched_tenant("bystander", (4..8).collect(), 4096.0);
+    let cfg = RunConfig::paper_defaults();
+
+    let healthy_b = {
+        let mut fab = tenant_fabric(8, &[a.clone(), b.clone()], 1e-6);
+        let reports = run_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap();
+        assert!(reports[0].is_ok() && reports[1].is_ok());
+        reports[1].clone().unwrap()
+    };
+
+    let mut fab = tenant_fabric(8, &[a.clone(), b.clone()], 1e-6);
+    fab.stick_port(0).unwrap(); // port 0 belongs to tenant A
+    let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+
+    // The failing tenant fails loudly, tagged with its identity…
+    match reports[0].as_ref().unwrap_err() {
+        SimError::Tenant {
+            tenant: 0,
+            name,
+            source,
+        } => {
+            assert_eq!(name, "victim");
+            assert!(matches!(**source, SimError::Unroutable { .. }), "{source}");
+        }
+        other => panic!("expected tenant-tagged Unroutable, got {other}"),
+    }
+    // …and the bystander is never corrupted: every step still moves the
+    // same flows over the same circuits in the same time. Only the
+    // arbitration waits may change — and only downward, because a dead
+    // tenant stops contending for the controller.
+    let degraded_b = reports[1].as_ref().unwrap();
+    assert_eq!(degraded_b.report.steps.len(), healthy_b.report.steps.len());
+    for (d, h) in degraded_b.report.steps.iter().zip(&healthy_b.report.steps) {
+        assert_eq!(d.transfer_ps, h.transfer_ps);
+        assert_eq!(d.ports_changed, h.ports_changed);
+        assert_eq!(d.max_hops, h.max_hops);
+        assert!(d.arbitration_ps <= h.arbitration_ps);
+    }
+    assert!(degraded_b.arbitration_ps() <= healthy_b.arbitration_ps());
+    assert!(degraded_b.finish_ps <= healthy_b.finish_ps);
+}
+
+#[test]
+fn stuck_port_on_an_idle_partition_is_harmless_to_all_tenants() {
+    // Ports 8..12 belong to no tenant; sticking one changes nothing.
+    let a = matched_tenant("a", (0..4).collect(), 4096.0);
+    let b = matched_tenant("b", (4..8).collect(), 4096.0);
+    let cfg = RunConfig::paper_defaults();
+    let run = |stick: Option<usize>| {
+        let mut fab = tenant_fabric(12, &[a.clone(), b.clone()], 1e-6);
+        if let Some(p) = stick {
+            fab.stick_port(p).unwrap();
+        }
+        run_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap()
+    };
+    let healthy = run(None);
+    let degraded = run(Some(9));
+    for (h, d) in healthy.iter().zip(degraded.iter()) {
+        assert_eq!(h.as_ref().unwrap(), d.as_ref().unwrap());
+    }
+}
+
 #[test]
 fn fabric_stats_track_degradation() {
     let n = 8;

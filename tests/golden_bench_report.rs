@@ -1,0 +1,73 @@
+//! Golden-file test for the `bench_<name>.json` report schema.
+//!
+//! `perfgate compare` diffs reports *byte for byte* (modulo the two
+//! runtime meta lines), so any drift in the hand-rolled serializer —
+//! key order, indentation, float formatting, escaping — silently changes
+//! what the CI gate compares. This test pins the rendered bytes of a
+//! canonical report exercising every `Json` variant against a committed
+//! fixture: a serializer edit must consciously regenerate the golden file
+//! (run with `UPDATE_GOLDEN=1`) and bump `SCHEMA_VERSION`.
+
+use aps_bench::output::{bench_report, strip_runtime_meta, BenchMeta, Json};
+
+const GOLDEN_PATH: &str = "tests/fixtures/bench_golden.json";
+
+/// A small report touching every serializer feature: nested objects,
+/// scalar and structured arrays, empty containers, whole and fractional
+/// floats, integers, booleans, and escaped strings.
+fn canonical_report() -> String {
+    let meta = BenchMeta {
+        name: "golden".into(),
+        seed: 42,
+        threads: 2,
+        wall_s: 0.125,
+    };
+    let data = Json::obj([
+        ("figure", Json::Str("golden".into())),
+        ("n", Json::UInt(16)),
+        ("enabled", Json::Bool(true)),
+        ("axis", Json::nums([1.0, 0.5, 1e-7, 1024.0])),
+        ("empty_arr", Json::Arr(vec![])),
+        ("empty_obj", Json::Obj(vec![])),
+        ("escaped", Json::Str("quote\" backslash\\ tab\t".into())),
+        (
+            "cells",
+            Json::Arr(vec![
+                Json::obj([
+                    ("name", Json::Str("a".into())),
+                    ("t_s", Json::Num(0.0012207031)),
+                ]),
+                Json::obj([("name", Json::Str("b".into())), ("t_s", Json::Num(3.0))]),
+            ]),
+        ),
+    ]);
+    bench_report(&meta, data).render()
+}
+
+#[test]
+fn bench_report_bytes_match_the_committed_golden_file() {
+    let rendered = canonical_report();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden fixture");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden fixture missing — regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "bench report serialization drifted from {GOLDEN_PATH}; if the change is \
+         intentional, bump SCHEMA_VERSION and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_strips_to_a_stable_deterministic_core() {
+    // The perfgate view of the fixture: stripping the runtime meta keys
+    // removes exactly the `threads` and `wall_s` lines and nothing else.
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden fixture");
+    let stripped = strip_runtime_meta(&golden);
+    assert_eq!(golden.lines().count(), stripped.lines().count() + 2);
+    assert!(!stripped.contains("\"threads\""));
+    assert!(!stripped.contains("\"wall_s\""));
+    assert!(stripped.contains("\"schema_version\""));
+    assert!(stripped.contains("\"seed\""));
+}

@@ -8,7 +8,7 @@ use aps_cost::units::MIB;
 use aps_cost::ReconfigModel;
 use aps_fabric::CircuitSwitch;
 use aps_matrix::Matching;
-use aps_sim::{run_collective, RunConfig};
+use aps_sim::{run_scheduled, RunConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -34,7 +34,7 @@ fn sim(c: &mut Criterion) {
                 let mut fab =
                     CircuitSwitch::new(ring.clone(), ReconfigModel::constant(1e-6).unwrap());
                 black_box(
-                    run_collective(
+                    run_scheduled(
                         &mut fab,
                         &ring,
                         &collective.schedule,
@@ -57,7 +57,7 @@ fn sim(c: &mut Criterion) {
         b.iter(|| {
             let mut fab = CircuitSwitch::new(ring.clone(), ReconfigModel::constant(1e-6).unwrap());
             black_box(
-                run_collective(
+                run_scheduled(
                     &mut fab,
                     &ring,
                     &hd.schedule,

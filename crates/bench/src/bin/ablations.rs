@@ -21,7 +21,7 @@ use aps_cost::{CostParams, ReconfigModel};
 use aps_flow::solver::{ThetaCache, ThroughputSolver};
 use aps_matrix::Matching;
 use aps_par::Pool;
-use aps_sim::{run_trials, ComputeModel, RunConfig, Trial};
+use aps_sim::{run_trial_batch, ComputeModel, RunConfig, Trial};
 use aps_topology::builders;
 
 fn main() {
@@ -319,7 +319,7 @@ fn overlap() {
             })
         })
         .collect();
-    let reports = run_trials(&Pool::from_env(), &trials).expect("sim");
+    let reports = run_trial_batch(&Pool::from_env(), &trials).expect("sim");
     for (pi, &per_byte_ns) in compute_models.iter().enumerate() {
         let serial = reports[2 * pi].total_s();
         let overlapped = reports[2 * pi + 1].total_s();
@@ -393,7 +393,7 @@ fn sim_validate() {
             })
         })
         .collect();
-    let reports = run_trials(&pool, &trials).expect("sim");
+    let reports = run_trial_batch(&pool, &trials).expect("sim");
     for (wi, (name, _)) in workloads.iter().enumerate() {
         for (pi, policy) in policies.iter().enumerate() {
             let model = analytic[wi][pi].1;

@@ -20,43 +20,29 @@
 //! `APS_THREADS`-sized worker pool; the report's `data` section is
 //! bit-identical at any thread count.
 
+use aps_bench::cli::{emit_bench_report, parse_flags};
 use aps_bench::figures::{
     grid_json, panel, panel_json, run_panel_on, theta_stats_json, Panel, PAPER_N,
 };
-use aps_bench::output::{write_bench_report, write_result, BenchMeta, Json};
+use aps_bench::output::{write_result, Json};
 use aps_core::analysis::{render_heatmap, to_csv};
 use aps_core::sweep::{SweepCell, SweepGrid};
 use aps_flow::CacheStats;
 use aps_par::Pool;
 
 fn main() {
-    let mut panels: Vec<Panel> = Panel::ALL.to_vec();
-    let mut n = PAPER_N;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--panel" => {
-                let v = args.next().unwrap_or_default();
-                match Panel::parse(&v) {
-                    Some(p) => panels = vec![p],
-                    None => {
-                        eprintln!("unknown panel '{v}' (expected a–h)");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--n" => {
-                n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--n requires a number");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown argument '{other}'");
+    let flags = parse_flags(&["--panel", "--n"]);
+    let panels: Vec<Panel> = match flags.get("panel") {
+        None => Panel::ALL.to_vec(),
+        Some(v) => match Panel::parse(v) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("unknown panel '{v}' (expected a–h)");
                 std::process::exit(2);
             }
-        }
-    }
+        },
+    };
+    let n = flags.parsed_or("n", PAPER_N);
 
     let pool = Pool::from_env();
     println!(
@@ -88,12 +74,6 @@ fn main() {
     }
     let wall_s = started.elapsed().as_secs_f64();
 
-    let meta = BenchMeta {
-        name: "fig1".into(),
-        seed: 0,
-        threads: pool.threads(),
-        wall_s,
-    };
     let data = Json::obj([
         ("figure", Json::Str("fig1".into())),
         ("n", Json::UInt(n as u64)),
@@ -101,8 +81,5 @@ fn main() {
         ("theta_cache", theta_stats_json(&theta_stats)),
         ("panels", Json::Arr(panel_reports)),
     ]);
-    match write_bench_report(&meta, data) {
-        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
-        Err(e) => eprintln!("  (json report write failed: {e})"),
-    }
+    emit_bench_report("fig1", &pool, wall_s, data);
 }

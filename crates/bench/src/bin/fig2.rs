@@ -15,31 +15,17 @@
 //! report. Grid cells are evaluated on an `APS_THREADS`-sized worker pool;
 //! the report's `data` section is bit-identical at any thread count.
 
+use aps_bench::cli::{emit_bench_report, parse_flags};
 use aps_bench::figures::{
     grid_json, panel, panel_json, run_panel_on, theta_stats_json, Panel, PAPER_N,
 };
-use aps_bench::output::{write_bench_report, write_result, BenchMeta, Json};
+use aps_bench::output::{write_result, Json};
 use aps_core::analysis::{render_heatmap, render_regimes, to_csv};
 use aps_core::sweep::{SweepCell, SweepGrid};
 use aps_par::Pool;
 
 fn main() {
-    let mut n = PAPER_N;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--n" => {
-                n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--n requires a number");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown argument '{other}'");
-                std::process::exit(2);
-            }
-        }
-    }
+    let n = parse_flags(&["--n"]).parsed_or("n", PAPER_N);
 
     // Figure 2 uses the Figure-1a workload (bandwidth-optimal AllReduce at
     // α = 100 ns) but reports OPT against min(static, BvN).
@@ -67,12 +53,6 @@ fn main() {
         Err(e) => eprintln!("  (csv write failed: {e})"),
     }
 
-    let meta = BenchMeta {
-        name: "fig2".into(),
-        seed: 0,
-        threads: pool.threads(),
-        wall_s,
-    };
     let data = Json::obj([
         ("figure", Json::Str("fig2".into())),
         ("n", Json::UInt(n as u64)),
@@ -80,8 +60,5 @@ fn main() {
         ("theta_cache", theta_stats_json(&result.theta_stats)),
         ("panels", Json::Arr(vec![panel_json(&spec, &result)])),
     ]);
-    match write_bench_report(&meta, data) {
-        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
-        Err(e) => eprintln!("  (json report write failed: {e})"),
-    }
+    emit_bench_report("fig2", &pool, wall_s, data);
 }

@@ -1,6 +1,9 @@
 //! Multi-tenant fabric benchmark: the named workload mixes of
 //! `aps-sim::scenarios` across a ladder of reconfiguration delays, under
-//! both the static per-tenant switch policies and the eq. (7) DP plan.
+//! three switch-schedule policy families — the scenarios' built-in static
+//! per-tenant policies, and two controller ablations where every tenant's
+//! schedule is planned by a shipped `aps-core` controller (the eq. (7) DP
+//! optimum and the online greedy rule).
 //!
 //! Usage:
 //!
@@ -17,7 +20,9 @@
 //! bit-identical at any thread count and `perfgate compare`/`gate` accept
 //! it alongside the figure reports.
 
-use aps_bench::output::{write_bench_report, BenchMeta, Json};
+use aps_bench::cli::{emit_bench_report, parse_flags};
+use aps_bench::output::Json;
+use aps_core::controller::{Controller, DpPlanned, Greedy};
 use aps_cost::units::{format_time, MIB};
 use aps_cost::{CostParams, ReconfigModel};
 use aps_par::Pool;
@@ -25,30 +30,21 @@ use aps_sim::harness::{run_scenario_trials, ScenarioTrial};
 use aps_sim::{scenarios, RunConfig};
 
 /// One benchmark cell: a scenario at one reconfiguration delay under one
-/// switch-schedule policy.
+/// switch-schedule policy family.
 struct Cell {
     policy: &'static str,
     alpha_r_s: f64,
     trial: ScenarioTrial,
 }
 
+/// The controller-planned cell families: every tenant's switch schedule
+/// is chosen by the named controller on its own partition. The scenarios'
+/// built-in per-tenant policies form the third, `"static"`, family.
+const CONTROLLER_FAMILIES: [(&str, &dyn Controller); 2] =
+    [("planned", &DpPlanned), ("greedy", &Greedy)];
+
 fn main() {
-    let mut bytes = 4.0 * MIB;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--bytes" => {
-                bytes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--bytes requires a number");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown argument '{other}'");
-                std::process::exit(2);
-            }
-        }
-    }
+    let bytes = parse_flags(&["--bytes"]).parsed_or("bytes", 4.0 * MIB);
 
     let pool = Pool::from_env();
     let cfg = RunConfig::paper_defaults();
@@ -56,7 +52,7 @@ fn main() {
     let delays = [1e-6, 10e-6, 100e-6];
     println!(
         "Multi-tenant fabric scenarios — base volume {:.0} KiB, α_r ∈ {{1, 10, 100}} µs, \
-         {} worker thread(s)\n",
+         static/planned/greedy policies, {} worker thread(s)\n",
         bytes / 1024.0,
         pool.threads()
     );
@@ -75,19 +71,21 @@ fn main() {
                     config: cfg,
                 },
             });
-            let mut planned = scenario;
-            planned
-                .plan(&pool, params, reconfig)
-                .expect("tenant planning failed");
-            cells.push(Cell {
-                policy: "planned",
-                alpha_r_s: alpha_r,
-                trial: ScenarioTrial {
-                    scenario: planned,
-                    reconfig,
-                    config: cfg,
-                },
-            });
+            for (label, controller) in CONTROLLER_FAMILIES {
+                let mut planned = scenario.clone();
+                planned
+                    .plan_with(&pool, controller, params, reconfig)
+                    .unwrap_or_else(|e| panic!("tenant planning ({label}) failed: {e}"));
+                cells.push(Cell {
+                    policy: label,
+                    alpha_r_s: alpha_r,
+                    trial: ScenarioTrial {
+                        scenario: planned,
+                        reconfig,
+                        config: cfg,
+                    },
+                });
+            }
         }
     }
 
@@ -138,23 +136,18 @@ fn main() {
     }
     println!();
 
-    let meta = BenchMeta {
-        name: "multitenant".into(),
-        seed: 0,
-        threads: pool.threads(),
-        wall_s,
-    };
+    let mut policies = vec![Json::Str("static".into())];
+    policies.extend(
+        CONTROLLER_FAMILIES
+            .iter()
+            .map(|(label, _)| Json::Str((*label).to_string())),
+    );
     let data = Json::obj([
         ("figure", Json::Str("multitenant".into())),
         ("bytes", Json::Num(bytes)),
         ("alpha_r_s", Json::nums(delays)),
+        ("policies", Json::Arr(policies)),
         ("cells", Json::Arr(cell_reports)),
     ]);
-    match write_bench_report(&meta, data) {
-        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
-        Err(e) => {
-            eprintln!("json report write failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    emit_bench_report("multitenant", &pool, wall_s, data);
 }

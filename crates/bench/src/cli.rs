@@ -1,0 +1,103 @@
+//! Shared CLI and report boilerplate for the figure bins.
+//!
+//! Every figure bin (`fig1`, `fig2`, `fig_multitenant`) parses the same
+//! kind of `--flag value` argument list, runs a sweep on an
+//! `APS_THREADS`-sized pool and emits a versioned JSON report into
+//! `results/`. The copy-pasted argv loops and report-writing match arms
+//! used to live in each bin; they live here once now.
+
+use crate::output::{write_bench_report, BenchMeta, Json};
+use aps_par::Pool;
+use std::collections::BTreeMap;
+
+/// Parsed `--flag value` pairs (keys stored without the leading dashes).
+#[derive(Debug, Clone, Default)]
+pub struct Flags(BTreeMap<String, String>);
+
+/// Prints a CLI error and exits with the conventional usage status.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parses the process argument list against an allowlist of `--flag`
+/// names, each of which takes exactly one value. Unknown flags and
+/// missing values print an error and exit(2), matching the bins'
+/// historical behavior.
+pub fn parse_flags(allowed: &[&str]) -> Flags {
+    let mut map = BTreeMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if !allowed.contains(&a.as_str()) {
+            usage_error(&format!("unknown argument '{a}' (expected {allowed:?})"));
+        }
+        match args.next() {
+            Some(v) => {
+                map.insert(a.trim_start_matches('-').to_string(), v);
+            }
+            None => usage_error(&format!("{a} requires a value")),
+        }
+    }
+    Flags(map)
+}
+
+impl Flags {
+    /// The raw value of a flag, if present (key without dashes).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    /// Parses a flag's value, falling back to `default` when the flag is
+    /// absent; an unparsable value prints an error and exits(2).
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.0.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("--{key} got unparsable value '{v}'"))),
+        }
+    }
+
+    /// Test hook: builds flags from explicit pairs.
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
+        Flags(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+}
+
+/// Writes the canonical `results/bench_<name>.json` report and prints the
+/// path; a write failure is fatal (exit 1), because a missing report
+/// breaks the CI perf gate downstream.
+pub fn emit_bench_report(name: &str, pool: &Pool, wall_s: f64, data: Json) {
+    let meta = BenchMeta {
+        name: name.into(),
+        seed: 0,
+        threads: pool.threads(),
+        wall_s,
+    };
+    match write_bench_report(&meta, data) {
+        Ok(path) => println!("  → {} (wall {wall_s:.3} s)", path.display()),
+        Err(e) => {
+            eprintln!("json report write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_and_default() {
+        let f = Flags::from_pairs(&[("n", "256"), ("panel", "c")]);
+        assert_eq!(f.get("panel"), Some("c"));
+        assert_eq!(f.get("missing"), None);
+        assert_eq!(f.parsed_or("n", 64usize), 256);
+        assert_eq!(f.parsed_or("bytes", 4.5f64), 4.5);
+    }
+}

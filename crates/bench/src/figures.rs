@@ -253,7 +253,9 @@ pub fn grid_json(grid: &SweepGrid) -> Json {
 }
 
 /// Per-policy completion times a sweep cell contributes to a report, in
-/// [`CELL_POLICIES`] order.
+/// [`CELL_POLICIES`] order. These are the names of the controllers behind
+/// each cell column ([`aps_core::policies::Policy::controller`]):
+/// `Static`, `AlwaysReconfigure`, `DpPlanned`, `Threshold`.
 pub const CELL_POLICIES: [&str; 4] = ["static", "bvn", "opt", "threshold"];
 
 /// One panel's sweep as a JSON object: the workload, α, and the row-major

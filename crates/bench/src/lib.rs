@@ -24,6 +24,7 @@
 //! Criterion benches (`benches/`) time the computational kernels: the DP
 //! solver, BvN decomposition, θ solvers and the event simulator.
 
+pub mod cli;
 pub mod figures;
 pub mod output;
 pub mod workload;

@@ -25,7 +25,9 @@ use std::path::{Path, PathBuf};
 pub const RESULTS_DIR: &str = "results";
 
 /// Current bench-report schema version; bump on any `data` layout change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `bench_multitenant` gained the `policies` family list and the
+/// controller-ablation (`greedy`) cell family.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// `meta` keys that legitimately differ between runs of identical code.
 /// `perfgate compare` strips lines carrying these keys before byte

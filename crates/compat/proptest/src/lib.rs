@@ -202,7 +202,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Size bounds for [`vec`], mirroring `proptest::collection::SizeRange`.
+    /// Size bounds for [`fn@vec`], mirroring `proptest::collection::SizeRange`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         pub min: usize,

@@ -6,9 +6,9 @@
 //! schedule and a policy comparison.
 
 use crate::assignment::SwitchSchedule;
-use crate::dp;
+use crate::controller::{Controller, DpPlanned};
 use crate::error::CoreError;
-use crate::objective::{CostReport, ReconfigAccounting};
+use crate::objective::{evaluate, CostReport, ReconfigAccounting};
 use crate::policies::{evaluate_policy, Policy};
 use crate::problem::{config_of_topology, SwitchingProblem};
 use aps_collectives::Schedule;
@@ -116,14 +116,51 @@ impl ScaleupDomain {
         })
     }
 
-    /// Computes the optimal circuit-switch schedule for a collective.
+    /// The reconfiguration accounting rule in force.
+    pub fn accounting(&self) -> ReconfigAccounting {
+        self.accounting
+    }
+
+    /// Computes the optimal circuit-switch schedule for a collective —
+    /// [`ScaleupDomain::plan_with`] under the [`DpPlanned`] controller.
     ///
     /// # Errors
     ///
     /// Propagates problem-construction errors.
     pub fn plan(&mut self, schedule: &Schedule) -> Result<(SwitchSchedule, CostReport), CoreError> {
+        self.plan_with(schedule, &DpPlanned)
+    }
+
+    /// Lets `controller` choose the circuit-switch schedule for a
+    /// collective and prices the result. This is the single planning
+    /// entrypoint every policy routes through; [`ScaleupDomain::plan`] is
+    /// the [`DpPlanned`] special case.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction and controller planning errors.
+    pub fn plan_with(
+        &mut self,
+        schedule: &Schedule,
+        controller: &dyn Controller,
+    ) -> Result<(SwitchSchedule, CostReport), CoreError> {
         let p = self.problem(schedule)?;
-        dp::optimize(&p, self.accounting)
+        let switches = controller.plan(&p, self.accounting)?;
+        let report = evaluate(&p, &switches, self.accounting)?;
+        Ok((switches, report))
+    }
+
+    /// Prices the schedule `controller` chooses for a collective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction and controller planning errors.
+    pub fn evaluate_with(
+        &mut self,
+        schedule: &Schedule,
+        controller: &dyn Controller,
+    ) -> Result<CostReport, CoreError> {
+        self.plan_with(schedule, controller).map(|(_, r)| r)
     }
 
     /// Prices all four policies on a collective.
@@ -195,6 +232,26 @@ mod tests {
         let small = allreduce::halving_doubling::build(16, 64.0).unwrap();
         let (schedule, _) = d.plan(&small.schedule).unwrap();
         assert!(schedule.matched_steps() > 0);
+    }
+
+    #[test]
+    fn plan_with_controllers_brackets_the_optimum() {
+        use crate::controller::{shipped, DpPlanned};
+        let c = allreduce::halving_doubling::build(16, 16.0 * MIB).unwrap();
+        let mut d = domain(16, 1e-5);
+        let (opt_sched, opt) = d.plan(&c.schedule).unwrap();
+        // plan() is exactly plan_with(DpPlanned).
+        let (sched2, rep2) = d.plan_with(&c.schedule, &DpPlanned).unwrap();
+        assert_eq!(opt_sched, sched2);
+        assert_eq!(opt, rep2);
+        for ctl in shipped() {
+            let r = d.evaluate_with(&c.schedule, ctl).unwrap();
+            assert!(
+                opt.total_s() <= r.total_s() + 1e-15,
+                "{} beat the optimum",
+                ctl.name()
+            );
+        }
     }
 
     #[test]

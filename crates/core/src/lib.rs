@@ -25,14 +25,21 @@
 //! proptest suite pin the DP to the ILP objective.
 //!
 //! On top of the solver this crate provides the evaluation machinery of
-//! §3.4: baseline policies (static base topology, per-step BvN
-//! reconfiguration), the threshold heuristic from the research agenda,
-//! multi-base-topology pools, and the `α_r × message-size` sweep that
-//! regenerates the paper's heatmaps.
+//! §3.4 behind one open abstraction: the [`controller::Controller`] trait.
+//! A controller observes each step's demand and the fabric's state and
+//! decides whether the fabric bends ([`ConfigChoice::Matched`], pay `α_r`)
+//! or stays put ([`ConfigChoice::Base`]). The baselines (static base,
+//! per-step BvN), the threshold heuristic, an online greedy rule and the
+//! DP optimum all ship as controllers; [`ScaleupDomain::plan_with`],
+//! [`sweep::plan_jobs_on`] and the simulator's adaptive executor accept
+//! any `&dyn Controller`. Multi-base-topology pools and the
+//! `α_r × message-size` sweep that regenerates the paper's heatmaps
+//! complete the picture.
 
 pub mod analysis;
 pub mod assignment;
 pub mod brute;
+pub mod controller;
 pub mod domain;
 pub mod dp;
 pub mod error;
@@ -45,6 +52,7 @@ pub mod problem;
 pub mod sweep;
 
 pub use assignment::{ConfigChoice, SwitchSchedule};
+pub use controller::{Controller, StepObservation};
 pub use domain::{PolicyComparison, ScaleupDomain};
 pub use error::CoreError;
 pub use objective::{evaluate, CostReport, ReconfigAccounting};

@@ -1,8 +1,14 @@
 //! Scheduling policies: the two baselines of §3.4, the exact optimum, and
 //! the threshold heuristic from the research agenda (§4).
+//!
+//! [`Policy`] is the closed, `Copy` descriptor the sweep engine and bench
+//! tables iterate over; every variant is *implemented* by a shipped
+//! [`crate::controller::Controller`] ([`Policy::controller`]),
+//! so this module is a thin naming layer over the open controller
+//! abstraction.
 
-use crate::assignment::{ConfigChoice, SwitchSchedule};
-use crate::dp::optimize;
+use crate::assignment::SwitchSchedule;
+use crate::controller::{AlwaysReconfigure, Controller, DpPlanned, Static, Threshold};
 use crate::error::CoreError;
 use crate::objective::{evaluate, CostReport, ReconfigAccounting};
 use crate::problem::SwitchingProblem;
@@ -36,7 +42,17 @@ impl Policy {
         Policy::Threshold,
     ];
 
-    /// Stable name for tables.
+    /// The controller implementing this policy.
+    pub fn controller(self) -> &'static dyn Controller {
+        match self {
+            Policy::StaticBase => &Static,
+            Policy::AlwaysMatched => &AlwaysReconfigure,
+            Policy::Optimal => &DpPlanned,
+            Policy::Threshold => &Threshold,
+        }
+    }
+
+    /// Stable name for tables (the backing controller's name).
     pub fn name(self) -> &'static str {
         match self {
             Policy::StaticBase => "static",
@@ -47,7 +63,8 @@ impl Policy {
     }
 }
 
-/// Produces the switch schedule a policy chooses for `problem`.
+/// Produces the switch schedule a policy chooses for `problem` — the plan
+/// of [`Policy::controller`].
 ///
 /// # Errors
 ///
@@ -57,31 +74,7 @@ pub fn schedule_for(
     policy: Policy,
     accounting: ReconfigAccounting,
 ) -> Result<SwitchSchedule, CoreError> {
-    let s = problem.num_steps();
-    Ok(match policy {
-        Policy::StaticBase => SwitchSchedule::all_base(s),
-        Policy::AlwaysMatched => SwitchSchedule::all_matched(s),
-        Policy::Optimal => optimize(problem, accounting)?.0,
-        Policy::Threshold => {
-            let alpha_r = problem.reconfig.worst_case_delay_s(problem.n);
-            let p = &problem.params;
-            SwitchSchedule::new(
-                problem
-                    .steps
-                    .iter()
-                    .map(|st| {
-                        let gain = p.beta_s_per_byte * st.bytes * (1.0 / st.theta_base - 1.0)
-                            + p.delta_s * (st.ell_base as f64 - 1.0).max(0.0);
-                        if gain > alpha_r {
-                            ConfigChoice::Matched
-                        } else {
-                            ConfigChoice::Base
-                        }
-                    })
-                    .collect(),
-            )
-        }
-    })
+    policy.controller().plan(problem, accounting)
 }
 
 /// Prices the schedule a policy chooses.
@@ -157,10 +150,13 @@ mod tests {
     }
 
     #[test]
-    fn policy_names() {
+    fn policy_names_match_their_controllers() {
         assert_eq!(
             Policy::ALL.map(|p| p.name()),
             ["static", "bvn", "opt", "threshold"]
         );
+        for p in Policy::ALL {
+            assert_eq!(p.name(), p.controller().name());
+        }
     }
 }

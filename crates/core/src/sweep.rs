@@ -119,6 +119,10 @@ impl SweepResult {
 /// # Errors
 ///
 /// Propagates collective construction and routing errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `adaptive_photonics::Experiment::…::sweep(grid)` or `run_sweep_on` with an explicit pool"
+)]
 pub fn run_sweep(
     base: &Topology,
     build: impl Fn(f64) -> Result<Collective, CollectiveError> + Sync,
@@ -241,11 +245,11 @@ pub struct PlanJob {
     pub schedule: aps_collectives::Schedule,
 }
 
-/// Plans the eq. (7) optimum for every job on `pool`, one independent
-/// [`crate::ScaleupDomain`] per job (forced-path θ solver, paper
-/// accounting). `plans[i]` belongs to `jobs[i]` at any thread count — the
-/// DP is deterministic and jobs share no state, so the batch is
-/// bit-identical at any `APS_THREADS` setting.
+/// Lets `controller` plan every job on `pool`, one independent
+/// [`crate::ScaleupDomain`] per job, under the given accounting rule and
+/// θ solver. `plans[i]` belongs to `jobs[i]` at any thread count —
+/// controllers are required to be deterministic and jobs share no state,
+/// so the batch is bit-identical at any `APS_THREADS` setting.
 ///
 /// This is the sweep engine's integration point for multi-tenant
 /// scenarios: `aps-sim`'s scenario generator plans each tenant's switch
@@ -255,16 +259,49 @@ pub struct PlanJob {
 ///
 /// All jobs are evaluated; when several fail, the error of the lowest job
 /// index is returned.
+pub fn plan_jobs_on(
+    pool: &Pool,
+    jobs: &[PlanJob],
+    controller: &dyn crate::controller::Controller,
+    params: CostParams,
+    reconfig: ReconfigModel,
+    accounting: ReconfigAccounting,
+    solver: ThroughputSolver,
+) -> Result<Vec<(crate::SwitchSchedule, crate::CostReport)>, CoreError> {
+    pool.try_map(jobs, |_, job| {
+        let mut domain = crate::ScaleupDomain::new(job.base.clone(), params, reconfig)
+            .with_solver(solver)
+            .with_accounting(accounting);
+        domain.plan_with(&job.schedule, controller)
+    })
+}
+
+/// Plans the eq. (7) optimum for every job on `pool` —
+/// [`plan_jobs_on`] under the [`crate::controller::DpPlanned`] controller.
+///
+/// # Errors
+///
+/// All jobs are evaluated; when several fail, the error of the lowest job
+/// index is returned.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `plan_jobs_on` with an explicit controller (e.g. `&DpPlanned`)"
+)]
 pub fn plan_schedules_on(
     pool: &Pool,
     jobs: &[PlanJob],
     params: CostParams,
     reconfig: ReconfigModel,
 ) -> Result<Vec<(crate::SwitchSchedule, crate::CostReport)>, CoreError> {
-    pool.try_map(jobs, |_, job| {
-        let mut domain = crate::ScaleupDomain::new(job.base.clone(), params, reconfig);
-        domain.plan(&job.schedule)
-    })
+    plan_jobs_on(
+        pool,
+        jobs,
+        &crate::controller::DpPlanned,
+        params,
+        reconfig,
+        ReconfigAccounting::PaperConservative,
+        ThroughputSolver::ForcedPath,
+    )
 }
 
 #[cfg(test)]
@@ -275,7 +312,8 @@ mod tests {
 
     fn sweep_hd(n: usize) -> SweepResult {
         let topo = builders::ring_unidirectional(n).unwrap();
-        run_sweep(
+        run_sweep_on(
+            &Pool::from_env(),
             &topo,
             |m| allreduce::halving_doubling::build(n, m),
             CostParams::paper_defaults(),
@@ -369,7 +407,17 @@ mod tests {
             .collect();
         let params = CostParams::paper_defaults();
         let reconfig = ReconfigModel::constant(10e-6).unwrap();
-        let serial = plan_schedules_on(&Pool::serial(), &jobs, params, reconfig).unwrap();
+        let ctl = crate::controller::DpPlanned;
+        let serial = plan_jobs_on(
+            &Pool::serial(),
+            &jobs,
+            &ctl,
+            params,
+            reconfig,
+            Default::default(),
+            ThroughputSolver::ForcedPath,
+        )
+        .unwrap();
         assert_eq!(serial.len(), jobs.len());
         for (job, (schedule, report)) in jobs.iter().zip(&serial) {
             let mut d = crate::ScaleupDomain::new(job.base.clone(), params, reconfig);
@@ -378,8 +426,55 @@ mod tests {
             assert_eq!(report, &want_r);
         }
         for threads in [2, 4] {
-            let parallel = plan_schedules_on(&Pool::new(threads), &jobs, params, reconfig).unwrap();
+            let parallel = plan_jobs_on(
+                &Pool::new(threads),
+                &jobs,
+                &ctl,
+                params,
+                reconfig,
+                Default::default(),
+                ThroughputSolver::ForcedPath,
+            )
+            .unwrap();
             assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn controllers_plan_job_batches_deterministically() {
+        let jobs: Vec<PlanJob> = [(8usize, 4.0 * 1024.0 * 1024.0), (16, 2e6)]
+            .into_iter()
+            .map(|(n, bytes)| PlanJob {
+                base: builders::ring_unidirectional(n).unwrap(),
+                schedule: allreduce::halving_doubling::build(n, bytes)
+                    .unwrap()
+                    .schedule,
+            })
+            .collect();
+        let params = CostParams::paper_defaults();
+        let reconfig = ReconfigModel::constant(10e-6).unwrap();
+        for ctl in crate::controller::shipped() {
+            let serial = plan_jobs_on(
+                &Pool::serial(),
+                &jobs,
+                ctl,
+                params,
+                reconfig,
+                Default::default(),
+                ThroughputSolver::ForcedPath,
+            )
+            .unwrap();
+            let parallel = plan_jobs_on(
+                &Pool::new(3),
+                &jobs,
+                ctl,
+                params,
+                reconfig,
+                Default::default(),
+                ThroughputSolver::ForcedPath,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "{}", ctl.name());
         }
     }
 

@@ -1,11 +1,24 @@
 //! Collective execution on a reconfigurable fabric.
+//!
+//! Two single-collective entrypoints share one step engine
+//! (the private `execute_step`):
+//!
+//! * [`run_scheduled`] executes a *precomputed* [`SwitchSchedule`] (e.g.
+//!   a controller's plan, or a hand-written decision vector);
+//! * [`run_adaptive`] consults a [`Controller`] step by step, so the
+//!   decision rationale lands in the trace as
+//!   [`TraceKind::Decision`] events — the simulator face of the paper's
+//!   adaptive vision.
+//!
+//! Both are normally reached through `adaptive_photonics::Experiment`.
 
 use crate::error::SimError;
 use crate::fluid::{simulate_flows, FlowSpec};
 use crate::report::{SimReport, StepReport};
 use crate::trace::{TraceEvent, TraceKind};
 use aps_collectives::Schedule;
-use aps_core::{ConfigChoice, SwitchSchedule};
+use aps_core::controller::{Controller, StepObservation};
+use aps_core::{ConfigChoice, ReconfigAccounting, SwitchSchedule, SwitchingProblem};
 use aps_cost::units::{secs_to_picos, Picos};
 use aps_cost::CostParams;
 use aps_fabric::{BarrierModel, Fabric, ReconfigOutcome};
@@ -13,7 +26,9 @@ use aps_matrix::Matching;
 use aps_topology::builders::from_matching;
 use aps_topology::paths::shortest_path;
 
-pub use crate::tenant::{run_tenants, TenantReport, TenantSpec};
+#[allow(deprecated)]
+pub use crate::tenant::run_tenants;
+pub use crate::tenant::{execute_tenants, TenantReport, TenantSpec};
 
 /// Reduction compute following each step's communication.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,14 +54,28 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// Paper §3.4 parameters, free barrier, no compute.
-    pub fn paper_defaults() -> Self {
+    /// A configuration around the given cost parameters: free barrier, no
+    /// compute, no overlap. The numeric constants live in [`CostParams`]
+    /// alone; this constructor only adds the simulator-specific knobs.
+    pub fn with_params(params: CostParams) -> Self {
         Self {
-            params: CostParams::paper_defaults(),
+            params,
             barrier: BarrierModel::None,
             compute: None,
             overlap_reconfig_with_compute: false,
         }
+    }
+
+    /// Paper §3.4 parameters —
+    /// [`RunConfig::with_params`]`(`[`CostParams::paper_defaults`]`())`.
+    pub fn paper_defaults() -> Self {
+        Self::with_params(CostParams::paper_defaults())
+    }
+}
+
+impl From<CostParams> for RunConfig {
+    fn from(params: CostParams) -> Self {
+        Self::with_params(params)
     }
 }
 
@@ -248,20 +277,22 @@ pub(crate) fn execute_step(
     Ok((comm_end, gpu_free))
 }
 
-/// Executes `schedule` under `switch_schedule` against the fabric.
+/// Executes `schedule` under a precomputed `switch_schedule` against the
+/// fabric.
 ///
 /// `base_config` is the circuit configuration realizing the base topology
 /// (e.g. the unidirectional ring): steps with [`ConfigChoice::Base`] target
 /// it, steps with [`ConfigChoice::Matched`] target their own matching.
 ///
-/// For several jobs sharing one fabric, see [`crate::tenant::run_tenants`].
+/// For per-step online decisions see [`run_adaptive`]; for several jobs
+/// sharing one fabric see [`crate::tenant::execute_tenants`].
 ///
 /// # Errors
 ///
 /// Fails on dimension/length mismatches, fabric refusals, or a pair that
 /// cannot be routed on the achieved circuit topology (possible under fault
 /// injection).
-pub fn run_collective(
+pub fn run_scheduled(
     fabric: &mut dyn Fabric,
     base_config: &Matching,
     schedule: &Schedule,
@@ -304,6 +335,102 @@ pub fn run_collective(
     Ok(report)
 }
 
+/// Executes an eq. (7) problem instance against the fabric with
+/// `controller` deciding each step online, from the fabric state it
+/// actually observes. Every decision is recorded in the trace as a
+/// [`TraceKind::Decision`] event carrying the controller's rationale.
+/// Returns the realized switch schedule alongside the report.
+///
+/// The problem carries each step's matching and volume, so no separate
+/// collective schedule is needed — build it with
+/// [`aps_core::ScaleupDomain::problem`] or
+/// [`SwitchingProblem::build`].
+///
+/// # Errors
+///
+/// Fails on dimension mismatches, fabric refusals, or unroutable pairs,
+/// exactly like [`run_scheduled`].
+pub fn run_adaptive(
+    fabric: &mut dyn Fabric,
+    base_config: &Matching,
+    problem: &SwitchingProblem,
+    controller: &dyn Controller,
+    accounting: ReconfigAccounting,
+    cfg: &RunConfig,
+) -> Result<(SwitchSchedule, SimReport), SimError> {
+    if fabric.n() != problem.n {
+        return Err(SimError::DimensionMismatch {
+            fabric: fabric.n(),
+            collective: problem.n,
+        });
+    }
+
+    let mut report = SimReport::default();
+    let mut comm_end: Picos = 0;
+    let mut gpu_free: Picos = 0;
+    let mut prev = ConfigChoice::Base;
+    let mut choices = Vec::with_capacity(problem.num_steps());
+
+    for (i, step) in problem.steps.iter().enumerate() {
+        let obs = StepObservation {
+            problem,
+            accounting,
+            step: i,
+            prev,
+        };
+        let choice = controller.decide(&obs);
+        let matched = choice == ConfigChoice::Matched;
+        // Stamp the decision no later than the step's natural fabric
+        // request: under reconfigure/compute overlap that request fires
+        // when the previous step's flows drain (before the GPUs are
+        // free), and the decision must precede its own ReconfigStart.
+        let decided_at =
+            natural_request_at(cfg, problem.n, i == 0, comm_end, gpu_free).min(gpu_free);
+        report.trace.push(TraceEvent {
+            at: decided_at,
+            kind: TraceKind::Decision {
+                step: i,
+                matched,
+                why: controller.explain(&obs, choice),
+            },
+        });
+        let input = StepInput {
+            step: i,
+            matched,
+            target: if matched { &step.matching } else { base_config },
+            pairs: step.matching.pairs().collect(),
+            bytes_per_pair: step.bytes,
+            barrier_n: problem.n,
+            first: i == 0,
+        };
+        (comm_end, gpu_free) =
+            execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
+        choices.push(choice);
+        prev = choice;
+    }
+    report.total_ps = gpu_free;
+    Ok((SwitchSchedule::new(choices), report))
+}
+
+/// Executes `schedule` under `switch_schedule` against the fabric.
+///
+/// # Errors
+///
+/// See [`run_scheduled`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `adaptive_photonics::Experiment::…::simulate()` or `run_scheduled`"
+)]
+pub fn run_collective(
+    fabric: &mut dyn Fabric,
+    base_config: &Matching,
+    schedule: &Schedule,
+    switch_schedule: &SwitchSchedule,
+    cfg: &RunConfig,
+) -> Result<SimReport, SimError> {
+    run_scheduled(fabric, base_config, schedule, switch_schedule, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,7 +455,7 @@ mod tests {
         let mut fab = switch(n, 10e-6);
         let cfg = RunConfig::paper_defaults();
         let ss = SwitchSchedule::all_base(c.schedule.num_steps());
-        let r = run_collective(&mut fab, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
+        let r = run_scheduled(&mut fab, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
         // Ring steps are 1-hop on the ring config with no congestion:
         // each of the 14 steps costs α + m/n/b + δ.
         let per_step = 100.0 * NANOS + (m / n as f64) / 1e11 + 100.0 * NANOS;
@@ -349,7 +476,7 @@ mod tests {
         let mut fab = switch(n, 5e-6);
         let cfg = RunConfig::paper_defaults();
         let s = c.schedule.num_steps();
-        let r = run_collective(
+        let r = run_scheduled(
             &mut fab,
             &ring_config(n),
             &c.schedule,
@@ -378,7 +505,7 @@ mod tests {
         let mut fab = switch(n, 1e-6);
         let cfg = RunConfig::paper_defaults();
         let ss = SwitchSchedule::all_base(c.schedule.num_steps());
-        let r = run_collective(&mut fab, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
+        let r = run_scheduled(&mut fab, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
         // Step with pattern xor(4) is step index 3 (k = 4).
         let st = &r.steps[3];
         let dedicated = m / 1e11;
@@ -403,7 +530,7 @@ mod tests {
             ..base_cfg
         };
         let mut f1 = switch(n, 5e-6);
-        let r_serial = run_collective(
+        let r_serial = run_scheduled(
             &mut f1,
             &ring_config(n),
             &c.schedule,
@@ -412,7 +539,7 @@ mod tests {
         )
         .unwrap();
         let mut f2 = switch(n, 5e-6);
-        let r_overlap = run_collective(
+        let r_overlap = run_scheduled(
             &mut f2,
             &ring_config(n),
             &c.schedule,
@@ -442,7 +569,7 @@ mod tests {
         fab.stick_port(0).unwrap();
         let cfg = RunConfig::paper_defaults();
         let s = c.schedule.num_steps();
-        let err = run_collective(
+        let err = run_scheduled(
             &mut fab,
             &ring_config(n),
             &c.schedule,
@@ -465,8 +592,8 @@ mod tests {
             ..RunConfig::paper_defaults()
         };
         let ss = SwitchSchedule::all_base(c.schedule.num_steps());
-        let a = run_collective(&mut free, &ring_config(n), &c.schedule, &ss, &cfg_free).unwrap();
-        let b = run_collective(&mut with, &ring_config(n), &c.schedule, &ss, &cfg_barrier).unwrap();
+        let a = run_scheduled(&mut free, &ring_config(n), &c.schedule, &ss, &cfg_free).unwrap();
+        let b = run_scheduled(&mut with, &ring_config(n), &c.schedule, &ss, &cfg_barrier).unwrap();
         let diff = b.total_s() - a.total_s();
         let expect = c.schedule.num_steps() as f64 * 1e-6;
         assert!((diff - expect).abs() < 1e-12);
@@ -479,7 +606,7 @@ mod tests {
         let mut fab = switch(n, 1e-6);
         let cfg = RunConfig::paper_defaults();
         assert!(matches!(
-            run_collective(
+            run_scheduled(
                 &mut fab,
                 &ring_config(n),
                 &c.schedule,
@@ -490,7 +617,7 @@ mod tests {
         ));
         let mut small = switch(8, 1e-6);
         assert!(matches!(
-            run_collective(
+            run_scheduled(
                 &mut small,
                 &ring_config(8),
                 &c.schedule,
@@ -499,5 +626,137 @@ mod tests {
             ),
             Err(SimError::DimensionMismatch { .. })
         ));
+    }
+
+    fn problem_for(n: usize, bytes: f64, alpha_r: f64) -> SwitchingProblem {
+        use aps_flow::solver::{ThetaCache, ThroughputSolver};
+        use aps_topology::builders;
+        let topo = builders::ring_unidirectional(n).unwrap();
+        let c = allreduce::halving_doubling::build(n, bytes).unwrap();
+        let mut cache = ThetaCache::new(&topo, ThroughputSolver::ForcedPath);
+        SwitchingProblem::build(
+            &topo,
+            &c.schedule,
+            &mut cache,
+            CostParams::paper_defaults(),
+            aps_cost::ReconfigModel::constant(alpha_r).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adaptive_run_matches_scheduled_run_of_the_controllers_plan() {
+        use aps_core::controller::shipped;
+        let n = 8;
+        let bytes = 4.0 * MIB;
+        let alpha_r = 5e-6;
+        let problem = problem_for(n, bytes, alpha_r);
+        let c = allreduce::halving_doubling::build(n, bytes).unwrap();
+        let cfg = RunConfig::paper_defaults();
+        let acc = aps_core::ReconfigAccounting::PaperConservative;
+        for ctl in shipped() {
+            let mut fab = switch(n, alpha_r);
+            let (switches, adaptive) =
+                run_adaptive(&mut fab, &ring_config(n), &problem, ctl, acc, &cfg).unwrap();
+            // One tagged decision per step, carrying the rationale.
+            let decisions: Vec<_> = adaptive
+                .trace
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    TraceKind::Decision { step, matched, why } => Some((*step, *matched, why)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(decisions.len(), problem.num_steps(), "{}", ctl.name());
+            for (i, (step, matched, why)) in decisions.iter().enumerate() {
+                assert_eq!(*step, i);
+                assert_eq!(
+                    *matched,
+                    switches.choice(i) == aps_core::ConfigChoice::Matched
+                );
+                assert!(why.starts_with(ctl.name()), "{why}");
+            }
+            // Replaying the realized schedule without the controller gives
+            // the identical timeline (the decision events aside).
+            let mut fab2 = switch(n, alpha_r);
+            let replay =
+                run_scheduled(&mut fab2, &ring_config(n), &c.schedule, &switches, &cfg).unwrap();
+            assert_eq!(adaptive.total_ps, replay.total_ps, "{}", ctl.name());
+            assert_eq!(adaptive.steps, replay.steps, "{}", ctl.name());
+            // And the plan-then-execute path realizes the same schedule
+            // for every deterministic controller.
+            assert_eq!(ctl.plan(&problem, acc).unwrap(), switches, "{}", ctl.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_decisions_precede_their_reconfigurations_under_overlap() {
+        // With reconfigure/compute overlap, a step's fabric request fires
+        // when the previous step's flows drain — before the GPUs finish
+        // computing. The Decision event must still be stamped at or
+        // before the ReconfigStart it causes.
+        let n = 8;
+        let problem = problem_for(n, 64.0 * MIB, 5e-6);
+        let cfg = RunConfig {
+            compute: Some(ComputeModel { per_byte_s: 1e-9 }),
+            overlap_reconfig_with_compute: true,
+            ..RunConfig::paper_defaults()
+        };
+        let mut fab = switch(n, 5e-6);
+        let (_, report) = run_adaptive(
+            &mut fab,
+            &ring_config(n),
+            &problem,
+            &aps_core::controller::AlwaysReconfigure,
+            aps_core::ReconfigAccounting::PaperConservative,
+            &cfg,
+        )
+        .unwrap();
+        let mut last_decision_at = None;
+        let mut saw_overlapped_reconfig = false;
+        for ev in &report.trace {
+            match ev.kind {
+                TraceKind::Decision { .. } => last_decision_at = Some(ev.at),
+                TraceKind::ReconfigStart { .. } => {
+                    let decided = last_decision_at.expect("decision before reconfig");
+                    assert!(
+                        decided <= ev.at,
+                        "decision at {decided} after its reconfiguration at {}",
+                        ev.at
+                    );
+                    saw_overlapped_reconfig = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_overlapped_reconfig);
+    }
+
+    #[test]
+    fn adaptive_run_rejects_dimension_mismatch() {
+        let problem = problem_for(8, MIB, 1e-6);
+        let mut fab = switch(4, 1e-6);
+        let err = run_adaptive(
+            &mut fab,
+            &ring_config(4),
+            &problem,
+            &aps_core::controller::Static,
+            aps_core::ReconfigAccounting::default(),
+            &RunConfig::paper_defaults(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn run_config_derives_from_cost_params() {
+        let p = CostParams::paper_high_alpha();
+        let cfg = RunConfig::from(p);
+        assert_eq!(cfg.params, p);
+        assert_eq!(cfg, RunConfig::with_params(p));
+        assert_eq!(
+            RunConfig::paper_defaults(),
+            RunConfig::with_params(CostParams::paper_defaults())
+        );
     }
 }

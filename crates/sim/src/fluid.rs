@@ -51,7 +51,7 @@
 //!    per-component solver, so ties break identically.
 //!
 //! Together these make the event engine **bit-identical** to the seed
-//! from-scratch engine (kept as [`reference`]): per round the engine
+//! from-scratch engine (kept as [`mod@reference`]): per round the engine
 //! advances `t += dt` with `dt` drawn from the earliest completion event
 //! (equal to the fold-min the seed computed, since `min` over finite
 //! floats is order-independent) and materializes every active flow's

@@ -9,7 +9,7 @@
 //! across thread counts.
 
 use crate::error::SimError;
-use crate::exec::{run_collective, RunConfig};
+use crate::exec::{run_scheduled, RunConfig};
 use crate::report::SimReport;
 use aps_collectives::Schedule;
 use aps_core::SwitchSchedule;
@@ -44,7 +44,7 @@ impl Trial {
     /// Propagates simulator errors.
     pub fn run(&self) -> Result<SimReport, SimError> {
         let mut fabric = CircuitSwitch::new(self.base_config.clone(), self.reconfig);
-        run_collective(
+        run_scheduled(
             &mut fabric,
             &self.base_config,
             &self.schedule,
@@ -60,11 +60,21 @@ impl Trial {
 ///
 /// All trials are evaluated; when several fail, the error of the lowest
 /// trial index is returned.
-pub fn run_trials(pool: &Pool, trials: &[Trial]) -> Result<Vec<SimReport>, SimError> {
+pub fn run_trial_batch(pool: &Pool, trials: &[Trial]) -> Result<Vec<SimReport>, SimError> {
     pool.try_map(trials, |_, trial| trial.run())
 }
 
-/// One multi-tenant simulator run: a [`Scenario`] on a fresh fabric with
+/// Runs every trial on `pool`; `reports[i]` corresponds to `trials[i]`.
+///
+/// # Errors
+///
+/// See [`run_trial_batch`].
+#[deprecated(since = "0.2.0", note = "use `run_trial_batch`")]
+pub fn run_trials(pool: &Pool, trials: &[Trial]) -> Result<Vec<SimReport>, SimError> {
+    run_trial_batch(pool, trials)
+}
+
+/// One multi-tenant simulator run: a [`crate::Scenario`] on a fresh fabric with
 /// `reconfig` pricing (see [`crate::scenarios`]).
 #[derive(Debug, Clone)]
 pub struct ScenarioTrial {
@@ -140,7 +150,7 @@ mod tests {
     #[test]
     fn batch_matches_individual_runs_in_order() {
         let ts = trials(8);
-        let batch = run_trials(&Pool::new(4), &ts).unwrap();
+        let batch = run_trial_batch(&Pool::new(4), &ts).unwrap();
         assert_eq!(batch.len(), ts.len());
         for (t, r) in ts.iter().zip(&batch) {
             assert_eq!(r, &t.run().unwrap());
@@ -153,9 +163,9 @@ mod tests {
     #[test]
     fn batch_is_deterministic_across_thread_counts() {
         let ts = trials(8);
-        let serial = run_trials(&Pool::serial(), &ts).unwrap();
+        let serial = run_trial_batch(&Pool::serial(), &ts).unwrap();
         for threads in [2, 3, 8] {
-            assert_eq!(serial, run_trials(&Pool::new(threads), &ts).unwrap());
+            assert_eq!(serial, run_trial_batch(&Pool::new(threads), &ts).unwrap());
         }
     }
 
@@ -198,7 +208,7 @@ mod tests {
         // Make trials 1 and 3 fail with a length mismatch; index 1 wins.
         ts[3].switch_schedule = SwitchSchedule::new(vec![ConfigChoice::Base]);
         ts[1].switch_schedule = SwitchSchedule::new(vec![ConfigChoice::Base; 2]);
-        let err = run_trials(&Pool::new(4), &ts).unwrap_err();
+        let err = run_trial_batch(&Pool::new(4), &ts).unwrap_err();
         assert!(
             matches!(err, SimError::ScheduleLengthMismatch { got: 2, .. }),
             "{err}"

@@ -27,10 +27,18 @@
 //! root).
 
 //!
-//! Beyond single collectives, the [`tenant`] module executes several jobs
-//! sharing one fabric (disjoint port partitions, arbitrated controller)
-//! and [`scenarios`] packages named multi-tenant workload mixes for the
-//! bench harness.
+//! Two single-collective executors share the step engine:
+//! [`exec::run_scheduled`] replays a precomputed switch schedule, and
+//! [`exec::run_adaptive`] consults an [`aps_core::controller::Controller`]
+//! step by step, tagging the trace with each decision's rationale
+//! ([`TraceKind::Decision`]). Beyond single collectives, the [`tenant`]
+//! module executes several jobs sharing one fabric (disjoint port
+//! partitions, arbitrated controller) and [`scenarios`] packages named
+//! multi-tenant workload mixes — plannable under any controller via
+//! [`Scenario::plan_with`] — for the bench harness.
+//!
+//! All of this is normally reached through the
+//! `adaptive_photonics::Experiment` facade at the workspace root.
 
 pub mod error;
 pub mod exec;
@@ -42,10 +50,18 @@ pub mod tenant;
 pub mod trace;
 
 pub use error::SimError;
-pub use exec::{run_collective, ComputeModel, RunConfig};
+pub use exec::{run_adaptive, run_scheduled, ComputeModel, RunConfig};
 pub use fluid::{max_min_rates, simulate_flows, FlowSpec};
-pub use harness::{run_trials, Trial};
+pub use harness::{run_trial_batch, Trial};
 pub use report::{SimReport, StepReport};
 pub use scenarios::Scenario;
-pub use tenant::{run_tenants, TenantReport, TenantSpec};
+pub use tenant::{execute_tenants, TenantReport, TenantSpec};
 pub use trace::{TraceEvent, TraceKind};
+
+// Deprecated shims, re-exported for downstream compatibility.
+#[allow(deprecated)]
+pub use exec::run_collective;
+#[allow(deprecated)]
+pub use harness::run_trials;
+#[allow(deprecated)]
+pub use tenant::run_tenants;

@@ -22,17 +22,21 @@
 //!
 //! Tenant switch schedules default to simple static policies
 //! (reconfiguration-heavy jobs matched, ring-friendly jobs on base); use
-//! [`Scenario::plan`] to replace them with the per-tenant DP optimum from
-//! `aps-core` — the same eq. (7) machinery the single-tenant sweeps use.
+//! [`Scenario::plan_with`] to hand each tenant's decisions to any
+//! [`aps_core::controller::Controller`] — [`Scenario::plan`] is the DP
+//! optimum shorthand, the same eq. (7) machinery the single-tenant sweeps
+//! use.
 
 use crate::error::SimError;
 use crate::exec::RunConfig;
-use crate::tenant::{run_tenants, TenantReport, TenantSpec};
+use crate::tenant::{execute_tenants, TenantReport, TenantSpec};
 use aps_collectives::{allreduce, alltoall, stencil, Collective};
-use aps_core::sweep::{plan_schedules_on, PlanJob};
-use aps_core::{CoreError, SwitchSchedule};
+use aps_core::controller::{Controller, DpPlanned};
+use aps_core::sweep::{plan_jobs_on, PlanJob};
+use aps_core::{CoreError, ReconfigAccounting, SwitchSchedule};
 use aps_cost::{CostParams, ReconfigModel};
 use aps_fabric::CircuitSwitch;
+use aps_flow::ThroughputSolver;
 use aps_matrix::Matching;
 use aps_par::Pool;
 use aps_topology::builders::from_matching;
@@ -66,12 +70,71 @@ impl Scenario {
         CircuitSwitch::new(self.initial_config(), reconfig)
     }
 
-    /// Replaces every tenant's switch schedule with the DP optimum for its
-    /// own partition — planned against the circuit topology its
-    /// `base_config` actually realizes — in parallel on `pool` via
-    /// [`plan_schedules_on`]. This is the multi-tenant face of the paper's
-    /// eq. (7) optimization: each job adapts independently; the fabric
-    /// arbitrates the shared controller.
+    /// Replaces every tenant's switch schedule with the one `controller`
+    /// chooses for its own partition — planned against the circuit
+    /// topology its `base_config` actually realizes — in parallel on
+    /// `pool` via [`plan_jobs_on`], with the paper's conservative
+    /// accounting and the exact forced-path θ solver. This is the
+    /// multi-tenant face of the controller abstraction: each job adapts
+    /// independently; the fabric arbitrates the shared controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors (steps unroutable on the tenant's base,
+    /// bad parameters).
+    pub fn plan_with(
+        &mut self,
+        pool: &Pool,
+        controller: &dyn Controller,
+        params: CostParams,
+        reconfig: ReconfigModel,
+    ) -> Result<(), CoreError> {
+        self.plan_configured(
+            pool,
+            controller,
+            params,
+            reconfig,
+            ReconfigAccounting::PaperConservative,
+            ThroughputSolver::ForcedPath,
+        )
+    }
+
+    /// [`Scenario::plan_with`] with an explicit accounting rule and θ
+    /// solver (the variant `Experiment` routes through, so overrides of
+    /// either setting reach per-tenant planning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors (steps unroutable on the tenant's base,
+    /// bad parameters).
+    pub fn plan_configured(
+        &mut self,
+        pool: &Pool,
+        controller: &dyn Controller,
+        params: CostParams,
+        reconfig: ReconfigModel,
+        accounting: ReconfigAccounting,
+        solver: ThroughputSolver,
+    ) -> Result<(), CoreError> {
+        let jobs: Vec<PlanJob> = self
+            .tenants
+            .iter()
+            .map(|t| PlanJob {
+                base: from_matching(&t.base_config),
+                schedule: t.schedule.clone(),
+            })
+            .collect();
+        let plans = plan_jobs_on(
+            pool, &jobs, controller, params, reconfig, accounting, solver,
+        )?;
+        for (t, (schedule, _)) in self.tenants.iter_mut().zip(plans) {
+            t.switch_schedule = schedule;
+        }
+        Ok(())
+    }
+
+    /// [`Scenario::plan_with`] under the eq. (7) DP optimum
+    /// ([`DpPlanned`]).
     ///
     /// # Errors
     ///
@@ -83,26 +146,14 @@ impl Scenario {
         params: CostParams,
         reconfig: ReconfigModel,
     ) -> Result<(), CoreError> {
-        let jobs: Vec<PlanJob> = self
-            .tenants
-            .iter()
-            .map(|t| PlanJob {
-                base: from_matching(&t.base_config),
-                schedule: t.schedule.clone(),
-            })
-            .collect();
-        let plans = plan_schedules_on(pool, &jobs, params, reconfig)?;
-        for (t, (schedule, _)) in self.tenants.iter_mut().zip(plans) {
-            t.switch_schedule = schedule;
-        }
-        Ok(())
+        self.plan_with(pool, &DpPlanned, params, reconfig)
     }
 
     /// Runs the scenario on a fresh fabric with `reconfig` pricing.
     ///
     /// # Errors
     ///
-    /// Propagates structural errors from [`run_tenants`]; per-tenant
+    /// Propagates structural errors from [`execute_tenants`]; per-tenant
     /// failures land in the returned per-tenant results.
     pub fn run(
         &self,
@@ -110,7 +161,7 @@ impl Scenario {
         cfg: &RunConfig,
     ) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
         let mut fabric = self.fabric(reconfig);
-        run_tenants(&mut fabric, &self.tenants, cfg)
+        execute_tenants(&mut fabric, &self.tenants, cfg)
     }
 }
 
@@ -310,6 +361,55 @@ mod tests {
             assert_eq!(by_name(&s.name, MIB).unwrap().name, s.name);
         }
         assert!(by_name("no-such-mix", MIB).is_none());
+    }
+
+    #[test]
+    fn controllers_plan_scenarios_and_opt_dominates() {
+        use aps_core::controller::{shipped, AlwaysReconfigure, Static};
+        let cfg = RunConfig::paper_defaults();
+        let reconfig = ReconfigModel::constant(10e-6).unwrap();
+        let params = CostParams::paper_defaults();
+        let pool = Pool::serial();
+
+        // plan_with(Static/AlwaysReconfigure) produce the trivial
+        // schedules on every tenant.
+        let mut s = skewed_tenants(4.0 * MIB);
+        s.plan_with(&pool, &Static, params, reconfig).unwrap();
+        for t in &s.tenants {
+            assert_eq!(
+                t.switch_schedule,
+                SwitchSchedule::all_base(t.schedule.num_steps())
+            );
+        }
+        s.plan_with(&pool, &AlwaysReconfigure, params, reconfig)
+            .unwrap();
+        for t in &s.tenants {
+            assert_eq!(
+                t.switch_schedule,
+                SwitchSchedule::all_matched(t.schedule.num_steps())
+            );
+        }
+
+        // The DP plan's total makespan is never beaten by any other
+        // shipped controller on the same (contention-free) mix.
+        let mut planned = mixed_collectives(4.0 * MIB);
+        planned.plan(&pool, params, reconfig).unwrap();
+        let opt_worst = planned
+            .run(reconfig, &cfg)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap().makespan_s())
+            .fold(0.0f64, f64::max);
+        assert!(opt_worst > 0.0);
+        for ctl in shipped() {
+            let mut alt = mixed_collectives(4.0 * MIB);
+            alt.plan_with(&pool, ctl, params, reconfig).unwrap();
+            let reports = alt.run(reconfig, &cfg).unwrap();
+            assert_eq!(reports.len(), alt.tenants.len(), "{}", ctl.name());
+            for r in reports {
+                assert!(r.is_ok(), "{}", ctl.name());
+            }
+        }
     }
 
     #[test]

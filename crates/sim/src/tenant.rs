@@ -147,13 +147,19 @@ struct TenantState {
 /// A failing tenant never corrupts another tenant's report — the survivors
 /// keep executing on their own partitions.
 ///
+/// Tenant switch schedules come from controllers: see
+/// [`crate::scenarios::Scenario::plan_with`] (or
+/// `adaptive_photonics::Experiment::…::plan()`), which lets any
+/// [`aps_core::controller::Controller`] choose each tenant's per-step
+/// decisions before the mix is executed here.
+///
 /// # Errors
 ///
 /// Returns a top-level error only for structural problems: overlapping or
 /// out-of-range tenant ports ([`SimError::BadTenantPorts`]). Everything
 /// else — length mismatches, unroutable pairs, fabric refusals — is
 /// attributed to its tenant in the per-tenant results.
-pub fn run_tenants(
+pub fn execute_tenants(
     fabric: &mut dyn Fabric,
     tenants: &[TenantSpec],
     cfg: &RunConfig,
@@ -300,6 +306,23 @@ pub fn run_tenants(
         .collect())
 }
 
+/// Executes every tenant's schedule on the shared `fabric`.
+///
+/// # Errors
+///
+/// See [`execute_tenants`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `adaptive_photonics::Experiment::…::simulate()` or `execute_tenants`"
+)]
+pub fn run_tenants(
+    fabric: &mut dyn Fabric,
+    tenants: &[TenantSpec],
+    cfg: &RunConfig,
+) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
+    execute_tenants(fabric, tenants, cfg)
+}
+
 fn tenant_err(t: usize, spec: &TenantSpec, source: SimError) -> SimError {
     SimError::Tenant {
         tenant: t,
@@ -355,11 +378,11 @@ mod tests {
         let t = tenant("solo", (0..8).collect(), MIB, true);
         let mut fab = fabric_for(8, std::slice::from_ref(&t));
         let cfg = RunConfig::paper_defaults();
-        let reports = run_tenants(&mut fab, std::slice::from_ref(&t), &cfg).unwrap();
+        let reports = execute_tenants(&mut fab, std::slice::from_ref(&t), &cfg).unwrap();
         let got = reports[0].as_ref().unwrap();
 
         let mut solo = CircuitSwitch::new(t.global_base(), ReconfigModel::constant(5e-6).unwrap());
-        let want = crate::exec::run_collective(
+        let want = crate::exec::run_scheduled(
             &mut solo,
             &t.base_config,
             &t.schedule,
@@ -380,12 +403,12 @@ mod tests {
         let b = tenant("b", (8..16).collect(), 4.0 * MIB, false);
         let cfg = RunConfig::paper_defaults();
         let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
-        let reports = run_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap();
+        let reports = execute_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap();
         for (spec, rep) in [a, b].iter().zip(&reports) {
             let rep = rep.as_ref().unwrap();
             // Each tenant alone on the same fabric produces the same report.
             let mut solo_fab = fabric_for(16, std::slice::from_ref(spec));
-            let solo = run_tenants(&mut solo_fab, std::slice::from_ref(spec), &cfg).unwrap();
+            let solo = execute_tenants(&mut solo_fab, std::slice::from_ref(spec), &cfg).unwrap();
             assert_eq!(rep, solo[0].as_ref().unwrap(), "{}", rep.name);
             assert_eq!(rep.arbitration_ps(), 0, "{}", rep.name);
             assert_eq!(rep.report.reconfig_events(), 0);
@@ -402,7 +425,7 @@ mod tests {
         let b = tenant("b", (8..16).collect(), MIB, true);
         let cfg = RunConfig::paper_defaults();
         let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
-        let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+        let reports = execute_tenants(&mut fab, &[a, b], &cfg).unwrap();
         let ra = reports[0].as_ref().unwrap();
         let rb = reports[1].as_ref().unwrap();
         // Step 0: identical request instants, tenant 0 wins the tie and
@@ -426,7 +449,7 @@ mod tests {
         b.arrival_s = 10e-3; // long after `early` finished: no contention
         let cfg = RunConfig::paper_defaults();
         let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
-        let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+        let reports = execute_tenants(&mut fab, &[a, b], &cfg).unwrap();
         let ra = reports[0].as_ref().unwrap();
         let rb = reports[1].as_ref().unwrap();
         assert_eq!(rb.arrival_ps, secs_to_picos(10e-3));
@@ -441,7 +464,7 @@ mod tests {
         let a = tenant("a", (0..8).collect(), MIB, true);
         let b = tenant("b", (7..15).collect(), MIB, true);
         let mut fab = fabric_for(16, std::slice::from_ref(&a));
-        let err = run_tenants(&mut fab, &[a, b], &RunConfig::paper_defaults()).unwrap_err();
+        let err = execute_tenants(&mut fab, &[a, b], &RunConfig::paper_defaults()).unwrap_err();
         assert!(matches!(
             err,
             SimError::BadTenantPorts { tenant: 1, port: 7 }
@@ -455,7 +478,7 @@ mod tests {
         b.switch_schedule = SwitchSchedule::all_base(1);
         let cfg = RunConfig::paper_defaults();
         let mut fab = fabric_for(16, &[a.clone(), b.clone()]);
-        let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+        let reports = execute_tenants(&mut fab, &[a, b], &cfg).unwrap();
         assert!(reports[0].is_ok());
         match reports[1].as_ref().unwrap_err() {
             SimError::Tenant {

@@ -42,6 +42,16 @@ pub enum TraceKind {
     ComputeStart,
     /// A compute phase finished.
     ComputeDone,
+    /// The run's controller decided how the step runs (adaptive runs
+    /// only; scheduled runs carry no decision events).
+    Decision {
+        /// Step index.
+        step: usize,
+        /// `true` when the controller chose the matched configuration.
+        matched: bool,
+        /// The controller's rationale (its `explain` line).
+        why: String,
+    },
 }
 
 /// One timestamped event.
@@ -78,6 +88,7 @@ impl fmt::Display for TraceEvent {
             TraceKind::StepDone { step } => write!(f, "step {step} done"),
             TraceKind::ComputeStart => write!(f, "compute start"),
             TraceKind::ComputeDone => write!(f, "compute done"),
+            TraceKind::Decision { why, .. } => write!(f, "decision: {why}"),
         }
     }
 }
@@ -103,5 +114,14 @@ mod tests {
             kind: TraceKind::ReconfigStart { ports: 8 },
         };
         assert!(e.to_string().contains("reconfigure 8 ports"));
+        let e = TraceEvent {
+            at: 0,
+            kind: TraceKind::Decision {
+                step: 1,
+                matched: true,
+                why: "greedy: step 1 runs matched".into(),
+            },
+        };
+        assert!(e.to_string().contains("decision: greedy: step 1"));
     }
 }

@@ -6,7 +6,7 @@ use aps_core::SwitchSchedule;
 use aps_cost::{CostParams, ReconfigModel};
 use aps_fabric::{BarrierModel, CircuitSwitch};
 use aps_matrix::Matching;
-use aps_sim::{run_collective, RunConfig};
+use aps_sim::{run_scheduled, RunConfig};
 use proptest::prelude::*;
 
 /// Strategy: a random schedule of shift steps over `n ∈ [3, 12]`.
@@ -31,7 +31,7 @@ fn simulate(schedule: &Schedule, switches: &SwitchSchedule, cfg: &RunConfig, alp
     let n = schedule.n();
     let ring = Matching::shift(n, 1).unwrap();
     let mut fab = CircuitSwitch::new(ring.clone(), ReconfigModel::constant(alpha_r).unwrap());
-    run_collective(&mut fab, &ring, schedule, switches, cfg)
+    run_scheduled(&mut fab, &ring, schedule, switches, cfg)
         .expect("simulation")
         .total_s()
 }

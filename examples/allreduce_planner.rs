@@ -5,9 +5,9 @@
 //! algorithm ranking: on static rings the ring algorithm stays optimal even
 //! for short messages, while reconfigurable fabrics make fewer-step
 //! algorithms (halving-doubling, Swing, recursive doubling) attractive.
-//! This planner sweeps message sizes and prints, per algorithm, the
-//! completion time of the best switching schedule — the table a runtime
-//! would consult to pick an algorithm.
+//! This planner builds one [`Experiment`] per algorithm × size, lets the
+//! default DP controller pick the switch schedule, and prints the table a
+//! runtime would consult to pick an algorithm.
 //!
 //! ```text
 //! cargo run --release --example allreduce_planner [-- <n> <alpha_r_us>]
@@ -32,11 +32,8 @@ fn main() {
         "size", "ring", "recursive-doubling", "halving-doubling", "swing"
     );
 
-    let mut domain = ScaleupDomain::new(
-        topology::builders::ring_unidirectional(n).expect("ring"),
-        CostParams::paper_defaults(),
-        ReconfigModel::constant(alpha_r).expect("α_r"),
-    );
+    let base = topology::builders::ring_unidirectional(n).expect("ring");
+    let reconfig = ReconfigModel::constant(alpha_r).expect("α_r");
 
     let mut size = KIB;
     while size <= GIB {
@@ -44,16 +41,20 @@ fn main() {
         let mut best = (f64::INFINITY, "");
         for alg in Algorithm::ALL {
             let coll = alg.build(n, size).expect("collective");
-            let (switches, report) = domain.plan(&coll.schedule).expect("plan");
-            let t = report.total_s();
+            let plan = Experiment::domain(base.clone())
+                .reconfig(reconfig)
+                .collective(&coll)
+                .plan()
+                .expect("plan");
+            let t = plan.report.total_s();
             if t < best.0 {
                 best = (t, alg.name());
             }
             row.push_str(&format!(
                 " {:>12} ({:>3}M/{:>3})",
                 format_time(t),
-                switches.matched_steps(),
-                switches.len()
+                plan.switches.matched_steps(),
+                plan.switches.len()
             ));
         }
         println!("{row}   ← best: {}", best.1);

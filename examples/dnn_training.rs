@@ -5,7 +5,8 @@
 //! layers. §3.3 notes the framework applies unchanged to such sequences —
 //! the optimizer sees one long step list and places reconfigurations across
 //! collective boundaries (e.g. staying matched from the tail of an
-//! AllReduce into the following All-to-All).
+//! AllReduce into the following All-to-All). Composite schedules bind to
+//! an [`Experiment`] through [`Experiment::schedule`].
 //!
 //! ```text
 //! cargo run --release --example dnn_training
@@ -33,19 +34,18 @@ fn main() {
         schedule.num_steps()
     );
 
+    let base = topology::builders::ring_unidirectional(n).expect("ring");
     println!(
         "{:>10} | {:>12} {:>12} {:>12} {:>12} | {:>9}",
         "α_r", "static", "BvN", "threshold", "OPT", "reconfigs"
     );
     for alpha_r_us in [0.1, 1.0, 10.0, 100.0] {
         let alpha_r = alpha_r_us * 1e-6;
-        let mut domain = ScaleupDomain::new(
-            topology::builders::ring_unidirectional(n).expect("ring"),
-            CostParams::paper_defaults(),
-            ReconfigModel::constant(alpha_r).expect("α_r"),
-        );
-        let cmp = domain.compare(&schedule).expect("compare");
-        let (switches, _) = domain.plan(&schedule).expect("plan");
+        let mut exp = Experiment::domain(base.clone())
+            .reconfig(ReconfigModel::constant(alpha_r).expect("α_r"))
+            .schedule(&schedule);
+        let cmp = exp.compare().expect("compare");
+        let plan = exp.plan().expect("plan");
         println!(
             "{:>10} | {:>12} {:>12} {:>12} {:>12} | {:>9}",
             format_time(alpha_r),
@@ -53,22 +53,24 @@ fn main() {
             format_time(cmp.bvn_s),
             format_time(cmp.threshold_s),
             format_time(cmp.opt_s),
-            switches.reconfig_events(),
+            plan.switches.reconfig_events(),
         );
     }
 
     // Zoom into the interesting regime and explain the first AllReduce +
     // All-to-All boundary step by step.
     let alpha_r = 10e-6;
-    let mut domain = ScaleupDomain::new(
-        topology::builders::ring_unidirectional(n).expect("ring"),
-        CostParams::paper_defaults(),
-        ReconfigModel::constant(alpha_r).expect("α_r"),
-    );
-    let problem = domain.problem(&schedule).expect("problem");
-    let (switches, _) = domain.plan(&schedule).expect("plan");
-    let ex = explain::explain(&problem, &switches, ReconfigAccounting::PaperConservative)
-        .expect("explain");
+    let mut exp = Experiment::domain(base)
+        .reconfig(ReconfigModel::constant(alpha_r).expect("α_r"))
+        .schedule(&schedule);
+    let problem = exp.problem().expect("problem");
+    let plan = exp.plan().expect("plan");
+    let ex = explain::explain(
+        &problem,
+        &plan.switches,
+        ReconfigAccounting::PaperConservative,
+    )
+    .expect("explain");
     println!(
         "\nFirst 16 decisions at α_r = {} (AllReduce tail → All-to-All head):",
         format_time(alpha_r)

@@ -1,10 +1,12 @@
 //! Event-level trace of the photonic fabric executing a collective.
 //!
-//! Runs the discrete-event simulator on a small domain and dumps the
-//! timeline: barriers, reconfigurations (with port counts), flow releases
-//! and step completions — the microscope view behind the aggregate numbers.
-//! Also demonstrates the wavelength-switched fabric variant and fault
-//! injection (a slow laser).
+//! Runs the adaptive simulator on a small domain and dumps the timeline:
+//! controller decisions (with their rationale), barriers, reconfigurations
+//! (with port counts), flow releases and step completions — the microscope
+//! view behind the aggregate numbers. Also demonstrates swapping the
+//! controller and the fabric model: the same experiment re-runs with the
+//! always-reconfigure controller on a wavelength-switched fabric with one
+//! degraded laser (fault injection), via [`Experiment::simulate_on`].
 //!
 //! ```text
 //! cargo run --release --example fabric_trace
@@ -16,56 +18,47 @@ use aps_cost::units::{format_time, MIB};
 fn main() {
     let n = 8;
     let coll = collectives::allreduce::halving_doubling::build(n, MIB).expect("collective");
-    let s = coll.schedule.num_steps();
     let ring = Matching::shift(n, 1).expect("ring config");
 
-    // Plan with the analytic optimizer first.
-    let mut domain = ScaleupDomain::new(
-        topology::builders::ring_unidirectional(n).expect("ring"),
-        CostParams::paper_defaults(),
-        ReconfigModel::constant(5e-6).expect("α_r"),
-    );
-    let (switches, report) = domain.plan(&coll.schedule).expect("plan");
-    println!(
-        "planned schedule: {}  (analytic: {})\n",
-        switches.compact(),
-        format_time(report.total_s())
-    );
-
-    // Execute on a circuit switch.
-    println!("— circuit switch, optimal schedule —");
-    let mut fabric = CircuitSwitch::new(ring.clone(), ReconfigModel::constant(5e-6).unwrap());
     let cfg = RunConfig {
         barrier: BarrierModel::Constant { latency_s: 200e-9 },
         ..RunConfig::paper_defaults()
     };
-    let run = sim(&mut fabric, &ring, &coll, &switches, &cfg);
-    println!("simulated completion: {}\n", format_time(run.total_s()));
+    let mut exp = Experiment::domain(topology::builders::ring_unidirectional(n).expect("ring"))
+        .reconfig(ReconfigModel::constant(5e-6).expect("α_r"))
+        .sim_config(cfg)
+        .collective(&coll);
 
-    // Same collective on a wavelength fabric with one degraded laser.
-    println!("— wavelength fabric (2 µs tuning, port 3 degraded to 20 µs), all matched —");
-    let mut wdm = WavelengthFabric::uniform(ring.clone(), 2e-6).expect("fabric");
-    wdm.set_port_tuning(3, 20e-6).expect("fault injection");
-    let run = sim(
-        &mut wdm,
-        &ring,
-        &coll,
-        &SwitchSchedule::all_matched(s),
-        &cfg,
+    // The DP controller plans analytically, then drives the simulator.
+    let plan = exp.plan().expect("plan");
+    println!(
+        "planned schedule: {}  (analytic: {})\n",
+        plan.switches.compact(),
+        format_time(plan.report.total_s())
     );
-    println!("simulated completion: {}", format_time(run.total_s()));
-}
 
-fn sim(
-    fabric: &mut dyn Fabric,
-    base: &Matching,
-    coll: &Collective,
-    switches: &SwitchSchedule,
-    cfg: &RunConfig,
-) -> SimReport {
-    let run = run_collective(fabric, base, &coll.schedule, switches, cfg).expect("simulate");
-    for ev in &run.trace {
+    println!("— circuit switch, opt controller —");
+    let run = exp.simulate().expect("simulate");
+    for ev in &run.report.trace {
         println!("  {ev}");
     }
-    run
+    println!(
+        "simulated completion: {}\n",
+        format_time(run.report.total_s())
+    );
+
+    // Same collective on a wavelength fabric with one degraded laser and
+    // the always-reconfigure controller.
+    println!("— wavelength fabric (2 µs tuning, port 3 degraded to 20 µs), bvn controller —");
+    let mut wdm = WavelengthFabric::uniform(ring, 2e-6).expect("fabric");
+    wdm.set_port_tuning(3, 20e-6).expect("fault injection");
+    let mut exp = exp.controller(AlwaysReconfigure);
+    let run = exp.simulate_on(&mut wdm).expect("simulate");
+    for ev in &run.report.trace {
+        println!("  {ev}");
+    }
+    println!(
+        "simulated completion: {}",
+        format_time(run.report.total_s())
+    );
 }

@@ -30,19 +30,19 @@ fn main() {
         "α_r", "static", "BvN", "OPT", "OPT schedule", "reconfigs"
     );
 
+    let base = topology::builders::ring_unidirectional(n).expect("ring");
+    let coll = collectives::alltoall::linear_shift(n, buffer).expect("collective");
     for alpha_r_us in [0.1, 1.0, 10.0, 100.0, 1000.0] {
         let alpha_r = alpha_r_us * 1e-6;
-        let mut domain = ScaleupDomain::new(
-            topology::builders::ring_unidirectional(n).expect("ring"),
-            CostParams::paper_defaults(),
-            ReconfigModel::constant(alpha_r).expect("α_r"),
-        );
-        let coll = collectives::alltoall::linear_shift(n, buffer).expect("collective");
-        let cmp = domain.compare(&coll.schedule).expect("compare");
-        let (switches, _) = domain.plan(&coll.schedule).expect("plan");
+        let mut exp = Experiment::domain(base.clone())
+            .reconfig(ReconfigModel::constant(alpha_r).expect("α_r"))
+            .collective(&coll);
+        let cmp = exp.compare().expect("compare");
+        let plan = exp.plan().expect("plan");
         // Summarize the schedule: how many of the 63 shifts reconfigure,
         // and which is the nearest shift that does.
-        let first_matched = switches
+        let first_matched = plan
+            .switches
             .choices()
             .iter()
             .position(|c| *c == ConfigChoice::Matched)
@@ -55,7 +55,7 @@ fn main() {
             format_time(cmp.bvn_s),
             format_time(cmp.opt_s),
             first_matched,
-            switches.reconfig_events(),
+            plan.switches.reconfig_events(),
         );
     }
 

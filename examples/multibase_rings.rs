@@ -32,6 +32,20 @@ fn main() {
         format_time(alpha_r)
     );
 
+    // Single-base reference point via the Experiment front door: the
+    // {1}-pool row below must match this (a one-ring pool *is* the plain
+    // eq. (7) problem).
+    let single = Experiment::domain(ring1.clone())
+        .reconfig(ReconfigModel::constant(alpha_r).expect("α_r"))
+        .collective(&coll)
+        .plan()
+        .expect("plan");
+    println!(
+        "{:>18}: {}  (Experiment::plan on the stride-1 ring)",
+        "single-base OPT",
+        format_time(single.report.total_s())
+    );
+
     for (label, pool) in [
         ("single ring {1}", vec![&ring1]),
         ("pool {1, 31}", vec![&ring1, &ring31]),

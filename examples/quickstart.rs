@@ -1,9 +1,10 @@
 //! Quickstart: plan one AllReduce on an adaptive photonic scale-up domain.
 //!
 //! Builds the paper's evaluation setup (§3.4) — 64 GPUs, 800 Gbps
-//! transceivers, unidirectional ring base — then asks the optimizer when the
-//! fabric should reconfigure for a bandwidth-optimal AllReduce, and prints
-//! the resulting circuit-switch schedule with its cost breakdown.
+//! transceivers, unidirectional ring base — as an [`Experiment`], then asks
+//! the default controller (the eq. (7) DP optimum) when the fabric should
+//! reconfigure for a bandwidth-optimal AllReduce, and prints the resulting
+//! circuit-switch schedule with its cost breakdown.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -17,48 +18,46 @@ fn main() {
     let message = 16.0 * MIB;
     let alpha_r = 10e-6;
 
-    let base = topology::builders::ring_unidirectional(n).expect("ring");
-    let mut domain = ScaleupDomain::new(
-        base,
-        CostParams::paper_defaults(),
-        ReconfigModel::constant(alpha_r).expect("α_r"),
-    );
-
     let coll = collectives::allreduce::halving_doubling::build(n, message).expect("collective");
     coll.check().expect("collective semantics verified");
 
+    let mut exp = Experiment::domain(topology::builders::ring_unidirectional(n).expect("ring"))
+        .reconfig(ReconfigModel::constant(alpha_r).expect("α_r"))
+        .collective(&coll); // default controller: DpPlanned (eq. (7))
+
     println!(
-        "AllReduce (halving-doubling), {} per GPU, n = {n}, α_r = {}\n",
+        "AllReduce (halving-doubling), {} per GPU, n = {n}, α_r = {}, controller = {}\n",
         format_bytes(message),
-        format_time(alpha_r)
+        format_time(alpha_r),
+        exp.controller_name(),
     );
 
-    let (switches, report) = domain.plan(&coll.schedule).expect("plan");
-    println!("optimal switch schedule : {}", switches.compact());
+    let plan = exp.plan().expect("plan");
+    println!("optimal switch schedule : {}", plan.switches.compact());
     println!("  (G = stay on base ring, M = reconfigure to the step's matching)\n");
     println!(
         "completion time         : {}",
-        format_time(report.total_s())
+        format_time(plan.report.total_s())
     );
     println!(
         "  latency   (s·α)       : {}",
-        format_time(report.latency_s)
+        format_time(plan.report.latency_s)
     );
     println!(
         "  propagation (δ·ℓ)     : {}",
-        format_time(report.propagation_s)
+        format_time(plan.report.propagation_s)
     );
     println!(
         "  transmission (β·m/θ)  : {}",
-        format_time(report.transmission_s)
+        format_time(plan.report.transmission_s)
     );
     println!(
         "  reconfiguration       : {} ({} events)\n",
-        format_time(report.reconfig_s),
-        report.reconfig_events
+        format_time(plan.report.reconfig_s),
+        plan.report.reconfig_events
     );
 
-    let cmp = domain.compare(&coll.schedule).expect("compare");
+    let cmp = exp.compare().expect("compare");
     println!("static ring             : {}", format_time(cmp.static_s));
     println!("per-step BvN            : {}", format_time(cmp.bvn_s));
     println!("threshold heuristic     : {}", format_time(cmp.threshold_s));
@@ -68,5 +67,14 @@ fn main() {
         cmp.speedup_vs_static(),
         cmp.speedup_vs_bvn(),
         cmp.speedup_vs_best_of_both()
+    );
+
+    // The same experiment also runs on the fluid simulator, with the
+    // controller deciding online and tagging each decision in the trace.
+    let run = exp.simulate().expect("simulate");
+    println!(
+        "\nfluid simulation        : {} (schedule {})",
+        format_time(run.report.total_s()),
+        run.switches.compact()
     );
 }

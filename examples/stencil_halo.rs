@@ -24,25 +24,24 @@ fn main() {
         "strip", "α_r", "static", "OPT"
     );
 
+    let base = topology::builders::ring_unidirectional(n).expect("ring");
     for strip in [16.0 * KIB, 1.0 * MIB, 16.0 * MIB] {
         for alpha_r_us in [1.0, 10.0, 100.0] {
             let alpha_r = alpha_r_us * 1e-6;
             let coll = collectives::stencil::halo_2d(rows, cols, strip).expect("halo");
             coll.check().expect("verified");
-            let mut domain = ScaleupDomain::new(
-                topology::builders::ring_unidirectional(n).expect("ring"),
-                CostParams::paper_defaults(),
-                ReconfigModel::constant(alpha_r).expect("α_r"),
-            );
-            let cmp = domain.compare(&coll.schedule).expect("compare");
-            let (switches, _) = domain.plan(&coll.schedule).expect("plan");
+            let mut exp = Experiment::domain(base.clone())
+                .reconfig(ReconfigModel::constant(alpha_r).expect("α_r"))
+                .collective(&coll);
+            let cmp = exp.compare().expect("compare");
+            let plan = exp.plan().expect("plan");
             println!(
                 "{:>10} {:>10} | {:>12} {:>12} | {}",
                 format_bytes(strip),
                 format_time(alpha_r),
                 format_time(cmp.static_s),
                 format_time(cmp.opt_s),
-                switches.compact(),
+                plan.switches.compact(),
             );
         }
     }

@@ -1,0 +1,635 @@
+//! The workspace's front door: a typed [`Experiment`] builder that binds a
+//! scale-up **domain** (base topology, cost model, reconfiguration
+//! pricing) to a **workload** (one collective, a collective family, or a
+//! multi-tenant scenario) and a **controller** (any
+//! [`Controller`] implementation), then runs it:
+//!
+//! ```text
+//! Experiment::domain(base)          one fixed collective:  .collective(&c)
+//!     .reconfig(model)              a size-parameterized   .collective_family(build)
+//!     .controller(Greedy)           family (sweeps):
+//!     .…                            a shared fabric:       .scenario(s) / .tenants(n, v)
+//! ```
+//!
+//! The workload choice is encoded in the type, so each experiment state
+//! only offers the operations that make sense for it:
+//!
+//! | state | built by | terminal operations |
+//! |---|---|---|
+//! | [`Experiment<Single>`] | [`Experiment::collective`] | [`plan`](Experiment::plan), [`compare`](Experiment::compare), [`simulate`](Experiment::simulate) |
+//! | [`Experiment<Family>`] | [`Experiment::collective_family`] | [`sweep`](Experiment::sweep) |
+//! | [`Experiment<Shared>`] | [`Experiment::scenario`] / [`Experiment::tenants`] | [`plan`](Experiment::<Shared>::plan), [`simulate`](Experiment::<Shared>::simulate) |
+//!
+//! Every run is deterministic: controllers are required to be pure
+//! functions of their observations, batch work runs on an
+//! [`aps_par::Pool`] with chunked index assignment, and the simulator is
+//! clocked in integer picoseconds — results are bit-identical at any
+//! `APS_THREADS` setting.
+
+use aps_collectives::{Collective, CollectiveError, Schedule};
+use aps_core::controller::{Controller, DpPlanned};
+use aps_core::sweep::{run_sweep_on, SweepGrid, SweepResult};
+use aps_core::{
+    CoreError, CostReport, PolicyComparison, ReconfigAccounting, ScaleupDomain, SwitchSchedule,
+    SwitchingProblem,
+};
+use aps_cost::{CostParams, ReconfigModel};
+use aps_fabric::{CircuitSwitch, Fabric};
+use aps_flow::ThroughputSolver;
+use aps_matrix::Matching;
+use aps_par::Pool;
+use aps_sim::{run_adaptive, RunConfig, Scenario, SimError, SimReport, TenantReport, TenantSpec};
+use aps_topology::Topology;
+use std::fmt;
+
+/// Errors from experiment construction or execution.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A planning/optimization error from `aps-core`.
+    Core(CoreError),
+    /// A simulation error from `aps-sim`.
+    Sim(SimError),
+    /// A collective-construction error.
+    Collective(CollectiveError),
+    /// The base topology is not a single circuit configuration, so the
+    /// circuit-switch simulator cannot realize it (e.g. a bidirectional
+    /// ring on single-transceiver ports). Planning and sweeping still
+    /// work; only `simulate()` needs a circuit base.
+    BaseNotACircuit,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "planning failed: {e}"),
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::Collective(e) => write!(f, "collective construction failed: {e}"),
+            Self::BaseNotACircuit => write!(
+                f,
+                "the base topology is not realizable as a single circuit configuration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Sim(e) => Some(e),
+            Self::Collective(e) => Some(e),
+            Self::BaseNotACircuit => None,
+        }
+    }
+}
+
+impl From<CoreError> for ExperimentError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<CollectiveError> for ExperimentError {
+    fn from(e: CollectiveError) -> Self {
+        Self::Collective(e)
+    }
+}
+
+/// Builder state: domain configured, workload not yet chosen.
+pub struct Unbound(());
+
+/// Workload state: one fixed collective schedule.
+pub struct Single {
+    schedule: Schedule,
+}
+
+/// Workload state: a message-size-parameterized collective family.
+pub struct Family {
+    build: Box<dyn Fn(f64) -> Result<Collective, CollectiveError> + Send + Sync>,
+}
+
+/// Workload state: several tenants sharing one fabric.
+pub struct Shared {
+    scenario: Scenario,
+}
+
+/// The result of planning a single-collective experiment: the
+/// controller's switch schedule and its cost-model pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Per-step base/matched decisions.
+    pub switches: SwitchSchedule,
+    /// The eq. (7) cost breakdown of that schedule.
+    pub report: CostReport,
+}
+
+/// The result of simulating a single-collective experiment: the schedule
+/// the controller realized online and the fluid-simulator report, whose
+/// trace carries one tagged [`aps_sim::TraceKind::Decision`] event per
+/// step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRun {
+    /// The decisions the controller took, step by step.
+    pub switches: SwitchSchedule,
+    /// The simulator's timing report and event trace.
+    pub report: SimReport,
+}
+
+/// A configured experiment; see the [module docs](self) for the grammar.
+pub struct Experiment<W> {
+    base: Topology,
+    params: CostParams,
+    reconfig: ReconfigModel,
+    accounting: ReconfigAccounting,
+    solver: ThroughputSolver,
+    sim: RunConfig,
+    pool: Pool,
+    controller: Box<dyn Controller>,
+    domain: Option<ScaleupDomain>,
+    workload: W,
+}
+
+impl Experiment<Unbound> {
+    /// Starts an experiment on a scale-up domain with `base` as its base
+    /// topology. Defaults: paper §3.4 cost parameters, a constant 10 µs
+    /// reconfiguration delay, conservative accounting, the exact
+    /// forced-path θ solver, the [`DpPlanned`] controller and an
+    /// `APS_THREADS`-sized pool — override any of them with the setters.
+    pub fn domain(base: Topology) -> Self {
+        let params = CostParams::paper_defaults();
+        Experiment {
+            base,
+            params,
+            reconfig: ReconfigModel::constant(10e-6).expect("valid default delay"),
+            accounting: ReconfigAccounting::PaperConservative,
+            solver: ThroughputSolver::ForcedPath,
+            sim: RunConfig::with_params(params),
+            pool: Pool::from_env(),
+            controller: Box::new(DpPlanned),
+            domain: None,
+            workload: Unbound(()),
+        }
+    }
+
+    /// Binds one fixed collective (by its schedule).
+    pub fn collective(self, collective: &Collective) -> Experiment<Single> {
+        self.schedule(&collective.schedule)
+    }
+
+    /// Binds one fixed collective schedule (for composite schedules that
+    /// are not a single [`Collective`], e.g. a whole training iteration).
+    pub fn schedule(self, schedule: &Schedule) -> Experiment<Single> {
+        self.with_workload(Single {
+            schedule: schedule.clone(),
+        })
+    }
+
+    /// Binds a message-size-parameterized collective family — the sweep
+    /// workload: `build(bytes)` is invoked per grid row.
+    pub fn collective_family<F>(self, build: F) -> Experiment<Family>
+    where
+        F: Fn(f64) -> Result<Collective, CollectiveError> + Send + Sync + 'static,
+    {
+        self.with_workload(Family {
+            build: Box::new(build),
+        })
+    }
+
+    /// Binds a multi-tenant scenario sharing the fabric.
+    pub fn scenario(self, scenario: Scenario) -> Experiment<Shared> {
+        self.with_workload(Shared { scenario })
+    }
+
+    /// Binds an ad-hoc tenant mix on an `n`-port fabric.
+    pub fn tenants(self, n: usize, tenants: Vec<TenantSpec>) -> Experiment<Shared> {
+        self.with_workload(Shared {
+            scenario: Scenario {
+                name: "custom".into(),
+                n,
+                tenants,
+            },
+        })
+    }
+
+    fn with_workload<W>(self, workload: W) -> Experiment<W> {
+        Experiment {
+            base: self.base,
+            params: self.params,
+            reconfig: self.reconfig,
+            accounting: self.accounting,
+            solver: self.solver,
+            sim: self.sim,
+            pool: self.pool,
+            controller: self.controller,
+            domain: None,
+            workload,
+        }
+    }
+}
+
+impl<W> Experiment<W> {
+    /// Sets the α–β–δ cost parameters (also used by the simulator).
+    pub fn params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self.sim.params = params;
+        self.domain = None;
+        self
+    }
+
+    /// Sets the reconfiguration delay model (`α_r`).
+    pub fn reconfig(mut self, reconfig: ReconfigModel) -> Self {
+        self.reconfig = reconfig;
+        self.domain = None;
+        self
+    }
+
+    /// Sets the reconfiguration accounting rule.
+    pub fn accounting(mut self, accounting: ReconfigAccounting) -> Self {
+        self.accounting = accounting;
+        self.domain = None;
+        self
+    }
+
+    /// Sets the θ (concurrent-flow) solver.
+    pub fn solver(mut self, solver: ThroughputSolver) -> Self {
+        self.solver = solver;
+        self.domain = None;
+        self
+    }
+
+    /// Sets the simulator configuration (barrier, compute model,
+    /// reconfigure/compute overlap). Its embedded cost parameters become
+    /// the experiment's.
+    pub fn sim_config(mut self, cfg: RunConfig) -> Self {
+        self.params = cfg.params;
+        self.sim = cfg;
+        self.domain = None;
+        self
+    }
+
+    /// Sets the worker pool batch operations run on.
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Sets the controller that decides, per step, whether the fabric
+    /// bends to the collective. Defaults to [`DpPlanned`].
+    pub fn controller(mut self, controller: impl Controller + 'static) -> Self {
+        self.controller = Box::new(controller);
+        self
+    }
+
+    /// The active controller's name.
+    pub fn controller_name(&self) -> &str {
+        self.controller.name()
+    }
+
+    /// Builds the θ-memoizing scale-up domain lazily; later calls reuse
+    /// the cache. Returned separately from `&mut self` so callers can
+    /// split-borrow the workload and controller fields alongside it.
+    fn ensure_domain(&mut self) -> &mut ScaleupDomain {
+        if self.domain.is_none() {
+            self.domain = Some(
+                ScaleupDomain::new(self.base.clone(), self.params, self.reconfig)
+                    .with_solver(self.solver)
+                    .with_accounting(self.accounting),
+            );
+        }
+        self.domain.as_mut().expect("just built")
+    }
+
+    /// The circuit configuration realizing the base topology, when there
+    /// is one.
+    fn base_config(&self) -> Result<Matching, ExperimentError> {
+        aps_core::problem::config_of_topology(&self.base).ok_or(ExperimentError::BaseNotACircuit)
+    }
+}
+
+impl Experiment<Single> {
+    /// Builds the eq. (7) problem instance for the bound collective —
+    /// the hook for [`aps_core::explain`] and custom analyses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a step cannot be routed on the base topology.
+    pub fn problem(&mut self) -> Result<SwitchingProblem, ExperimentError> {
+        self.ensure_domain();
+        let domain = self.domain.as_mut().expect("ensured");
+        Ok(domain.problem(&self.workload.schedule)?)
+    }
+
+    /// Lets the experiment's controller choose the switch schedule and
+    /// prices it on the cost model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction and planning errors.
+    pub fn plan(&mut self) -> Result<Plan, ExperimentError> {
+        self.ensure_domain();
+        let domain = self.domain.as_mut().expect("ensured");
+        let (switches, report) = domain.plan_with(&self.workload.schedule, &*self.controller)?;
+        Ok(Plan { switches, report })
+    }
+
+    /// Prices the four classic policies (static, BvN, DP optimum,
+    /// threshold) on the bound collective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction errors.
+    pub fn compare(&mut self) -> Result<PolicyComparison, ExperimentError> {
+        self.ensure_domain();
+        let domain = self.domain.as_mut().expect("ensured");
+        Ok(domain.compare(&self.workload.schedule)?)
+    }
+
+    /// Executes the collective on a fresh circuit-switch fabric with the
+    /// controller deciding each step online; the trace carries one
+    /// [`aps_sim::TraceKind::Decision`] event per step with the
+    /// controller's rationale.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the base topology is not a circuit configuration, plus
+    /// any simulator error.
+    pub fn simulate(&mut self) -> Result<SimRun, ExperimentError> {
+        let base_config = self.base_config()?;
+        let mut fabric = CircuitSwitch::new(base_config, self.reconfig);
+        self.simulate_on(&mut fabric)
+    }
+
+    /// [`Experiment::simulate`] against a caller-supplied fabric (e.g. a
+    /// [`aps_fabric::WavelengthFabric`], or a switch with injected
+    /// faults). The fabric's current configuration is *not* reset; the
+    /// base topology only defines where `ConfigChoice::Base` steps run.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the base topology is not a circuit configuration, plus
+    /// any simulator error.
+    pub fn simulate_on(&mut self, fabric: &mut dyn Fabric) -> Result<SimRun, ExperimentError> {
+        let base_config = self.base_config()?;
+        let problem = self.problem()?;
+        let (switches, report) = run_adaptive(
+            fabric,
+            &base_config,
+            &problem,
+            &*self.controller,
+            self.accounting,
+            &self.sim,
+        )?;
+        Ok(SimRun { switches, report })
+    }
+}
+
+impl Experiment<Family> {
+    /// Sweeps the family over an `α_r × message-size` grid, pricing the
+    /// four classic policies per cell (the engine behind the paper's
+    /// Figure 1/2 heatmaps). Runs on the experiment's pool; results are
+    /// bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective construction and routing errors.
+    pub fn sweep(&self, grid: &SweepGrid) -> Result<SweepResult, ExperimentError> {
+        Ok(run_sweep_on(
+            &self.pool,
+            &self.base,
+            |m| (self.workload.build)(m),
+            self.params,
+            grid,
+            self.accounting,
+            self.solver,
+        )?)
+    }
+}
+
+impl Experiment<Shared> {
+    /// The scenario as currently configured (switch schedules included).
+    pub fn scenario(&self) -> &Scenario {
+        &self.workload.scenario
+    }
+
+    /// Lets the experiment's controller plan every tenant's switch
+    /// schedule on its own partition (in parallel on the experiment's
+    /// pool), replacing the scenario's current schedules. Returns `self`
+    /// so a run can be chained: `exp.plan()?.simulate()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors.
+    pub fn plan(&mut self) -> Result<&mut Self, ExperimentError> {
+        self.workload.scenario.plan_configured(
+            &self.pool,
+            &*self.controller,
+            self.params,
+            self.reconfig,
+            self.accounting,
+            self.solver,
+        )?;
+        Ok(self)
+    }
+
+    /// Executes all tenants on one shared fabric (FCFS controller
+    /// arbitration, fault isolation); one result per tenant, in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a top-level error only for structural problems
+    /// (overlapping tenant ports); per-tenant failures land in the inner
+    /// results.
+    pub fn simulate(&self) -> Result<Vec<Result<TenantReport, SimError>>, ExperimentError> {
+        Ok(self.workload.scenario.run(self.reconfig, &self.sim)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aps_collectives::allreduce;
+    use aps_core::controller::{shipped, AlwaysReconfigure, Greedy, Static};
+    use aps_cost::units::MIB;
+    use aps_sim::{scenarios, TraceKind};
+    use aps_topology::builders;
+
+    fn exp() -> Experiment<Unbound> {
+        Experiment::domain(builders::ring_unidirectional(16).unwrap())
+            .reconfig(ReconfigModel::constant(10e-6).unwrap())
+    }
+
+    #[test]
+    fn plan_matches_the_raw_domain_path() {
+        let c = allreduce::halving_doubling::build(16, 16.0 * MIB).unwrap();
+        let plan = exp().collective(&c).plan().unwrap();
+        let mut domain = ScaleupDomain::new(
+            builders::ring_unidirectional(16).unwrap(),
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(10e-6).unwrap(),
+        );
+        let (switches, report) = domain.plan(&c.schedule).unwrap();
+        assert_eq!(plan.switches, switches);
+        assert_eq!(plan.report, report);
+    }
+
+    #[test]
+    fn controllers_order_as_expected() {
+        let c = allreduce::halving_doubling::build(16, 16.0 * MIB).unwrap();
+        let mut e = exp().collective(&c);
+        let cmp = e.compare().unwrap();
+        let opt = e.plan().unwrap().report.total_s();
+        assert!((opt - cmp.opt_s).abs() < 1e-15);
+        for ctl in shipped() {
+            let t = exp()
+                .collective(&c)
+                .controller_box(ctl)
+                .plan()
+                .unwrap()
+                .report
+                .total_s();
+            assert!(opt <= t + 1e-15, "{} beat the optimum", ctl.name());
+        }
+    }
+
+    #[test]
+    fn simulate_tags_decisions_and_matches_plan_for_static_controllers() {
+        let c = allreduce::halving_doubling::build(16, 4.0 * MIB).unwrap();
+        for controller in [&Static as &dyn Controller, &AlwaysReconfigure, &Greedy] {
+            let mut e = exp().collective(&c).controller_box(controller);
+            let plan = e.plan().unwrap();
+            let run = e.simulate().unwrap();
+            assert_eq!(run.switches, plan.switches, "{}", controller.name());
+            let decisions = run
+                .report
+                .trace
+                .iter()
+                .filter(|ev| matches!(ev.kind, TraceKind::Decision { .. }))
+                .count();
+            assert_eq!(decisions, c.schedule.num_steps());
+            assert!(run.report.total_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn family_sweep_matches_the_engine() {
+        let grid = SweepGrid::small();
+        let e = exp().collective_family(|m| allreduce::halving_doubling::build(16, m));
+        let r = e.sweep(&grid).unwrap();
+        let engine = run_sweep_on(
+            &Pool::from_env(),
+            &builders::ring_unidirectional(16).unwrap(),
+            |m| allreduce::halving_doubling::build(16, m),
+            CostParams::paper_defaults(),
+            &grid,
+            ReconfigAccounting::PaperConservative,
+            ThroughputSolver::ForcedPath,
+        )
+        .unwrap();
+        assert_eq!(r.cells, engine.cells);
+    }
+
+    #[test]
+    fn shared_fabric_plan_then_simulate() {
+        let scenario = scenarios::mixed_collectives(4.0 * MIB);
+        let mut e = Experiment::domain(builders::ring_unidirectional(32).unwrap())
+            .reconfig(ReconfigModel::constant(10e-6).unwrap())
+            .scenario(scenario.clone());
+        let reports = e.plan().unwrap().simulate().unwrap();
+        assert_eq!(reports.len(), scenario.tenants.len());
+
+        // Same as the raw scenario path.
+        let mut want = scenario;
+        want.plan(
+            &Pool::from_env(),
+            CostParams::paper_defaults(),
+            ReconfigModel::constant(10e-6).unwrap(),
+        )
+        .unwrap();
+        let raw = want
+            .run(
+                ReconfigModel::constant(10e-6).unwrap(),
+                &RunConfig::paper_defaults(),
+            )
+            .unwrap();
+        for (a, b) in reports.iter().zip(&raw) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn shared_plan_honors_accounting_override() {
+        // The Shared path must route .accounting() into per-tenant
+        // planning exactly like plan_configured does.
+        let reconfig = ReconfigModel::constant(10e-6).unwrap();
+        let mut e = Experiment::domain(builders::ring_unidirectional(24).unwrap())
+            .reconfig(reconfig)
+            .accounting(ReconfigAccounting::PhysicalDiff)
+            .scenario(scenarios::skewed_tenants(4.0 * MIB));
+        e.plan().unwrap();
+
+        let mut want = scenarios::skewed_tenants(4.0 * MIB);
+        want.plan_configured(
+            &Pool::from_env(),
+            &aps_core::controller::DpPlanned,
+            CostParams::paper_defaults(),
+            reconfig,
+            ReconfigAccounting::PhysicalDiff,
+            ThroughputSolver::ForcedPath,
+        )
+        .unwrap();
+        for (a, b) in e.scenario().tenants.iter().zip(&want.tenants) {
+            assert_eq!(a.switch_schedule, b.switch_schedule, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn bidirectional_base_plans_but_cannot_simulate() {
+        let c = allreduce::halving_doubling::build(8, MIB).unwrap();
+        let mut e = Experiment::domain(builders::ring_bidirectional(8).unwrap())
+            .reconfig(ReconfigModel::constant(1e-6).unwrap())
+            .collective(&c);
+        assert!(e.plan().is_ok());
+        assert!(matches!(
+            e.simulate(),
+            Err(ExperimentError::BaseNotACircuit)
+        ));
+    }
+
+    impl<W> Experiment<W> {
+        /// Test helper: set a borrowed controller by name-preserving proxy.
+        fn controller_box(mut self, c: &'static dyn Controller) -> Self {
+            struct ByRef(&'static dyn Controller);
+            impl Controller for ByRef {
+                fn name(&self) -> &str {
+                    self.0.name()
+                }
+                fn decide(&self, obs: &aps_core::StepObservation<'_>) -> aps_core::ConfigChoice {
+                    self.0.decide(obs)
+                }
+                fn plan(
+                    &self,
+                    problem: &SwitchingProblem,
+                    accounting: ReconfigAccounting,
+                ) -> Result<SwitchSchedule, CoreError> {
+                    self.0.plan(problem, accounting)
+                }
+                fn explain(
+                    &self,
+                    obs: &aps_core::StepObservation<'_>,
+                    choice: aps_core::ConfigChoice,
+                ) -> String {
+                    self.0.explain(obs, choice)
+                }
+            }
+            self.controller = Box::new(ByRef(c));
+            self
+        }
+    }
+}

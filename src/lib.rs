@@ -8,6 +8,12 @@
 //! (paying congestion and multi-hop propagation) or trigger a fabric
 //! reconfiguration to a perfectly matched topology (paying `α_r`).
 //!
+//! The front door is the typed [`Experiment`] builder: bind a **domain**
+//! (base topology + cost model + `α_r` pricing), a **workload** (one
+//! collective, a size-parameterized family, or a multi-tenant scenario)
+//! and a **controller** (who decides, step by step, whether the fabric
+//! bends), then `plan()`, `simulate()` or `sweep(grid)`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -16,22 +22,123 @@
 //! // A 16-GPU scale-up domain: 800 Gbps transceivers, unidirectional ring
 //! // base, 10 µs reconfiguration delay.
 //! let base = topology::builders::ring_unidirectional(16).unwrap();
-//! let mut domain = ScaleupDomain::new(
-//!     base,
-//!     CostParams::paper_defaults(),
-//!     ReconfigModel::constant(10e-6).unwrap(),
-//! );
-//!
-//! // Plan a 64 MiB bandwidth-optimal AllReduce.
 //! let coll = collectives::allreduce::halving_doubling::build(16, 64.0 * 1024.0 * 1024.0).unwrap();
-//! let (switches, report) = domain.plan(&coll.schedule).unwrap();
-//! let cmp = domain.compare(&coll.schedule).unwrap();
 //!
-//! assert_eq!(switches.len(), coll.schedule.num_steps());
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .collective(&coll); // default controller: the eq. (7) DP optimum
+//!
+//! // Analytic plan + the classic policy comparison …
+//! let plan = exp.plan().unwrap();
+//! let cmp = exp.compare().unwrap();
+//! assert_eq!(plan.switches.len(), coll.schedule.num_steps());
+//! assert!((plan.report.total_s() - cmp.opt_s).abs() < 1e-15);
 //! assert!(cmp.speedup_vs_static() >= 1.0);
 //! assert!(cmp.speedup_vs_bvn() >= 1.0);
-//! assert!(report.total_s() > 0.0);
+//!
+//! // … and a fluid simulation with per-step decisions tagged in the trace.
+//! let run = exp.simulate().unwrap();
+//! assert_eq!(run.switches, plan.switches);
+//! assert!(run.report.total_s() > 0.0);
 //! ```
+//!
+//! ## Controllers
+//!
+//! Anything implementing [`core::controller::Controller`] can drive an
+//! experiment; five ship with the workspace. Each example below prices a
+//! 16 MiB AllReduce on a 16-GPU ring domain (`α_r = 10 µs`) and places
+//! the controller in the `speedup_vs_static()` ordering.
+//!
+//! [`Static`](core::controller::Static) — never reconfigure; *defines*
+//! the static baseline, so its speedup over static is exactly 1:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! # let base = topology::builders::ring_unidirectional(16).unwrap();
+//! # let coll = collectives::allreduce::halving_doubling::build(16, 16.0 * 1024.0 * 1024.0).unwrap();
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .collective(&coll)
+//!     .controller(Static);
+//! let (t, cmp) = (exp.plan().unwrap().report.total_s(), exp.compare().unwrap());
+//! assert!((t - cmp.static_s).abs() < 1e-15);
+//! assert!((cmp.static_s / t - 1.0).abs() < 1e-12); // speedup_vs_static == 1
+//! ```
+//!
+//! [`AlwaysReconfigure`](core::controller::AlwaysReconfigure) — the naive
+//! BvN schedule; in this large-message regime it beats static but not the
+//! optimum:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! # let base = topology::builders::ring_unidirectional(16).unwrap();
+//! # let coll = collectives::allreduce::halving_doubling::build(16, 16.0 * 1024.0 * 1024.0).unwrap();
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .collective(&coll)
+//!     .controller(AlwaysReconfigure);
+//! let (t, cmp) = (exp.plan().unwrap().report.total_s(), exp.compare().unwrap());
+//! assert!((t - cmp.bvn_s).abs() < 1e-15);
+//! assert!(cmp.static_s / t > 1.0); // beats static here …
+//! assert!(t >= cmp.opt_s); // … but never the optimum
+//! ```
+//!
+//! [`Threshold`](core::controller::Threshold) — the §4 heuristic:
+//! reconfigure when a step's standalone gain exceeds the worst-case
+//! `α_r`; sits between static and the optimum:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! # let base = topology::builders::ring_unidirectional(16).unwrap();
+//! # let coll = collectives::allreduce::halving_doubling::build(16, 16.0 * 1024.0 * 1024.0).unwrap();
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .collective(&coll)
+//!     .controller(Threshold);
+//! let (t, cmp) = (exp.plan().unwrap().report.total_s(), exp.compare().unwrap());
+//! assert!((t - cmp.threshold_s).abs() < 1e-15);
+//! assert!(cmp.static_s / t >= 1.0 && t >= cmp.opt_s);
+//! ```
+//!
+//! [`Greedy`](core::controller::Greedy) — online and myopic: runs each
+//! step the cheapest way given the fabric's current configuration; a
+//! strict improvement over static here, still bounded by the optimum:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! # let base = topology::builders::ring_unidirectional(16).unwrap();
+//! # let coll = collectives::allreduce::halving_doubling::build(16, 16.0 * 1024.0 * 1024.0).unwrap();
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .collective(&coll)
+//!     .controller(Greedy);
+//! let (t, cmp) = (exp.plan().unwrap().report.total_s(), exp.compare().unwrap());
+//! assert!(cmp.static_s / t > 1.0); // speedup_vs_static > 1 in this regime
+//! assert!(t >= cmp.opt_s);
+//! ```
+//!
+//! [`DpPlanned`](core::controller::DpPlanned) — the exact eq. (7) optimum
+//! (the default controller); its speedup over static is the Figure 1
+//! bottom-row metric and dominates every other controller:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! # let base = topology::builders::ring_unidirectional(16).unwrap();
+//! # let coll = collectives::allreduce::halving_doubling::build(16, 16.0 * 1024.0 * 1024.0).unwrap();
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .collective(&coll)
+//!     .controller(DpPlanned);
+//! let (t, cmp) = (exp.plan().unwrap().report.total_s(), exp.compare().unwrap());
+//! assert!((t - cmp.opt_s).abs() < 1e-15);
+//! assert!(cmp.speedup_vs_static() >= cmp.static_s / cmp.bvn_s.max(cmp.threshold_s));
+//! assert!(cmp.speedup_vs_static() >= 1.0 && cmp.speedup_vs_bvn() >= 1.0);
+//! ```
+//!
+//! Multi-tenant mixes bind with [`Experiment::scenario`] (or
+//! [`Experiment::tenants`]) and chain `plan()?.simulate()`; collective
+//! *families* bind with [`Experiment::collective_family`] and drive the
+//! Figure 1/2 heatmap sweeps via `sweep(grid)`.
 //!
 //! ## Crate map
 //!
@@ -43,9 +150,10 @@
 //! | [`par`] | `aps-par` | deterministic scoped worker pool (`APS_THREADS`) behind sweeps and trial batches |
 //! | [`collectives`] | `aps-collectives` | AllReduce/All-to-All/AllGather/… as matching sequences + semantic verifier |
 //! | [`cost`] | `aps-cost` | the α–β–δ cost model grounded in concurrent flow (Observation 2) |
-//! | [`core`] | `aps-core` | the eq. (7) optimization: DP solver, policies, multi-base pools, sweeps |
+//! | [`core`] | `aps-core` | the eq. (7) optimization: the `Controller` trait, DP solver, policies, multi-base pools, sweeps |
 //! | [`fabric`] | `aps-fabric` | circuit-switch & wavelength fabric device models with fault injection |
-//! | [`sim`] | `aps-sim` | deterministic discrete-event fluid-flow simulator |
+//! | [`sim`] | `aps-sim` | deterministic fluid simulator: scheduled & adaptive executors, multi-tenant scenarios |
+//! | [`experiment`] | (this crate) | the typed `Experiment` builder unifying plan / simulate / sweep / multi-tenant |
 
 pub use aps_collectives as collectives;
 pub use aps_core as core;
@@ -57,11 +165,20 @@ pub use aps_par as par;
 pub use aps_sim as sim;
 pub use aps_topology as topology;
 
+pub mod experiment;
+
+pub use experiment::{Experiment, ExperimentError, Plan, SimRun};
+
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use crate::collectives;
+    pub use crate::experiment::{Experiment, ExperimentError, Plan, SimRun};
     pub use crate::topology;
     pub use aps_collectives::{Collective, CollectiveKind, Schedule, Step};
+    pub use aps_core::controller::{
+        AlwaysReconfigure, Controller, DpPlanned, Greedy, Static, StepObservation, Threshold,
+    };
+    pub use aps_core::sweep::{SweepCell, SweepGrid, SweepResult};
     pub use aps_core::{
         ConfigChoice, CostReport, PolicyComparison, ReconfigAccounting, ScaleupDomain,
         SwitchSchedule, SwitchingProblem,
@@ -72,9 +189,13 @@ pub mod prelude {
     pub use aps_matrix::{DemandMatrix, Matching};
     pub use aps_par::Pool;
     pub use aps_sim::{
-        run_collective, run_tenants, run_trials, scenarios, RunConfig, SimReport, TenantReport,
-        TenantSpec, Trial,
+        execute_tenants, run_adaptive, run_scheduled, run_trial_batch, scenarios, RunConfig,
+        Scenario, SimReport, TenantReport, TenantSpec, Trial,
     };
+    // Deprecated free-function shims, kept importable for downstream code
+    // that still `#[allow(deprecated)]`s its way through a migration.
+    #[allow(deprecated)]
+    pub use aps_sim::{run_collective, run_tenants, run_trials};
 }
 
 #[cfg(test)]
@@ -84,13 +205,13 @@ mod tests {
     #[test]
     fn prelude_wires_everything_together() {
         let base = topology::builders::ring_unidirectional(8).unwrap();
-        let mut domain = ScaleupDomain::new(
-            base,
-            CostParams::paper_defaults(),
-            ReconfigModel::constant(1e-6).unwrap(),
-        );
         let c = collectives::alltoall::linear_shift(8, 1e6).unwrap();
-        let cmp = domain.compare(&c.schedule).unwrap();
+        let mut exp = Experiment::domain(base)
+            .reconfig(ReconfigModel::constant(1e-6).unwrap())
+            .collective(&c);
+        let cmp = exp.compare().unwrap();
         assert!(cmp.opt_s > 0.0);
+        let run = exp.simulate().unwrap();
+        assert_eq!(run.switches, exp.plan().unwrap().switches);
     }
 }

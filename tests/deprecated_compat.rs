@@ -1,0 +1,129 @@
+//! Compatibility pins for the deprecated free-function entrypoints.
+//!
+//! The PR that introduced `Experiment`/`Controller` kept the five old
+//! free functions — `run_collective`, `run_trials`, `run_tenants`,
+//! `run_sweep`, `plan_schedules_on` — as `#[deprecated]` shims delegating
+//! to the new API. This suite is their only sanctioned caller: it asserts
+//! they still compile, still run, and still produce bit-identical results
+//! to the paths they delegate to, so downstream code can migrate on its
+//! own schedule.
+
+#![allow(deprecated)]
+
+use adaptive_photonics::prelude::*;
+use aps_core::sweep::{plan_jobs_on, plan_schedules_on, run_sweep, run_sweep_on, PlanJob};
+use aps_cost::units::MIB;
+
+fn ring_config(n: usize) -> Matching {
+    Matching::shift(n, 1).unwrap()
+}
+
+#[test]
+fn run_collective_matches_run_scheduled() {
+    let n = 8;
+    let c = collectives::allreduce::halving_doubling::build(n, MIB).unwrap();
+    let cfg = RunConfig::paper_defaults();
+    let ss = SwitchSchedule::all_matched(c.schedule.num_steps());
+    let reconfig = ReconfigModel::constant(5e-6).unwrap();
+    let mut f1 = CircuitSwitch::new(ring_config(n), reconfig);
+    let mut f2 = CircuitSwitch::new(ring_config(n), reconfig);
+    let old = run_collective(&mut f1, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
+    let new = run_scheduled(&mut f2, &ring_config(n), &c.schedule, &ss, &cfg).unwrap();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn run_trials_matches_run_trial_batch() {
+    let n = 8;
+    let c = collectives::allreduce::halving_doubling::build(n, 4.0 * MIB).unwrap();
+    let trials: Vec<Trial> = [true, false]
+        .into_iter()
+        .map(|matched| Trial {
+            base_config: ring_config(n),
+            reconfig: ReconfigModel::constant(5e-6).unwrap(),
+            schedule: c.schedule.clone(),
+            switch_schedule: if matched {
+                SwitchSchedule::all_matched(c.schedule.num_steps())
+            } else {
+                SwitchSchedule::all_base(c.schedule.num_steps())
+            },
+            config: RunConfig::paper_defaults(),
+        })
+        .collect();
+    let old = run_trials(&Pool::serial(), &trials).unwrap();
+    let new = run_trial_batch(&Pool::serial(), &trials).unwrap();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn run_tenants_matches_execute_tenants() {
+    let scenario = scenarios::skewed_tenants(MIB);
+    let cfg = RunConfig::paper_defaults();
+    let reconfig = ReconfigModel::constant(5e-6).unwrap();
+    let mut f1 = scenario.fabric(reconfig);
+    let mut f2 = scenario.fabric(reconfig);
+    let old = run_tenants(&mut f1, &scenario.tenants, &cfg).unwrap();
+    let new = execute_tenants(&mut f2, &scenario.tenants, &cfg).unwrap();
+    for (a, b) in old.iter().zip(&new) {
+        assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+    }
+}
+
+#[test]
+fn run_sweep_matches_run_sweep_on_and_experiment() {
+    let n = 8;
+    let base = topology::builders::ring_unidirectional(n).unwrap();
+    let grid = SweepGrid::small();
+    let old = run_sweep(
+        &base,
+        |m| collectives::allreduce::halving_doubling::build(n, m),
+        CostParams::paper_defaults(),
+        &grid,
+        ReconfigAccounting::PaperConservative,
+        ThroughputSolver::ForcedPath,
+    )
+    .unwrap();
+    let new = run_sweep_on(
+        &Pool::from_env(),
+        &base,
+        |m| collectives::allreduce::halving_doubling::build(n, m),
+        CostParams::paper_defaults(),
+        &grid,
+        ReconfigAccounting::PaperConservative,
+        ThroughputSolver::ForcedPath,
+    )
+    .unwrap();
+    assert_eq!(old.cells, new.cells);
+    let exp = Experiment::domain(base)
+        .collective_family(move |m| collectives::allreduce::halving_doubling::build(n, m))
+        .sweep(&grid)
+        .unwrap();
+    assert_eq!(old.cells, exp.cells);
+}
+
+#[test]
+fn plan_schedules_on_matches_plan_jobs_on() {
+    let jobs: Vec<PlanJob> = [(8usize, 4.0 * MIB), (16, 64.0 * MIB)]
+        .into_iter()
+        .map(|(n, bytes)| PlanJob {
+            base: topology::builders::ring_unidirectional(n).unwrap(),
+            schedule: collectives::allreduce::halving_doubling::build(n, bytes)
+                .unwrap()
+                .schedule,
+        })
+        .collect();
+    let params = CostParams::paper_defaults();
+    let reconfig = ReconfigModel::constant(10e-6).unwrap();
+    let old = plan_schedules_on(&Pool::serial(), &jobs, params, reconfig).unwrap();
+    let new = plan_jobs_on(
+        &Pool::serial(),
+        &jobs,
+        &DpPlanned,
+        params,
+        reconfig,
+        ReconfigAccounting::PaperConservative,
+        ThroughputSolver::ForcedPath,
+    )
+    .unwrap();
+    assert_eq!(old, new);
+}

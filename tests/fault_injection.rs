@@ -25,12 +25,12 @@ fn stuck_port_on_static_schedule_is_harmless() {
     let ss = SwitchSchedule::all_base(coll.schedule.num_steps());
     let healthy = {
         let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(1e-6).unwrap());
-        run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap()
+        run_scheduled(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap()
     };
     let degraded = {
         let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(1e-6).unwrap());
         f.stick_port(3).unwrap();
-        run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap()
+        run_scheduled(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap()
     };
     assert_eq!(healthy.total_ps, degraded.total_ps);
 }
@@ -43,7 +43,7 @@ fn stuck_port_breaks_matched_steps_loudly() {
     let coll = collectives::alltoall::xor_exchange(n, 4096.0).unwrap();
     let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(1e-6).unwrap());
     f.stick_port(0).unwrap();
-    let err = run_collective(
+    let err = run_scheduled(
         &mut f,
         &ring(n),
         &coll.schedule,
@@ -68,7 +68,7 @@ fn unsticking_restores_the_plan() {
     let cfg = RunConfig::paper_defaults();
     let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(1e-6).unwrap());
     f.stick_port(0).unwrap();
-    assert!(run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).is_err());
+    assert!(run_scheduled(&mut f, &ring(n), &coll.schedule, &ss, &cfg).is_err());
     // Repair the port, restore the base configuration, and rewind the
     // device clock so a fresh simulation run (which restarts at t = 0) can
     // drive the same device.
@@ -77,7 +77,7 @@ fn unsticking_restores_the_plan() {
     let outcome = f.request(&ring(n), now).unwrap();
     assert_eq!(outcome.achieved, ring(n));
     f.reset_clock();
-    let report = run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap();
+    let report = run_scheduled(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap();
     assert!(report.total_ps > 0);
 }
 
@@ -90,7 +90,7 @@ fn controller_slowdown_scales_reconfig_time_only() {
     let run_with = |slow: f64| {
         let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(2e-6).unwrap());
         f.set_slowdown(slow);
-        run_collective(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap()
+        run_scheduled(&mut f, &ring(n), &coll.schedule, &ss, &cfg).unwrap()
     };
     let fast = run_with(1.0);
     let slow = run_with(4.0);
@@ -112,7 +112,7 @@ fn degraded_laser_slows_only_steps_that_retune_it() {
         if let Some(p) = bad_port {
             f.set_port_tuning(p, 100e-6).unwrap();
         }
-        run_collective(
+        run_scheduled(
             &mut f,
             &ring(n),
             &coll.schedule,
@@ -174,14 +174,14 @@ fn one_tenants_stuck_port_does_not_corrupt_the_other_tenants_report() {
 
     let healthy_b = {
         let mut fab = tenant_fabric(8, &[a.clone(), b.clone()], 1e-6);
-        let reports = run_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap();
+        let reports = execute_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap();
         assert!(reports[0].is_ok() && reports[1].is_ok());
         reports[1].clone().unwrap()
     };
 
     let mut fab = tenant_fabric(8, &[a.clone(), b.clone()], 1e-6);
     fab.stick_port(0).unwrap(); // port 0 belongs to tenant A
-    let reports = run_tenants(&mut fab, &[a, b], &cfg).unwrap();
+    let reports = execute_tenants(&mut fab, &[a, b], &cfg).unwrap();
 
     // The failing tenant fails loudly, tagged with its identity…
     match reports[0].as_ref().unwrap_err() {
@@ -222,7 +222,7 @@ fn stuck_port_on_an_idle_partition_is_harmless_to_all_tenants() {
         if let Some(p) = stick {
             fab.stick_port(p).unwrap();
         }
-        run_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap()
+        execute_tenants(&mut fab, &[a.clone(), b.clone()], &cfg).unwrap()
     };
     let healthy = run(None);
     let degraded = run(Some(9));
@@ -237,7 +237,7 @@ fn fabric_stats_track_degradation() {
     let coll = collectives::allreduce::halving_doubling::build(n, MIB).unwrap();
     let ss = SwitchSchedule::all_matched(coll.schedule.num_steps());
     let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(2e-6).unwrap());
-    run_collective(
+    run_scheduled(
         &mut f,
         &ring(n),
         &coll.schedule,

@@ -180,7 +180,7 @@ fn engines_agree_through_the_executor_trial_batch() {
                 })
         })
         .collect();
-    let from_env = run_trials(&Pool::from_env(), &trials).unwrap();
-    let serial = run_trials(&Pool::serial(), &trials).unwrap();
+    let from_env = run_trial_batch(&Pool::from_env(), &trials).unwrap();
+    let serial = run_trial_batch(&Pool::serial(), &trials).unwrap();
     assert_eq!(from_env, serial);
 }

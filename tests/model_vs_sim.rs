@@ -37,7 +37,7 @@ fn model_and_sim(
 
     let ring = Matching::shift(n, 1).unwrap();
     let mut fabric = CircuitSwitch::new(ring.clone(), ReconfigModel::constant(alpha_r).unwrap());
-    let sim = run_collective(
+    let sim = run_scheduled(
         &mut fabric,
         &ring,
         &coll.schedule,
@@ -138,7 +138,7 @@ fn wavelength_fabric_prices_partial_reconfigurations_cheaper() {
     let s = coll.schedule.num_steps();
     let run = |tuning: f64| {
         let mut f = WavelengthFabric::uniform(ring.clone(), tuning).unwrap();
-        run_collective(
+        run_scheduled(
             &mut f,
             &ring,
             &coll.schedule,

@@ -27,7 +27,9 @@ pub const RESULTS_DIR: &str = "results";
 /// Current bench-report schema version; bump on any `data` layout change.
 /// v2: `bench_multitenant` gained the `policies` family list and the
 /// controller-ablation (`greedy`) cell family.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: the `bench_workloads` report family (streaming workload
+/// generators × static/planned/greedy) joined the gated set.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// `meta` keys that legitimately differ between runs of identical code.
 /// `perfgate compare` strips lines carrying these keys before byte

@@ -11,20 +11,10 @@ use aps_collectives::{CollectiveError, CollectiveKind, Schedule, Step};
 use aps_matrix::Matching;
 use rand::prelude::*;
 
-/// A random full permutation without fixed points (derangement), uniform-ish
-/// via rejection sampling.
-pub fn random_derangement(n: usize, rng: &mut StdRng) -> Matching {
-    assert!(n >= 2, "derangements need n >= 2");
-    let mut perm: Vec<usize> = (0..n).collect();
-    loop {
-        perm.shuffle(rng);
-        if perm.iter().enumerate().all(|(i, &p)| i != p) {
-            break;
-        }
-    }
-    let pairs: Vec<(usize, usize)> = perm.iter().enumerate().map(|(i, &p)| (i, p)).collect();
-    Matching::from_pairs(n, &pairs).expect("derangement is a valid matching")
-}
+/// A random full permutation without fixed points (derangement) — the
+/// single implementation lives with the streaming generators in
+/// `aps-collectives` ([`aps_collectives::workload::generators`]).
+pub use aps_collectives::workload::generators::random_derangement;
 
 /// A random partial matching covering roughly `density` of the nodes.
 pub fn random_partial_matching(n: usize, density: f64, rng: &mut StdRng) -> Matching {

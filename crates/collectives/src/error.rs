@@ -29,6 +29,12 @@ pub enum CollectiveError {
     ConstructionInvariant(&'static str),
     /// A matching could not be built (propagated from `aps-matrix`).
     Matrix(MatrixError),
+    /// A streaming workload yielded more steps than the caller's
+    /// materialization limit (see [`crate::workload::materialize`]).
+    WorkloadTooLong {
+        /// The caller's step limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CollectiveError {
@@ -48,6 +54,12 @@ impl fmt::Display for CollectiveError {
                 write!(f, "algorithm construction invariant violated: {what}")
             }
             Self::Matrix(e) => write!(f, "matching construction failed: {e}"),
+            Self::WorkloadTooLong { limit } => {
+                write!(
+                    f,
+                    "workload exceeded the {limit}-step materialization limit"
+                )
+            }
         }
     }
 }

@@ -17,7 +17,12 @@
 //! Every builder returns a [`Collective`]: the coarse [`Schedule`] the cost
 //! model consumes (matchings + volumes; Observation 1: these *are* a BvN
 //! decomposition of the aggregate demand) **and** a chunk-level [`DataFlow`]
-//! that records exactly which data moves where. The [`verify`] module
+//! that records exactly which data moves where. Beyond materialized
+//! schedules, the [`workload`] module streams demand lazily: the
+//! [`Workload`] trait unifies schedules, seeded traffic generators and
+//! training loops behind one pull-based interface, with combinators
+//! (`then`, `repeat`, `interleave`, `scaled`, `Overlay`) for composing
+//! open-ended demand without materializing it. The [`verify`] module
 //! executes the data flow symbolically — tracking the set of GPU
 //! contributions folded into every chunk — and checks the collective's
 //! semantics (e.g. "after AllReduce every GPU's every chunk contains every
@@ -40,8 +45,10 @@ pub mod scatter;
 pub mod schedule;
 pub mod stencil;
 pub mod verify;
+pub mod workload;
 
 pub use collective::Collective;
 pub use dataflow::{Combine, DataFlow, DataFlowStep, Semantics, Transfer};
 pub use error::{CollectiveError, VerifyError};
 pub use schedule::{CollectiveKind, Schedule, Step};
+pub use workload::{ScheduleStream, Workload, WorkloadCtx};

@@ -4,7 +4,11 @@ use crate::error::CollectiveError;
 use aps_matrix::{DemandMatrix, Matching, MatrixError};
 
 /// Which collective operation a schedule implements.
+///
+/// Extend-only (`#[non_exhaustive]`): streaming workloads and future
+/// collectives add kinds without breaking downstream matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum CollectiveKind {
     /// Every node ends with the element-wise reduction of all inputs.
     AllReduce,
@@ -132,6 +136,12 @@ impl Schedule {
     /// All-to-All — the paper notes the framework applies to such sequences
     /// directly, §3.3).
     ///
+    /// Chaining is cheap: both inputs are already validated, so the steps
+    /// and the composite name are extended in place — a chain of `k`
+    /// `then`s costs O(total steps + total name length), not O(k²) (the
+    /// old path reformatted the whole prefix name and revalidated every
+    /// accumulated step on each link).
+    ///
     /// # Errors
     ///
     /// Rejects node-count mismatches.
@@ -142,9 +152,12 @@ impl Schedule {
                 right: other.n,
             }));
         }
-        let algorithm = format!("{}+{}", self.algorithm, other.algorithm);
+        self.algorithm.reserve(other.algorithm.len() + 1);
+        self.algorithm.push('+');
+        self.algorithm.push_str(&other.algorithm);
         self.steps.extend(other.steps);
-        Schedule::new(self.n, CollectiveKind::Composite, algorithm, self.steps)
+        self.kind = CollectiveKind::Composite;
+        Ok(self)
     }
 }
 
@@ -236,6 +249,36 @@ mod tests {
             Schedule::new(6, CollectiveKind::Barrier, "x", vec![shift_step(6, 1, 1.0)]).unwrap();
         let c2 = Schedule::new(4, CollectiveKind::Barrier, "y", vec![]).unwrap();
         assert!(c2.then(other_n).is_err());
+    }
+
+    #[test]
+    fn deep_then_chains_compose_in_a_single_pass() {
+        // Regression anchor for composite naming/validation cost: a deep
+        // chain must append (never reformat the prefix or revalidate
+        // accumulated steps), so the result is exact and the work linear.
+        let link = |b: f64| {
+            Schedule::new(
+                16,
+                CollectiveKind::AllGather,
+                "x",
+                vec![shift_step(16, 1, b)],
+            )
+            .unwrap()
+        };
+        let mut chain = link(0.0);
+        for i in 1..2000 {
+            chain = chain.then(link(i as f64)).unwrap();
+        }
+        assert_eq!(chain.num_steps(), 2000);
+        assert_eq!(chain.kind(), CollectiveKind::Composite);
+        assert_eq!(chain.algorithm().len(), 2 * 2000 - 1);
+        assert!(chain.algorithm().bytes().all(|c| c == b'x' || c == b'+'));
+        // Step order is preserved end to end.
+        assert_eq!(chain.steps()[1999].bytes_per_pair, 1999.0);
+        assert_eq!(
+            chain.total_bytes_per_node(),
+            (0..2000).sum::<usize>() as f64
+        );
     }
 
     #[test]

@@ -36,23 +36,58 @@ use aps_cost::steptable::StepCosts;
 /// like [`crate::dp::optimize`] does.
 const STATES: [ConfigChoice; 2] = [ConfigChoice::Base, ConfigChoice::Matched];
 
-/// What a controller sees before deciding step `step`: the full problem
-/// (demand and pricing), the accounting rule in force, and the fabric
-/// state it would transition from.
+/// What a controller sees before deciding step `step`: the observable
+/// problem window (demand and pricing), the accounting rule in force, and
+/// the fabric state it would transition from.
+///
+/// Materialized runs observe the *whole* problem, so `step` doubles as
+/// the global step number. Streaming runs (`aps-sim`'s workload
+/// executors) observe only a short trailing window of the stream: `step`
+/// then indexes the window while [`StepObservation::stream_step`] carries
+/// the global position — controllers must use `stream_step` whenever they
+/// talk *about* a step (e.g. in [`Controller::explain`] rationales) and
+/// `step` whenever they index `problem.steps`.
 #[derive(Debug, Clone, Copy)]
 pub struct StepObservation<'a> {
-    /// The eq. (7) instance being executed.
+    /// The eq. (7) instance (or streaming window) being executed.
     pub problem: &'a SwitchingProblem,
     /// How reconfiguration events are priced.
     pub accounting: ReconfigAccounting,
-    /// Index of the step being decided.
+    /// Index of the step being decided within `problem.steps`.
     pub step: usize,
     /// The previous step's choice — the configuration the fabric currently
     /// holds (`ConfigChoice::Base` before the first step, `x₀ = 1`).
     pub prev: ConfigChoice,
+    /// Global index of the step in the demand stream; equals `step` for
+    /// materialized runs.
+    pub stream_step: usize,
 }
 
 impl<'a> StepObservation<'a> {
+    /// A materialized-run observation: `step` indexes the full problem
+    /// and is also the global step number.
+    pub fn new(
+        problem: &'a SwitchingProblem,
+        accounting: ReconfigAccounting,
+        step: usize,
+        prev: ConfigChoice,
+    ) -> Self {
+        Self {
+            problem,
+            accounting,
+            step,
+            prev,
+            stream_step: step,
+        }
+    }
+
+    /// The same observation repositioned in a longer stream (streaming
+    /// executors observe a window at global position `stream_step`).
+    pub fn at_stream_step(mut self, stream_step: usize) -> Self {
+        self.stream_step = stream_step;
+        self
+    }
+
     /// The observed step's demand: bytes, `θ`, `ℓ` and its matching.
     pub fn costs(&self) -> &'a StepCosts {
         &self.problem.steps[self.step]
@@ -96,12 +131,7 @@ pub trait Controller: Send + Sync {
         let mut prev = ConfigChoice::Base;
         let mut choices = Vec::with_capacity(problem.num_steps());
         for step in 0..problem.num_steps() {
-            let choice = self.decide(&StepObservation {
-                problem,
-                accounting,
-                step,
-                prev,
-            });
+            let choice = self.decide(&StepObservation::new(problem, accounting, step, prev));
             choices.push(choice);
             prev = choice;
         }
@@ -115,9 +145,34 @@ pub trait Controller: Send + Sync {
         format!(
             "{}: step {} runs {}",
             self.name(),
-            obs.step,
+            obs.stream_step,
             choice_word(choice)
         )
+    }
+}
+
+/// References forward to the referent, so harnesses can hold borrowed
+/// controllers (e.g. the `shipped()` statics) wherever an owned
+/// `impl Controller` is expected.
+impl<C: Controller + ?Sized> Controller for &C {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn decide(&self, obs: &StepObservation<'_>) -> ConfigChoice {
+        (**self).decide(obs)
+    }
+
+    fn plan(
+        &self,
+        problem: &SwitchingProblem,
+        accounting: ReconfigAccounting,
+    ) -> Result<SwitchSchedule, CoreError> {
+        (**self).plan(problem, accounting)
+    }
+
+    fn explain(&self, obs: &StepObservation<'_>, choice: ConfigChoice) -> String {
+        (**self).explain(obs, choice)
     }
 }
 
@@ -198,7 +253,7 @@ impl Controller for Threshold {
     fn explain(&self, obs: &StepObservation<'_>, choice: ConfigChoice) -> String {
         format!(
             "threshold: step {} runs {} (standalone gain {:.3e} s vs α_r {:.3e} s)",
-            obs.step,
+            obs.stream_step,
             choice_word(choice),
             Self::gain(obs),
             Self::bar(obs),
@@ -260,7 +315,7 @@ impl Controller for DpPlanned {
     fn explain(&self, obs: &StepObservation<'_>, choice: ConfigChoice) -> String {
         format!(
             "opt: step {} runs {} (optimal completion of the remaining suffix)",
-            obs.step,
+            obs.stream_step,
             choice_word(choice)
         )
     }
@@ -294,7 +349,7 @@ impl Controller for Greedy {
     fn explain(&self, obs: &StepObservation<'_>, choice: ConfigChoice) -> String {
         format!(
             "greedy: step {} runs {} (marginal base {:.3e} s vs matched {:.3e} s)",
-            obs.step,
+            obs.stream_step,
             choice_word(choice),
             obs.marginal_cost(ConfigChoice::Base),
             obs.marginal_cost(ConfigChoice::Matched),
@@ -339,12 +394,7 @@ mod tests {
         let mut prev = ConfigChoice::Base;
         let mut choices = Vec::new();
         for step in 0..p.num_steps() {
-            let ch = c.decide(&StepObservation {
-                problem: p,
-                accounting,
-                step,
-                prev,
-            });
+            let ch = c.decide(&StepObservation::new(p, accounting, step, prev));
             choices.push(ch);
             prev = ch;
         }
@@ -451,15 +501,11 @@ mod tests {
 
     #[test]
     fn names_and_rationales_are_stable() {
-        let names: Vec<&str> = shipped().iter().map(|c| c.name()).collect();
+        let ctls = shipped();
+        let names: Vec<&str> = ctls.iter().map(|c| c.name()).collect();
         assert_eq!(names, ["static", "bvn", "threshold", "opt", "greedy"]);
         let p = problem(8, 1e6, 1e-6);
-        let obs = StepObservation {
-            problem: &p,
-            accounting: ReconfigAccounting::default(),
-            step: 0,
-            prev: ConfigChoice::Base,
-        };
+        let obs = StepObservation::new(&p, ReconfigAccounting::default(), 0, ConfigChoice::Base);
         for c in shipped() {
             let choice = c.decide(&obs);
             let why = c.explain(&obs, choice);
@@ -471,13 +517,9 @@ mod tests {
     #[test]
     fn observation_exposes_demand_and_marginals() {
         let p = problem(8, 1e6, 1e-6);
-        let obs = StepObservation {
-            problem: &p,
-            accounting: ReconfigAccounting::default(),
-            step: 0,
-            prev: ConfigChoice::Base,
-        };
+        let obs = StepObservation::new(&p, ReconfigAccounting::default(), 0, ConfigChoice::Base);
         assert_eq!(obs.costs().bytes, p.steps[0].bytes);
+        assert_eq!(obs.stream_step, obs.step);
         // Matched marginal from base includes the α_r charge.
         let base = obs.marginal_cost(ConfigChoice::Base);
         let matched = obs.marginal_cost(ConfigChoice::Matched);

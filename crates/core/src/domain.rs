@@ -116,6 +116,48 @@ impl ScaleupDomain {
         })
     }
 
+    /// Builds the eq. (7) instance for workload-derived demand: drains up
+    /// to `limit` steps of `workload` (from its current position). See
+    /// [`SwitchingProblem::from_workload`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the workload exceeds `limit` steps, yields a malformed
+    /// step, or a step cannot be routed on the base topology.
+    pub fn problem_from_workload(
+        &mut self,
+        workload: &mut dyn aps_collectives::Workload,
+        limit: usize,
+    ) -> Result<SwitchingProblem, CoreError> {
+        SwitchingProblem::from_workload(
+            &self.base,
+            workload,
+            limit,
+            &mut self.cache,
+            self.params,
+            self.reconfig,
+        )
+    }
+
+    /// Lets `controller` plan workload-derived demand (≤ `limit` steps)
+    /// and prices the result — [`ScaleupDomain::plan_with`] over a
+    /// drained stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction and controller planning errors.
+    pub fn plan_workload(
+        &mut self,
+        workload: &mut dyn aps_collectives::Workload,
+        limit: usize,
+        controller: &dyn Controller,
+    ) -> Result<(SwitchSchedule, CostReport), CoreError> {
+        let p = self.problem_from_workload(workload, limit)?;
+        let switches = controller.plan(&p, self.accounting)?;
+        let report = evaluate(&p, &switches, self.accounting)?;
+        Ok((switches, report))
+    }
+
     /// The reconfiguration accounting rule in force.
     pub fn accounting(&self) -> ReconfigAccounting {
         self.accounting

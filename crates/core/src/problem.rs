@@ -2,6 +2,7 @@
 //! reconfiguration pricing.
 
 use crate::error::CoreError;
+use aps_collectives::workload::{materialize, Workload};
 use aps_collectives::Schedule;
 use aps_cost::steptable::{step_cost_table, StepCosts};
 use aps_cost::{CostParams, ReconfigModel};
@@ -61,6 +62,28 @@ impl SwitchingProblem {
             base_config: config_of_topology(base),
             steps,
         })
+    }
+
+    /// [`SwitchingProblem::build`] over workload-derived demand: drains up
+    /// to `limit` steps of `workload` (from its current position) into a
+    /// schedule and prices it. Planning needs the whole instance at once,
+    /// so the stream is materialized here — truly open-ended workloads
+    /// stay with the streaming executors in `aps-sim`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the workload exceeds `limit` steps, yields a malformed
+    /// step, or a step cannot be routed on the base topology.
+    pub fn from_workload(
+        base: &Topology,
+        workload: &mut dyn Workload,
+        limit: usize,
+        cache: &mut ThetaCache,
+        params: CostParams,
+        reconfig: ReconfigModel,
+    ) -> Result<Self, CoreError> {
+        let schedule = materialize(workload, limit).map_err(CoreError::Collective)?;
+        Self::build(base, &schedule, cache, params, reconfig)
     }
 
     /// Number of steps `s`.

@@ -39,6 +39,28 @@ pub enum SimError {
         /// The offending global port.
         port: usize,
     },
+    /// The base topology is not realizable as a single circuit
+    /// configuration, so a streaming executor cannot derive the fabric
+    /// state `ConfigChoice::Base` steps target.
+    BaseNotACircuit,
+    /// θ pricing of a streamed step failed on the base topology (the
+    /// streaming executors price each pulled step for the controller's
+    /// observation window).
+    Pricing {
+        /// Global stream index of the step.
+        step: usize,
+        /// The underlying solver failure.
+        source: aps_flow::FlowError,
+    },
+    /// A streamed step carried a negative or non-finite volume. Workloads
+    /// are trusted streams, not validated schedules, so the executors
+    /// check each pulled step.
+    BadStepVolume {
+        /// Global stream index of the step.
+        step: usize,
+        /// The offending volume.
+        bytes: f64,
+    },
     /// A simulation error attributed to one tenant of a multi-tenant run.
     /// Other tenants sharing the fabric are unaffected and complete
     /// normally.
@@ -76,6 +98,21 @@ impl fmt::Display for SimError {
                     f,
                     "tenant {tenant}: port {port} is out of range, duplicated, or \
                      claimed by another tenant"
+                )
+            }
+            Self::BaseNotACircuit => {
+                write!(
+                    f,
+                    "the base topology is not realizable as a single circuit configuration"
+                )
+            }
+            Self::Pricing { step, source } => {
+                write!(f, "step {step}: θ pricing failed on the base: {source}")
+            }
+            Self::BadStepVolume { step, bytes } => {
+                write!(
+                    f,
+                    "step {step}: streamed volume {bytes} must be finite and non-negative"
                 )
             }
             Self::Tenant {

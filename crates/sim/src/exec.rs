@@ -299,40 +299,21 @@ pub fn run_scheduled(
     switch_schedule: &SwitchSchedule,
     cfg: &RunConfig,
 ) -> Result<SimReport, SimError> {
-    let n = schedule.n();
-    if fabric.n() != n {
-        return Err(SimError::DimensionMismatch {
-            fabric: fabric.n(),
-            collective: n,
-        });
-    }
     if switch_schedule.len() != schedule.num_steps() {
         return Err(SimError::ScheduleLengthMismatch {
             expected: schedule.num_steps(),
             got: switch_schedule.len(),
         });
     }
-
-    let mut report = SimReport::default();
-    let mut comm_end: Picos = 0; // When the previous step's flows drained.
-    let mut gpu_free: Picos = 0; // When the GPUs finished computing on them.
-
-    for (i, step) in schedule.steps().iter().enumerate() {
-        let matched = switch_schedule.choice(i) == ConfigChoice::Matched;
-        let input = StepInput {
-            step: i,
-            matched,
-            target: if matched { &step.matching } else { base_config },
-            pairs: step.matching.pairs().collect(),
-            bytes_per_pair: step.bytes_per_pair,
-            barrier_n: n,
-            first: i == 0,
-        };
-        (comm_end, gpu_free) =
-            execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
-    }
-    report.total_ps = gpu_free;
-    Ok(report)
+    // The materialized path is the trivial stream: a cursor over the
+    // schedule's steps, pulled on demand by the shared streaming core.
+    crate::stream::run_scheduled_workload(
+        fabric,
+        base_config,
+        &mut schedule.stream(),
+        switch_schedule,
+        cfg,
+    )
 }
 
 /// Executes an eq. (7) problem instance against the fabric with
@@ -372,12 +353,7 @@ pub fn run_adaptive(
     let mut choices = Vec::with_capacity(problem.num_steps());
 
     for (i, step) in problem.steps.iter().enumerate() {
-        let obs = StepObservation {
-            problem,
-            accounting,
-            step: i,
-            prev,
-        };
+        let obs = StepObservation::new(problem, accounting, i, prev);
         let choice = controller.decide(&obs);
         let matched = choice == ConfigChoice::Matched;
         // Stamp the decision no later than the step's natural fabric

@@ -31,9 +31,15 @@
 //! [`exec::run_scheduled`] replays a precomputed switch schedule, and
 //! [`exec::run_adaptive`] consults an [`aps_core::controller::Controller`]
 //! step by step, tagging the trace with each decision's rationale
-//! ([`TraceKind::Decision`]). Beyond single collectives, the [`tenant`]
-//! module executes several jobs sharing one fabric (disjoint port
-//! partitions, arbitrated controller) and [`scenarios`] packages named
+//! ([`TraceKind::Decision`]). Both have streaming faces in [`stream`]:
+//! demand is pulled lazily from any [`aps_collectives::Workload`]
+//! ([`stream::run_scheduled_workload`], [`stream::run_workload`]), so
+//! open-ended training loops and traffic generators execute in O(1)
+//! schedule memory — [`stream::run_workload_totals`] keeps even the
+//! report O(1) for million-step runs. Beyond single collectives, the
+//! [`tenant`] module executes several jobs sharing one fabric (disjoint
+//! port partitions, arbitrated controller, per-tenant demand pulled
+//! through the same workload cursors) and [`scenarios`] packages named
 //! multi-tenant workload mixes — plannable under any controller via
 //! [`Scenario::plan_with`] — for the bench harness.
 //!
@@ -46,6 +52,7 @@ pub mod fluid;
 pub mod harness;
 pub mod report;
 pub mod scenarios;
+pub mod stream;
 pub mod tenant;
 pub mod trace;
 
@@ -55,6 +62,9 @@ pub use fluid::{max_min_rates, simulate_flows, FlowSpec};
 pub use harness::{run_trial_batch, Trial};
 pub use report::{SimReport, StepReport};
 pub use scenarios::Scenario;
+pub use stream::{
+    run_scheduled_workload, run_workload, run_workload_totals, StreamPricing, StreamSummary,
+};
 pub use tenant::{execute_tenants, TenantReport, TenantSpec};
 pub use trace::{TraceEvent, TraceKind};
 

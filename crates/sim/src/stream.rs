@@ -1,0 +1,706 @@
+//! Streaming execution: pull demand lazily from a [`Workload`].
+//!
+//! The scheduled/adaptive executors in [`crate::exec`] consume
+//! *materialized* demand — every step resident before the run starts.
+//! This module is their lazy face: steps are pulled one at a time from
+//! any [`aps_collectives::Workload`], priced on demand, decided online,
+//! and executed — **O(1) schedule memory** regardless of stream length,
+//! so million-step training loops and endless traffic generators run
+//! without ever materializing a step vector.
+//!
+//! Three entrypoints:
+//!
+//! * [`run_scheduled_workload`] — replay a precomputed
+//!   [`SwitchSchedule`] against a streamed workload (the streaming
+//!   [`crate::exec::run_scheduled`], which now delegates here).
+//! * [`run_workload`] — the streaming adaptive executor: a
+//!   [`Controller`] decides each pulled step online from a **two-step
+//!   observation window** (the current step plus the previous one, so
+//!   transition charges see the real previous matching), and every
+//!   decision lands in the trace exactly like
+//!   [`crate::exec::run_adaptive`]'s.
+//! * [`run_workload_totals`] — the same adaptive loop with O(1) *report*
+//!   memory too: per-step reports and trace events fold into a
+//!   [`StreamSummary`] instead of accumulating, so a ≥10⁶-step run holds
+//!   constant memory end to end.
+//!
+//! ## Windowed observations and controller parity
+//!
+//! Online controllers ([`aps_core::controller::Static`],
+//! [`AlwaysReconfigure`](aps_core::controller::AlwaysReconfigure),
+//! [`Threshold`](aps_core::controller::Threshold),
+//! [`Greedy`](aps_core::controller::Greedy)) read at most the current
+//! step's costs and the previous step's configuration — exactly what the
+//! window carries — so their streaming decisions, rationales and
+//! timelines are **bit-identical** to a materialized
+//! [`crate::exec::run_adaptive`] of the same demand (pinned by the
+//! workspace's differential tests). Planning controllers that look ahead
+//! ([`DpPlanned`](aps_core::controller::DpPlanned)) see only the window
+//! and therefore degenerate to their myopic one-step rule under
+//! streaming — by construction: an unbounded stream has no suffix to
+//! solve.
+
+use crate::error::SimError;
+use crate::exec::{execute_step, natural_request_at, RunConfig, StepInput};
+use crate::report::{SimReport, StepReport};
+use crate::trace::{TraceEvent, TraceKind};
+use aps_collectives::{Step, Workload, WorkloadCtx};
+use aps_core::controller::{Controller, StepObservation};
+use aps_core::problem::config_of_topology;
+use aps_core::{ConfigChoice, ReconfigAccounting, SwitchSchedule, SwitchingProblem};
+use aps_cost::steptable::StepCosts;
+use aps_cost::units::Picos;
+use aps_cost::ReconfigModel;
+use aps_fabric::Fabric;
+use aps_flow::solver::{ThetaCache, ThroughputSolver};
+use aps_topology::Topology;
+
+/// How the streaming adaptive executors price a pulled step for the
+/// controller's observation window: the reconfiguration delay model, the
+/// accounting rule, and the θ solver — the same three knobs a
+/// [`aps_core::ScaleupDomain`] carries for materialized planning.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamPricing {
+    /// Reconfiguration delay pricing (`α_r`) for transition charges.
+    pub reconfig: ReconfigModel,
+    /// How reconfiguration events are priced.
+    pub accounting: ReconfigAccounting,
+    /// The θ (concurrent-flow) solver for base-topology congestion.
+    pub solver: ThroughputSolver,
+}
+
+impl StreamPricing {
+    /// Paper defaults around the given delay model: conservative
+    /// accounting, exact forced-path θ.
+    pub fn new(reconfig: ReconfigModel) -> Self {
+        Self {
+            reconfig,
+            accounting: ReconfigAccounting::PaperConservative,
+            solver: ThroughputSolver::ForcedPath,
+        }
+    }
+}
+
+/// O(1)-memory aggregate of a streamed run — what
+/// [`run_workload_totals`] returns instead of a per-step
+/// [`SimReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamSummary {
+    /// Steps pulled and executed.
+    pub steps: usize,
+    /// Steps the controller ran matched.
+    pub matched_steps: usize,
+    /// Steps that triggered a physical reconfiguration.
+    pub reconfig_events: usize,
+    /// Completion time of the whole stream.
+    pub total_ps: Picos,
+    /// Summed barrier waits.
+    pub barrier_ps: Picos,
+    /// Summed fixed step latencies.
+    pub alpha_ps: Picos,
+    /// Summed visible reconfiguration stalls.
+    pub reconfig_ps: Picos,
+    /// Summed transfer times.
+    pub transfer_ps: Picos,
+    /// Summed compute phases.
+    pub compute_ps: Picos,
+}
+
+impl StreamSummary {
+    /// Completion time in seconds.
+    pub fn total_s(&self) -> f64 {
+        aps_cost::units::picos_to_secs(self.total_ps)
+    }
+
+    /// Folds one step's report into the totals.
+    fn absorb(&mut self, step: &StepReport, matched: bool) {
+        self.steps += 1;
+        self.matched_steps += usize::from(matched);
+        self.reconfig_events += usize::from(step.ports_changed > 0);
+        self.barrier_ps += step.barrier_ps;
+        self.alpha_ps += step.alpha_ps;
+        self.reconfig_ps += step.reconfig_ps;
+        self.transfer_ps += step.transfer_ps;
+        self.compute_ps += step.compute_ps;
+    }
+}
+
+/// Rejects malformed streamed steps (workloads are trusted streams, not
+/// validated schedules).
+fn validate_step(i: usize, n: usize, step: &Step) -> Result<(), SimError> {
+    if step.matching.n() != n {
+        return Err(SimError::DimensionMismatch {
+            fabric: n,
+            collective: step.matching.n(),
+        });
+    }
+    if !step.bytes_per_pair.is_finite() || step.bytes_per_pair < 0.0 {
+        return Err(SimError::BadStepVolume {
+            step: i,
+            bytes: step.bytes_per_pair,
+        });
+    }
+    Ok(())
+}
+
+/// Executes a streamed workload under a precomputed `switch_schedule` —
+/// the lazy [`crate::exec::run_scheduled`]. The workload must yield
+/// exactly `switch_schedule.len()` steps.
+///
+/// # Errors
+///
+/// Fails on dimension mismatches (fabric vs workload, or a malformed
+/// streamed step), a stream length that disagrees with the switch
+/// schedule, fabric refusals, or unroutable pairs.
+pub fn run_scheduled_workload(
+    fabric: &mut dyn Fabric,
+    base_config: &aps_matrix::Matching,
+    workload: &mut dyn Workload,
+    switch_schedule: &SwitchSchedule,
+    cfg: &RunConfig,
+) -> Result<SimReport, SimError> {
+    let n = workload.n();
+    if fabric.n() != n {
+        return Err(SimError::DimensionMismatch {
+            fabric: fabric.n(),
+            collective: n,
+        });
+    }
+
+    let mut report = SimReport::default();
+    let mut comm_end: Picos = 0;
+    let mut gpu_free: Picos = 0;
+    let mut i = 0usize;
+    while let Some(step) = workload.next_step(&WorkloadCtx::at(i)) {
+        if i >= switch_schedule.len() {
+            return Err(SimError::ScheduleLengthMismatch {
+                expected: i + 1,
+                got: switch_schedule.len(),
+            });
+        }
+        validate_step(i, n, &step)?;
+        let matched = switch_schedule.choice(i) == ConfigChoice::Matched;
+        let input = StepInput {
+            step: i,
+            matched,
+            target: if matched { &step.matching } else { base_config },
+            pairs: step.matching.pairs().collect(),
+            bytes_per_pair: step.bytes_per_pair,
+            barrier_n: n,
+            first: i == 0,
+        };
+        (comm_end, gpu_free) =
+            execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
+        i += 1;
+    }
+    if i != switch_schedule.len() {
+        return Err(SimError::ScheduleLengthMismatch {
+            expected: i,
+            got: switch_schedule.len(),
+        });
+    }
+    report.total_ps = gpu_free;
+    Ok(report)
+}
+
+/// The per-step state the streaming adaptive executors thread through
+/// the pull loop: the two-step observation window, the θ memo, and the
+/// simulation clocks.
+struct AdaptiveStream<'a> {
+    base: &'a Topology,
+    base_config: aps_matrix::Matching,
+    cache: ThetaCache,
+    window: SwitchingProblem,
+    prev: ConfigChoice,
+    comm_end: Picos,
+    gpu_free: Picos,
+}
+
+impl<'a> AdaptiveStream<'a> {
+    fn new(
+        fabric: &dyn Fabric,
+        base: &'a Topology,
+        workload: &dyn Workload,
+        pricing: &StreamPricing,
+        cfg: &RunConfig,
+    ) -> Result<Self, SimError> {
+        let n = base.n();
+        if fabric.n() != n || workload.n() != n {
+            return Err(SimError::DimensionMismatch {
+                fabric: fabric.n(),
+                collective: if workload.n() != n { workload.n() } else { n },
+            });
+        }
+        let base_config = config_of_topology(base).ok_or(SimError::BaseNotACircuit)?;
+        let window = SwitchingProblem {
+            n,
+            params: cfg.params,
+            reconfig: pricing.reconfig,
+            base_config: Some(base_config.clone()),
+            steps: Vec::with_capacity(2),
+        };
+        Ok(Self {
+            base,
+            base_config,
+            cache: ThetaCache::new(base, pricing.solver),
+            window,
+            prev: ConfigChoice::Base,
+            comm_end: 0,
+            gpu_free: 0,
+        })
+    }
+
+    /// Prices the pulled step, slides the window, and lets the
+    /// controller decide; returns the choice and its observation-window
+    /// index.
+    fn observe(
+        &mut self,
+        i: usize,
+        step: &Step,
+        controller: &dyn Controller,
+        accounting: ReconfigAccounting,
+    ) -> Result<(ConfigChoice, usize), SimError> {
+        validate_step(i, self.window.n, step)?;
+        let t = self
+            .cache
+            .get(self.base, &step.matching)
+            .map_err(|source| SimError::Pricing { step: i, source })?;
+        let costs = StepCosts {
+            matching: step.matching.clone(),
+            bytes: step.bytes_per_pair,
+            theta_base: t.theta,
+            ell_base: t.max_hops,
+        };
+        if self.window.steps.len() == 2 {
+            self.window.steps.remove(0);
+        }
+        self.window.steps.push(costs);
+        let wi = self.window.steps.len() - 1;
+        let obs = StepObservation::new(&self.window, accounting, wi, self.prev).at_stream_step(i);
+        Ok((controller.decide(&obs), wi))
+    }
+
+    /// Executes the decided step, advancing the clocks.
+    fn execute(
+        &mut self,
+        fabric: &mut dyn Fabric,
+        i: usize,
+        step: &Step,
+        matched: bool,
+        cfg: &RunConfig,
+        report: &mut SimReport,
+    ) -> Result<(), SimError> {
+        let input = StepInput {
+            step: i,
+            matched,
+            target: if matched {
+                &step.matching
+            } else {
+                &self.base_config
+            },
+            pairs: step.matching.pairs().collect(),
+            bytes_per_pair: step.bytes_per_pair,
+            barrier_n: self.window.n,
+            first: i == 0,
+        };
+        (self.comm_end, self.gpu_free) = execute_step(
+            fabric,
+            &input,
+            cfg,
+            false,
+            self.comm_end,
+            self.gpu_free,
+            report,
+        )?;
+        self.prev = if matched {
+            ConfigChoice::Matched
+        } else {
+            ConfigChoice::Base
+        };
+        Ok(())
+    }
+}
+
+/// Executes a streamed workload with `controller` deciding each pulled
+/// step online — the lazy [`crate::exec::run_adaptive`]. Decisions are
+/// tagged in the trace with the controller's rationale, exactly like the
+/// materialized executor; see the [module docs](self) for the
+/// observation-window semantics. The workload must be finite (the run
+/// returns when the stream exhausts); use [`run_workload_totals`] with a
+/// step budget for unbounded streams.
+///
+/// # Errors
+///
+/// Fails on dimension mismatches, a base topology that is not a circuit
+/// configuration, θ pricing failures, malformed streamed steps, fabric
+/// refusals, or unroutable pairs.
+pub fn run_workload(
+    fabric: &mut dyn Fabric,
+    base: &Topology,
+    workload: &mut dyn Workload,
+    controller: &dyn Controller,
+    pricing: StreamPricing,
+    cfg: &RunConfig,
+) -> Result<(SwitchSchedule, SimReport), SimError> {
+    let mut stream = AdaptiveStream::new(fabric, base, workload, &pricing, cfg)?;
+    let mut report = SimReport::default();
+    let (lo, _) = workload.size_hint();
+    let mut choices = Vec::with_capacity(lo);
+    let mut i = 0usize;
+    while let Some(step) = workload.next_step(&WorkloadCtx::at(i)) {
+        let (choice, wi) = stream.observe(i, &step, controller, pricing.accounting)?;
+        let matched = choice == ConfigChoice::Matched;
+        // Stamp the decision no later than the step's natural fabric
+        // request, mirroring `run_adaptive` (the window observation is
+        // rebuilt only for the rationale string).
+        let decided_at = natural_request_at(
+            cfg,
+            stream.window.n,
+            i == 0,
+            stream.comm_end,
+            stream.gpu_free,
+        )
+        .min(stream.gpu_free);
+        let why = controller.explain(
+            &StepObservation::new(&stream.window, pricing.accounting, wi, stream.prev)
+                .at_stream_step(i),
+            choice,
+        );
+        report.trace.push(TraceEvent {
+            at: decided_at,
+            kind: TraceKind::Decision {
+                step: i,
+                matched,
+                why,
+            },
+        });
+        stream.execute(fabric, i, &step, matched, cfg, &mut report)?;
+        choices.push(choice);
+        i += 1;
+    }
+    report.total_ps = stream.gpu_free;
+    Ok((SwitchSchedule::new(choices), report))
+}
+
+/// [`run_workload`] with O(1) report memory: per-step timing folds into
+/// a [`StreamSummary`] and no trace is kept, so arbitrarily long (even
+/// endless) streams run in constant memory. At most `max_steps` steps
+/// are pulled — the stream's own exhaustion ends the run earlier.
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_workload_totals(
+    fabric: &mut dyn Fabric,
+    base: &Topology,
+    workload: &mut dyn Workload,
+    controller: &dyn Controller,
+    pricing: StreamPricing,
+    cfg: &RunConfig,
+    max_steps: usize,
+) -> Result<StreamSummary, SimError> {
+    let mut stream = AdaptiveStream::new(fabric, base, workload, &pricing, cfg)?;
+    let mut summary = StreamSummary::default();
+    let mut scratch = SimReport::default();
+    let mut i = 0usize;
+    while i < max_steps {
+        let Some(step) = workload.next_step(&WorkloadCtx::at(i)) else {
+            break;
+        };
+        let (choice, _) = stream.observe(i, &step, controller, pricing.accounting)?;
+        let matched = choice == ConfigChoice::Matched;
+        stream.execute(fabric, i, &step, matched, cfg, &mut scratch)?;
+        summary.absorb(&scratch.steps[0], matched);
+        scratch.steps.clear();
+        scratch.trace.clear();
+        i += 1;
+    }
+    summary.total_ps = stream.gpu_free;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_adaptive, run_scheduled};
+    use aps_collectives::{allreduce, alltoall};
+    use aps_core::controller::{AlwaysReconfigure, DpPlanned, Greedy, Static, Threshold};
+    use aps_cost::units::MIB;
+    use aps_cost::CostParams;
+    use aps_fabric::CircuitSwitch;
+    use aps_matrix::Matching;
+    use aps_topology::builders;
+
+    fn ring_config(n: usize) -> Matching {
+        Matching::shift(n, 1).unwrap()
+    }
+
+    fn switch(n: usize, alpha_r: f64) -> CircuitSwitch {
+        CircuitSwitch::new(ring_config(n), ReconfigModel::constant(alpha_r).unwrap())
+    }
+
+    #[test]
+    fn scheduled_stream_is_bit_identical_to_materialized() {
+        let n = 8;
+        let c = allreduce::halving_doubling::build(n, 4.0 * MIB).unwrap();
+        let s = c.schedule.num_steps();
+        let cfg = RunConfig::paper_defaults();
+        for switches in [SwitchSchedule::all_base(s), SwitchSchedule::all_matched(s)] {
+            let mut f1 = switch(n, 5e-6);
+            let want =
+                run_scheduled(&mut f1, &ring_config(n), &c.schedule, &switches, &cfg).unwrap();
+            let mut f2 = switch(n, 5e-6);
+            let mut w = c.schedule.stream();
+            let got =
+                run_scheduled_workload(&mut f2, &ring_config(n), &mut w, &switches, &cfg).unwrap();
+            assert_eq!(want, got);
+        }
+    }
+
+    #[test]
+    fn scheduled_stream_rejects_length_mismatch_both_ways() {
+        let n = 4;
+        let c = allreduce::ring::build(n, 1e3).unwrap();
+        let cfg = RunConfig::paper_defaults();
+        let mut fab = switch(n, 1e-6);
+        let mut w = c.schedule.stream();
+        assert!(matches!(
+            run_scheduled_workload(
+                &mut fab,
+                &ring_config(n),
+                &mut w,
+                &SwitchSchedule::all_base(1),
+                &cfg
+            ),
+            Err(SimError::ScheduleLengthMismatch { .. })
+        ));
+        let mut fab = switch(n, 1e-6);
+        let mut w = c.schedule.stream();
+        assert!(matches!(
+            run_scheduled_workload(
+                &mut fab,
+                &ring_config(n),
+                &mut w,
+                &SwitchSchedule::all_base(c.schedule.num_steps() + 3),
+                &cfg
+            ),
+            Err(SimError::ScheduleLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn online_controllers_stream_bit_identically_to_run_adaptive() {
+        // The two-step window carries everything an online controller
+        // reads, so streaming and materialized adaptive runs must agree
+        // byte for byte — decisions, rationales, trace, timing.
+        let n = 8;
+        let bytes = 4.0 * MIB;
+        let alpha_r = 5e-6;
+        let base = builders::ring_unidirectional(n).unwrap();
+        let reconfig = ReconfigModel::constant(alpha_r).unwrap();
+        let cfg = RunConfig::paper_defaults();
+        let acc = ReconfigAccounting::PaperConservative;
+        for schedule in [
+            allreduce::halving_doubling::build(n, bytes)
+                .unwrap()
+                .schedule,
+            alltoall::linear_shift(n, bytes).unwrap().schedule,
+        ] {
+            let mut cache = ThetaCache::new(&base, ThroughputSolver::ForcedPath);
+            let problem = SwitchingProblem::build(
+                &base,
+                &schedule,
+                &mut cache,
+                CostParams::paper_defaults(),
+                reconfig,
+            )
+            .unwrap();
+            for ctl in [
+                &Static as &dyn Controller,
+                &AlwaysReconfigure,
+                &Threshold,
+                &Greedy,
+            ] {
+                let mut f1 = switch(n, alpha_r);
+                let (want_sw, want) =
+                    run_adaptive(&mut f1, &ring_config(n), &problem, ctl, acc, &cfg).unwrap();
+                let mut f2 = switch(n, alpha_r);
+                let mut w = schedule.stream();
+                let (got_sw, got) = run_workload(
+                    &mut f2,
+                    &base,
+                    &mut w,
+                    ctl,
+                    StreamPricing::new(reconfig),
+                    &cfg,
+                )
+                .unwrap();
+                assert_eq!(want_sw, got_sw, "{}", ctl.name());
+                assert_eq!(want, got, "{}", ctl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn totals_match_the_full_report() {
+        let n = 8;
+        let base = builders::ring_unidirectional(n).unwrap();
+        let reconfig = ReconfigModel::constant(5e-6).unwrap();
+        let cfg = RunConfig::paper_defaults();
+        let schedule = allreduce::halving_doubling::build(n, 4.0 * MIB)
+            .unwrap()
+            .schedule;
+        let mut f1 = switch(n, 5e-6);
+        let mut w = schedule.stream();
+        let (sw, full) = run_workload(
+            &mut f1,
+            &base,
+            &mut w,
+            &Greedy,
+            StreamPricing::new(reconfig),
+            &cfg,
+        )
+        .unwrap();
+        let mut f2 = switch(n, 5e-6);
+        let mut w = schedule.stream();
+        let totals = run_workload_totals(
+            &mut f2,
+            &base,
+            &mut w,
+            &Greedy,
+            StreamPricing::new(reconfig),
+            &cfg,
+            usize::MAX,
+        )
+        .unwrap();
+        assert_eq!(totals.steps, full.steps.len());
+        assert_eq!(totals.matched_steps, sw.matched_steps());
+        assert_eq!(totals.total_ps, full.total_ps);
+        assert_eq!(totals.reconfig_events, full.reconfig_events());
+        assert_eq!(
+            totals.transfer_ps,
+            full.steps.iter().map(|s| s.transfer_ps).sum::<Picos>()
+        );
+        // The step budget truncates the pull loop.
+        let mut f3 = switch(n, 5e-6);
+        let mut w = schedule.stream();
+        let capped = run_workload_totals(
+            &mut f3,
+            &base,
+            &mut w,
+            &Greedy,
+            StreamPricing::new(reconfig),
+            &cfg,
+            3,
+        )
+        .unwrap();
+        assert_eq!(capped.steps, 3);
+    }
+
+    #[test]
+    fn dp_planned_streams_as_its_myopic_window_rule() {
+        // DpPlanned's window suffix collapses to the current step, so the
+        // streaming decisions coincide with Greedy's — the documented
+        // degeneration for planning controllers.
+        let n = 8;
+        let base = builders::ring_unidirectional(n).unwrap();
+        let reconfig = ReconfigModel::constant(1e-5).unwrap();
+        let cfg = RunConfig::paper_defaults();
+        let schedule = allreduce::halving_doubling::build(n, 16.0 * MIB)
+            .unwrap()
+            .schedule;
+        let mut f1 = switch(n, 1e-5);
+        let mut w = schedule.stream();
+        let (dp_sw, _) = run_workload(
+            &mut f1,
+            &base,
+            &mut w,
+            &DpPlanned,
+            StreamPricing::new(reconfig),
+            &cfg,
+        )
+        .unwrap();
+        let mut f2 = switch(n, 1e-5);
+        let mut w = schedule.stream();
+        let (greedy_sw, _) = run_workload(
+            &mut f2,
+            &base,
+            &mut w,
+            &Greedy,
+            StreamPricing::new(reconfig),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(dp_sw, greedy_sw);
+    }
+
+    #[test]
+    fn streaming_rejects_structural_errors() {
+        let n = 8;
+        let cfg = RunConfig::paper_defaults();
+        let reconfig = ReconfigModel::constant(1e-6).unwrap();
+        let schedule = allreduce::ring::build(n, 1e3).unwrap().schedule;
+
+        // Fabric/workload dimension mismatch.
+        let mut small = switch(4, 1e-6);
+        let base = builders::ring_unidirectional(n).unwrap();
+        let mut w = schedule.stream();
+        assert!(matches!(
+            run_workload(
+                &mut small,
+                &base,
+                &mut w,
+                &Static,
+                StreamPricing::new(reconfig),
+                &cfg
+            ),
+            Err(SimError::DimensionMismatch { .. })
+        ));
+
+        // Non-circuit base.
+        let bidi = builders::ring_bidirectional(n).unwrap();
+        let mut fab = switch(n, 1e-6);
+        let mut w = schedule.stream();
+        assert!(matches!(
+            run_workload(
+                &mut fab,
+                &bidi,
+                &mut w,
+                &Static,
+                StreamPricing::new(reconfig),
+                &cfg
+            ),
+            Err(SimError::BaseNotACircuit)
+        ));
+
+        // Malformed streamed volume.
+        struct BadVolume(usize);
+        impl Workload for BadVolume {
+            fn n(&self) -> usize {
+                self.0
+            }
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn next_step(&mut self, _: &WorkloadCtx) -> Option<aps_collectives::Step> {
+                Some(aps_collectives::Step {
+                    matching: Matching::shift(self.0, 1).unwrap(),
+                    bytes_per_pair: f64::NAN,
+                })
+            }
+            fn reset(&mut self) {}
+        }
+        let mut fab = switch(n, 1e-6);
+        assert!(matches!(
+            run_workload(
+                &mut fab,
+                &base,
+                &mut BadVolume(n),
+                &Static,
+                StreamPricing::new(reconfig),
+                &cfg
+            ),
+            Err(SimError::BadStepVolume { step: 0, .. })
+        ));
+    }
+}

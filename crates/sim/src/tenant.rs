@@ -35,6 +35,7 @@
 use crate::error::SimError;
 use crate::exec::{execute_step, RunConfig, StepInput};
 use crate::report::SimReport;
+use aps_collectives::{Schedule, ScheduleStream, Step, Workload, WorkloadCtx};
 use aps_core::ConfigChoice;
 use aps_cost::units::{secs_to_picos, Picos};
 use aps_fabric::Fabric;
@@ -131,9 +132,18 @@ fn tenant_target(
     Matching::from_pairs(n, &pairs).expect("disjoint tenant circuits form a matching")
 }
 
-/// Per-tenant progress while the run interleaves steps.
-struct TenantState {
-    next_step: usize,
+/// Per-tenant progress while the run interleaves steps. Demand is pulled
+/// through the tenant schedule's [`Workload`] cursor, one pending step
+/// per tenant — the same pull interface the streaming executors use, so
+/// tenants are ready for genuinely lazy demand sources (the spec's own
+/// schedule is still materialized today).
+struct TenantState<'a> {
+    stream: ScheduleStream<&'a Schedule>,
+    /// The next step to execute, pre-pulled so the scheduler can see
+    /// which tenants still have work.
+    pending: Option<Step>,
+    /// Steps executed so far (the pending step's index).
+    executed: usize,
     comm_end: Picos,
     gpu_free: Picos,
     report: SimReport,
@@ -177,11 +187,13 @@ pub fn execute_tenants(
         }
     }
 
-    let mut states: Vec<TenantState> = Vec::with_capacity(tenants.len());
+    let mut states: Vec<TenantState<'_>> = Vec::with_capacity(tenants.len());
     for (t, spec) in tenants.iter().enumerate() {
         let arrival = secs_to_picos(spec.arrival_s);
         let mut state = TenantState {
-            next_step: 0,
+            pending: None,
+            stream: spec.schedule.stream(),
+            executed: 0,
             comm_end: arrival,
             gpu_free: arrival,
             report: SimReport::default(),
@@ -206,6 +218,8 @@ pub fn execute_tenants(
                     got: spec.switch_schedule.len(),
                 },
             ));
+        } else {
+            state.pending = state.stream.next_step(&WorkloadCtx::at(0));
         }
         states.push(state);
     }
@@ -218,7 +232,7 @@ pub fn execute_tenants(
         let mut next: Option<(Picos, usize)> = None;
         for (t, spec) in tenants.iter().enumerate() {
             let st = &states[t];
-            if st.failed.is_some() || st.next_step >= spec.schedule.num_steps() {
+            if st.failed.is_some() || st.pending.is_none() {
                 continue;
             }
             // The same instant execute_step will request at — computed by
@@ -227,7 +241,7 @@ pub fn execute_tenants(
             let natural = crate::exec::natural_request_at(
                 cfg,
                 spec.ports.len(),
-                st.next_step == 0,
+                st.executed == 0,
                 st.comm_end,
                 st.gpu_free,
             );
@@ -240,8 +254,8 @@ pub fn execute_tenants(
         };
 
         let spec = &tenants[t];
-        let i = states[t].next_step;
-        let step = &spec.schedule.steps()[i];
+        let i = states[t].executed;
+        let step = states[t].pending.take().expect("scheduled tenant has work");
         let matched = spec.switch_schedule.choice(i) == ConfigChoice::Matched;
         let local_target = if matched {
             &step.matching
@@ -285,7 +299,8 @@ pub fn execute_tenants(
         let st = &mut states[t];
         st.comm_end = comm_end;
         st.gpu_free = gpu_free;
-        st.next_step += 1;
+        st.executed += 1;
+        st.pending = st.stream.next_step(&WorkloadCtx::at(st.executed));
     }
 
     Ok(states

@@ -4,7 +4,12 @@ use aps_cost::units::{picos_to_secs, Picos};
 use std::fmt;
 
 /// What a trace event records.
+///
+/// Extend-only (`#[non_exhaustive]`): new executors (e.g. streaming
+/// workload runs) may add event kinds without breaking downstream
+/// matches.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TraceKind {
     /// A barrier completed.
     Barrier,

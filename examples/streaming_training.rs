@@ -1,0 +1,80 @@
+//! Streaming a training loop through the lazy `Workload` API.
+//!
+//! The materialized examples precompute every step before simulating.
+//! This one never does: a pipeline-parallel training loop streams its
+//! fwd/bwd/AllReduce steps one at a time into the adaptive executor,
+//! the controller decides each *pulled* step online, and a 100,000-step
+//! multi-epoch run executes in O(1) schedule memory via the totals
+//! runner — the "collective will" as an open-ended stream rather than a
+//! finite plan.
+//!
+//! ```text
+//! cargo run --release --example streaming_training
+//! ```
+
+use adaptive_photonics::prelude::*;
+use aps_collectives::workload::generators::TrainingLoop;
+use aps_cost::units::{format_bytes, format_time, MIB};
+
+fn main() {
+    let n = 16;
+    let micro = 4;
+    let act = 8.0 * MIB;
+    let grad = 32.0 * MIB;
+
+    // Two epochs, streamed: plan-free adaptive execution under three
+    // controllers.
+    println!(
+        "Pipeline training loop on {n} GPUs: {micro} microbatches × {} activations, {} gradients\n",
+        format_bytes(act),
+        format_bytes(grad),
+    );
+    println!(
+        "{:>10} | {:>12} | {:>9}",
+        "controller", "makespan", "reconfigs"
+    );
+    for (name, run) in [
+        ("static", simulate(n, micro, act, grad, Static)),
+        ("greedy", simulate(n, micro, act, grad, Greedy)),
+        ("threshold", simulate(n, micro, act, grad, Threshold)),
+    ] {
+        println!(
+            "{:>10} | {:>12} | {:>9}",
+            name,
+            format_time(run.report.total_s()),
+            run.report.reconfig_events(),
+        );
+    }
+
+    // The same stream, 6,250 epochs deep — 100,000 steps with O(1)
+    // schedule *and* report memory.
+    let epochs = 6250;
+    let mut long = Experiment::domain(topology::builders::ring_unidirectional(n).unwrap())
+        .reconfig(ReconfigModel::constant(10e-6).unwrap())
+        .controller(Greedy)
+        .workload(TrainingLoop::new(n, micro, act, grad, Some(epochs)).expect("training loop"));
+    let summary = long.simulate_summary(usize::MAX).expect("streamed run");
+    println!(
+        "\n{} epochs streamed lazily: {} steps, {} matched, makespan {}, transfer {}",
+        epochs,
+        summary.steps,
+        summary.matched_steps,
+        format_time(summary.total_s()),
+        format_time(aps_cost::units::picos_to_secs(summary.transfer_ps)),
+    );
+}
+
+fn simulate(
+    n: usize,
+    micro: usize,
+    act: f64,
+    grad: f64,
+    controller: impl Controller + 'static,
+) -> adaptive_photonics::SimRun {
+    Experiment::domain(topology::builders::ring_unidirectional(n).unwrap())
+        .reconfig(ReconfigModel::constant(10e-6).unwrap())
+        .controller(controller)
+        .workload(TrainingLoop::new(n, micro, act, grad, Some(2)).expect("training loop"))
+        .simulate()
+        .expect("streamed simulation")
+}

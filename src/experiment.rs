@@ -9,6 +9,7 @@
 //!     .reconfig(model)              a size-parameterized   .collective_family(build)
 //!     .controller(Greedy)           family (sweeps):
 //!     .…                            a shared fabric:       .scenario(s) / .tenants(n, v)
+//!                                   a lazy demand stream:  .workload(w)
 //! ```
 //!
 //! The workload choice is encoded in the type, so each experiment state
@@ -19,6 +20,7 @@
 //! | [`Experiment<Single>`] | [`Experiment::collective`] | [`plan`](Experiment::plan), [`compare`](Experiment::compare), [`simulate`](Experiment::simulate) |
 //! | [`Experiment<Family>`] | [`Experiment::collective_family`] | [`sweep`](Experiment::sweep) |
 //! | [`Experiment<Shared>`] | [`Experiment::scenario`] / [`Experiment::tenants`] | [`plan`](Experiment::<Shared>::plan), [`simulate`](Experiment::<Shared>::simulate) |
+//! | [`Experiment<Streaming>`] | [`Experiment::workload`] | [`plan`](Experiment::<Streaming>::plan) (finite), [`simulate`](Experiment::<Streaming>::simulate), [`simulate_summary`](Experiment::<Streaming>::simulate_summary) |
 //!
 //! Every run is deterministic: controllers are required to be pure
 //! functions of their observations, batch work runs on an
@@ -26,7 +28,8 @@
 //! clocked in integer picoseconds — results are bit-identical at any
 //! `APS_THREADS` setting.
 
-use aps_collectives::{Collective, CollectiveError, Schedule};
+use aps_collectives::workload::materialize;
+use aps_collectives::{Collective, CollectiveError, Schedule, ScheduleStream, Workload};
 use aps_core::controller::{Controller, DpPlanned};
 use aps_core::sweep::{run_sweep_on, SweepGrid, SweepResult};
 use aps_core::{
@@ -43,7 +46,11 @@ use aps_topology::Topology;
 use std::fmt;
 
 /// Errors from experiment construction or execution.
+///
+/// Extend-only (`#[non_exhaustive]`): new workload kinds add variants
+/// without breaking downstream matches.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ExperimentError {
     /// A planning/optimization error from `aps-core`.
     Core(CoreError),
@@ -56,6 +63,11 @@ pub enum ExperimentError {
     /// ring on single-transceiver ports). Planning and sweeping still
     /// work; only `simulate()` needs a circuit base.
     BaseNotACircuit,
+    /// A planning operation needs the whole demand stream, but the bound
+    /// workload reports no upper size bound (e.g.
+    /// [`aps_collectives::workload::Workload::repeat_forever`]). Streaming
+    /// simulation (`simulate`/`simulate_summary`) still works.
+    UnboundedWorkload,
 }
 
 impl fmt::Display for ExperimentError {
@@ -68,6 +80,11 @@ impl fmt::Display for ExperimentError {
                 f,
                 "the base topology is not realizable as a single circuit configuration"
             ),
+            Self::UnboundedWorkload => write!(
+                f,
+                "planning needs a finite workload, but the bound stream reports no upper \
+                 size bound (simulate it instead, or bound it with repeat(n))"
+            ),
         }
     }
 }
@@ -78,7 +95,7 @@ impl std::error::Error for ExperimentError {
             Self::Core(e) => Some(e),
             Self::Sim(e) => Some(e),
             Self::Collective(e) => Some(e),
-            Self::BaseNotACircuit => None,
+            Self::BaseNotACircuit | Self::UnboundedWorkload => None,
         }
     }
 }
@@ -104,9 +121,18 @@ impl From<CollectiveError> for ExperimentError {
 /// Builder state: domain configured, workload not yet chosen.
 pub struct Unbound(());
 
-/// Workload state: one fixed collective schedule.
+/// Workload state: one fixed collective schedule. The schedule is held
+/// through its [`Workload`] face ([`ScheduleStream`]), so the single-
+/// collective path and the streaming path share one demand
+/// representation (pinned bit-equivalent by `tests/deprecated_compat.rs`).
 pub struct Single {
-    schedule: Schedule,
+    stream: ScheduleStream,
+}
+
+impl Single {
+    fn schedule(&self) -> &Schedule {
+        self.stream.schedule()
+    }
 }
 
 /// Workload state: a message-size-parameterized collective family.
@@ -117,6 +143,11 @@ pub struct Family {
 /// Workload state: several tenants sharing one fabric.
 pub struct Shared {
     scenario: Scenario,
+}
+
+/// Workload state: a lazily-pulled demand stream (possibly unbounded).
+pub struct Streaming {
+    workload: Box<dyn Workload>,
 }
 
 /// The result of planning a single-collective experiment: the
@@ -184,9 +215,25 @@ impl Experiment<Unbound> {
 
     /// Binds one fixed collective schedule (for composite schedules that
     /// are not a single [`Collective`], e.g. a whole training iteration).
+    /// Routes through the schedule's [`Workload`] impl, so this is
+    /// exactly `workload(schedule.clone().into_workload())` with the
+    /// full-problem planning semantics of the single-collective state.
     pub fn schedule(self, schedule: &Schedule) -> Experiment<Single> {
         self.with_workload(Single {
-            schedule: schedule.clone(),
+            stream: schedule.clone().into_workload(),
+        })
+    }
+
+    /// Binds a lazily-pulled demand stream — any [`Workload`]: a seeded
+    /// traffic generator, a training loop, a combinator chain, or a
+    /// materialized schedule's cursor. Streaming experiments simulate
+    /// online (the controller observes a two-step window; see
+    /// [`aps_sim::stream`]) and never materialize the step vector, so
+    /// unbounded workloads are fine; only [`Experiment::<Streaming>::plan`]
+    /// requires a finite stream.
+    pub fn workload(self, workload: impl Workload + 'static) -> Experiment<Streaming> {
+        self.with_workload(Streaming {
+            workload: Box::new(workload),
         })
     }
 
@@ -322,7 +369,7 @@ impl Experiment<Single> {
     pub fn problem(&mut self) -> Result<SwitchingProblem, ExperimentError> {
         self.ensure_domain();
         let domain = self.domain.as_mut().expect("ensured");
-        Ok(domain.problem(&self.workload.schedule)?)
+        Ok(domain.problem(self.workload.schedule())?)
     }
 
     /// Lets the experiment's controller choose the switch schedule and
@@ -334,7 +381,7 @@ impl Experiment<Single> {
     pub fn plan(&mut self) -> Result<Plan, ExperimentError> {
         self.ensure_domain();
         let domain = self.domain.as_mut().expect("ensured");
-        let (switches, report) = domain.plan_with(&self.workload.schedule, &*self.controller)?;
+        let (switches, report) = domain.plan_with(self.workload.schedule(), &*self.controller)?;
         Ok(Plan { switches, report })
     }
 
@@ -347,7 +394,7 @@ impl Experiment<Single> {
     pub fn compare(&mut self) -> Result<PolicyComparison, ExperimentError> {
         self.ensure_domain();
         let domain = self.domain.as_mut().expect("ensured");
-        Ok(domain.compare(&self.workload.schedule)?)
+        Ok(domain.compare(self.workload.schedule())?)
     }
 
     /// Executes the collective on a fresh circuit-switch fabric with the
@@ -386,6 +433,121 @@ impl Experiment<Single> {
             &self.sim,
         )?;
         Ok(SimRun { switches, report })
+    }
+}
+
+impl Experiment<Streaming> {
+    /// The bound workload's name.
+    pub fn workload_name(&self) -> &str {
+        self.workload.workload.name()
+    }
+
+    /// Rewinds and drains the stream (≤ `limit` steps) into a
+    /// materialized [`Schedule`] — the bridge to offline analyses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the stream exceeds `limit` steps or yields a malformed
+    /// step.
+    pub fn materialize(&mut self, limit: usize) -> Result<Schedule, ExperimentError> {
+        self.workload.workload.reset();
+        Ok(materialize(&mut *self.workload.workload, limit)?)
+    }
+
+    /// Materializes the (finite) stream and lets the experiment's
+    /// controller choose and price a switch schedule over the whole
+    /// problem — planning needs every step at once, so this is only
+    /// available when the workload reports an exact upper size bound.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::UnboundedWorkload`] for unbounded streams;
+    /// otherwise problem-construction and planning errors.
+    pub fn plan(&mut self) -> Result<Plan, ExperimentError> {
+        self.workload.workload.reset();
+        let Some(limit) = self.workload.workload.size_hint().1 else {
+            return Err(ExperimentError::UnboundedWorkload);
+        };
+        self.ensure_domain();
+        let domain = self.domain.as_mut().expect("ensured");
+        let (switches, report) =
+            domain.plan_workload(&mut *self.workload.workload, limit, &*self.controller)?;
+        Ok(Plan { switches, report })
+    }
+
+    /// Executes the stream on a fresh circuit-switch fabric with the
+    /// controller deciding each pulled step online (two-step observation
+    /// window; see [`aps_sim::stream`]). The workload is rewound first,
+    /// so repeated calls replay identically. Online controllers produce
+    /// runs bit-identical to the materialized adaptive path; planning
+    /// controllers degenerate to their myopic window rule.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the base topology is not a circuit configuration, plus
+    /// any simulator or θ pricing error.
+    pub fn simulate(&mut self) -> Result<SimRun, ExperimentError> {
+        let base_config = self.base_config()?;
+        let mut fabric = CircuitSwitch::new(base_config, self.reconfig);
+        self.simulate_on(&mut fabric)
+    }
+
+    /// [`Experiment::<Streaming>::simulate`] against a caller-supplied
+    /// fabric.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::<Streaming>::simulate`].
+    pub fn simulate_on(&mut self, fabric: &mut dyn Fabric) -> Result<SimRun, ExperimentError> {
+        // Normalize the non-circuit-base failure to the same variant the
+        // sibling simulate paths return (the streaming executor would
+        // otherwise surface it as a SimError).
+        self.base_config()?;
+        self.workload.workload.reset();
+        let pricing = self.stream_pricing();
+        let (switches, report) = aps_sim::run_workload(
+            fabric,
+            &self.base,
+            &mut *self.workload.workload,
+            &*self.controller,
+            pricing,
+            &self.sim,
+        )?;
+        Ok(SimRun { switches, report })
+    }
+
+    /// Streams up to `max_steps` steps with O(1) total memory — per-step
+    /// reports and traces fold into an [`aps_sim::StreamSummary`] — the
+    /// entry for million-step and endless workloads.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::<Streaming>::simulate`].
+    pub fn simulate_summary(
+        &mut self,
+        max_steps: usize,
+    ) -> Result<aps_sim::StreamSummary, ExperimentError> {
+        self.workload.workload.reset();
+        let base_config = self.base_config()?;
+        let pricing = self.stream_pricing();
+        let mut fabric = CircuitSwitch::new(base_config, self.reconfig);
+        Ok(aps_sim::run_workload_totals(
+            &mut fabric,
+            &self.base,
+            &mut *self.workload.workload,
+            &*self.controller,
+            pricing,
+            &self.sim,
+            max_steps,
+        )?)
+    }
+
+    fn stream_pricing(&self) -> aps_sim::StreamPricing {
+        aps_sim::StreamPricing {
+            reconfig: self.reconfig,
+            accounting: self.accounting,
+            solver: self.solver,
+        }
     }
 }
 
@@ -489,7 +651,7 @@ mod tests {
         for ctl in shipped() {
             let t = exp()
                 .collective(&c)
-                .controller_box(ctl)
+                .controller(ctl)
                 .plan()
                 .unwrap()
                 .report
@@ -502,7 +664,7 @@ mod tests {
     fn simulate_tags_decisions_and_matches_plan_for_static_controllers() {
         let c = allreduce::halving_doubling::build(16, 4.0 * MIB).unwrap();
         for controller in [&Static as &dyn Controller, &AlwaysReconfigure, &Greedy] {
-            let mut e = exp().collective(&c).controller_box(controller);
+            let mut e = exp().collective(&c).controller(controller);
             let plan = e.plan().unwrap();
             let run = e.simulate().unwrap();
             assert_eq!(run.switches, plan.switches, "{}", controller.name());
@@ -600,36 +762,5 @@ mod tests {
             e.simulate(),
             Err(ExperimentError::BaseNotACircuit)
         ));
-    }
-
-    impl<W> Experiment<W> {
-        /// Test helper: set a borrowed controller by name-preserving proxy.
-        fn controller_box(mut self, c: &'static dyn Controller) -> Self {
-            struct ByRef(&'static dyn Controller);
-            impl Controller for ByRef {
-                fn name(&self) -> &str {
-                    self.0.name()
-                }
-                fn decide(&self, obs: &aps_core::StepObservation<'_>) -> aps_core::ConfigChoice {
-                    self.0.decide(obs)
-                }
-                fn plan(
-                    &self,
-                    problem: &SwitchingProblem,
-                    accounting: ReconfigAccounting,
-                ) -> Result<SwitchSchedule, CoreError> {
-                    self.0.plan(problem, accounting)
-                }
-                fn explain(
-                    &self,
-                    obs: &aps_core::StepObservation<'_>,
-                    choice: aps_core::ConfigChoice,
-                ) -> String {
-                    self.0.explain(obs, choice)
-                }
-            }
-            self.controller = Box::new(ByRef(c));
-            self
-        }
     }
 }

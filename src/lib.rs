@@ -140,6 +140,40 @@
 //! *families* bind with [`Experiment::collective_family`] and drive the
 //! Figure 1/2 heatmap sweeps via `sweep(grid)`.
 //!
+//! ## Streaming workloads
+//!
+//! Demand need not be materialized: anything implementing
+//! [`collectives::Workload`] — a seeded traffic generator, an epoch-looped
+//! training loop, a combinator chain, or a [`collectives::Schedule`]
+//! cursor — binds
+//! with [`Experiment::workload`] and streams its steps one at a time into
+//! the adaptive executor, in O(1) schedule memory even for million-step
+//! (or endless) runs:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! use adaptive_photonics::collectives::workload::generators::TrainingLoop;
+//!
+//! let base = topology::builders::ring_unidirectional(8).unwrap();
+//! let mut exp = Experiment::domain(base)
+//!     .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!     .controller(Greedy)
+//!     .workload(TrainingLoop::new(8, 2, 1e6, 8e6, Some(3)).unwrap());
+//! let run = exp.simulate().unwrap();          // streamed, decisions traced
+//! let totals = exp.simulate_summary(usize::MAX).unwrap(); // O(1) report memory
+//! assert_eq!(totals.steps, run.report.steps.len());
+//! assert_eq!(totals.total_ps, run.report.total_ps);
+//! ```
+//!
+//! Shipped generators ([`collectives::workload::generators`]): a
+//! pipeline-parallel `TrainingLoop`, `ParameterServer` incast rounds,
+//! seeded `RandomPermutations`, and `OnOffBursty` uniform traffic.
+//! Combinators (`then`, `repeat`/`loop_epochs`, `interleave`, `scaled`,
+//! `Overlay`) compose streams lazily. Online controllers stream
+//! bit-identically to the materialized adaptive path (the controller
+//! observes a two-step window); planning controllers degenerate to their
+//! myopic window rule — `plan()` (finite streams) recovers the optimum.
+//!
 //! ## Crate map
 //!
 //! | Module | Backing crate | Contents |
@@ -174,6 +208,9 @@ pub mod prelude {
     pub use crate::collectives;
     pub use crate::experiment::{Experiment, ExperimentError, Plan, SimRun};
     pub use crate::topology;
+    pub use aps_collectives::workload::{
+        generators, materialize, Overlay, ScheduleStream, Workload, WorkloadCtx,
+    };
     pub use aps_collectives::{Collective, CollectiveKind, Schedule, Step};
     pub use aps_core::controller::{
         AlwaysReconfigure, Controller, DpPlanned, Greedy, Static, StepObservation, Threshold,
@@ -189,8 +226,9 @@ pub mod prelude {
     pub use aps_matrix::{DemandMatrix, Matching};
     pub use aps_par::Pool;
     pub use aps_sim::{
-        execute_tenants, run_adaptive, run_scheduled, run_trial_batch, scenarios, RunConfig,
-        Scenario, SimReport, TenantReport, TenantSpec, Trial,
+        execute_tenants, run_adaptive, run_scheduled, run_scheduled_workload, run_trial_batch,
+        run_workload, run_workload_totals, scenarios, RunConfig, Scenario, SimReport,
+        StreamPricing, StreamSummary, TenantReport, TenantSpec, Trial,
     };
     // Deprecated free-function shims, kept importable for downstream code
     // that still `#[allow(deprecated)]`s its way through a migration.

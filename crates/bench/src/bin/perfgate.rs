@@ -1,7 +1,7 @@
 //! CI gatekeeper for the JSON bench reports (`results/bench_<name>.json`).
 //!
 //! ```text
-//! perfgate compare <a.json> <b.json> [<c.json> ...]
+//! perfgate compare [--replay <report.json>] <a.json> <b.json> [<c.json> ...]
 //! perfgate baseline -o BENCH_baseline.json <report.json> [...]
 //! perfgate gate --baseline BENCH_baseline.json [--max-regress 0.25] <report.json> [...]
 //! ```
@@ -9,7 +9,12 @@
 //! * `compare` — asserts the reports are **byte-identical** once the two
 //!   runtime `meta` lines (`threads`, `wall_s`) are stripped. This is the
 //!   determinism check: the same commit must produce the same sweep data at
-//!   `APS_THREADS=1` and `APS_THREADS=4`.
+//!   `APS_THREADS=1` and `APS_THREADS=4`. With `--replay <out.json>` it
+//!   additionally writes a structured divergence report (modeled on
+//!   `aps-replay`'s `DivergenceReport`): per comparison pair, whether it
+//!   was clean and, if not, the first diverging stripped line, its JSON
+//!   key, both values, and a field-class guess — so CI uploads a machine-
+//!   readable artifact instead of making humans diff raw bytes.
 //! * `baseline` — distills reports into a committed baseline file carrying
 //!   each report's name, thread count and wall-clock.
 //! * `gate` — compares each report's wall-clock against its baseline
@@ -43,22 +48,114 @@ fn report_wall_s(body: &str, path: &str) -> f64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  perfgate compare <a.json> <b.json> [...]\n  perfgate baseline -o <out.json> \
-         <report.json> [...]\n  perfgate gate --baseline <baseline.json> [--max-regress <frac>] \
-         <report.json> [...]"
+        "usage:\n  perfgate compare [--replay <out.json>] <a.json> <b.json> [...]\n  perfgate \
+         baseline -o <out.json> <report.json> [...]\n  perfgate gate --baseline <baseline.json> \
+         [--max-regress <frac>] <report.json> [...]"
     );
     std::process::exit(2);
 }
 
-fn compare(paths: &[String]) -> i32 {
+/// The JSON key on a `"key": value` report line, if any.
+fn line_key(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Guesses which replay field class a diverging bench-report key belongs
+/// to, mirroring `aps-replay`'s decision / rates / timing / accounting
+/// taxonomy for hand-rolled JSON lines.
+fn classify_key(key: &str) -> &'static str {
+    let k = key.to_ascii_lowercase();
+    let has = |needles: &[&str]| needles.iter().any(|n| k.contains(n));
+    if has(&[
+        "policy",
+        "controller",
+        "schedule",
+        "choice",
+        "decision",
+        "matched",
+    ]) {
+        "decision"
+    } else if has(&["theta", "throughput", "rate", "gbps", "hops"]) {
+        "rates"
+    } else if has(&["reconfig", "ports", "events", "steps", "count", "seed", "n"]) {
+        "accounting"
+    } else {
+        // Bench reports are mostly timings (`t_s`, `speedup`, `wall`, …).
+        "timing"
+    }
+}
+
+/// One comparison pair's entry for the structured divergence report.
+fn pair_entry(reference: &str, candidate: &str, a: &str, b: &str) -> (bool, Json) {
+    let mut fields: Vec<(&'static str, Json)> = vec![
+        ("reference", Json::Str(a.to_string())),
+        ("candidate", Json::Str(b.to_string())),
+    ];
+    let first = reference
+        .lines()
+        .zip(candidate.lines())
+        .position(|(x, y)| x != y);
+    let (ref_lines, cand_lines) = (reference.lines().count(), candidate.lines().count());
+    let clean = first.is_none() && ref_lines == cand_lines;
+    fields.push(("clean", Json::Bool(clean)));
+    if let Some(i) = first {
+        let ref_line = reference.lines().nth(i).unwrap_or_default();
+        let cand_line = candidate.lines().nth(i).unwrap_or_default();
+        let key = line_key(ref_line)
+            .or_else(|| line_key(cand_line))
+            .unwrap_or("");
+        fields.push((
+            "first_divergence",
+            Json::obj([
+                ("stripped_line", Json::UInt(i as u64 + 1)),
+                ("key", Json::Str(key.to_string())),
+                ("field_class", Json::Str(classify_key(key).to_string())),
+                ("reference_value", Json::Str(ref_line.trim().to_string())),
+                ("candidate_value", Json::Str(cand_line.trim().to_string())),
+            ]),
+        ));
+    } else if !clean {
+        fields.push((
+            "first_divergence",
+            Json::obj([
+                (
+                    "stripped_line",
+                    Json::UInt(ref_lines.min(cand_lines) as u64 + 1),
+                ),
+                ("key", Json::Str("<line count>".to_string())),
+                ("field_class", Json::Str("accounting".to_string())),
+                ("reference_value", Json::Str(format!("{ref_lines} lines"))),
+                ("candidate_value", Json::Str(format!("{cand_lines} lines"))),
+            ]),
+        ));
+    }
+    (clean, Json::obj(fields))
+}
+
+fn compare(args: &[String]) -> i32 {
+    let mut replay_out = None;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--replay" => replay_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            p => paths.push(p.to_string()),
+        }
+    }
     if paths.len() < 2 {
         usage();
     }
     let reference = strip_runtime_meta(&read(&paths[0]));
     let mut failed = false;
+    let mut pairs = Vec::new();
     for p in &paths[1..] {
         let candidate = strip_runtime_meta(&read(p));
-        if candidate == reference {
+        let (clean, entry) = pair_entry(&reference, &candidate, &paths[0], p);
+        pairs.push(entry);
+        if clean {
             println!("perfgate: {} == {} (modulo runtime meta)", paths[0], p);
         } else {
             failed = true;
@@ -74,6 +171,19 @@ fn compare(paths: &[String]) -> i32 {
                 paths[0], p
             );
         }
+    }
+    if let Some(out) = replay_out {
+        let doc = Json::obj([
+            ("schema_version", Json::UInt(1)),
+            ("kind", Json::Str("perfgate-divergence-report".to_string())),
+            ("clean", Json::Bool(!failed)),
+            ("pairs", Json::Arr(pairs)),
+        ]);
+        if let Err(e) = std::fs::write(&out, doc.render()) {
+            eprintln!("perfgate: cannot write {out}: {e}");
+            return 2;
+        }
+        println!("perfgate: wrote divergence report to {out}");
     }
     i32::from(failed)
 }

@@ -9,6 +9,27 @@ pub enum ConfigChoice {
     Matched,
 }
 
+impl ConfigChoice {
+    /// The canonical single-byte encoding used by on-disk replay records
+    /// (`aps-replay`): `0` = base, `1` = matched. Stable across releases —
+    /// changing it is a replay-format schema bump.
+    pub const fn to_byte(self) -> u8 {
+        match self {
+            Self::Base => 0,
+            Self::Matched => 1,
+        }
+    }
+
+    /// Decodes [`ConfigChoice::to_byte`]; `None` for any other byte.
+    pub const fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Self::Base),
+            1 => Some(Self::Matched),
+            _ => None,
+        }
+    }
+}
+
 /// A complete circuit-switching schedule for an `s`-step collective.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchSchedule {
@@ -97,6 +118,16 @@ impl SwitchSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn choice_byte_codec_roundtrips() {
+        for c in [ConfigChoice::Base, ConfigChoice::Matched] {
+            assert_eq!(ConfigChoice::from_byte(c.to_byte()), Some(c));
+        }
+        assert_eq!(ConfigChoice::Base.to_byte(), 0);
+        assert_eq!(ConfigChoice::Matched.to_byte(), 1);
+        assert_eq!(ConfigChoice::from_byte(2), None);
+    }
 
     #[test]
     fn constructors() {

@@ -35,6 +35,19 @@ pub use wavelength::WavelengthFabric;
 use aps_cost::units::Picos;
 use aps_matrix::Matching;
 
+/// The per-run mutable device state a checkpoint must capture to resume a
+/// simulation bit-identically: the configuration currently carrying
+/// traffic and when the controller frees. Static device properties (delay
+/// model, injected faults, statistics) are deliberately *not* part of the
+/// state — a restored run keeps whatever device it is restored onto.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricState {
+    /// The configuration carrying traffic at capture time.
+    pub config: Matching,
+    /// The device-clock instant until which the controller is busy.
+    pub busy_until: Picos,
+}
+
 /// Result of asking a fabric to reconfigure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigOutcome {
@@ -69,6 +82,26 @@ pub trait Fabric {
     /// reconfiguration instead of failing (see `aps-sim`'s tenant
     /// executor).
     fn busy_until(&self) -> Picos;
+
+    /// Captures the mutable device state a deterministic checkpoint needs
+    /// ([`Fabric::current`] + [`Fabric::busy_until`]); restore it with
+    /// [`Fabric::load_state`].
+    fn save_state(&self) -> FabricState {
+        FabricState {
+            config: self.current().clone(),
+            busy_until: self.busy_until(),
+        }
+    }
+
+    /// Restores state captured by [`Fabric::save_state`], so a fresh (or
+    /// reset) device resumes exactly where the captured one stood. Faults
+    /// and statistics are untouched: the state describes the *run*, not
+    /// the device.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a configuration whose port count differs from the fabric's.
+    fn load_state(&mut self, state: &FabricState) -> Result<(), FabricError>;
 
     /// [`Fabric::request`] deferred past any in-flight reconfiguration:
     /// the request is issued at `max(now, busy_until())` and that granted

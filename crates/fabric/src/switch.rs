@@ -1,7 +1,7 @@
 //! Centrally-programmed photonic circuit switch.
 
 use crate::error::FabricError;
-use crate::{Fabric, ReconfigOutcome};
+use crate::{Fabric, FabricState, ReconfigOutcome};
 use aps_cost::units::{secs_to_picos, Picos};
 use aps_cost::ReconfigModel;
 use aps_matrix::Matching;
@@ -133,6 +133,18 @@ impl Fabric for CircuitSwitch {
 
     fn busy_until(&self) -> Picos {
         self.busy_until
+    }
+
+    fn load_state(&mut self, state: &FabricState) -> Result<(), FabricError> {
+        if state.config.n() != self.current.n() {
+            return Err(FabricError::DimensionMismatch {
+                fabric: self.current.n(),
+                target: state.config.n(),
+            });
+        }
+        self.current = state.config.clone();
+        self.busy_until = state.busy_until;
+        Ok(())
     }
 
     fn request(&mut self, target: &Matching, now: Picos) -> Result<ReconfigOutcome, FabricError> {

@@ -9,7 +9,7 @@
 //! controller overhead.
 
 use crate::error::FabricError;
-use crate::{Fabric, ReconfigOutcome};
+use crate::{Fabric, FabricState, ReconfigOutcome};
 use aps_cost::units::{secs_to_picos, Picos};
 use aps_matrix::Matching;
 
@@ -95,6 +95,18 @@ impl Fabric for WavelengthFabric {
 
     fn busy_until(&self) -> Picos {
         self.busy_until
+    }
+
+    fn load_state(&mut self, state: &FabricState) -> Result<(), FabricError> {
+        if state.config.n() != self.current.n() {
+            return Err(FabricError::DimensionMismatch {
+                fabric: self.current.n(),
+                target: state.config.n(),
+            });
+        }
+        self.current = state.config.clone();
+        self.busy_until = state.busy_until;
+        Ok(())
     }
 
     fn request(&mut self, target: &Matching, now: Picos) -> Result<ReconfigOutcome, FabricError> {

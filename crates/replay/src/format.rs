@@ -1,0 +1,429 @@
+//! The on-disk replay record: a compact, versioned binary format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      b"APSR"                       4 bytes
+//! version    u16 = 1
+//! flags      u16 = 0 (reserved)
+//! n          u32                            fabric port count
+//! controller u32 length + UTF-8 bytes
+//! workload   u32 length + UTF-8 bytes
+//! frames     repeated:
+//!   tag      u8 = 0x01
+//!   step     u64      tenant   u32 (0xFFFFFFFF = single stream)
+//!   decision u8       rates    u64
+//!   timing   u64      accounting u64
+//!   trace    u64      state    u64
+//! trailer:
+//!   tag      u8 = 0x00
+//!   count    u64                            number of frames
+//!   state    u64                            final chained state hash
+//! ```
+//!
+//! The trailer makes truncation detectable: a record cut anywhere —
+//! mid-frame, between frames, or before the trailer — fails to parse with
+//! [`ReplayError::Truncated`], and a trailer whose count or final state
+//! disagrees with the frames fails with [`ReplayError::TrailerMismatch`].
+//! Any schema change bumps [`FORMAT_VERSION`]; readers reject newer
+//! versions instead of misparsing them.
+
+use std::fmt;
+
+/// The 4-byte magic prefix of every replay record.
+pub const MAGIC: [u8; 4] = *b"APSR";
+/// Current record schema version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// One step's worth of digests; see
+/// [`StateHash::absorb_step`](crate::hash::StateHash::absorb_step) for
+/// what each field class covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Step index within its stream (per-tenant index in tenant runs).
+    pub step: u64,
+    /// Tenant index, or [`NO_TENANT`](crate::hash::NO_TENANT).
+    pub tenant: u32,
+    /// The decision byte ([`ConfigChoice::to_byte`](aps_core::ConfigChoice::to_byte)).
+    pub decision: u8,
+    /// Digest of the flow-level outcome (transfer time, hop count).
+    pub rates: u64,
+    /// Digest of the remaining timeline phases.
+    pub timing: u64,
+    /// Digest of reconfiguration accounting, fabric state and totals.
+    pub accounting: u64,
+    /// Digest of the step's trace events.
+    pub trace: u64,
+    /// Chained state hash after this step.
+    pub state: u64,
+}
+
+/// A fully parsed (or fully recorded) replay record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayRecord {
+    /// Fabric port count the run used.
+    pub n: u32,
+    /// Controller name (or `"scheduled"` / executor tag).
+    pub controller: String,
+    /// Workload name.
+    pub workload: String,
+    /// Per-step frames in execution order.
+    pub frames: Vec<Frame>,
+    /// The final chained state hash (equals the last frame's `state`, or
+    /// the FNV offset basis for an empty record).
+    pub final_state: u64,
+}
+
+impl ReplayRecord {
+    /// Serializes the record; inverse of [`ReplayReader::parse`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ReplayWriter::new(self.n, &self.controller, &self.workload);
+        for f in &self.frames {
+            w.push_frame(f);
+        }
+        // Preserve the stored final state verbatim so serialization is a
+        // true inverse even for hand-corrupted records under test.
+        w.final_state = self.final_state;
+        w.finish()
+    }
+}
+
+/// Why a record failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The record's schema version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// The byte stream ended mid-structure.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        at: usize,
+    },
+    /// A frame tag byte was neither a frame (0x01) nor the trailer (0x00).
+    BadFrameTag(u8),
+    /// The trailer's frame count disagrees with the frames present.
+    TrailerMismatch {
+        /// Count the trailer declared.
+        declared: u64,
+        /// Frames actually parsed.
+        found: u64,
+    },
+    /// The trailer's final state hash disagrees with the last frame.
+    FinalStateMismatch {
+        /// Hash the trailer declared.
+        declared: u64,
+        /// The last frame's chained state.
+        found: u64,
+    },
+    /// A name field was not valid UTF-8.
+    BadName,
+    /// Trailing garbage after the trailer.
+    TrailingBytes {
+        /// Offset of the first unexpected byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"APSR\")"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported record version {v} (reader speaks {FORMAT_VERSION})"
+                )
+            }
+            Self::Truncated { at } => write!(f, "record truncated at byte {at}"),
+            Self::BadFrameTag(t) => write!(f, "bad frame tag 0x{t:02x}"),
+            Self::TrailerMismatch { declared, found } => {
+                write!(f, "trailer declares {declared} frames but {found} present")
+            }
+            Self::FinalStateMismatch { declared, found } => write!(
+                f,
+                "trailer declares final state {declared:#018x} but frames end at {found:#018x}"
+            ),
+            Self::BadName => write!(f, "name field is not valid UTF-8"),
+            Self::TrailingBytes { at } => write!(f, "trailing bytes after trailer at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+const FRAME_TAG: u8 = 0x01;
+const TRAILER_TAG: u8 = 0x00;
+
+/// Incremental record serializer.
+#[derive(Debug, Clone)]
+pub struct ReplayWriter {
+    buf: Vec<u8>,
+    frames: u64,
+    final_state: u64,
+}
+
+impl ReplayWriter {
+    /// Starts a record: magic, version and run metadata.
+    pub fn new(n: u32, controller: &str, workload: &str) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        for name in [controller, workload] {
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+        }
+        Self {
+            buf,
+            frames: 0,
+            final_state: crate::hash::StateHash::new().chain().state,
+        }
+    }
+
+    /// Appends one frame.
+    pub fn push_frame(&mut self, f: &Frame) {
+        self.buf.push(FRAME_TAG);
+        self.buf.extend_from_slice(&f.step.to_le_bytes());
+        self.buf.extend_from_slice(&f.tenant.to_le_bytes());
+        self.buf.push(f.decision);
+        for d in [f.rates, f.timing, f.accounting, f.trace, f.state] {
+            self.buf.extend_from_slice(&d.to_le_bytes());
+        }
+        self.frames += 1;
+        self.final_state = f.state;
+    }
+
+    /// Seals the record with its trailer and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf.push(TRAILER_TAG);
+        self.buf.extend_from_slice(&self.frames.to_le_bytes());
+        self.buf.extend_from_slice(&self.final_state.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Record parser; the only entry point is [`ReplayReader::parse`].
+#[derive(Debug)]
+pub struct ReplayReader;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ReplayError> {
+        if self.buf.len() - self.pos < len {
+            return Err(ReplayError::Truncated { at: self.buf.len() });
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ReplayError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ReplayError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ReplayError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ReplayError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn name(&mut self) -> Result<String, ReplayError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ReplayError::BadName)
+    }
+}
+
+impl ReplayReader {
+    /// Parses a complete record, validating magic, version, framing and
+    /// the trailer's truncation guards.
+    ///
+    /// # Errors
+    ///
+    /// Every way the bytes can be malformed maps to a distinct
+    /// [`ReplayError`]; see the variant docs.
+    pub fn parse(bytes: &[u8]) -> Result<ReplayRecord, ReplayError> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        let magic: [u8; 4] = c.take(4)?.try_into().unwrap();
+        if magic != MAGIC {
+            return Err(ReplayError::BadMagic(magic));
+        }
+        let version = c.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(ReplayError::UnsupportedVersion(version));
+        }
+        let _flags = c.u16()?;
+        let n = c.u32()?;
+        let controller = c.name()?;
+        let workload = c.name()?;
+
+        let mut frames = Vec::new();
+        loop {
+            match c.u8()? {
+                FRAME_TAG => {
+                    let step = c.u64()?;
+                    let tenant = c.u32()?;
+                    let decision = c.u8()?;
+                    let rates = c.u64()?;
+                    let timing = c.u64()?;
+                    let accounting = c.u64()?;
+                    let trace = c.u64()?;
+                    let state = c.u64()?;
+                    frames.push(Frame {
+                        step,
+                        tenant,
+                        decision,
+                        rates,
+                        timing,
+                        accounting,
+                        trace,
+                        state,
+                    });
+                }
+                TRAILER_TAG => break,
+                t => return Err(ReplayError::BadFrameTag(t)),
+            }
+        }
+        let declared = c.u64()?;
+        if declared != frames.len() as u64 {
+            return Err(ReplayError::TrailerMismatch {
+                declared,
+                found: frames.len() as u64,
+            });
+        }
+        let final_state = c.u64()?;
+        let found = frames
+            .last()
+            .map_or(crate::hash::StateHash::new().chain().state, |f| f.state);
+        if final_state != found {
+            return Err(ReplayError::FinalStateMismatch {
+                declared: final_state,
+                found,
+            });
+        }
+        if c.pos != bytes.len() {
+            return Err(ReplayError::TrailingBytes { at: c.pos });
+        }
+        Ok(ReplayRecord {
+            n,
+            controller,
+            workload,
+            frames,
+            final_state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(i: u64) -> Frame {
+        Frame {
+            step: i,
+            tenant: crate::hash::NO_TENANT,
+            decision: (i % 2) as u8,
+            rates: i.wrapping_mul(3),
+            timing: i.wrapping_mul(5),
+            accounting: i.wrapping_mul(7),
+            trace: i.wrapping_mul(11),
+            state: i.wrapping_mul(13) + 1,
+        }
+    }
+
+    fn record(frames: usize) -> ReplayRecord {
+        let fs: Vec<Frame> = (0..frames as u64).map(frame).collect();
+        let final_state = fs
+            .last()
+            .map_or(crate::hash::StateHash::new().chain().state, |f| f.state);
+        ReplayRecord {
+            n: 16,
+            controller: "greedy".into(),
+            workload: "training-loop".into(),
+            frames: fs,
+            final_state,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for frames in [0usize, 1, 7] {
+            let r = record(frames);
+            assert_eq!(ReplayReader::parse(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = record(2).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ReplayReader::parse(&bytes),
+            Err(ReplayError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = record(1).to_bytes();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            ReplayReader::parse(&bytes),
+            Err(ReplayError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = record(3).to_bytes();
+        for cut in 0..bytes.len() {
+            let err = ReplayReader::parse(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ReplayError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailer_guards_catch_tampering() {
+        let r = record(2);
+        let mut w = ReplayWriter::new(r.n, &r.controller, &r.workload);
+        for f in &r.frames {
+            w.push_frame(f);
+        }
+        w.frames = 5; // lie about the count
+        assert!(matches!(
+            ReplayReader::parse(&w.finish()),
+            Err(ReplayError::TrailerMismatch { .. })
+        ));
+
+        let mut bytes = r.to_bytes();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0x01; // flip a bit in the trailer's final state
+        assert!(matches!(
+            ReplayReader::parse(&bytes),
+            Err(ReplayError::FinalStateMismatch { .. })
+        ));
+
+        let mut bytes = r.to_bytes();
+        bytes.push(0u8);
+        assert!(matches!(
+            ReplayReader::parse(&bytes),
+            Err(ReplayError::TrailingBytes { .. })
+        ));
+    }
+}

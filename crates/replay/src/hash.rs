@@ -1,0 +1,352 @@
+//! Streaming 64-bit state hashing over canonically encoded steps.
+//!
+//! Every quantity the simulator produces is an integer (picoseconds, port
+//! counts, hop counts), so a byte-exact canonical encoding exists: each
+//! field is serialized little-endian into an FNV-1a hasher. [`StateHash`]
+//! chains those per-step digests into a running hash — two runs are
+//! bit-identical if and only if their final chained hashes (and frame
+//! sequences) agree, and the *first* differing frame localizes a
+//! divergence to a step and a field class.
+//!
+//! Per step, four independent field-class digests are taken (see
+//! [`Frame`]):
+//!
+//! * **decision** — the controller's choice byte
+//!   ([`ConfigChoice::to_byte`]) plus the step/tenant indices;
+//! * **rates** — the flow-level outcome: transfer time and hop count;
+//! * **timing** — the remaining timeline phases (barrier, α, visible
+//!   reconfiguration stall, arbitration wait, compute);
+//! * **accounting** — ports changed, the fabric's post-step matching and
+//!   busy-until clock, and the chain's cumulative totals.
+//!
+//! A fifth **trace** digest covers the step's trace events (order,
+//! timestamps and payloads — including the controller's `why` rationale
+//! strings). The chained **state** hash folds all five plus the previous
+//! state, so any single-bit change anywhere propagates to every later
+//! frame.
+
+use crate::format::Frame;
+use aps_core::ConfigChoice;
+use aps_sim::record::StepRecord;
+use aps_sim::trace::{TraceEvent, TraceKind};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Tenant encoding used throughout the record format: single-stream runs
+/// record this sentinel instead of a tenant index.
+pub const NO_TENANT: u32 = u32::MAX;
+
+/// A dependency-free 64-bit FNV-1a streaming hasher.
+///
+/// Not cryptographic — it detects *accidental* divergence (nondeterminism,
+/// format drift, bit-rot), which is all deterministic replay needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a hasher at the standard FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs a `u64` in little-endian canonical form.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (canonicalized to `u64` so 32-bit and 64-bit
+    /// hosts hash identically).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        self.write(bytes);
+    }
+
+    /// The current digest.
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_events(events: &[TraceEvent]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(events.len());
+    for e in events {
+        h.write_u64(e.at);
+        match &e.kind {
+            TraceKind::Barrier => h.write_u8(1),
+            TraceKind::StepStart { step, matched } => {
+                h.write_u8(2);
+                h.write_usize(*step);
+                h.write_u8(u8::from(*matched));
+            }
+            TraceKind::ReconfigStart { ports } => {
+                h.write_u8(3);
+                h.write_usize(*ports);
+            }
+            TraceKind::ArbitrationWait { granted_at } => {
+                h.write_u8(4);
+                h.write_u64(*granted_at);
+            }
+            TraceKind::ReconfigDone => h.write_u8(5),
+            TraceKind::FlowsStart { count } => {
+                h.write_u8(6);
+                h.write_usize(*count);
+            }
+            TraceKind::StepDone { step } => {
+                h.write_u8(7);
+                h.write_usize(*step);
+            }
+            TraceKind::ComputeStart => h.write_u8(8),
+            TraceKind::ComputeDone => h.write_u8(9),
+            TraceKind::Decision { step, matched, why } => {
+                h.write_u8(10);
+                h.write_usize(*step);
+                h.write_u8(u8::from(*matched));
+                h.write_bytes(why.as_bytes());
+            }
+            // `TraceKind` is extend-only; an unknown kind still perturbs
+            // the digest so it cannot silently alias an empty slot.
+            _ => h.write_u8(u8::MAX),
+        }
+    }
+    h.finish()
+}
+
+/// The chained hasher: absorbs committed steps one at a time and keeps
+/// running accounting totals, so the final state hash covers the whole
+/// run. `Copy` on purpose — a snapshot stores this state verbatim and a
+/// resumed recorder continues the chain bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainState {
+    /// Chained state hash after the last absorbed step.
+    pub state: u64,
+    /// Steps absorbed so far.
+    pub steps: u64,
+    /// Cumulative step wall time (barrier + α + reconfig + transfer +
+    /// compute) across absorbed steps.
+    pub cum_total_ps: u64,
+    /// Cumulative TX ports retargeted.
+    pub cum_ports_changed: u64,
+    /// Cumulative physical reconfiguration events.
+    pub cum_reconfig_events: u64,
+}
+
+impl Default for ChainState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainState {
+    /// The chain state before any step: the FNV offset basis and zeroed
+    /// totals.
+    pub const fn new() -> Self {
+        Self {
+            state: FNV_OFFSET,
+            steps: 0,
+            cum_total_ps: 0,
+            cum_ports_changed: 0,
+            cum_reconfig_events: 0,
+        }
+    }
+}
+
+/// The streaming state hasher; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateHash {
+    chain: ChainState,
+}
+
+impl StateHash {
+    /// Starts a fresh chain.
+    pub const fn new() -> Self {
+        Self {
+            chain: ChainState::new(),
+        }
+    }
+
+    /// Continues a chain from a snapshot's saved state.
+    pub const fn resume(chain: ChainState) -> Self {
+        Self { chain }
+    }
+
+    /// The current chain state (store this in a snapshot).
+    pub const fn chain(&self) -> ChainState {
+        self.chain
+    }
+
+    /// Absorbs one committed step, returning its frame of field-class
+    /// digests plus the updated chained state hash.
+    pub fn absorb_step(&mut self, record: &StepRecord<'_>) -> Frame {
+        let tenant = match record.tenant {
+            Some(t) => t as u32,
+            None => NO_TENANT,
+        };
+        let decision = if record.matched {
+            ConfigChoice::Matched.to_byte()
+        } else {
+            ConfigChoice::Base.to_byte()
+        };
+
+        let mut dh = Fnv64::new();
+        dh.write_usize(record.step);
+        dh.write(&tenant.to_le_bytes());
+        dh.write_u8(decision);
+        let decision_digest = dh.finish();
+
+        let r = record.report;
+        let mut rh = Fnv64::new();
+        rh.write_u64(r.transfer_ps);
+        rh.write_usize(r.max_hops);
+        let rates = rh.finish();
+
+        let mut th = Fnv64::new();
+        th.write_u64(r.barrier_ps);
+        th.write_u64(r.alpha_ps);
+        th.write_u64(r.reconfig_ps);
+        th.write_u64(r.arbitration_ps);
+        th.write_u64(r.compute_ps);
+        let timing = th.finish();
+
+        self.chain.steps += 1;
+        self.chain.cum_total_ps += r.total_ps();
+        self.chain.cum_ports_changed += r.ports_changed as u64;
+        self.chain.cum_reconfig_events += u64::from(r.ports_changed > 0);
+
+        let mut ah = Fnv64::new();
+        ah.write_usize(r.ports_changed);
+        ah.write_usize(record.config.n());
+        for p in 0..record.config.n() {
+            // `None` (an unmatched port) canonicalizes to `u64::MAX`,
+            // which no real destination can collide with.
+            ah.write_u64(record.config.dst_of(p).map_or(u64::MAX, |d| d as u64));
+        }
+        ah.write_u64(record.busy_until);
+        ah.write_u64(self.chain.cum_total_ps);
+        ah.write_u64(self.chain.cum_ports_changed);
+        ah.write_u64(self.chain.cum_reconfig_events);
+        let accounting = ah.finish();
+
+        let trace = hash_events(record.events);
+
+        let mut sh = Fnv64::new();
+        sh.write_u64(self.chain.state);
+        sh.write_u64(decision_digest);
+        sh.write_u64(rates);
+        sh.write_u64(timing);
+        sh.write_u64(accounting);
+        sh.write_u64(trace);
+        self.chain.state = sh.finish();
+
+        Frame {
+            step: record.step as u64,
+            tenant,
+            decision,
+            rates,
+            timing,
+            accounting,
+            trace,
+            state: self.chain.state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn canonical_widths_do_not_alias() {
+        // (1u64, 2u64) must not hash like (2u64, 1u64) or like the bytes
+        // concatenated differently.
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_string_aliasing() {
+        let mut a = Fnv64::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = Fnv64::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn event_digest_covers_order_and_payload() {
+        use aps_sim::trace::{TraceEvent, TraceKind};
+        let e1 = TraceEvent {
+            at: 10,
+            kind: TraceKind::Barrier,
+        };
+        let e2 = TraceEvent {
+            at: 10,
+            kind: TraceKind::ReconfigDone,
+        };
+        assert_ne!(
+            hash_events(&[e1.clone(), e2.clone()]),
+            hash_events(&[e2, e1])
+        );
+        let why_a = TraceEvent {
+            at: 0,
+            kind: TraceKind::Decision {
+                step: 0,
+                matched: true,
+                why: "a".into(),
+            },
+        };
+        let why_b = TraceEvent {
+            at: 0,
+            kind: TraceKind::Decision {
+                step: 0,
+                matched: true,
+                why: "b".into(),
+            },
+        };
+        assert_ne!(hash_events(&[why_a]), hash_events(&[why_b]));
+    }
+}

@@ -1,0 +1,45 @@
+//! # aps-replay — deterministic replay for the simulation stack
+//!
+//! The simulator is deterministic by construction: integer picoseconds,
+//! no wall-clock, no unordered iteration, bit-identical at any
+//! `APS_THREADS`. This crate makes that property *checkable* and
+//! *actionable*:
+//!
+//! * [`hash`] — a dependency-free chained FNV-1a state hasher
+//!   ([`StateHash::absorb_step`]) over a canonical little-endian encoding
+//!   of each committed step: the controller's decision, the flow-level
+//!   rates, the timeline phases, the fabric's matching and busy-clock,
+//!   cumulative accounting totals, and the trace events;
+//! * [`mod@format`] — a compact versioned binary record
+//!   ([`ReplayWriter`]/[`ReplayReader`], magic `"APSR"`) of per-step
+//!   digest frames, with trailer guards that make truncation and
+//!   tampering parse errors rather than silent corruption;
+//! * [`recorder`] — the [`aps_sim::record::RecordSink`] implementation
+//!   ([`Recorder`]) that any `_recorded` executor entry point (or the
+//!   `Experiment::record` facade) feeds;
+//! * [`verify`] — [`diff_records`] compares a stored record against a
+//!   re-execution and produces a [`DivergenceReport`] naming the first
+//!   diverging step and which field class (decision / rates / timing /
+//!   accounting) broke;
+//! * [`snapshot`] — [`Snapshot`] pairs the simulator's
+//!   [`aps_sim::stream::StreamCheckpoint`] with the recorder's
+//!   [`ChainState`], so an endless run can be checkpointed mid-stream and
+//!   resumed bit-identically, hash chain included.
+//!
+//! Recording is zero-cost when disabled: the executors take
+//! `Option<&mut dyn RecordSink>` and never construct a record without a
+//! sink.
+
+pub mod format;
+pub mod hash;
+pub mod recorder;
+pub mod snapshot;
+pub mod verify;
+
+pub use format::{
+    Frame, ReplayError, ReplayReader, ReplayRecord, ReplayWriter, FORMAT_VERSION, MAGIC,
+};
+pub use hash::{ChainState, Fnv64, StateHash, NO_TENANT};
+pub use recorder::Recorder;
+pub use snapshot::Snapshot;
+pub use verify::{diff_records, Divergence, DivergenceReport, FieldClass};

@@ -1,0 +1,74 @@
+//! The [`RecordSink`] implementation: turns the simulator's per-step feed
+//! into a [`ReplayRecord`].
+
+use crate::format::{Frame, ReplayRecord};
+use crate::hash::{ChainState, StateHash};
+use aps_sim::record::{RecordSink, StepRecord};
+
+/// Accumulates frames from a run; plug into any `_recorded` executor
+/// entry point (or [`Experiment::record`][exp] at the facade level).
+///
+/// [exp]: https://docs.rs/adaptive-photonics
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    hash: StateHash,
+    frames: Vec<Frame>,
+    n: u32,
+    controller: String,
+    workload: String,
+}
+
+impl Recorder {
+    /// Starts a fresh recording tagged with the run's metadata.
+    pub fn new(n: usize, controller: &str, workload: &str) -> Self {
+        Self {
+            hash: StateHash::new(),
+            frames: Vec::new(),
+            n: n as u32,
+            controller: controller.to_owned(),
+            workload: workload.to_owned(),
+        }
+    }
+
+    /// Continues a recording from a snapshot's chain state: the resumed
+    /// segment's frames chain onto the interrupted run's hashes, so the
+    /// concatenated record is bit-identical to an uninterrupted one.
+    pub fn resume(chain: ChainState, n: usize, controller: &str, workload: &str) -> Self {
+        Self {
+            hash: StateHash::resume(chain),
+            frames: Vec::new(),
+            n: n as u32,
+            controller: controller.to_owned(),
+            workload: workload.to_owned(),
+        }
+    }
+
+    /// The chain state after everything recorded so far.
+    pub fn chain(&self) -> ChainState {
+        self.hash.chain()
+    }
+
+    /// Frames recorded so far (this segment only, for a resumed recorder).
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Finishes the recording.
+    pub fn into_record(self) -> ReplayRecord {
+        let final_state = self.hash.chain().state;
+        ReplayRecord {
+            n: self.n,
+            controller: self.controller,
+            workload: self.workload,
+            frames: self.frames,
+            final_state,
+        }
+    }
+}
+
+impl RecordSink for Recorder {
+    fn record_step(&mut self, record: &StepRecord<'_>) {
+        let frame = self.hash.absorb_step(record);
+        self.frames.push(frame);
+    }
+}

@@ -1,0 +1,37 @@
+//! Mid-run checkpoints: pause an endless stream, resume it bit-identically.
+//!
+//! A [`Snapshot`] is the pair of states a resumed run needs:
+//!
+//! * the simulator's [`StreamCheckpoint`] — stream cursor position,
+//!   previous configuration choice, communication/compute clocks,
+//!   accumulated totals and the fabric's device state. The workload
+//!   cursor itself is re-derived through the `Workload::reset` replay
+//!   contract, which is why snapshots work for *any* workload, including
+//!   endless training loops;
+//! * the recorder's [`ChainState`] — so frames recorded after the resume
+//!   chain onto the interrupted run's hashes and the concatenated record
+//!   is bit-identical to an uninterrupted recording.
+//!
+//! Snapshots are in-memory values (the record format on disk is the
+//! replay *record*, not the checkpoint); a million-step run checkpoints
+//! in O(fabric) space because totals, not per-step reports, are carried.
+
+use crate::hash::ChainState;
+use aps_sim::stream::StreamCheckpoint;
+
+/// A resumable capture of a streaming adaptive run; see the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The simulator-side state to resume from.
+    pub checkpoint: StreamCheckpoint,
+    /// The recorder-side hash chain at the capture point.
+    pub chain: ChainState,
+}
+
+impl Snapshot {
+    /// Steps executed before this capture.
+    pub fn steps_done(&self) -> usize {
+        self.checkpoint.steps_done
+    }
+}

@@ -1,0 +1,269 @@
+//! Divergence detection: diff a recorded run against a re-execution.
+//!
+//! [`diff_records`] walks two frame sequences in lockstep and reports the
+//! *first* frame where they disagree, classified by field class. The
+//! classification order is deliberate — it names the most causal class:
+//!
+//! 1. **decision** — the step/tenant interleaving or the controller's
+//!    choice differs; everything downstream of a different decision
+//!    differs trivially, so nothing else is worth reporting;
+//! 2. **rates** — same decision, different flow-level outcome (transfer
+//!    time or hop count): the fluid solver diverged;
+//! 3. **timing** — flows agree but a timeline phase (barrier, α,
+//!    reconfiguration stall, arbitration, compute) differs; a divergence
+//!    visible *only* in the trace digest (event order/timestamps) also
+//!    classifies here, since trace events are the timeline's fine print;
+//! 4. **accounting** — everything observable agrees but the fabric
+//!    state, ports-changed count or cumulative totals differ (including a
+//!    corrupted chain hash with clean per-class digests).
+
+use crate::format::ReplayRecord;
+use std::fmt;
+
+/// Which class of per-step state diverged first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Controller decision or step/tenant interleaving.
+    Decision,
+    /// Flow-level outcome (transfer time, hop count).
+    Rates,
+    /// Timeline phases or trace events.
+    Timing,
+    /// Fabric state, reconfiguration accounting or cumulative totals.
+    Accounting,
+}
+
+impl fmt::Display for FieldClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Decision => "decision",
+            Self::Rates => "rates",
+            Self::Timing => "timing",
+            Self::Accounting => "accounting",
+        })
+    }
+}
+
+/// The first point at which two runs disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the diverging frame in execution order.
+    pub frame: usize,
+    /// The recorded frame's step index.
+    pub step: u64,
+    /// The recorded frame's tenant, or [`NO_TENANT`](crate::hash::NO_TENANT).
+    pub tenant: u32,
+    /// The most causal diverging field class.
+    pub class: FieldClass,
+    /// The recorded digest (decision byte widened for [`FieldClass::Decision`]).
+    pub recorded: u64,
+    /// The re-executed digest.
+    pub reexecuted: u64,
+}
+
+/// The outcome of verifying a record against a re-execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// Frames compared (the shorter of the two sequences).
+    pub compared: usize,
+    /// Frames in the recorded run.
+    pub recorded_len: usize,
+    /// Frames in the re-executed run.
+    pub reexec_len: usize,
+    /// The first divergence, if any frame disagreed.
+    pub first: Option<Divergence>,
+}
+
+impl DivergenceReport {
+    /// `true` when the runs are bit-identical: same length, no diverging
+    /// frame.
+    pub fn is_clean(&self) -> bool {
+        self.first.is_none() && self.recorded_len == self.reexec_len
+    }
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(d) = &self.first {
+            write!(
+                f,
+                "diverged at frame {} (step {}{}): {} class; recorded {:#018x}, re-executed {:#018x}",
+                d.frame,
+                d.step,
+                if d.tenant == crate::hash::NO_TENANT {
+                    String::new()
+                } else {
+                    format!(", tenant {}", d.tenant)
+                },
+                d.class,
+                d.recorded,
+                d.reexecuted
+            )
+        } else if self.recorded_len != self.reexec_len {
+            write!(
+                f,
+                "lengths diverged after {} identical frames: recorded {}, re-executed {}",
+                self.compared, self.recorded_len, self.reexec_len
+            )
+        } else {
+            write!(f, "clean: {} frames bit-identical", self.compared)
+        }
+    }
+}
+
+/// Diffs a recorded run against a re-execution; see the
+/// [module docs](self) for the classification rules.
+pub fn diff_records(recorded: &ReplayRecord, reexec: &ReplayRecord) -> DivergenceReport {
+    let compared = recorded.frames.len().min(reexec.frames.len());
+    let mut first = None;
+    for (i, (a, b)) in recorded.frames.iter().zip(&reexec.frames).enumerate() {
+        let class = if a.step != b.step || a.tenant != b.tenant || a.decision != b.decision {
+            Some((
+                FieldClass::Decision,
+                u64::from(a.decision),
+                u64::from(b.decision),
+            ))
+        } else if a.rates != b.rates {
+            Some((FieldClass::Rates, a.rates, b.rates))
+        } else if a.timing != b.timing {
+            Some((FieldClass::Timing, a.timing, b.timing))
+        } else if a.trace != b.trace {
+            Some((FieldClass::Timing, a.trace, b.trace))
+        } else if a.accounting != b.accounting {
+            Some((FieldClass::Accounting, a.accounting, b.accounting))
+        } else if a.state != b.state {
+            // Per-class digests agree but the chain broke: an upstream
+            // frame was dropped/injected or the stored chain was
+            // corrupted — an accounting-of-history problem.
+            Some((FieldClass::Accounting, a.state, b.state))
+        } else {
+            None
+        };
+        if let Some((class, recorded, reexecuted)) = class {
+            first = Some(Divergence {
+                frame: i,
+                step: a.step,
+                tenant: a.tenant,
+                class,
+                recorded,
+                reexecuted,
+            });
+            break;
+        }
+    }
+    DivergenceReport {
+        compared,
+        recorded_len: recorded.frames.len(),
+        reexec_len: reexec.frames.len(),
+        first,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::Frame;
+    use crate::hash::NO_TENANT;
+
+    fn rec(frames: Vec<Frame>) -> ReplayRecord {
+        let final_state = frames.last().map_or(0, |f| f.state);
+        ReplayRecord {
+            n: 8,
+            controller: "c".into(),
+            workload: "w".into(),
+            frames,
+            final_state,
+        }
+    }
+
+    fn frame(i: u64) -> Frame {
+        Frame {
+            step: i,
+            tenant: NO_TENANT,
+            decision: 0,
+            rates: 100 + i,
+            timing: 200 + i,
+            accounting: 300 + i,
+            trace: 400 + i,
+            state: 500 + i,
+        }
+    }
+
+    #[test]
+    fn clean_runs_report_clean() {
+        let a = rec((0..4).map(frame).collect());
+        let r = diff_records(&a, &a.clone());
+        assert!(r.is_clean());
+        assert_eq!(r.compared, 4);
+        assert!(r.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn classification_priority_names_the_causal_class() {
+        let a = rec((0..4).map(frame).collect());
+
+        // Decision flip: even if downstream digests also differ, the
+        // report names the decision.
+        let mut b = a.clone();
+        b.frames[2].decision = 1;
+        b.frames[2].rates ^= 0xFF;
+        b.frames[2].state ^= 0xFF;
+        let r = diff_records(&a, &b);
+        let d = r.first.unwrap();
+        assert_eq!((d.frame, d.class), (2, FieldClass::Decision));
+        assert_eq!((d.recorded, d.reexecuted), (0, 1));
+
+        let mut b = a.clone();
+        b.frames[1].rates ^= 1;
+        assert_eq!(diff_records(&a, &b).first.unwrap().class, FieldClass::Rates);
+
+        let mut b = a.clone();
+        b.frames[3].timing ^= 1;
+        let d = diff_records(&a, &b).first.unwrap();
+        assert_eq!((d.frame, d.class), (3, FieldClass::Timing));
+
+        // Trace-only divergence classifies as timing.
+        let mut b = a.clone();
+        b.frames[0].trace ^= 1;
+        assert_eq!(
+            diff_records(&a, &b).first.unwrap().class,
+            FieldClass::Timing
+        );
+
+        let mut b = a.clone();
+        b.frames[0].accounting ^= 1;
+        assert_eq!(
+            diff_records(&a, &b).first.unwrap().class,
+            FieldClass::Accounting
+        );
+
+        // Chain-only corruption also lands in accounting.
+        let mut b = a.clone();
+        b.frames[0].state ^= 1;
+        assert_eq!(
+            diff_records(&a, &b).first.unwrap().class,
+            FieldClass::Accounting
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_not_clean() {
+        let a = rec((0..4).map(frame).collect());
+        let b = rec((0..3).map(frame).collect());
+        let r = diff_records(&a, &b);
+        assert!(r.first.is_none());
+        assert!(!r.is_clean());
+        assert_eq!(r.compared, 3);
+        assert!(r.to_string().contains("lengths diverged"));
+    }
+
+    #[test]
+    fn display_names_step_and_class() {
+        let a = rec((0..4).map(frame).collect());
+        let mut b = a.clone();
+        b.frames[2].timing ^= 1;
+        let s = diff_records(&a, &b).to_string();
+        assert!(s.contains("frame 2"), "{s}");
+        assert!(s.contains("timing class"), "{s}");
+    }
+}

@@ -50,6 +50,7 @@ pub mod error;
 pub mod exec;
 pub mod fluid;
 pub mod harness;
+pub mod record;
 pub mod report;
 pub mod scenarios;
 pub mod stream;
@@ -60,12 +61,14 @@ pub use error::SimError;
 pub use exec::{run_adaptive, run_scheduled, ComputeModel, RunConfig};
 pub use fluid::{max_min_rates, simulate_flows, FlowSpec};
 pub use harness::{run_trial_batch, Trial};
+pub use record::{RecordSink, StepRecord};
 pub use report::{SimReport, StepReport};
 pub use scenarios::Scenario;
 pub use stream::{
-    run_scheduled_workload, run_workload, run_workload_totals, StreamPricing, StreamSummary,
+    run_scheduled_workload, run_scheduled_workload_recorded, run_workload, run_workload_recorded,
+    run_workload_segment, run_workload_totals, StreamCheckpoint, StreamPricing, StreamSummary,
 };
-pub use tenant::{execute_tenants, TenantReport, TenantSpec};
+pub use tenant::{execute_tenants, execute_tenants_recorded, TenantReport, TenantSpec};
 pub use trace::{TraceEvent, TraceKind};
 
 // Deprecated shims, re-exported for downstream compatibility.

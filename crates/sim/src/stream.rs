@@ -24,6 +24,13 @@
 //!   [`StreamSummary`] instead of accumulating, so a ≥10⁶-step run holds
 //!   constant memory end to end.
 //!
+//! Every entrypoint has a `_recorded` face taking an optional
+//! [`RecordSink`] (see [`crate::record`]) that observes each committed
+//! step — the hook deterministic replay (`aps-replay`) is built on — and
+//! [`run_workload_segment`] adds [`StreamCheckpoint`] capture/resume on
+//! top of the totals loop, so endless runs can be checkpointed mid-stream
+//! and continued bit-identically.
+//!
 //! ## Windowed observations and controller parity
 //!
 //! Online controllers ([`aps_core::controller::Static`],
@@ -42,6 +49,7 @@
 
 use crate::error::SimError;
 use crate::exec::{execute_step, natural_request_at, RunConfig, StepInput};
+use crate::record::{RecordSink, StepRecord};
 use crate::report::{SimReport, StepReport};
 use crate::trace::{TraceEvent, TraceKind};
 use aps_collectives::{Step, Workload, WorkloadCtx};
@@ -51,7 +59,7 @@ use aps_core::{ConfigChoice, ReconfigAccounting, SwitchSchedule, SwitchingProble
 use aps_cost::steptable::StepCosts;
 use aps_cost::units::Picos;
 use aps_cost::ReconfigModel;
-use aps_fabric::Fabric;
+use aps_fabric::{Fabric, FabricState};
 use aps_flow::solver::{ThetaCache, ThroughputSolver};
 use aps_topology::Topology;
 
@@ -125,6 +133,31 @@ impl StreamSummary {
     }
 }
 
+/// A point-in-time capture of the streaming adaptive executor: everything
+/// [`run_workload_segment`] needs to continue a run bit-identically on a
+/// fresh fabric and a rewound workload. The workload *cursor* is not
+/// stored — it is re-derived through the [`Workload::reset`] replay
+/// contract (reset, then pull and discard `steps_done` steps), which is
+/// exactly why that contract demands bit-identical replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Steps executed before the capture; the resumed run starts at this
+    /// stream index.
+    pub steps_done: usize,
+    /// The configuration choice of the last executed step (seeds the next
+    /// step's transition charge).
+    pub prev: ConfigChoice,
+    /// The communication clock: when the last step's flows drained.
+    pub comm_end: Picos,
+    /// The compute clock: when the GPUs last freed.
+    pub gpu_free: Picos,
+    /// Totals accumulated so far; the resumed segment keeps adding to
+    /// them, so the final summary covers the whole stream.
+    pub summary: StreamSummary,
+    /// The fabric's mutable device state at capture time.
+    pub fabric: FabricState,
+}
+
 /// Rejects malformed streamed steps (workloads are trusted streams, not
 /// validated schedules).
 fn validate_step(i: usize, n: usize, step: &Step) -> Result<(), SimError> {
@@ -159,6 +192,25 @@ pub fn run_scheduled_workload(
     switch_schedule: &SwitchSchedule,
     cfg: &RunConfig,
 ) -> Result<SimReport, SimError> {
+    run_scheduled_workload_recorded(fabric, base_config, workload, switch_schedule, cfg, None)
+}
+
+/// [`run_scheduled_workload`] with an optional [`RecordSink`] observing
+/// every committed step (decision, timing, trace slice, fabric state).
+/// `None` records nothing and costs nothing — the unrecorded entrypoint
+/// delegates here.
+///
+/// # Errors
+///
+/// See [`run_scheduled_workload`].
+pub fn run_scheduled_workload_recorded(
+    fabric: &mut dyn Fabric,
+    base_config: &aps_matrix::Matching,
+    workload: &mut dyn Workload,
+    switch_schedule: &SwitchSchedule,
+    cfg: &RunConfig,
+    mut sink: Option<&mut dyn RecordSink>,
+) -> Result<SimReport, SimError> {
     let n = workload.n();
     if fabric.n() != n {
         return Err(SimError::DimensionMismatch {
@@ -189,8 +241,20 @@ pub fn run_scheduled_workload(
             barrier_n: n,
             first: i == 0,
         };
+        let trace_before = report.trace.len();
         (comm_end, gpu_free) =
             execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
+        if let Some(s) = sink.as_deref_mut() {
+            s.record_step(&StepRecord {
+                step: i,
+                tenant: None,
+                matched,
+                report: report.steps.last().expect("execute_step pushed a step"),
+                events: &report.trace[trace_before..],
+                config: fabric.current(),
+                busy_until: fabric.busy_until(),
+            });
+        }
         i += 1;
     }
     if i != switch_schedule.len() {
@@ -319,6 +383,49 @@ impl<'a> AdaptiveStream<'a> {
         };
         Ok(())
     }
+
+    /// Rewinds the workload and fast-forwards it past the checkpoint's
+    /// executed steps (the [`Workload::reset`] replay contract), repricing
+    /// the last consumed step so the resumed step's transition charge sees
+    /// the true previous matching in the observation window.
+    fn restore(
+        &mut self,
+        checkpoint: &StreamCheckpoint,
+        workload: &mut dyn Workload,
+    ) -> Result<(), SimError> {
+        workload.reset();
+        let mut last: Option<Step> = None;
+        for j in 0..checkpoint.steps_done {
+            let Some(step) = workload.next_step(&WorkloadCtx::at(j)) else {
+                // The stream replayed shorter than the checkpoint claims —
+                // the reset contract was violated (or the checkpoint
+                // belongs to a different workload).
+                return Err(SimError::ScheduleLengthMismatch {
+                    expected: checkpoint.steps_done,
+                    got: j,
+                });
+            };
+            last = Some(step);
+        }
+        if let Some(step) = last {
+            let i = checkpoint.steps_done - 1;
+            validate_step(i, self.window.n, &step)?;
+            let t = self
+                .cache
+                .get(self.base, &step.matching)
+                .map_err(|source| SimError::Pricing { step: i, source })?;
+            self.window.steps.push(StepCosts {
+                matching: step.matching.clone(),
+                bytes: step.bytes_per_pair,
+                theta_base: t.theta,
+                ell_base: t.max_hops,
+            });
+        }
+        self.prev = checkpoint.prev;
+        self.comm_end = checkpoint.comm_end;
+        self.gpu_free = checkpoint.gpu_free;
+        Ok(())
+    }
 }
 
 /// Executes a streamed workload with `controller` deciding each pulled
@@ -342,44 +449,142 @@ pub fn run_workload(
     pricing: StreamPricing,
     cfg: &RunConfig,
 ) -> Result<(SwitchSchedule, SimReport), SimError> {
-    let mut stream = AdaptiveStream::new(fabric, base, workload, &pricing, cfg)?;
+    run_workload_recorded(fabric, base, workload, controller, pricing, cfg, None)
+}
+
+/// [`run_workload`] with an optional [`RecordSink`] observing every
+/// committed step. `None` records nothing and costs nothing — the
+/// unrecorded entrypoint delegates here.
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_workload_recorded(
+    fabric: &mut dyn Fabric,
+    base: &Topology,
+    workload: &mut dyn Workload,
+    controller: &dyn Controller,
+    pricing: StreamPricing,
+    cfg: &RunConfig,
+    sink: Option<&mut dyn RecordSink>,
+) -> Result<(SwitchSchedule, SimReport), SimError> {
     let mut report = SimReport::default();
-    let (lo, _) = workload.size_hint();
-    let mut choices = Vec::with_capacity(lo);
+    let (_, _, choices) = run_stream_core(
+        fabric,
+        base,
+        workload,
+        controller,
+        pricing,
+        cfg,
+        None,
+        usize::MAX,
+        Some(&mut report),
+        sink,
+    )?;
+    Ok((SwitchSchedule::new(choices), report))
+}
+
+/// The one streaming adaptive loop behind [`run_workload`],
+/// [`run_workload_totals`] and [`run_workload_segment`]: pull → observe →
+/// decide → execute, folding every step into a [`StreamSummary`] and
+/// optionally accumulating a full report (`full`) and/or feeding a
+/// [`RecordSink`]. The per-step decision trace event is synthesized
+/// whenever either consumer is present, so records are bit-identical
+/// regardless of which entrypoint produced them.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_core(
+    fabric: &mut dyn Fabric,
+    base: &Topology,
+    workload: &mut dyn Workload,
+    controller: &dyn Controller,
+    pricing: StreamPricing,
+    cfg: &RunConfig,
+    resume: Option<&StreamCheckpoint>,
+    max_steps: usize,
+    mut full: Option<&mut SimReport>,
+    mut sink: Option<&mut dyn RecordSink>,
+) -> Result<(StreamSummary, StreamCheckpoint, Vec<ConfigChoice>), SimError> {
+    let mut stream = AdaptiveStream::new(fabric, base, workload, &pricing, cfg)?;
+    let mut summary = StreamSummary::default();
     let mut i = 0usize;
-    while let Some(step) = workload.next_step(&WorkloadCtx::at(i)) {
+    if let Some(cp) = resume {
+        fabric.load_state(&cp.fabric)?;
+        stream.restore(cp, workload)?;
+        summary = cp.summary;
+        i = cp.steps_done;
+    }
+    let mut choices = Vec::new();
+    if full.is_some() {
+        choices.reserve(workload.size_hint().0);
+    }
+    let mut scratch = SimReport::default();
+    while i < max_steps {
+        let Some(step) = workload.next_step(&WorkloadCtx::at(i)) else {
+            break;
+        };
         let (choice, wi) = stream.observe(i, &step, controller, pricing.accounting)?;
         let matched = choice == ConfigChoice::Matched;
-        // Stamp the decision no later than the step's natural fabric
-        // request, mirroring `run_adaptive` (the window observation is
-        // rebuilt only for the rationale string).
-        let decided_at = natural_request_at(
-            cfg,
-            stream.window.n,
-            i == 0,
-            stream.comm_end,
-            stream.gpu_free,
-        )
-        .min(stream.gpu_free);
-        let why = controller.explain(
-            &StepObservation::new(&stream.window, pricing.accounting, wi, stream.prev)
-                .at_stream_step(i),
-            choice,
-        );
-        report.trace.push(TraceEvent {
-            at: decided_at,
-            kind: TraceKind::Decision {
+        if full.is_some() || sink.is_some() {
+            // Stamp the decision no later than the step's natural fabric
+            // request, mirroring `run_adaptive` (the window observation is
+            // rebuilt only for the rationale string).
+            let decided_at = natural_request_at(
+                cfg,
+                stream.window.n,
+                i == 0,
+                stream.comm_end,
+                stream.gpu_free,
+            )
+            .min(stream.gpu_free);
+            let why = controller.explain(
+                &StepObservation::new(&stream.window, pricing.accounting, wi, stream.prev)
+                    .at_stream_step(i),
+                choice,
+            );
+            scratch.trace.push(TraceEvent {
+                at: decided_at,
+                kind: TraceKind::Decision {
+                    step: i,
+                    matched,
+                    why,
+                },
+            });
+        }
+        stream.execute(fabric, i, &step, matched, cfg, &mut scratch)?;
+        summary.absorb(&scratch.steps[0], matched);
+        if let Some(s) = sink.as_deref_mut() {
+            s.record_step(&StepRecord {
                 step: i,
+                tenant: None,
                 matched,
-                why,
-            },
-        });
-        stream.execute(fabric, i, &step, matched, cfg, &mut report)?;
-        choices.push(choice);
+                report: &scratch.steps[0],
+                events: &scratch.trace,
+                config: fabric.current(),
+                busy_until: fabric.busy_until(),
+            });
+        }
+        if let Some(r) = full.as_deref_mut() {
+            r.steps.push(scratch.steps[0]);
+            r.trace.append(&mut scratch.trace);
+            choices.push(choice);
+        }
+        scratch.steps.clear();
+        scratch.trace.clear();
         i += 1;
     }
-    report.total_ps = stream.gpu_free;
-    Ok((SwitchSchedule::new(choices), report))
+    summary.total_ps = stream.gpu_free;
+    if let Some(r) = full {
+        r.total_ps = stream.gpu_free;
+    }
+    let checkpoint = StreamCheckpoint {
+        steps_done: i,
+        prev: stream.prev,
+        comm_end: stream.comm_end,
+        gpu_free: stream.gpu_free,
+        summary,
+        fabric: fabric.save_state(),
+    };
+    Ok((summary, checkpoint, choices))
 }
 
 /// [`run_workload`] with O(1) report memory: per-step timing folds into
@@ -399,24 +604,43 @@ pub fn run_workload_totals(
     cfg: &RunConfig,
     max_steps: usize,
 ) -> Result<StreamSummary, SimError> {
-    let mut stream = AdaptiveStream::new(fabric, base, workload, &pricing, cfg)?;
-    let mut summary = StreamSummary::default();
-    let mut scratch = SimReport::default();
-    let mut i = 0usize;
-    while i < max_steps {
-        let Some(step) = workload.next_step(&WorkloadCtx::at(i)) else {
-            break;
-        };
-        let (choice, _) = stream.observe(i, &step, controller, pricing.accounting)?;
-        let matched = choice == ConfigChoice::Matched;
-        stream.execute(fabric, i, &step, matched, cfg, &mut scratch)?;
-        summary.absorb(&scratch.steps[0], matched);
-        scratch.steps.clear();
-        scratch.trace.clear();
-        i += 1;
-    }
-    summary.total_ps = stream.gpu_free;
-    Ok(summary)
+    run_stream_core(
+        fabric, base, workload, controller, pricing, cfg, None, max_steps, None, None,
+    )
+    .map(|(summary, _, _)| summary)
+}
+
+/// [`run_workload_totals`] as a *resumable segment*: optionally restores a
+/// [`StreamCheckpoint`] (rewinding the workload through its reset-replay
+/// contract and restoring the fabric state), executes steps
+/// `[checkpoint.steps_done, max_steps)` — `max_steps` is the **absolute**
+/// stream index bound, not a per-segment budget — and returns the
+/// cumulative summary together with the checkpoint at exit, so a
+/// million-step endless stream can be checkpointed mid-run and continued
+/// bit-identically. An optional [`RecordSink`] observes the segment's
+/// steps exactly as [`run_workload_recorded`] would.
+///
+/// # Errors
+///
+/// See [`run_workload`]; additionally fails when the rewound stream
+/// replays shorter than the checkpoint claims, or the fabric rejects the
+/// checkpointed state (dimension mismatch).
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_segment(
+    fabric: &mut dyn Fabric,
+    base: &Topology,
+    workload: &mut dyn Workload,
+    controller: &dyn Controller,
+    pricing: StreamPricing,
+    cfg: &RunConfig,
+    resume: Option<&StreamCheckpoint>,
+    max_steps: usize,
+    sink: Option<&mut dyn RecordSink>,
+) -> Result<(StreamSummary, StreamCheckpoint), SimError> {
+    run_stream_core(
+        fabric, base, workload, controller, pricing, cfg, resume, max_steps, None, sink,
+    )
+    .map(|(summary, checkpoint, _)| (summary, checkpoint))
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 
 use crate::error::SimError;
 use crate::exec::{execute_step, RunConfig, StepInput};
+use crate::record::{RecordSink, StepRecord};
 use crate::report::SimReport;
 use aps_collectives::{Schedule, ScheduleStream, Step, Workload, WorkloadCtx};
 use aps_core::ConfigChoice;
@@ -174,6 +175,24 @@ pub fn execute_tenants(
     tenants: &[TenantSpec],
     cfg: &RunConfig,
 ) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
+    execute_tenants_recorded(fabric, tenants, cfg, None)
+}
+
+/// [`execute_tenants`] with an optional [`RecordSink`] observing every
+/// committed step in **global execution order** (the deterministic
+/// earliest-request interleaving), each record tagged with its tenant
+/// index. `None` records nothing and costs nothing — the unrecorded
+/// entrypoint delegates here.
+///
+/// # Errors
+///
+/// See [`execute_tenants`].
+pub fn execute_tenants_recorded(
+    fabric: &mut dyn Fabric,
+    tenants: &[TenantSpec],
+    cfg: &RunConfig,
+    mut sink: Option<&mut dyn RecordSink>,
+) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
     let n = fabric.n();
     // Structural validation: the port partition must be sound before any
     // tenant touches the fabric.
@@ -278,6 +297,7 @@ pub fn execute_tenants(
             barrier_n: spec.ports.len(),
             first: i == 0,
         };
+        let trace_before = states[t].report.trace.len();
         let (comm_end, gpu_free) = {
             let st = &mut states[t];
             match execute_step(
@@ -296,6 +316,18 @@ pub fn execute_tenants(
                 }
             }
         };
+        if let Some(s) = sink.as_deref_mut() {
+            let st = &states[t];
+            s.record_step(&StepRecord {
+                step: i,
+                tenant: Some(t),
+                matched,
+                report: st.report.steps.last().expect("execute_step pushed a step"),
+                events: &st.report.trace[trace_before..],
+                config: fabric.current(),
+                busy_until: fabric.busy_until(),
+            });
+        }
         let st = &mut states[t];
         st.comm_end = comm_end;
         st.gpu_free = gpu_free;

@@ -41,6 +41,8 @@ use aps_fabric::{CircuitSwitch, Fabric};
 use aps_flow::ThroughputSolver;
 use aps_matrix::Matching;
 use aps_par::Pool;
+use aps_replay::{diff_records, DivergenceReport, Recorder, ReplayRecord, Snapshot};
+use aps_sim::record::RecordSink;
 use aps_sim::{run_adaptive, RunConfig, Scenario, SimError, SimReport, TenantReport, TenantSpec};
 use aps_topology::Topology;
 use std::fmt;
@@ -148,6 +150,14 @@ pub struct Shared {
 /// Workload state: a lazily-pulled demand stream (possibly unbounded).
 pub struct Streaming {
     workload: Box<dyn Workload>,
+    /// Attach an [`aps_replay::Recorder`] to simulation runs.
+    record: bool,
+    /// One-shot resume point for the next [`Experiment::<Streaming>::simulate_summary`].
+    resume: Option<Snapshot>,
+    /// The record of the last recorded run, until taken.
+    last_record: Option<ReplayRecord>,
+    /// The checkpoint of the last recorded summary run, until taken.
+    last_snapshot: Option<Snapshot>,
 }
 
 /// The result of planning a single-collective experiment: the
@@ -234,6 +244,10 @@ impl Experiment<Unbound> {
     pub fn workload(self, workload: impl Workload + 'static) -> Experiment<Streaming> {
         self.with_workload(Streaming {
             workload: Box::new(workload),
+            record: false,
+            resume: None,
+            last_record: None,
+            last_snapshot: None,
         })
     }
 
@@ -442,6 +456,83 @@ impl Experiment<Streaming> {
         self.workload.workload.name()
     }
 
+    /// Attaches a deterministic-replay recorder to subsequent simulation
+    /// runs ([`simulate`](Experiment::<Streaming>::simulate),
+    /// [`simulate_on`](Experiment::<Streaming>::simulate_on),
+    /// [`simulate_summary`](Experiment::<Streaming>::simulate_summary)):
+    /// each run hashes every committed step into a
+    /// [`ReplayRecord`] retrievable with
+    /// [`take_record`](Experiment::<Streaming>::take_record), and summary
+    /// runs additionally capture a resumable
+    /// [`Snapshot`] (see
+    /// [`take_snapshot`](Experiment::<Streaming>::take_snapshot)).
+    pub fn record(mut self) -> Self {
+        self.workload.record = true;
+        self
+    }
+
+    /// Arms the next [`simulate_summary`](Experiment::<Streaming>::simulate_summary)
+    /// call to resume from `snapshot` instead of step 0 (one-shot: the
+    /// snapshot is consumed by that run). Implies
+    /// [`record`](Experiment::<Streaming>::record), so the resumed
+    /// segment's hash chain continues the interrupted run's and the
+    /// concatenated record is bit-identical to an uninterrupted one.
+    pub fn resume_from(mut self, snapshot: Snapshot) -> Self {
+        self.workload.resume = Some(snapshot);
+        self.workload.record = true;
+        self
+    }
+
+    /// The [`ReplayRecord`] of the most recent recorded run, if any
+    /// (cleared by taking it). For a resumed run this covers the resumed
+    /// segment's frames; its final state hash still covers the whole
+    /// stream via the chained snapshot.
+    pub fn take_record(&mut self) -> Option<ReplayRecord> {
+        self.workload.last_record.take()
+    }
+
+    /// The [`Snapshot`] captured at the end of the most recent recorded
+    /// [`simulate_summary`](Experiment::<Streaming>::simulate_summary)
+    /// run, if any (cleared by taking it). Feed it back through
+    /// [`resume_from`](Experiment::<Streaming>::resume_from) to continue
+    /// the stream bit-identically.
+    pub fn take_snapshot(&mut self) -> Option<Snapshot> {
+        self.workload.last_snapshot.take()
+    }
+
+    /// Re-executes the experiment from scratch for `record.frames.len()`
+    /// steps and diffs the fresh hashes against `record`, frame by frame.
+    /// The returned [`DivergenceReport`] is clean for a faithful record
+    /// and otherwise names the first diverging step and which field class
+    /// (decision / rates / timing / accounting) broke.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::<Streaming>::simulate`].
+    pub fn verify(&mut self, record: &ReplayRecord) -> Result<DivergenceReport, ExperimentError> {
+        let base_config = self.base_config()?;
+        self.workload.workload.reset();
+        let pricing = self.stream_pricing();
+        let mut fabric = CircuitSwitch::new(base_config, self.reconfig);
+        let mut recorder = Recorder::new(
+            self.workload.workload.n(),
+            self.controller.name(),
+            self.workload.workload.name(),
+        );
+        aps_sim::run_workload_segment(
+            &mut fabric,
+            &self.base,
+            &mut *self.workload.workload,
+            &*self.controller,
+            pricing,
+            &self.sim,
+            None,
+            record.frames.len(),
+            Some(&mut recorder),
+        )?;
+        Ok(diff_records(record, &recorder.into_record()))
+    }
+
     /// Rewinds and drains the stream (≤ `limit` steps) into a
     /// materialized [`Schedule`] — the bridge to offline analyses.
     ///
@@ -505,20 +596,29 @@ impl Experiment<Streaming> {
         self.base_config()?;
         self.workload.workload.reset();
         let pricing = self.stream_pricing();
-        let (switches, report) = aps_sim::run_workload(
+        let mut recorder = self.recorder();
+        let (switches, report) = aps_sim::run_workload_recorded(
             fabric,
             &self.base,
             &mut *self.workload.workload,
             &*self.controller,
             pricing,
             &self.sim,
+            recorder.as_mut().map(|r| r as &mut dyn RecordSink),
         )?;
+        if let Some(r) = recorder {
+            self.workload.last_record = Some(r.into_record());
+        }
         Ok(SimRun { switches, report })
     }
 
     /// Streams up to `max_steps` steps with O(1) total memory — per-step
     /// reports and traces fold into an [`aps_sim::StreamSummary`] — the
-    /// entry for million-step and endless workloads.
+    /// entry for million-step and endless workloads. `max_steps` is an
+    /// absolute stream index: a run resumed (via
+    /// [`resume_from`](Experiment::<Streaming>::resume_from)) from a
+    /// 5 000-step snapshot with `max_steps = 10_000` executes 5 000 more
+    /// steps and its summary covers all 10 000.
     ///
     /// # Errors
     ///
@@ -531,15 +631,36 @@ impl Experiment<Streaming> {
         let base_config = self.base_config()?;
         let pricing = self.stream_pricing();
         let mut fabric = CircuitSwitch::new(base_config, self.reconfig);
-        Ok(aps_sim::run_workload_totals(
+        let resume = self.workload.resume.take();
+        let mut recorder = match (&resume, self.workload.record) {
+            (Some(s), _) => Some(Recorder::resume(
+                s.chain,
+                self.workload.workload.n(),
+                self.controller.name(),
+                self.workload.workload.name(),
+            )),
+            (None, true) => self.recorder(),
+            (None, false) => None,
+        };
+        let (summary, checkpoint) = aps_sim::run_workload_segment(
             &mut fabric,
             &self.base,
             &mut *self.workload.workload,
             &*self.controller,
             pricing,
             &self.sim,
+            resume.as_ref().map(|s| &s.checkpoint),
             max_steps,
-        )?)
+            recorder.as_mut().map(|r| r as &mut dyn RecordSink),
+        )?;
+        if let Some(r) = recorder {
+            self.workload.last_snapshot = Some(Snapshot {
+                checkpoint,
+                chain: r.chain(),
+            });
+            self.workload.last_record = Some(r.into_record());
+        }
+        Ok(summary)
     }
 
     fn stream_pricing(&self) -> aps_sim::StreamPricing {
@@ -548,6 +669,18 @@ impl Experiment<Streaming> {
             accounting: self.accounting,
             solver: self.solver,
         }
+    }
+
+    /// A fresh recorder tagged with this experiment's metadata, when
+    /// recording is enabled.
+    fn recorder(&self) -> Option<Recorder> {
+        self.workload.record.then(|| {
+            Recorder::new(
+                self.workload.workload.n(),
+                self.controller.name(),
+                self.workload.workload.name(),
+            )
+        })
     }
 }
 

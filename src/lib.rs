@@ -187,7 +187,48 @@
 //! | [`core`] | `aps-core` | the eq. (7) optimization: the `Controller` trait, DP solver, policies, multi-base pools, sweeps |
 //! | [`fabric`] | `aps-fabric` | circuit-switch & wavelength fabric device models with fault injection |
 //! | [`sim`] | `aps-sim` | deterministic fluid simulator: scheduled & adaptive executors, multi-tenant scenarios |
+//! | [`replay`] | `aps-replay` | deterministic replay: state hashing, replay records, divergence reports, snapshots |
 //! | [`experiment`] | (this crate) | the typed `Experiment` builder unifying plan / simulate / sweep / multi-tenant |
+//!
+//! ## Replay & determinism
+//!
+//! Every simulation is bit-identical given the same inputs; the
+//! [`replay`] subsystem turns that promise into evidence. A streaming
+//! experiment can **record** per-step hash frames, **verify** a stored
+//! record against a fresh re-execution (divergences are localized to the
+//! first bad step and field class), and **snapshot/resume** an endless
+//! run without losing bit-parity:
+//!
+//! ```
+//! use adaptive_photonics::prelude::*;
+//! use adaptive_photonics::collectives::workload::generators::TrainingLoop;
+//!
+//! let base = topology::builders::ring_unidirectional(8).unwrap();
+//! let workload = || TrainingLoop::new(8, 2, 1e6, 8e6, None).unwrap(); // endless
+//! let exp = || {
+//!     Experiment::domain(base.clone())
+//!         .reconfig(ReconfigModel::constant(10e-6).unwrap())
+//!         .controller(Greedy)
+//!         .workload(workload())
+//! };
+//!
+//! // Record 200 steps, then verify the record against a re-execution.
+//! let mut rec = exp().record();
+//! rec.simulate_summary(200).unwrap();
+//! let record = rec.take_record().unwrap();
+//! let report = exp().verify(&record).unwrap();
+//! assert!(report.is_clean(), "{report}");
+//!
+//! // Snapshot at step 100, resume, and land on the same hash chain.
+//! let mut first = exp().record();
+//! first.simulate_summary(100).unwrap();
+//! let snapshot = first.take_snapshot().unwrap();
+//! let mut resumed = exp().resume_from(snapshot);
+//! let summary = resumed.simulate_summary(200).unwrap();
+//! assert_eq!(summary.steps, 200);
+//! let tail = resumed.take_record().unwrap();
+//! assert_eq!(tail.final_state, record.final_state); // bit-identical
+//! ```
 
 pub use aps_collectives as collectives;
 pub use aps_core as core;
@@ -196,6 +237,7 @@ pub use aps_fabric as fabric;
 pub use aps_flow as flow;
 pub use aps_matrix as matrix;
 pub use aps_par as par;
+pub use aps_replay as replay;
 pub use aps_sim as sim;
 pub use aps_topology as topology;
 
@@ -225,6 +267,10 @@ pub mod prelude {
     pub use aps_flow::{ThetaCache, ThroughputSolver};
     pub use aps_matrix::{DemandMatrix, Matching};
     pub use aps_par::Pool;
+    pub use aps_replay::{
+        diff_records, DivergenceReport, FieldClass, Recorder, ReplayReader, ReplayRecord,
+        ReplayWriter, Snapshot, StateHash,
+    };
     pub use aps_sim::{
         execute_tenants, run_adaptive, run_scheduled, run_scheduled_workload, run_trial_batch,
         run_workload, run_workload_totals, scenarios, RunConfig, Scenario, SimReport,

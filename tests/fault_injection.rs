@@ -9,10 +9,33 @@
 
 use adaptive_photonics::prelude::*;
 use aps_cost::units::MIB;
-use aps_sim::SimError;
+use aps_sim::{ComputeModel, SimError, TraceKind};
 
 fn ring(n: usize) -> Matching {
     Matching::shift(n, 1).unwrap()
+}
+
+/// Asserts every `ReconfigStart` is preceded by a `Decision` stamped at
+/// or before it, returning how many reconfigurations the trace carried.
+fn assert_decisions_precede_reconfigs(trace: &[aps_sim::TraceEvent]) -> usize {
+    let mut last_decision_at = None;
+    let mut reconfigs = 0;
+    for ev in trace {
+        match ev.kind {
+            TraceKind::Decision { .. } => last_decision_at = Some(ev.at),
+            TraceKind::ReconfigStart { .. } => {
+                let decided = last_decision_at.expect("decision before reconfig");
+                assert!(
+                    decided <= ev.at,
+                    "decision at {decided} after its reconfiguration at {}",
+                    ev.at
+                );
+                reconfigs += 1;
+            }
+            _ => {}
+        }
+    }
+    reconfigs
 }
 
 #[test]
@@ -132,6 +155,66 @@ fn degraded_laser_slows_only_steps_that_retune_it() {
     // smaller than for the root.
     let late = run_with(Some(n - 1));
     assert!(late.total_ps <= degraded.total_ps);
+}
+
+#[test]
+fn decisions_precede_reconfigs_on_a_repaired_switch_under_overlap() {
+    // A stuck-then-repaired port with a slowed controller and
+    // reconfigure/compute overlap: each step's fabric request fires while
+    // the GPUs still compute, but the Decision event that caused it must
+    // already be in the trace, stamped at or before the ReconfigStart.
+    let n = 8;
+    let coll = collectives::allreduce::halving_doubling::build(n, MIB).unwrap();
+    let cfg = RunConfig {
+        compute: Some(ComputeModel { per_byte_s: 1e-9 }),
+        overlap_reconfig_with_compute: true,
+        ..RunConfig::paper_defaults()
+    };
+    let mut f = CircuitSwitch::new(ring(n), ReconfigModel::constant(5e-6).unwrap());
+    f.set_slowdown(4.0);
+    f.stick_port(2).unwrap();
+    f.unstick_port(2);
+    let run = Experiment::domain(topology::builders::ring_unidirectional(n).unwrap())
+        .reconfig(ReconfigModel::constant(5e-6).unwrap())
+        .sim_config(cfg)
+        .controller(AlwaysReconfigure)
+        .collective(&coll)
+        .simulate_on(&mut f)
+        .unwrap();
+    let reconfigs = assert_decisions_precede_reconfigs(&run.report.trace);
+    assert!(reconfigs > 0, "overlap run must reconfigure");
+}
+
+#[test]
+fn decisions_precede_reconfigs_on_a_degraded_laser_under_overlap() {
+    // Same ordering invariant on the wavelength fabric with one slow
+    // laser: degraded per-port tuning stretches ReconfigStart→Done but
+    // must never reorder a reconfiguration ahead of its decision.
+    let n = 8;
+    let coll = collectives::broadcast::binomial(n, 0, MIB).unwrap();
+    let cfg = RunConfig {
+        compute: Some(ComputeModel { per_byte_s: 1e-9 }),
+        overlap_reconfig_with_compute: true,
+        ..RunConfig::paper_defaults()
+    };
+    let mut f = WavelengthFabric::uniform(ring(n), 1e-6).unwrap();
+    f.set_port_tuning(0, 100e-6).unwrap();
+    let run = Experiment::domain(topology::builders::ring_unidirectional(n).unwrap())
+        .reconfig(ReconfigModel::constant(1e-6).unwrap())
+        .sim_config(cfg)
+        .controller(Greedy)
+        .collective(&coll)
+        .simulate_on(&mut f)
+        .unwrap();
+    assert_decisions_precede_reconfigs(&run.report.trace);
+    // Every step carries exactly one decision, even on a degraded device.
+    let decisions = run
+        .report
+        .trace
+        .iter()
+        .filter(|ev| matches!(ev.kind, TraceKind::Decision { .. }))
+        .count();
+    assert_eq!(decisions, coll.schedule.num_steps());
 }
 
 // ---------------------------------------------------------------------

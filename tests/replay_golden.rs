@@ -1,0 +1,69 @@
+//! Golden-file test for the `"APSR"` replay record format.
+//!
+//! A replay record is only useful if a record written today still parses
+//! (and hashes identically) tomorrow: the format is the contract between
+//! a recording run and every later verification. This test pins the
+//! exact bytes of a canonical recorded run against a committed fixture —
+//! any change to the frame layout, the canonical field encoding, or the
+//! FNV chaining must consciously bump
+//! [`FORMAT_VERSION`](adaptive_photonics::replay::FORMAT_VERSION) and
+//! regenerate the golden file (run with `UPDATE_GOLDEN=1`).
+
+use adaptive_photonics::collectives::workload::generators::TrainingLoop;
+use adaptive_photonics::prelude::*;
+use adaptive_photonics::replay::{ReplayReader, ReplayRecord, FORMAT_VERSION, MAGIC};
+
+const GOLDEN_PATH: &str = "tests/fixtures/replay_golden.bin";
+
+/// A small but representative run: 8 ports, two microbatches, one epoch
+/// of the pipeline-parallel training loop under the greedy controller —
+/// it exercises base and matched decisions, reconfigurations, and
+/// compute phases.
+fn canonical_record() -> ReplayRecord {
+    let mut exp = Experiment::domain(topology::builders::ring_unidirectional(8).unwrap())
+        .reconfig(ReconfigModel::constant(10e-6).unwrap())
+        .controller(Greedy)
+        .workload(TrainingLoop::new(8, 2, 1e6, 8e6, Some(1)).unwrap())
+        .record();
+    exp.simulate_summary(usize::MAX).unwrap();
+    exp.take_record().unwrap()
+}
+
+#[test]
+fn replay_record_bytes_match_the_committed_golden_file() {
+    let bytes = canonical_record().to_bytes();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &bytes).expect("write golden fixture");
+    }
+    let golden = std::fs::read(GOLDEN_PATH)
+        .expect("golden fixture missing — regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        bytes, golden,
+        "replay record bytes drifted from {GOLDEN_PATH}; if the change is \
+         intentional, bump FORMAT_VERSION and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_and_verifies_clean() {
+    let golden = std::fs::read(GOLDEN_PATH).expect("golden fixture");
+    assert_eq!(&golden[..4], &MAGIC);
+    assert_eq!(
+        u16::from_le_bytes([golden[4], golden[5]]),
+        FORMAT_VERSION,
+        "fixture written by a different format version"
+    );
+    let record = ReplayReader::parse(&golden).expect("golden fixture parses");
+    assert_eq!(record.n, 8);
+    assert_eq!(record.controller, "greedy");
+    assert!(!record.frames.is_empty());
+
+    // The committed record still verifies clean against today's
+    // simulator — the strongest cross-version determinism pin we have.
+    let mut exp = Experiment::domain(topology::builders::ring_unidirectional(8).unwrap())
+        .reconfig(ReconfigModel::constant(10e-6).unwrap())
+        .controller(Greedy)
+        .workload(TrainingLoop::new(8, 2, 1e6, 8e6, Some(1)).unwrap());
+    let report = exp.verify(&record).unwrap();
+    assert!(report.is_clean(), "{report}");
+}

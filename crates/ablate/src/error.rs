@@ -1,0 +1,100 @@
+//! Error type for plan validation, sampling and registry I/O.
+
+use crate::factor::FactorKey;
+use std::fmt;
+
+/// Errors from ablation-plan validation, sampling, cell evaluation or
+/// registry access.
+///
+/// Extend-only (`#[non_exhaustive]`): new plan features add variants
+/// without breaking downstream matches.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AblateError {
+    /// A grid plan contains a continuous factor; grids need explicit
+    /// level lists.
+    GridNeedsDiscreteLevels {
+        /// The offending factor.
+        factor: FactorKey,
+    },
+    /// A factor's discrete level list is empty.
+    EmptyLevels {
+        /// The offending factor.
+        factor: FactorKey,
+    },
+    /// A continuous range is non-positive, inverted or non-finite.
+    BadRange {
+        /// The offending factor.
+        factor: FactorKey,
+        /// Lower bound as given.
+        lo: f64,
+        /// Upper bound as given.
+        hi: f64,
+    },
+    /// A latin-hypercube plan asked for zero cells.
+    ZeroCells,
+    /// A plan declares the same factor twice.
+    DuplicateFactor {
+        /// The repeated factor.
+        factor: FactorKey,
+    },
+    /// A plan declares no factors at all.
+    NoFactors,
+    /// A cell could not be evaluated (unknown controller/workload name,
+    /// invalid derived parameters). Raised by plan-cell executors such as
+    /// the `Experiment` bridge.
+    Cell {
+        /// Index of the failing cell.
+        cell: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A registry file exists but does not start with the expected
+    /// header, so appending to it would corrupt the column contract.
+    RegistryHeaderMismatch {
+        /// The file's actual first line.
+        found: String,
+    },
+    /// A field written into a registry row would break the CSV framing
+    /// (embedded comma or newline).
+    UnencodableField {
+        /// The offending field content.
+        field: String,
+    },
+}
+
+impl fmt::Display for AblateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::GridNeedsDiscreteLevels { factor } => {
+                write!(
+                    f,
+                    "grid plans need discrete levels, but factor '{factor}' is a range"
+                )
+            }
+            Self::EmptyLevels { factor } => {
+                write!(f, "factor '{factor}' has an empty level list")
+            }
+            Self::BadRange { factor, lo, hi } => write!(
+                f,
+                "factor '{factor}' range [{lo}, {hi}] must satisfy 0 < lo <= hi and be finite"
+            ),
+            Self::ZeroCells => write!(f, "a latin-hypercube plan must sample at least one cell"),
+            Self::DuplicateFactor { factor } => {
+                write!(f, "factor '{factor}' is declared twice")
+            }
+            Self::NoFactors => write!(f, "a plan must declare at least one factor"),
+            Self::Cell { cell, reason } => write!(f, "cell {cell} failed: {reason}"),
+            Self::RegistryHeaderMismatch { found } => write!(
+                f,
+                "registry file has an unexpected header '{found}' — refusing to append"
+            ),
+            Self::UnencodableField { field } => write!(
+                f,
+                "registry field '{field}' contains a comma or newline and cannot be framed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AblateError {}

@@ -1,0 +1,103 @@
+//! Plan executor: maps a plan's deterministic cell list over an
+//! `aps-par` pool.
+//!
+//! The sampler fixes the cell list single-threadedly; the pool only
+//! parallelizes *evaluation*, with chunked deterministic index
+//! assignment and per-cell pure work, so the result vector — and hence
+//! every registry row — is bit-identical at any `APS_THREADS` setting
+//! (the standing workspace constraint).
+
+use crate::error::AblateError;
+use crate::kpi::KpiValues;
+use crate::plan::AblationPlan;
+use crate::report::{AblationReport, CellResult};
+use crate::sample::Cell;
+use aps_par::Pool;
+
+/// Samples `plan`'s cells and evaluates each with `eval` on the pool,
+/// returning the gated report.
+///
+/// `eval` must be a pure function of the cell (no shared mutable state,
+/// no iteration-order dependence); under that contract the report is
+/// independent of the pool's thread count. If evaluating a cell needs a
+/// nested parallel region, use [`Pool::serial`] inside `eval`.
+///
+/// # Errors
+///
+/// Plan validation/sampling errors (converted via `E: From<AblateError>`),
+/// or the first `eval` error in cell-index order.
+pub fn run_plan<E, F>(pool: &Pool, plan: &AblationPlan, eval: F) -> Result<AblationReport, E>
+where
+    E: From<AblateError> + Send,
+    F: Fn(&Cell) -> Result<KpiValues, E> + Sync,
+{
+    let cells = plan.cells().map_err(E::from)?;
+    let kpis = pool.try_map(&cells, |_, cell| eval(cell))?;
+    let results = cells
+        .into_iter()
+        .zip(kpis)
+        .map(|(cell, kpis)| CellResult { cell, kpis })
+        .collect();
+    Ok(AblationReport::new(plan, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{Factor, FactorKey};
+    use crate::plan::Sampling;
+    use crate::registry::rows_csv;
+
+    fn plan() -> AblationPlan {
+        AblationPlan {
+            name: "exec-test".into(),
+            seed: 9,
+            sampling: Sampling::LatinHypercube { cells: 16 },
+            factors: vec![
+                Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-3),
+                Factor::names(FactorKey::Controller, ["static", "opt", "greedy"]),
+            ],
+            kpis: vec![],
+        }
+    }
+
+    fn eval(cell: &Cell) -> Result<KpiValues, AblateError> {
+        let alpha = cell.num(FactorKey::AlphaR).unwrap();
+        Ok(KpiValues {
+            speedup_vs_static: 1.0 + alpha * 1e3,
+            completion_ps: 1e9 * alpha,
+            reconfig_fraction: 0.5,
+            arbitration_ps: 0.0,
+        })
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let p = plan();
+        let serial = run_plan(&Pool::new(1), &p, eval).unwrap();
+        let parallel = run_plan(&Pool::new(3), &p, eval).unwrap();
+        let a = rows_csv(&serial.registry_rows("c")).unwrap();
+        let b = rows_csv(&parallel.registry_rows("c")).unwrap();
+        assert_eq!(
+            a, b,
+            "registry rows must be bit-identical at any thread count"
+        );
+    }
+
+    #[test]
+    fn first_error_in_cell_order_wins() {
+        let p = plan();
+        let err = run_plan(&Pool::new(2), &p, |cell| {
+            if cell.index >= 3 {
+                Err(AblateError::Cell {
+                    cell: cell.index,
+                    reason: "boom".into(),
+                })
+            } else {
+                eval(cell)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, AblateError::Cell { cell: 3, .. }), "{err}");
+    }
+}

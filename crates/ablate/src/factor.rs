@@ -1,0 +1,210 @@
+//! Experiment factors: what an ablation plan varies, and over which levels.
+//!
+//! A [`Factor`] pairs a [`FactorKey`] — a stable, registry-visible name
+//! for one experimental knob (a `CostParams` field, the controller, the
+//! workload, the port count) — with the [`Levels`] it ranges over. Grid
+//! plans take the cartesian product of discrete level sets; latin-
+//! hypercube plans stratify each factor (log-uniformly for continuous
+//! ranges) and draw one deterministic sample per stratum.
+
+use std::fmt;
+
+/// The experimental knobs a plan can vary. The canonical names (see
+/// [`FactorKey::name`]) are part of the registry schema: they appear in
+/// the `factors` column of every registry row and in plan hashes, so they
+/// must never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactorKey {
+    /// Reconfiguration delay `α_r` in seconds (`ReconfigModel::constant`).
+    AlphaR,
+    /// Collective message volume in bytes (scenarios scale their mixes by
+    /// this base volume).
+    MessageBytes,
+    /// Controller name (`aps-core::controller::by_name`); for multi-tenant
+    /// scenarios, `"static"` keeps the scenario's built-in per-tenant
+    /// switch policies.
+    Controller,
+    /// Workload name: a collective family (`hd-allreduce`,
+    /// `ring-allreduce`, `alltoall`, `broadcast`) or a named multi-tenant
+    /// scenario (`mixed-collectives`, `skewed-tenants`,
+    /// `staggered-arrivals`).
+    Workload,
+    /// Fabric port count for collective workloads (scenarios carry their
+    /// own fixed port count and ignore this factor).
+    Ports,
+    /// Fixed per-step latency `α` in seconds (`CostParams::alpha_s`).
+    Alpha,
+    /// Per-hop propagation delay `δ` in seconds (`CostParams::delta_s`).
+    Delta,
+    /// Transceiver line rate in Gbps (`CostParams::new`).
+    BandwidthGbps,
+}
+
+impl FactorKey {
+    /// The canonical registry name of the factor.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::AlphaR => "alpha_r_s",
+            Self::MessageBytes => "message_bytes",
+            Self::Controller => "controller",
+            Self::Workload => "workload",
+            Self::Ports => "ports",
+            Self::Alpha => "alpha_s",
+            Self::Delta => "delta_s",
+            Self::BandwidthGbps => "bandwidth_gbps",
+        }
+    }
+}
+
+impl fmt::Display for FactorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One sampled level of a factor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorValue {
+    /// A numeric level (delay, bytes, port count, …).
+    Num(f64),
+    /// A named level (controller or workload name).
+    Name(String),
+}
+
+impl FactorValue {
+    /// The canonical string form used in registry rows, factor strings
+    /// and plan hashes. Numbers use Rust's locale-independent shortest
+    /// round-trip display, so the same value always renders the same
+    /// bytes.
+    pub fn canonical(&self) -> String {
+        match self {
+            Self::Num(x) => {
+                assert!(x.is_finite(), "non-finite factor value {x}");
+                format!("{x}")
+            }
+            Self::Name(s) => s.clone(),
+        }
+    }
+}
+
+impl fmt::Display for FactorValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// The level set a factor ranges over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Levels {
+    /// An explicit, ordered level list. Grid plans enumerate it; latin-
+    /// hypercube plans spread their strata over it evenly (stratum `s` of
+    /// `k` maps to level `⌊s·m/k⌋`).
+    Discrete(Vec<FactorValue>),
+    /// A continuous log-uniform range `[lo, hi]` (`0 < lo ≤ hi`), for
+    /// scale-free knobs like delays and message sizes. Only latin-
+    /// hypercube plans may sample it; a grid plan containing one fails
+    /// validation.
+    LogRange {
+        /// Inclusive lower bound (must be positive).
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl Levels {
+    /// Convenience constructor: discrete numeric levels.
+    pub fn nums(values: impl IntoIterator<Item = f64>) -> Self {
+        Self::Discrete(values.into_iter().map(FactorValue::Num).collect())
+    }
+
+    /// Convenience constructor: discrete named levels.
+    pub fn names<S: Into<String>>(values: impl IntoIterator<Item = S>) -> Self {
+        Self::Discrete(
+            values
+                .into_iter()
+                .map(|s| FactorValue::Name(s.into()))
+                .collect(),
+        )
+    }
+
+    /// Canonical encoding for plan hashing.
+    pub(crate) fn canonical(&self) -> String {
+        match self {
+            Self::Discrete(levels) => {
+                let mut s = String::from("discrete[");
+                for (i, v) in levels.iter().enumerate() {
+                    if i > 0 {
+                        s.push('|');
+                    }
+                    s.push_str(&v.canonical());
+                }
+                s.push(']');
+                s
+            }
+            Self::LogRange { lo, hi } => format!("logrange[{lo}..{hi}]"),
+        }
+    }
+}
+
+/// One factor of an ablation plan: a knob plus its levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    /// The knob being varied.
+    pub key: FactorKey,
+    /// The levels it ranges over.
+    pub levels: Levels,
+}
+
+impl Factor {
+    /// A factor over explicit numeric levels.
+    pub fn nums(key: FactorKey, values: impl IntoIterator<Item = f64>) -> Self {
+        Self {
+            key,
+            levels: Levels::nums(values),
+        }
+    }
+
+    /// A factor over explicit named levels.
+    pub fn names<S: Into<String>>(key: FactorKey, values: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            key,
+            levels: Levels::names(values),
+        }
+    }
+
+    /// A factor over a continuous log-uniform range (latin-hypercube
+    /// plans only).
+    pub fn log_range(key: FactorKey, lo: f64, hi: f64) -> Self {
+        Self {
+            key,
+            levels: Levels::LogRange { lo, hi },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_values_are_stable() {
+        assert_eq!(FactorValue::Num(1e-6).canonical(), "0.000001");
+        assert_eq!(FactorValue::Num(16.0).canonical(), "16");
+        assert_eq!(FactorValue::Name("opt".into()).canonical(), "opt");
+        assert_eq!(
+            Levels::nums([1.0, 2.5]).canonical(),
+            "discrete[1|2.5]".to_string()
+        );
+        assert_eq!(
+            Levels::LogRange { lo: 1e-7, hi: 1e-2 }.canonical(),
+            "logrange[0.0000001..0.01]"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_levels_are_rejected() {
+        FactorValue::Num(f64::NAN).canonical();
+    }
+}

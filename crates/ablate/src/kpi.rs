@@ -1,0 +1,395 @@
+//! Named KPIs with tolerance gates.
+//!
+//! A [`KpiSpec`] aggregates one KPI over a (possibly filtered) subset of
+//! a plan's cell results and checks the aggregate against a bound with
+//! explicit absolute/relative slack. Verdicts are pass/fail — the whole
+//! point of the registry is that controller comparisons gate CI instead
+//! of being eyeballed from CSV dumps.
+
+use crate::factor::FactorKey;
+use crate::sample::Cell;
+use std::fmt;
+
+/// The KPIs every executor must compute per cell, in registry column
+/// order. Stored in the registry under these exact names.
+pub const KPI_NAMES: [&str; 4] = [
+    "speedup_vs_static",
+    "completion_ps",
+    "reconfig_fraction",
+    "arbitration_ps",
+];
+
+/// One cell's KPI vector, parallel to [`KPI_NAMES`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KpiValues {
+    /// Static-baseline completion time divided by this cell's completion
+    /// time (>1 means the cell's controller beats a never-reconfiguring
+    /// fabric on the same workload).
+    pub speedup_vs_static: f64,
+    /// End-to-end completion time in picoseconds (last tenant finish for
+    /// multi-tenant scenarios).
+    pub completion_ps: f64,
+    /// Fraction of total simulated time spent blocked on reconfiguration.
+    pub reconfig_fraction: f64,
+    /// Total arbitration wait in picoseconds (0 for single-tenant cells).
+    pub arbitration_ps: f64,
+}
+
+impl KpiValues {
+    /// The value of the named KPI, if `name` is one of [`KPI_NAMES`].
+    pub fn get(&self, name: &str) -> Option<f64> {
+        match name {
+            "speedup_vs_static" => Some(self.speedup_vs_static),
+            "completion_ps" => Some(self.completion_ps),
+            "reconfig_fraction" => Some(self.reconfig_fraction),
+            "arbitration_ps" => Some(self.arbitration_ps),
+            _ => None,
+        }
+    }
+
+    /// `(name, value)` pairs in registry column order.
+    pub fn named(&self) -> [(&'static str, f64); 4] {
+        [
+            ("speedup_vs_static", self.speedup_vs_static),
+            ("completion_ps", self.completion_ps),
+            ("reconfig_fraction", self.reconfig_fraction),
+            ("arbitration_ps", self.arbitration_ps),
+        ]
+    }
+}
+
+/// How a spec collapses its matching cells' KPI values to one number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Minimum over matching cells.
+    Min,
+    /// Maximum over matching cells.
+    Max,
+    /// Arithmetic mean over matching cells.
+    Mean,
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Min => "min",
+            Self::Max => "max",
+            Self::Mean => "mean",
+        })
+    }
+}
+
+/// Slack around a reference value: `abs + rel * |reference|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute slack, in the KPI's own unit.
+    pub abs: f64,
+    /// Relative slack as a fraction of the reference value.
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// No slack at all.
+    pub const EXACT: Self = Self { abs: 0.0, rel: 0.0 };
+
+    /// Purely relative slack.
+    pub fn rel(rel: f64) -> Self {
+        Self { abs: 0.0, rel }
+    }
+
+    /// Purely absolute slack.
+    pub fn abs(abs: f64) -> Self {
+        Self { abs, rel: 0.0 }
+    }
+
+    fn slack(&self, reference: f64) -> f64 {
+        self.abs + self.rel * reference.abs()
+    }
+}
+
+/// The bound an aggregated KPI must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Check {
+    /// `aggregate >= reference - slack`.
+    AtLeast {
+        /// Reference lower bound.
+        reference: f64,
+        /// Allowed slack below the reference.
+        tol: Tolerance,
+    },
+    /// `aggregate <= reference + slack`.
+    AtMost {
+        /// Reference upper bound.
+        reference: f64,
+        /// Allowed slack above the reference.
+        tol: Tolerance,
+    },
+    /// `|aggregate - reference| <= slack`.
+    Near {
+        /// Reference target.
+        reference: f64,
+        /// Allowed two-sided slack.
+        tol: Tolerance,
+    },
+}
+
+impl Check {
+    fn passes(&self, value: f64) -> bool {
+        match *self {
+            Self::AtLeast { reference, tol } => value >= reference - tol.slack(reference),
+            Self::AtMost { reference, tol } => value <= reference + tol.slack(reference),
+            Self::Near { reference, tol } => (value - reference).abs() <= tol.slack(reference),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match *self {
+            Self::AtLeast { reference, tol } => {
+                format!(">= {} (tol {})", reference, tol.slack(reference))
+            }
+            Self::AtMost { reference, tol } => {
+                format!("<= {} (tol {})", reference, tol.slack(reference))
+            }
+            Self::Near { reference, tol } => {
+                format!("within {} of {}", tol.slack(reference), reference)
+            }
+        }
+    }
+}
+
+/// One KPI gate: which KPI, over which cells, aggregated how, checked
+/// against what.
+#[derive(Debug, Clone)]
+pub struct KpiSpec {
+    /// KPI name (one of [`KPI_NAMES`]).
+    pub kpi: &'static str,
+    /// Cell filter: every `(factor, canonical-value)` pair must match
+    /// (logical AND). Empty means all cells.
+    pub filter: Vec<(FactorKey, String)>,
+    /// How matching cells collapse to one number.
+    pub aggregate: Aggregate,
+    /// The bound on the aggregate.
+    pub check: Check,
+}
+
+impl KpiSpec {
+    /// An unfiltered spec over all cells.
+    pub fn all(kpi: &'static str, aggregate: Aggregate, check: Check) -> Self {
+        Self {
+            kpi,
+            filter: Vec::new(),
+            aggregate,
+            check,
+        }
+    }
+
+    /// Restricts the spec to cells where `key`'s canonical value equals
+    /// `value`; chainable for ANDed filters.
+    pub fn and_where(mut self, key: FactorKey, value: impl Into<String>) -> Self {
+        self.filter.push((key, value.into()));
+        self
+    }
+
+    fn matches(&self, cell: &Cell) -> bool {
+        self.filter
+            .iter()
+            .all(|(key, want)| cell.canonical(*key).as_deref() == Some(want.as_str()))
+    }
+
+    /// A compact, human-readable description of the gate.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{}({})", self.aggregate, self.kpi);
+        if !self.filter.is_empty() {
+            s.push_str(" where ");
+            for (i, (k, v)) in self.filter.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" & ");
+                }
+                s.push_str(&format!("{k}={v}"));
+            }
+        }
+        s.push(' ');
+        s.push_str(&self.check.describe());
+        s
+    }
+
+    /// Evaluates the gate over `(cell, kpis)` results. An empty matching
+    /// set fails: a gate that silently matches nothing would pass forever
+    /// while the plan drifts out from under it.
+    pub fn evaluate(&self, results: &[(Cell, KpiValues)]) -> Verdict {
+        let values: Vec<f64> = results
+            .iter()
+            .filter(|(cell, _)| self.matches(cell))
+            .filter_map(|(_, kpis)| kpis.get(self.kpi))
+            .collect();
+        let (value, pass, detail) = if values.is_empty() {
+            (
+                f64::NAN,
+                false,
+                "no cells matched the filter (or unknown KPI name)".to_string(),
+            )
+        } else {
+            let agg = match self.aggregate {
+                Aggregate::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+                Aggregate::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Aggregate::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            };
+            (
+                agg,
+                self.check.passes(agg),
+                format!("{} cells", values.len()),
+            )
+        };
+        Verdict {
+            spec: self.describe(),
+            value,
+            pass,
+            detail,
+        }
+    }
+}
+
+/// The outcome of one [`KpiSpec`] gate.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Human-readable gate description (from [`KpiSpec::describe`]).
+    pub spec: String,
+    /// The aggregated KPI value (NaN when no cells matched).
+    pub value: f64,
+    /// Whether the gate passed.
+    pub pass: bool,
+    /// Supporting detail (matched-cell count or failure reason).
+    pub detail: String,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} = {} [{}]",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.spec,
+            self.value,
+            self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::FactorValue;
+
+    fn cell(i: usize, controller: &str) -> Cell {
+        Cell {
+            index: i,
+            values: vec![(
+                FactorKey::Controller,
+                FactorValue::Name(controller.to_string()),
+            )],
+        }
+    }
+
+    fn kpis(speedup: f64) -> KpiValues {
+        KpiValues {
+            speedup_vs_static: speedup,
+            completion_ps: 100.0,
+            reconfig_fraction: 0.1,
+            arbitration_ps: 0.0,
+        }
+    }
+
+    #[test]
+    fn filters_aggregate_and_check() {
+        let results = vec![
+            (cell(0, "opt"), kpis(1.4)),
+            (cell(1, "opt"), kpis(1.2)),
+            (cell(2, "static"), kpis(1.0)),
+        ];
+        let spec = KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Min,
+            Check::AtLeast {
+                reference: 1.1,
+                tol: Tolerance::EXACT,
+            },
+        )
+        .and_where(FactorKey::Controller, "opt");
+        let v = spec.evaluate(&results);
+        assert!(v.pass, "{v}");
+        assert!((v.value - 1.2).abs() < 1e-12);
+        // Without the filter the static cell drags min below the gate.
+        let all = KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Min,
+            Check::AtLeast {
+                reference: 1.1,
+                tol: Tolerance::EXACT,
+            },
+        );
+        assert!(!all.evaluate(&results).pass);
+    }
+
+    #[test]
+    fn tolerance_widens_the_bound() {
+        let results = vec![(cell(0, "opt"), kpis(0.97))];
+        let tight = KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Mean,
+            Check::AtLeast {
+                reference: 1.0,
+                tol: Tolerance::EXACT,
+            },
+        );
+        assert!(!tight.evaluate(&results).pass);
+        let slack = KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Mean,
+            Check::AtLeast {
+                reference: 1.0,
+                tol: Tolerance::rel(0.05),
+            },
+        );
+        assert!(slack.evaluate(&results).pass);
+    }
+
+    #[test]
+    fn empty_match_fails() {
+        let results = vec![(cell(0, "opt"), kpis(1.5))];
+        let spec = KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Max,
+            Check::AtLeast {
+                reference: 0.0,
+                tol: Tolerance::EXACT,
+            },
+        )
+        .and_where(FactorKey::Controller, "no-such-controller");
+        let v = spec.evaluate(&results);
+        assert!(!v.pass);
+        assert!(v.value.is_nan());
+    }
+
+    #[test]
+    fn near_and_atmost_checks() {
+        let results = vec![(cell(0, "static"), kpis(1.0))];
+        let near = KpiSpec::all(
+            "reconfig_fraction",
+            Aggregate::Max,
+            Check::Near {
+                reference: 0.1,
+                tol: Tolerance::abs(0.01),
+            },
+        );
+        assert!(near.evaluate(&results).pass);
+        let atmost = KpiSpec::all(
+            "completion_ps",
+            Aggregate::Max,
+            Check::AtMost {
+                reference: 50.0,
+                tol: Tolerance::rel(0.1),
+            },
+        );
+        assert!(!atmost.evaluate(&results).pass);
+    }
+}

@@ -1,0 +1,92 @@
+//! Declarative ablation registry: factor plans, deterministic sampling,
+//! KPI tolerance gates, and an append-only CSV result registry.
+//!
+//! The paper's claims are comparative — adaptive control beats a static
+//! fabric across cost regimes — so controller comparisons need *gates*,
+//! not eyeballed CSV dumps. This crate turns an experiment design into
+//! pure data:
+//!
+//! * an [`AblationPlan`] declares **factors** (cost parameters, the
+//!   controller, the workload, the port count) and how to sample them —
+//!   a full grid or a seeded latin hypercube ([`Sampling`]);
+//! * [`AblationPlan::cells`] expands the plan into a deterministic cell
+//!   list (same plan + seed ⇒ byte-identical cells, on any machine);
+//! * [`run_plan`] evaluates the cells on an [`aps_par::Pool`] — chunked
+//!   deterministic assignment, so reports are bit-identical at any
+//!   `APS_THREADS` — producing an [`AblationReport`];
+//! * each [`KpiSpec`] aggregates one KPI over a filtered cell subset and
+//!   checks it against a bound with explicit [`Tolerance`] slack,
+//!   yielding pass/fail [`Verdict`]s;
+//! * [`AblationReport::registry_rows`] emits append-only CSV rows keyed
+//!   by commit + [`AblationPlan::plan_hash`], so KPI trajectories stay
+//!   queryable across history ([`registry`]).
+//!
+//! The crate is dependency-free (only `aps-par`): it knows nothing about
+//! simulators. Executors supply the cell → KPI evaluation — the root
+//! crate's `experiment::run_ablation` bridges cells onto the `Experiment`
+//! builder, and `perfgate ablate` drives the committed [`plans`].
+//!
+//! # Example: a 2-factor plan
+//!
+//! ```
+//! use aps_ablate::{
+//!     Aggregate, AblationPlan, Check, Factor, FactorKey, KpiSpec, KpiValues, Sampling,
+//!     Tolerance, run_plan,
+//! };
+//! use aps_par::Pool;
+//!
+//! let plan = AblationPlan {
+//!     name: "doc-demo".into(),
+//!     seed: 11,
+//!     sampling: Sampling::LatinHypercube { cells: 8 },
+//!     factors: vec![
+//!         Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-3),
+//!         Factor::names(FactorKey::Controller, ["static", "opt"]),
+//!     ],
+//!     kpis: vec![KpiSpec::all(
+//!         "speedup_vs_static",
+//!         Aggregate::Min,
+//!         Check::AtLeast { reference: 1.0, tol: Tolerance::rel(0.05) },
+//!     )],
+//! };
+//!
+//! // Same seed, same cells — the sampler is a pure function of the plan.
+//! assert_eq!(plan.cells().unwrap(), plan.cells().unwrap());
+//!
+//! // Evaluate with a toy model (real runs bridge into `Experiment`).
+//! let report = run_plan::<aps_ablate::AblateError, _>(&Pool::new(2), &plan, |cell| {
+//!     let alpha_r = cell.num(FactorKey::AlphaR).unwrap();
+//!     Ok(KpiValues {
+//!         speedup_vs_static: 1.2,
+//!         completion_ps: 1e12 * alpha_r,
+//!         reconfig_fraction: 0.25,
+//!         arbitration_ps: 0.0,
+//!     })
+//! })
+//! .unwrap();
+//! assert!(report.pass());
+//! assert_eq!(report.registry_rows("demo").len(), 8 * 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod exec;
+pub mod factor;
+pub mod kpi;
+pub mod plan;
+pub mod plans;
+pub mod registry;
+pub mod report;
+pub mod sample;
+
+pub use error::AblateError;
+pub use exec::run_plan;
+pub use factor::{Factor, FactorKey, FactorValue, Levels};
+pub use kpi::{Aggregate, Check, KpiSpec, KpiValues, Tolerance, Verdict, KPI_NAMES};
+pub use plan::{fnv1a_64, AblationPlan, Sampling};
+pub use registry::{
+    append_rows, parse_rows, rows_csv, RegistryRow, REGISTRY_HEADER, REGISTRY_SCHEMA_VERSION,
+};
+pub use report::{AblationReport, CellResult};
+pub use sample::{Cell, SplitMix64};

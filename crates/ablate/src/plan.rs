@@ -1,0 +1,163 @@
+//! Ablation plans: named factor sets plus a sampling strategy, with a
+//! stable content hash for the registry.
+
+use crate::error::AblateError;
+use crate::factor::Factor;
+use crate::kpi::KpiSpec;
+use crate::sample::{grid_cells, lhs_cells, Cell};
+
+/// How a plan turns its factors into concrete cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sampling {
+    /// Cartesian product of every factor's discrete levels.
+    FullGrid,
+    /// Seeded latin hypercube over `cells` strata per factor.
+    LatinHypercube {
+        /// Number of cells (= strata per factor) to sample.
+        cells: usize,
+    },
+}
+
+/// A declarative ablation plan: what to vary, how to sample it, and
+/// which KPI gates the resulting cell set must pass.
+///
+/// Plans are pure data. Sampling ([`AblationPlan::cells`]) is a
+/// deterministic function of `(factors, sampling, seed)`; evaluation is
+/// delegated to an executor (see [`crate::exec::run_plan`]) so this
+/// crate stays free of simulator dependencies.
+#[derive(Debug, Clone)]
+pub struct AblationPlan {
+    /// Registry-visible plan name (e.g. `"pr-smoke"`, `"nightly"`).
+    pub name: String,
+    /// Seed for latin-hypercube draws (ignored by grids, but still part
+    /// of the plan hash).
+    pub seed: u64,
+    /// Sampling strategy.
+    pub sampling: Sampling,
+    /// Factors in declaration order — the order of the `factors` column
+    /// in registry rows.
+    pub factors: Vec<Factor>,
+    /// KPI tolerance gates evaluated over the full cell result set.
+    pub kpis: Vec<KpiSpec>,
+}
+
+impl AblationPlan {
+    /// Validates the factor set (non-empty, no duplicate keys) and
+    /// samples the plan's deterministic cell list.
+    ///
+    /// # Errors
+    ///
+    /// [`AblateError::NoFactors`], [`AblateError::DuplicateFactor`], plus
+    /// the sampler errors documented on [`grid_cells`] and [`lhs_cells`].
+    pub fn cells(&self) -> Result<Vec<Cell>, AblateError> {
+        if self.factors.is_empty() {
+            return Err(AblateError::NoFactors);
+        }
+        for (i, f) in self.factors.iter().enumerate() {
+            if self.factors[..i].iter().any(|g| g.key == f.key) {
+                return Err(AblateError::DuplicateFactor { factor: f.key });
+            }
+        }
+        match self.sampling {
+            Sampling::FullGrid => grid_cells(&self.factors),
+            Sampling::LatinHypercube { cells } => lhs_cells(&self.factors, self.seed, cells),
+        }
+    }
+
+    /// A stable 64-bit FNV-1a hash of the plan's content (name, seed,
+    /// sampling, factors — not KPI gates, which may be retuned without
+    /// invalidating stored results), rendered as 16 lowercase hex digits
+    /// for the registry's `plan_hash` column.
+    ///
+    /// Two registry rows with equal `plan` + `plan_hash` were sampled
+    /// from byte-identical cell lists, so their KPI values are directly
+    /// comparable across commits.
+    pub fn plan_hash(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.name);
+        s.push('\n');
+        s.push_str(&format!("seed={}\n", self.seed));
+        match self.sampling {
+            Sampling::FullGrid => s.push_str("sampling=grid\n"),
+            Sampling::LatinHypercube { cells } => {
+                s.push_str(&format!("sampling=lhs[{cells}]\n"));
+            }
+        }
+        for f in &self.factors {
+            s.push_str(f.key.name());
+            s.push('=');
+            s.push_str(&f.levels.canonical());
+            s.push('\n');
+        }
+        format!("{:016x}", fnv1a_64(s.as_bytes()))
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the same hash family `aps-replay`
+/// uses for state digests; hand-rolled so the registry key needs no
+/// external hasher.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::FactorKey;
+
+    fn plan() -> AblationPlan {
+        AblationPlan {
+            name: "t".into(),
+            seed: 1,
+            sampling: Sampling::LatinHypercube { cells: 8 },
+            factors: vec![
+                Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-2),
+                Factor::names(FactorKey::Controller, ["static", "opt"]),
+            ],
+            kpis: vec![],
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let p = plan();
+        assert_eq!(p.plan_hash(), p.plan_hash());
+        assert_eq!(p.plan_hash().len(), 16);
+        let mut q = plan();
+        q.seed = 2;
+        assert_ne!(p.plan_hash(), q.plan_hash());
+        let mut r = plan();
+        r.factors.pop();
+        assert_ne!(p.plan_hash(), r.plan_hash());
+    }
+
+    #[test]
+    fn validation_catches_empty_and_duplicate_factors() {
+        let mut p = plan();
+        p.factors.clear();
+        assert!(matches!(p.cells(), Err(AblateError::NoFactors)));
+        let mut q = plan();
+        q.factors
+            .push(Factor::log_range(FactorKey::AlphaR, 1e-6, 1e-3));
+        assert!(matches!(
+            q.cells(),
+            Err(AblateError::DuplicateFactor {
+                factor: FactorKey::AlphaR
+            })
+        ));
+    }
+
+    #[test]
+    fn fnv_reference_value() {
+        // FNV-1a 64 of "a" per the published test vectors.
+        assert_eq!(fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+    }
+}

@@ -1,0 +1,233 @@
+//! The committed plans CI runs: `pr-smoke` on every PR, `nightly` on the
+//! scheduled sweep.
+//!
+//! Workload and controller names here are resolved by the root crate's
+//! cell → `Experiment` bridge (`adaptive_photonics::experiment::run_ablation`):
+//! collective families `hd-allreduce`, `ring-allreduce`, `alltoall`,
+//! `broadcast` and the named `aps-sim` scenarios `mixed-collectives`,
+//! `skewed-tenants`, `staggered-arrivals`; controllers are
+//! `aps_core::controller::by_name` names. This module only declares the
+//! plans — it stays dependency-free so plan hashes can be computed (and
+//! tested) without building the simulator.
+
+use crate::factor::{Factor, FactorKey};
+use crate::kpi::{Aggregate, Check, KpiSpec, Tolerance};
+use crate::plan::{AblationPlan, Sampling};
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Gates shared by both plans: structural sanity that must hold in every
+/// cost regime, plus the self-consistency anchor that `static` cells —
+/// which *are* their own baseline — report a speedup of exactly 1.
+fn sanity_gates() -> Vec<KpiSpec> {
+    vec![
+        KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Max,
+            Check::Near {
+                reference: 1.0,
+                tol: Tolerance::abs(1e-9),
+            },
+        )
+        .and_where(FactorKey::Controller, "static"),
+        KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Min,
+            Check::Near {
+                reference: 1.0,
+                tol: Tolerance::abs(1e-9),
+            },
+        )
+        .and_where(FactorKey::Controller, "static"),
+        // Simulated time is strictly positive (at least 1 ps).
+        KpiSpec::all(
+            "completion_ps",
+            Aggregate::Min,
+            Check::AtLeast {
+                reference: 1.0,
+                tol: Tolerance::EXACT,
+            },
+        ),
+        // A fraction stays a fraction.
+        KpiSpec::all(
+            "reconfig_fraction",
+            Aggregate::Max,
+            Check::AtMost {
+                reference: 1.0,
+                tol: Tolerance::EXACT,
+            },
+        ),
+        KpiSpec::all(
+            "arbitration_ps",
+            Aggregate::Min,
+            Check::AtLeast {
+                reference: 0.0,
+                tol: Tolerance::EXACT,
+            },
+        ),
+    ]
+}
+
+/// The PR gate plan: a 12-cell grid over the two workload shapes (one
+/// collective, one shared-fabric scenario), three controllers, and the
+/// two α_r regimes the paper's Figure 1 contrasts. Small enough for the
+/// debug-build CI job, but it still exercises the full bridge: planning,
+/// simulation, multi-tenant arbitration and the static baseline.
+pub fn pr_smoke() -> AblationPlan {
+    let mut kpis = sanity_gates();
+    // The paper's comparative claim in the cheap-reconfiguration regime:
+    // the eq. (7) plan beats (or ties) the static fabric on every cell,
+    // with 5% relative slack for simulated-vs-analytic divergence.
+    kpis.push(
+        KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Min,
+            Check::AtLeast {
+                reference: 1.0,
+                tol: Tolerance::rel(0.05),
+            },
+        )
+        .and_where(FactorKey::Controller, "opt"),
+    );
+    // A lone collective never reconfigures under the static controller and
+    // never arbitrates (it owns the fabric).
+    kpis.push(
+        KpiSpec::all(
+            "reconfig_fraction",
+            Aggregate::Max,
+            Check::AtMost {
+                reference: 0.0,
+                tol: Tolerance::EXACT,
+            },
+        )
+        .and_where(FactorKey::Controller, "static")
+        .and_where(FactorKey::Workload, "hd-allreduce"),
+    );
+    kpis.push(
+        KpiSpec::all(
+            "arbitration_ps",
+            Aggregate::Max,
+            Check::AtMost {
+                reference: 0.0,
+                tol: Tolerance::EXACT,
+            },
+        )
+        .and_where(FactorKey::Workload, "hd-allreduce"),
+    );
+    AblationPlan {
+        name: "pr-smoke".into(),
+        seed: 7,
+        sampling: Sampling::FullGrid,
+        factors: vec![
+            Factor::names(FactorKey::Workload, ["hd-allreduce", "mixed-collectives"]),
+            Factor::names(FactorKey::Controller, ["static", "opt", "greedy"]),
+            Factor::nums(FactorKey::AlphaR, [1e-6, 1e-4]),
+            Factor::nums(FactorKey::MessageBytes, [MIB]),
+            Factor::nums(FactorKey::Ports, [16.0]),
+        ],
+        kpis,
+    }
+}
+
+/// The nightly sweep: a 216-cell latin hypercube over every shipped
+/// workload and controller, the full α_r span of the paper's regime
+/// diagram (100 ns – 10 ms), three decades of message volume, and the
+/// three power-of-two fabric sizes. Runs only in the release-build
+/// nightly CI job; PR CI just validates its shape.
+pub fn nightly() -> AblationPlan {
+    let mut kpis = sanity_gates();
+    // Across the whole hypercube the DP plan should on average beat the
+    // static fabric; the worst single cell may trail it (the DP optimizes
+    // the analytic model, not the arbitrated simulation) but never
+    // catastrophically.
+    kpis.push(
+        KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Mean,
+            Check::AtLeast {
+                reference: 1.0,
+                tol: Tolerance::rel(0.05),
+            },
+        )
+        .and_where(FactorKey::Controller, "opt"),
+    );
+    kpis.push(
+        KpiSpec::all(
+            "speedup_vs_static",
+            Aggregate::Min,
+            Check::AtLeast {
+                reference: 0.5,
+                tol: Tolerance::EXACT,
+            },
+        )
+        .and_where(FactorKey::Controller, "opt"),
+    );
+    AblationPlan {
+        name: "nightly".into(),
+        seed: 2025,
+        sampling: Sampling::LatinHypercube { cells: 216 },
+        factors: vec![
+            Factor::names(
+                FactorKey::Workload,
+                [
+                    "hd-allreduce",
+                    "ring-allreduce",
+                    "alltoall",
+                    "broadcast",
+                    "mixed-collectives",
+                    "skewed-tenants",
+                    "staggered-arrivals",
+                ],
+            ),
+            Factor::names(
+                FactorKey::Controller,
+                ["static", "bvn", "threshold", "opt", "greedy"],
+            ),
+            Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-2),
+            Factor::log_range(FactorKey::MessageBytes, 64.0 * 1024.0, 64.0 * MIB),
+            Factor::nums(FactorKey::Ports, [8.0, 16.0, 32.0]),
+        ],
+        kpis,
+    }
+}
+
+/// Every committed plan, in presentation order.
+pub fn all() -> Vec<AblationPlan> {
+    vec![pr_smoke(), nightly()]
+}
+
+/// Looks a committed plan up by name.
+pub fn by_name(name: &str) -> Option<AblationPlan> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_plans_sample_cleanly() {
+        let smoke = pr_smoke().cells().unwrap();
+        assert_eq!(smoke.len(), 12);
+        let night = nightly().cells().unwrap();
+        assert!(night.len() >= 200, "nightly must cover >= 200 LHS cells");
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in all() {
+            assert_eq!(by_name(&p.name).unwrap().plan_hash(), p.plan_hash());
+        }
+        assert!(by_name("no-such-plan").is_none());
+    }
+
+    #[test]
+    fn nightly_ports_are_powers_of_two() {
+        // hd-allreduce cells require 2^k ports; the Ports factor must only
+        // offer levels every workload accepts.
+        for cell in nightly().cells().unwrap() {
+            let p = cell.num(crate::factor::FactorKey::Ports).unwrap() as usize;
+            assert!(p.is_power_of_two(), "ports={p}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Append-only CSV registry of KPI values, keyed by commit + plan hash.
+//!
+//! Long format — one row per `(commit, plan, cell, kpi)` — with a fixed
+//! column order, hand-rolled in the `aps-bench::output` style (no CSV
+//! crate). The file is append-only: re-running a plan at a new commit
+//! adds rows, never rewrites old ones, so KPI trajectories stay
+//! queryable across history with nothing more than `grep`.
+
+use crate::error::AblateError;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Registry schema version, bumped only when the column contract changes.
+pub const REGISTRY_SCHEMA_VERSION: u32 = 1;
+
+/// The fixed header line every registry file starts with.
+pub const REGISTRY_HEADER: &str = "schema_version,commit,plan,plan_hash,cell,factors,kpi,value";
+
+/// One registry row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryRow {
+    /// Commit identifier the run was keyed to (short hash or tag).
+    pub commit: String,
+    /// Plan name.
+    pub plan: String,
+    /// Plan content hash ([`crate::AblationPlan::plan_hash`]).
+    pub plan_hash: String,
+    /// Cell index within the plan's deterministic enumeration.
+    pub cell: usize,
+    /// Canonical `key=value;key=value` factor string for the cell.
+    pub factors: String,
+    /// KPI name (one of [`crate::kpi::KPI_NAMES`]).
+    pub kpi: String,
+    /// KPI value, rendered with Rust's shortest round-trip display so
+    /// the same `f64` always serializes to the same bytes.
+    pub value: f64,
+}
+
+fn checked(field: &str) -> Result<&str, AblateError> {
+    if field.contains(',') || field.contains('\n') || field.contains('\r') {
+        return Err(AblateError::UnencodableField {
+            field: field.to_string(),
+        });
+    }
+    Ok(field)
+}
+
+impl RegistryRow {
+    /// The row's CSV line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`AblateError::UnencodableField`] when a string field contains a
+    /// comma or newline — fields are never quoted, so framing must hold
+    /// by construction.
+    pub fn to_csv_line(&self) -> Result<String, AblateError> {
+        assert!(
+            self.value.is_finite(),
+            "non-finite KPI value {}",
+            self.value
+        );
+        Ok(format!(
+            "{},{},{},{},{},{},{},{}",
+            REGISTRY_SCHEMA_VERSION,
+            checked(&self.commit)?,
+            checked(&self.plan)?,
+            checked(&self.plan_hash)?,
+            self.cell,
+            checked(&self.factors)?,
+            checked(&self.kpi)?,
+            self.value,
+        ))
+    }
+}
+
+/// Renders rows as a complete registry file (header + rows, trailing
+/// newline) — the byte string compared across `APS_THREADS` settings in
+/// CI.
+pub fn rows_csv(rows: &[RegistryRow]) -> Result<String, AblateError> {
+    let mut out = String::with_capacity(64 * (rows.len() + 1));
+    out.push_str(REGISTRY_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.to_csv_line()?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Appends rows to the registry at `path`, creating it (with header) if
+/// absent. Refuses to touch a file whose first line is not
+/// [`REGISTRY_HEADER`] — appending under a different column contract
+/// would silently corrupt every downstream query.
+///
+/// # Errors
+///
+/// [`AblateError::RegistryHeaderMismatch`] for a foreign header,
+/// [`AblateError::UnencodableField`] for unframeable fields. I/O
+/// failures panic with a path-qualified message, matching the
+/// `aps-bench::output` writer convention.
+pub fn append_rows(path: &Path, rows: &[RegistryRow]) -> Result<(), AblateError> {
+    let mut body = String::new();
+    for row in rows {
+        body.push_str(&row.to_csv_line()?);
+        body.push('\n');
+    }
+    let existing = fs::read_to_string(path).ok();
+    match existing {
+        Some(text) => {
+            let first = text.lines().next().unwrap_or("");
+            if first != REGISTRY_HEADER {
+                return Err(AblateError::RegistryHeaderMismatch {
+                    found: first.to_string(),
+                });
+            }
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("open registry {}: {e}", path.display()));
+            f.write_all(body.as_bytes())
+                .unwrap_or_else(|e| panic!("append registry {}: {e}", path.display()));
+        }
+        None => {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    fs::create_dir_all(dir)
+                        .unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+                }
+            }
+            let mut text = String::from(REGISTRY_HEADER);
+            text.push('\n');
+            text.push_str(&body);
+            fs::write(path, text)
+                .unwrap_or_else(|e| panic!("write registry {}: {e}", path.display()));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a registry file's text back into rows, skipping the header.
+/// Malformed lines are returned as [`AblateError::RegistryHeaderMismatch`]
+/// only for the header; row-level damage surfaces as a `Cell` error with
+/// the 0-based line number.
+pub fn parse_rows(text: &str) -> Result<Vec<RegistryRow>, AblateError> {
+    let mut lines = text.lines();
+    let first = lines.next().unwrap_or("");
+    if first != REGISTRY_HEADER {
+        return Err(AblateError::RegistryHeaderMismatch {
+            found: first.to_string(),
+        });
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let bad = |reason: &str| AblateError::Cell {
+            cell: i + 1,
+            reason: format!("registry line {}: {reason}: '{line}'", i + 1),
+        };
+        if fields.len() != 8 {
+            return Err(bad("expected 8 fields"));
+        }
+        rows.push(RegistryRow {
+            commit: fields[1].to_string(),
+            plan: fields[2].to_string(),
+            plan_hash: fields[3].to_string(),
+            cell: fields[4].parse().map_err(|_| bad("bad cell index"))?,
+            factors: fields[5].to_string(),
+            kpi: fields[6].to_string(),
+            value: fields[7].parse().map_err(|_| bad("bad value"))?,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cell: usize, kpi: &str, value: f64) -> RegistryRow {
+        RegistryRow {
+            commit: "abc1234".into(),
+            plan: "pr-smoke".into(),
+            plan_hash: "00ff00ff00ff00ff".into(),
+            cell,
+            factors: "controller=opt;alpha_r_s=0.0001".into(),
+            kpi: kpi.into(),
+            value,
+        }
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let rows = vec![
+            row(0, "completion_ps", 123456.0),
+            row(0, "speedup_vs_static", 1.25),
+        ];
+        let text = rows_csv(&rows).unwrap();
+        assert!(text.starts_with(REGISTRY_HEADER));
+        assert_eq!(parse_rows(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn fields_with_commas_are_rejected() {
+        let mut r = row(0, "completion_ps", 1.0);
+        r.factors = "a,b".into();
+        assert!(matches!(
+            r.to_csv_line(),
+            Err(AblateError::UnencodableField { .. })
+        ));
+    }
+
+    #[test]
+    fn append_creates_then_extends_and_guards_header() {
+        let dir = std::env::temp_dir().join(format!("aps-ablate-reg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("registry.csv");
+        append_rows(&path, &[row(0, "completion_ps", 1.0)]).unwrap();
+        append_rows(&path, &[row(1, "completion_ps", 2.0)]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_rows(&text).unwrap().len(), 2);
+        assert_eq!(
+            text.matches(REGISTRY_HEADER).count(),
+            1,
+            "header written once"
+        );
+        fs::write(&path, "not,a,registry\n").unwrap();
+        assert!(matches!(
+            append_rows(&path, &[row(2, "completion_ps", 3.0)]),
+            Err(AblateError::RegistryHeaderMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

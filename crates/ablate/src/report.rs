@@ -1,0 +1,154 @@
+//! Plan results: per-cell KPI vectors, gate verdicts, and registry rows.
+
+use crate::kpi::{KpiValues, Verdict};
+use crate::plan::AblationPlan;
+use crate::registry::RegistryRow;
+use crate::sample::Cell;
+
+/// One evaluated plan cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The sampled cell.
+    pub cell: Cell,
+    /// Its KPI vector.
+    pub kpis: KpiValues,
+}
+
+/// A fully evaluated plan: every cell's KPIs plus every gate's verdict.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// Plan name.
+    pub plan: String,
+    /// Plan content hash, for the registry key.
+    pub plan_hash: String,
+    /// Per-cell results in plan cell order.
+    pub results: Vec<CellResult>,
+    /// Gate verdicts in plan KPI-spec order.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl AblationReport {
+    /// Builds the report: records results and evaluates every KPI gate
+    /// declared by the plan.
+    pub fn new(plan: &AblationPlan, results: Vec<CellResult>) -> Self {
+        let pairs: Vec<(Cell, KpiValues)> =
+            results.iter().map(|r| (r.cell.clone(), r.kpis)).collect();
+        let verdicts = plan.kpis.iter().map(|spec| spec.evaluate(&pairs)).collect();
+        Self {
+            plan: plan.name.clone(),
+            plan_hash: plan.plan_hash(),
+            results,
+            verdicts,
+        }
+    }
+
+    /// True when every gate passed (vacuously true for gate-less plans).
+    pub fn pass(&self) -> bool {
+        self.verdicts.iter().all(|v| v.pass)
+    }
+
+    /// The report's registry rows keyed to `commit`: one row per cell
+    /// per KPI, cells in plan order, KPIs in [`crate::kpi::KPI_NAMES`]
+    /// order — a deterministic function of the results, so two runs with
+    /// identical results emit byte-identical rows.
+    pub fn registry_rows(&self, commit: &str) -> Vec<RegistryRow> {
+        let mut rows = Vec::with_capacity(self.results.len() * 4);
+        for r in &self.results {
+            for (kpi, value) in r.kpis.named() {
+                rows.push(RegistryRow {
+                    commit: commit.to_string(),
+                    plan: self.plan.clone(),
+                    plan_hash: self.plan_hash.clone(),
+                    cell: r.cell.index,
+                    factors: r.cell.factors_string(),
+                    kpi: kpi.to_string(),
+                    value,
+                });
+            }
+        }
+        rows
+    }
+
+    /// A human-readable summary: one line per verdict, then a pass/fail
+    /// trailer. Cells are summarized, not dumped — the registry holds
+    /// the full data.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "plan {} (hash {}): {} cells, {} gates\n",
+            self.plan,
+            self.plan_hash,
+            self.results.len(),
+            self.verdicts.len()
+        );
+        for v in &self.verdicts {
+            out.push_str(&format!("  {v}\n"));
+        }
+        out.push_str(if self.pass() {
+            "ABLATION PASS\n"
+        } else {
+            "ABLATION FAIL\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{Factor, FactorKey};
+    use crate::kpi::{Aggregate, Check, KpiSpec, Tolerance};
+    use crate::plan::{AblationPlan, Sampling};
+
+    fn tiny_plan() -> AblationPlan {
+        AblationPlan {
+            name: "tiny".into(),
+            seed: 0,
+            sampling: Sampling::FullGrid,
+            factors: vec![Factor::names(FactorKey::Controller, ["static", "opt"])],
+            kpis: vec![KpiSpec::all(
+                "speedup_vs_static",
+                Aggregate::Min,
+                Check::AtLeast {
+                    reference: 1.0,
+                    tol: Tolerance::rel(0.05),
+                },
+            )],
+        }
+    }
+
+    fn eval(cell: &Cell) -> KpiValues {
+        let speedup = if cell.name(FactorKey::Controller) == Some("opt") {
+            1.3
+        } else {
+            1.0
+        };
+        KpiValues {
+            speedup_vs_static: speedup,
+            completion_ps: 100.0,
+            reconfig_fraction: 0.0,
+            arbitration_ps: 0.0,
+        }
+    }
+
+    #[test]
+    fn report_rows_and_verdicts() {
+        let plan = tiny_plan();
+        let results: Vec<CellResult> = plan
+            .cells()
+            .unwrap()
+            .into_iter()
+            .map(|cell| {
+                let kpis = eval(&cell);
+                CellResult { cell, kpis }
+            })
+            .collect();
+        let report = AblationReport::new(&plan, results);
+        assert!(report.pass(), "{}", report.render_text());
+        let rows = report.registry_rows("deadbeef");
+        assert_eq!(rows.len(), 2 * 4);
+        assert_eq!(rows[0].kpi, "speedup_vs_static");
+        assert_eq!(rows[0].factors, "controller=static");
+        assert!(rows.iter().all(|r| r.plan_hash == report.plan_hash));
+        assert!(report.render_text().contains("ABLATION PASS"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Deterministic cell sampling: full grids and seeded latin hypercubes.
+//!
+//! Both samplers are pure functions of the plan (factors + seed + cell
+//! count): they run single-threaded, draw from a hand-rolled
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream in a fixed
+//! order, and therefore produce the same cell list on every machine and
+//! at every `APS_THREADS` setting — the executor only parallelizes the
+//! *evaluation* of an already-fixed cell list.
+
+use crate::error::AblateError;
+use crate::factor::{Factor, FactorKey, FactorValue, Levels};
+
+/// One sampled plan cell: an assignment of every factor to a concrete
+/// level, in the plan's factor order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in the plan's deterministic cell enumeration.
+    pub index: usize,
+    /// `(factor, level)` assignments, one per plan factor, in plan order.
+    pub values: Vec<(FactorKey, FactorValue)>,
+}
+
+impl Cell {
+    /// The numeric level assigned to `key`, if the cell carries one.
+    pub fn num(&self, key: FactorKey) -> Option<f64> {
+        self.values.iter().find_map(|(k, v)| match v {
+            FactorValue::Num(x) if *k == key => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// The named level assigned to `key`, if the cell carries one.
+    pub fn name(&self, key: FactorKey) -> Option<&str> {
+        self.values.iter().find_map(|(k, v)| match v {
+            FactorValue::Name(s) if *k == key => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The canonical level string assigned to `key`, if present (numeric
+    /// and named levels alike).
+    pub fn canonical(&self, key: FactorKey) -> Option<String> {
+        self.values
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.canonical())
+    }
+
+    /// The cell's canonical `key=value;key=value` factor string — the
+    /// `factors` column of its registry rows.
+    pub fn factors_string(&self) -> String {
+        let mut s = String::new();
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                s.push(';');
+            }
+            s.push_str(k.name());
+            s.push('=');
+            s.push_str(&v.canonical());
+        }
+        s
+    }
+}
+
+/// SplitMix64: the minimal deterministic generator behind latin-hypercube
+/// jitter and stratum permutations. Hand-rolled (no crates.io access) and
+/// fully specified, so sampled plans are reproducible forever.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index from `0..bound` (`bound > 0`) via Lemire-style
+    /// rejection-free scaling — deterministic and unbiased enough for
+    /// stratum shuffling.
+    fn next_index(&mut self, bound: usize) -> usize {
+        ((self.next_u64() >> 11) as usize) % bound
+    }
+}
+
+/// Full-grid enumeration: the cartesian product of every factor's
+/// discrete levels, row-major with the *last* factor fastest.
+///
+/// # Errors
+///
+/// [`AblateError::GridNeedsDiscreteLevels`] when a factor carries a
+/// continuous range, [`AblateError::EmptyLevels`] when a level list is
+/// empty.
+pub fn grid_cells(factors: &[Factor]) -> Result<Vec<Cell>, AblateError> {
+    let mut level_sets: Vec<(&Factor, &[FactorValue])> = Vec::with_capacity(factors.len());
+    for f in factors {
+        match &f.levels {
+            Levels::Discrete(levels) if levels.is_empty() => {
+                return Err(AblateError::EmptyLevels { factor: f.key });
+            }
+            Levels::Discrete(levels) => level_sets.push((f, levels)),
+            Levels::LogRange { .. } => {
+                return Err(AblateError::GridNeedsDiscreteLevels { factor: f.key });
+            }
+        }
+    }
+    let total: usize = level_sets.iter().map(|(_, l)| l.len()).product();
+    let mut cells = Vec::with_capacity(total);
+    for index in 0..total {
+        let mut rem = index;
+        let mut values = Vec::with_capacity(level_sets.len());
+        for (f, levels) in level_sets.iter().rev() {
+            values.push((f.key, levels[rem % levels.len()].clone()));
+            rem /= levels.len();
+        }
+        values.reverse();
+        cells.push(Cell { index, values });
+    }
+    Ok(cells)
+}
+
+/// Seeded latin-hypercube sampling of `k` cells: each factor's domain is
+/// cut into `k` strata and every stratum is used **exactly once** across
+/// the cell set (the defining LHS property), with an independent seeded
+/// permutation per factor pairing strata into cells.
+///
+/// * Continuous ([`Levels::LogRange`]) factors stratify log-uniformly;
+///   the sample point inside stratum `s` is jittered by a seeded uniform
+///   draw, so repeated runs of the same `(plan, seed)` reproduce the
+///   exact `f64` levels.
+/// * Discrete factors map stratum `s` to level `⌊s·m/k⌋` — each level is
+///   hit `⌊k/m⌋` or `⌈k/m⌉` times when `k ≥ m`.
+///
+/// # Errors
+///
+/// [`AblateError::ZeroCells`] when `k == 0`, [`AblateError::EmptyLevels`]
+/// when a discrete level list is empty, [`AblateError::BadRange`] for a
+/// non-positive or inverted continuous range.
+pub fn lhs_cells(factors: &[Factor], seed: u64, k: usize) -> Result<Vec<Cell>, AblateError> {
+    if k == 0 {
+        return Err(AblateError::ZeroCells);
+    }
+    for f in factors {
+        match &f.levels {
+            Levels::Discrete(levels) if levels.is_empty() => {
+                return Err(AblateError::EmptyLevels { factor: f.key });
+            }
+            Levels::LogRange { lo, hi }
+                if !(lo.is_finite() && hi.is_finite() && *lo > 0.0 && lo <= hi) =>
+            {
+                return Err(AblateError::BadRange {
+                    factor: f.key,
+                    lo: *lo,
+                    hi: *hi,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    // Draw order is fixed: per factor, first its stratum permutation, then
+    // its k jitters — so adding cells or factors never perturbs the draws
+    // of earlier factors within the same plan shape.
+    let mut assignments: Vec<Vec<FactorValue>> = Vec::with_capacity(factors.len());
+    for f in factors {
+        let mut strata: Vec<usize> = (0..k).collect();
+        // Fisher–Yates with the deterministic stream.
+        for i in (1..k).rev() {
+            strata.swap(i, rng.next_index(i + 1));
+        }
+        let column = match &f.levels {
+            Levels::Discrete(levels) => {
+                let m = levels.len();
+                strata
+                    .iter()
+                    .map(|&s| levels[s * m / k].clone())
+                    .collect::<Vec<_>>()
+            }
+            Levels::LogRange { lo, hi } => {
+                let ratio = hi / lo;
+                strata
+                    .iter()
+                    .map(|&s| {
+                        let jitter = rng.next_f64();
+                        let pos = (s as f64 + jitter) / k as f64;
+                        FactorValue::Num(lo * ratio.powf(pos))
+                    })
+                    .collect::<Vec<_>>()
+            }
+        };
+        assignments.push(column);
+    }
+
+    Ok((0..k)
+        .map(|index| Cell {
+            index,
+            values: factors
+                .iter()
+                .zip(&assignments)
+                .map(|(f, column)| (f.key, column[index].clone()))
+                .collect(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_factors() -> Vec<Factor> {
+        vec![
+            Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-2),
+            Factor::names(FactorKey::Controller, ["static", "opt", "greedy"]),
+        ]
+    }
+
+    #[test]
+    fn grid_is_the_cartesian_product_in_row_major_order() {
+        let factors = vec![
+            Factor::nums(FactorKey::Ports, [8.0, 16.0]),
+            Factor::names(FactorKey::Controller, ["static", "opt"]),
+        ];
+        let cells = grid_cells(&factors).unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].factors_string(), "ports=8;controller=static");
+        assert_eq!(cells[1].factors_string(), "ports=8;controller=opt");
+        assert_eq!(cells[3].factors_string(), "ports=16;controller=opt");
+        assert_eq!(cells[2].index, 2);
+    }
+
+    #[test]
+    fn grid_rejects_continuous_factors_and_empty_levels() {
+        assert!(matches!(
+            grid_cells(&two_factors()),
+            Err(AblateError::GridNeedsDiscreteLevels { .. })
+        ));
+        let empty = vec![Factor::nums(FactorKey::Ports, [])];
+        assert!(matches!(
+            grid_cells(&empty),
+            Err(AblateError::EmptyLevels { .. })
+        ));
+    }
+
+    #[test]
+    fn lhs_is_deterministic_in_the_seed() {
+        let a = lhs_cells(&two_factors(), 42, 17).unwrap();
+        let b = lhs_cells(&two_factors(), 42, 17).unwrap();
+        assert_eq!(a, b);
+        let c = lhs_cells(&two_factors(), 43, 17).unwrap();
+        assert_ne!(a, c, "different seeds must permute differently");
+    }
+
+    #[test]
+    fn lhs_uses_every_stratum_exactly_once() {
+        let k = 24;
+        let factors = two_factors();
+        let cells = lhs_cells(&factors, 7, k).unwrap();
+        assert_eq!(cells.len(), k);
+        // Continuous factor: map each sample back to its stratum; all k
+        // strata must appear exactly once.
+        let (lo, hi) = (1e-7, 1e-2);
+        let mut seen = vec![false; k];
+        for cell in &cells {
+            let v = cell.num(FactorKey::AlphaR).unwrap();
+            assert!((lo..=hi).contains(&v));
+            let pos = (v / lo).ln() / (hi / lo).ln();
+            let stratum = ((pos * k as f64) as usize).min(k - 1);
+            assert!(!seen[stratum], "stratum {stratum} sampled twice");
+            seen[stratum] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Discrete factor with m levels: balanced to ⌊k/m⌋..⌈k/m⌉.
+        let mut counts = [0usize; 3];
+        for cell in &cells {
+            let name = cell.name(FactorKey::Controller).unwrap();
+            let i = ["static", "opt", "greedy"]
+                .iter()
+                .position(|&c| c == name)
+                .unwrap();
+            counts[i] += 1;
+        }
+        assert_eq!(counts, [8, 8, 8]);
+    }
+
+    #[test]
+    fn lhs_validates_inputs() {
+        assert!(matches!(
+            lhs_cells(&two_factors(), 1, 0),
+            Err(AblateError::ZeroCells)
+        ));
+        let bad = vec![Factor::log_range(FactorKey::AlphaR, 0.0, 1.0)];
+        assert!(matches!(
+            lhs_cells(&bad, 1, 4),
+            Err(AblateError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs for seed 0 (reference implementation).
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        let u = SplitMix64::new(1).next_f64();
+        assert!((0.0..1.0).contains(&u));
+    }
+}

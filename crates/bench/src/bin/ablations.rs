@@ -7,9 +7,18 @@
 //!
 //! where `<which>` is one of `heuristic`, `multibase`, `theta-proxy`,
 //! `vardelay`, `overlap`, `sim-validate`, `propagation`, `basetopo`, or `all`.
+//!
+//! Besides the per-panel console tables and `ablation_*.csv` dumps, every
+//! run appends its headline metrics to the append-only ablation registry
+//! (`results/ablation_registry.csv`, plan names like `a1-heuristic`) and
+//! emits a versioned `results/bench_ablations.json` report — so the A-panel
+//! numbers are visible to `perfgate compare`/`gate` instead of scrolling
+//! away in the job log.
 
+use aps_ablate::{append_rows, fnv1a_64, RegistryRow};
+use aps_bench::cli::emit_bench_report;
 use aps_bench::figures::{panel, run_panel, Panel};
-use aps_bench::output::write_result;
+use aps_bench::output::{write_result, Json};
 use aps_collectives::{allreduce, alltoall, broadcast};
 use aps_core::multibase::build_multibase;
 use aps_core::objective::ReconfigAccounting;
@@ -24,28 +33,143 @@ use aps_par::Pool;
 use aps_sim::{run_trial_batch, ComputeModel, RunConfig, Trial};
 use aps_topology::builders;
 
+/// Headline metrics one panel contributes to the ablation registry and
+/// the versioned bench report: `(factors, kpi, value)` rows under a
+/// per-panel plan name (`a1-heuristic`, `a2-multibase`, …).
+struct PanelSummary {
+    plan: &'static str,
+    rows: Vec<(String, String, f64)>,
+}
+
+impl PanelSummary {
+    fn new(plan: &'static str) -> Self {
+        PanelSummary {
+            plan,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one metric. Commas in factor values (e.g. the base-pool
+    /// label `{1,31}`) are swapped for `+` so the row stays encodable in
+    /// the unquoted registry CSV.
+    fn push(&mut self, factors: &str, kpi: &str, value: f64) {
+        self.rows
+            .push((factors.replace(',', "+"), kpi.to_string(), value));
+    }
+
+    /// Design hash over the plan name and the `(factors, kpi)` keys —
+    /// stable across value changes, new only when the panel's shape
+    /// changes. Plays the role [`aps_ablate::AblationPlan::plan_hash`]
+    /// plays for declarative plans.
+    fn design_hash(&self) -> String {
+        let mut desc = String::from(self.plan);
+        for (factors, kpi, _) in &self.rows {
+            desc.push('|');
+            desc.push_str(factors);
+            desc.push(';');
+            desc.push_str(kpi);
+        }
+        format!("{:016x}", fnv1a_64(desc.as_bytes()))
+    }
+
+    /// Registry rows for this panel; rows sharing a factor assignment
+    /// share a cell index, in order of first appearance.
+    fn registry_rows(&self, commit: &str) -> Vec<RegistryRow> {
+        let hash = self.design_hash();
+        let mut cells: Vec<&str> = Vec::new();
+        self.rows
+            .iter()
+            .map(|(factors, kpi, value)| {
+                let cell = cells.iter().position(|f| f == factors).unwrap_or_else(|| {
+                    cells.push(factors);
+                    cells.len() - 1
+                });
+                RegistryRow {
+                    commit: commit.to_string(),
+                    plan: self.plan.to_string(),
+                    plan_hash: hash.clone(),
+                    cell,
+                    factors: factors.clone(),
+                    kpi: kpi.clone(),
+                    value: *value,
+                }
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("plan", Json::Str(self.plan.to_string())),
+            ("plan_hash", Json::Str(self.design_hash())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(factors, kpi, value)| {
+                            Json::obj([
+                                ("factors", Json::Str(factors.clone())),
+                                ("kpi", Json::Str(kpi.clone())),
+                                ("value", Json::Num(*value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Appends every panel's rows to the registry and writes the versioned
+/// `bench_ablations.json` report (deterministic `data` at any
+/// `APS_THREADS`, like every other bench report).
+fn record_panels(which: &str, summaries: &[PanelSummary], wall_s: f64) {
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
+    let rows: Vec<RegistryRow> = summaries
+        .iter()
+        .flat_map(|s| s.registry_rows(&commit))
+        .collect();
+    let registry =
+        std::path::Path::new(aps_bench::output::RESULTS_DIR).join("ablation_registry.csv");
+    std::fs::create_dir_all(aps_bench::output::RESULTS_DIR).expect("results dir");
+    append_rows(&registry, &rows).expect("registry append");
+    println!(
+        "registry: appended {} rows to {} (commit {commit})",
+        rows.len(),
+        registry.display()
+    );
+    let data = Json::obj([
+        ("which", Json::Str(which.to_string())),
+        (
+            "panels",
+            Json::Arr(summaries.iter().map(PanelSummary::to_json).collect()),
+        ),
+    ]);
+    emit_bench_report("ablations", &Pool::from_env(), wall_s, data);
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let started = std::time::Instant::now();
-    match which.as_str() {
-        "heuristic" => heuristic(),
-        "multibase" => multibase(),
-        "theta-proxy" => theta_proxy(),
-        "vardelay" => vardelay(),
-        "overlap" => overlap(),
-        "sim-validate" => sim_validate(),
-        "propagation" => propagation(),
-        "basetopo" => basetopo(),
-        "all" => {
-            heuristic();
-            multibase();
-            theta_proxy();
-            vardelay();
-            overlap();
-            sim_validate();
-            propagation();
-            basetopo();
-        }
+    let summaries = match which.as_str() {
+        "heuristic" => vec![heuristic()],
+        "multibase" => vec![multibase()],
+        "theta-proxy" => vec![theta_proxy()],
+        "vardelay" => vec![vardelay()],
+        "overlap" => vec![overlap()],
+        "sim-validate" => vec![sim_validate()],
+        "propagation" => vec![propagation()],
+        "basetopo" => vec![basetopo()],
+        "all" => vec![
+            heuristic(),
+            multibase(),
+            theta_proxy(),
+            vardelay(),
+            overlap(),
+            sim_validate(),
+            propagation(),
+            basetopo(),
+        ],
         other => {
             eprintln!(
                 "unknown ablation '{other}' (expected heuristic | multibase | theta-proxy | \
@@ -53,7 +177,8 @@ fn main() {
             );
             std::process::exit(2);
         }
-    }
+    };
+    record_panels(&which, &summaries, started.elapsed().as_secs_f64());
     println!(
         "done in {:.3} s ({} worker thread(s))",
         started.elapsed().as_secs_f64(),
@@ -62,7 +187,7 @@ fn main() {
 }
 
 /// A1 — threshold heuristic vs exact DP across the Figure-1 grid.
-fn heuristic() {
+fn heuristic() -> PanelSummary {
     println!("== A1: threshold heuristic optimality gap (n = 64, halving-doubling) ==");
     let result =
         run_panel(&panel(Panel::A), 64, &SweepGrid::paper_default()).expect("sweep failed");
@@ -82,10 +207,21 @@ fn heuristic() {
     if let Ok(p) = write_result("ablation_heuristic.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    let mut s = PanelSummary::new("a1-heuristic");
+    let factors = "n=64;workload=hd-allreduce";
+    s.push(factors, "cells", flat.len() as f64);
+    s.push(
+        factors,
+        "exact_optimal_fraction",
+        exact as f64 / flat.len() as f64,
+    );
+    s.push(factors, "mean_gap", mean);
+    s.push(factors, "worst_gap", worst);
+    s
 }
 
 /// A2 — co-prime ring pools vs a single ring base (All-to-All).
-fn multibase() {
+fn multibase() -> PanelSummary {
     println!("== A2: multi-base co-prime ring pools (n = 64, All-to-All, 16 MiB) ==");
     let n = 64;
     let m = 16.0 * MIB;
@@ -128,10 +264,16 @@ fn multibase() {
             .expect("opt");
         t
     });
+    let mut s = PanelSummary::new("a2-multibase");
     for (ai, &alpha_r) in alphas.iter().enumerate() {
         let row = &times[ai * base_pools.len()..(ai + 1) * base_pools.len()];
         for ((name, _), t) in base_pools.iter().zip(row) {
             csv.push_str(&format!("{alpha_r},{name},{t}\n"));
+            s.push(
+                &format!("alpha_r_s={alpha_r};pool={name}"),
+                "completion_s",
+                *t,
+            );
         }
         println!(
             "  {:>10} | {:>12.6} {:>12.6} {:>12.6}",
@@ -144,10 +286,11 @@ fn multibase() {
     if let Ok(p) = write_result("ablation_multibase.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }
 
 /// A3 — degree-proxy θ vs exact θ: decision agreement and cost error.
-fn theta_proxy() {
+fn theta_proxy() -> PanelSummary {
     println!("== A3: degree-proxy congestion factor vs exact θ (n = 64) ==");
     let n = 64;
     let base = builders::ring_unidirectional(n).unwrap();
@@ -220,6 +363,7 @@ fn theta_proxy() {
             (wi, agree, cells, worst_penalty)
         },
     );
+    let mut s = PanelSummary::new("a3-theta-proxy");
     for (wi, (name, _)) in workloads.iter().enumerate() {
         let mut agree = 0usize;
         let mut cells = 0usize;
@@ -235,14 +379,18 @@ fn theta_proxy() {
             "  {name:>18}: decisions agree {pct:.1}% of cells; worst cost penalty {worst_penalty:.3}x"
         );
         csv.push_str(&format!("{name},{pct},{worst_penalty}\n"));
+        let factors = format!("workload={name}");
+        s.push(&factors, "agreement_pct", pct);
+        s.push(&factors, "worst_cost_penalty", worst_penalty);
     }
     if let Ok(p) = write_result("ablation_theta_proxy.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }
 
 /// A4 — per-port-affine reconfiguration delays vs a constant α_r.
-fn vardelay() {
+fn vardelay() -> PanelSummary {
     println!("== A4: variable (per-port) reconfiguration delay (n = 64, broadcast) ==");
     let n = 64;
     let m = 64.0 * MIB;
@@ -254,6 +402,7 @@ fn vardelay() {
     let per_port = 200.0 * NANOS;
     let constant_equiv = fixed + per_port * n as f64;
     let mut csv = String::from("model,policy,completion_s\n");
+    let mut s = PanelSummary::new("a4-vardelay");
     for (name, reconfig, acc) in [
         (
             "constant(worst-case)",
@@ -279,15 +428,21 @@ fn vardelay() {
             let r = evaluate_policy(&p, policy, acc).unwrap();
             println!("  {name:>22} | {:>9}: {:.6} s", policy.name(), r.total_s());
             csv.push_str(&format!("{name},{},{}\n", policy.name(), r.total_s()));
+            s.push(
+                &format!("model={name};policy={}", policy.name()),
+                "completion_s",
+                r.total_s(),
+            );
         }
     }
     if let Ok(p) = write_result("ablation_vardelay.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }
 
 /// A5 — overlapping reconfiguration with computation (simulator).
-fn overlap() {
+fn overlap() -> PanelSummary {
     println!("== A5: overlapping reconfiguration with compute (n = 16, halving-doubling) ==");
     let n = 16;
     let m = 64.0 * MIB;
@@ -320,6 +475,7 @@ fn overlap() {
         })
         .collect();
     let reports = run_trial_batch(&Pool::from_env(), &trials).expect("sim");
+    let mut s = PanelSummary::new("a5-overlap");
     for (pi, &per_byte_ns) in compute_models.iter().enumerate() {
         let serial = reports[2 * pi].total_s();
         let overlapped = reports[2 * pi + 1].total_s();
@@ -331,14 +487,19 @@ fn overlap() {
             "{per_byte_ns},{serial},{overlapped},{}\n",
             serial - overlapped
         ));
+        let factors = format!("compute_ns_per_byte={per_byte_ns}");
+        s.push(&factors, "serial_s", serial);
+        s.push(&factors, "overlap_s", overlapped);
+        s.push(&factors, "saved_s", serial - overlapped);
     }
     if let Ok(p) = write_result("ablation_overlap.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }
 
 /// A6 — analytic model vs event simulator.
-fn sim_validate() {
+fn sim_validate() -> PanelSummary {
     println!("== A6: analytic model vs flow-level simulator (n = 16) ==");
     let n = 16;
     let base = builders::ring_unidirectional(n).unwrap();
@@ -394,6 +555,7 @@ fn sim_validate() {
         })
         .collect();
     let reports = run_trial_batch(&pool, &trials).expect("sim");
+    let mut s = PanelSummary::new("a6-sim-validate");
     for (wi, (name, _)) in workloads.iter().enumerate() {
         for (pi, policy) in policies.iter().enumerate() {
             let model = analytic[wi][pi].1;
@@ -405,16 +567,21 @@ fn sim_validate() {
                 rel * 100.0
             );
             csv.push_str(&format!("{name},{},{model},{sim},{rel}\n", policy.name()));
+            let factors = format!("workload={name};policy={}", policy.name());
+            s.push(&factors, "model_s", model);
+            s.push(&factors, "sim_s", sim);
+            s.push(&factors, "rel_diff", rel);
         }
     }
     if let Ok(p) = write_result("ablation_sim_validate.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }
 
 /// A7 — propagation-delay regimes: which AllReduce wins on a static ring,
 /// and how reconfiguration changes the answer (§4 "deeper understanding").
-fn propagation() {
+fn propagation() -> PanelSummary {
     println!("== A7: propagation-delay regimes (n = 64, 64 KiB AllReduce) ==");
     let n = 64;
     let m = 65536.0;
@@ -452,6 +619,7 @@ fn propagation() {
             (st, opt)
         },
     );
+    let mut s = PanelSummary::new("a7-propagation");
     for (&(delta_ns, alg), &(st, opt)) in tasks.iter().zip(&rows) {
         println!(
             "  {:>8} | {:>18} {st:>14.6e} {opt:>14.6e}",
@@ -459,17 +627,21 @@ fn propagation() {
             alg.name()
         );
         csv.push_str(&format!("{delta_ns},{},{st},{opt}\n", alg.name()));
+        let factors = format!("delta_ns={delta_ns};algorithm={}", alg.name());
+        s.push(&factors, "static_s", st);
+        s.push(&factors, "opt_s", opt);
     }
     println!("  ({} per node, {} GPUs)", format_bytes(m), n);
     if let Ok(p) = write_result("ablation_propagation.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }
 
 /// A9 — base-topology choice: the halo-exchange workload on a ring base vs
 /// a 2-D torus base (where every neighbor exchange is a single hop), with
 /// forced-path vs splittable (Garg–Könemann) θ on the torus.
-fn basetopo() {
+fn basetopo() -> PanelSummary {
     use aps_collectives::stencil;
     println!("== A9: base-topology choice for 8x8 halo exchange (1 MiB strips) ==");
     let (rows, cols) = (8, 8);
@@ -513,6 +685,7 @@ fn basetopo() {
         let opt = evaluate_policy(&p, Policy::Optimal, acc).unwrap().total_s();
         (st, opt)
     });
+    let mut s = PanelSummary::new("a9-basetopo");
     for (&(ci, alpha_r), &(st, opt)) in tasks.iter().zip(&rows) {
         let (bname, _, solver) = configs[ci];
         let sname = match solver {
@@ -525,6 +698,9 @@ fn basetopo() {
             format_time(alpha_r)
         );
         csv.push_str(&format!("{bname},{sname},{alpha_r},{st},{opt}\n"));
+        let factors = format!("base={bname};solver={sname};alpha_r_s={alpha_r}");
+        s.push(&factors, "static_s", st);
+        s.push(&factors, "opt_s", opt);
     }
     println!(
         "  (a torus base makes every halo step single-hop: static wins regardless of α_r,\n   while the ring base must reconfigure the column shifts)"
@@ -532,4 +708,5 @@ fn basetopo() {
     if let Ok(p) = write_result("ablation_basetopo.csv", &csv) {
         println!("  → {}\n", p.display());
     }
+    s
 }

@@ -3,7 +3,9 @@
 //! ```text
 //! perfgate compare [--replay <report.json>] <a.json> <b.json> [<c.json> ...]
 //! perfgate baseline -o BENCH_baseline.json <report.json> [...]
-//! perfgate gate --baseline BENCH_baseline.json [--max-regress 0.25] <report.json> [...]
+//! perfgate gate --baseline BENCH_baseline.json [--max-regress 0.25] \
+//!     [--dir <results-dir>] [<report.json> ...]
+//! perfgate ablate --plan <name> [--registry <csv>] [--report <json>] [--commit <id>]
 //! ```
 //!
 //! * `compare` — asserts the reports are **byte-identical** once the two
@@ -19,11 +21,21 @@
 //!   each report's name, thread count and wall-clock.
 //! * `gate` — compares each report's wall-clock against its baseline
 //!   entry; exits non-zero when a report regressed by more than
-//!   `--max-regress` (default 0.25 = 25%).
+//!   `--max-regress` (default 0.25 = 25%). `--dir <results-dir>` gates
+//!   every `bench_*.json` found there (sorted by file name), so CI does
+//!   not hand-maintain the report list.
+//! * `ablate` — runs a committed [`aps_ablate::plans`] ablation plan on an
+//!   `APS_THREADS` pool, prints per-KPI tolerance-gate verdicts, appends
+//!   the result rows to the append-only CSV registry (default
+//!   `results/ablation_registry.csv`) keyed by `--commit` (default
+//!   `$GITHUB_SHA`, else `local`) + plan hash, and optionally writes a
+//!   JSON KPI report for artifact upload.
 //!
 //! Exit codes: 0 pass, 1 check failed, 2 usage/IO error.
 
+use aps_ablate::{append_rows, plans};
 use aps_bench::output::{extract_number, extract_string, strip_runtime_meta, Json};
+use aps_par::Pool;
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -50,7 +62,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  perfgate compare [--replay <out.json>] <a.json> <b.json> [...]\n  perfgate \
          baseline -o <out.json> <report.json> [...]\n  perfgate gate --baseline <baseline.json> \
-         [--max-regress <frac>] <report.json> [...]"
+         [--max-regress <frac>] [--dir <results-dir>] [<report.json> ...]\n  perfgate ablate \
+         --plan <name> [--registry <csv>] [--report <json>] [--commit <id>]\n    plans: {}",
+        plans::all()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
@@ -256,6 +274,30 @@ fn baseline_entries(body: &str) -> Vec<(String, u64, f64)> {
     entries
 }
 
+/// Every `bench_*.json` under `dir`, sorted by file name so the gate
+/// output (and any failure) is deterministic across filesystems.
+fn bench_reports_in(dir: &str) -> Vec<String> {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read directory {dir}: {e}");
+        std::process::exit(2);
+    });
+    let mut found: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("bench_") && name.ends_with(".json")
+        })
+        .map(|e| e.path().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    if found.is_empty() {
+        eprintln!("perfgate: no bench_*.json reports in {dir}");
+        std::process::exit(2);
+    }
+    found
+}
+
 fn gate(args: &[String]) -> i32 {
     let mut baseline_path = None;
     let mut max_regress = 0.25f64;
@@ -269,6 +311,10 @@ fn gate(args: &[String]) -> i32 {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--dir" => {
+                let dir = it.next().cloned().unwrap_or_else(|| usage());
+                reports.extend(bench_reports_in(&dir));
             }
             p => reports.push(p.to_string()),
         }
@@ -312,6 +358,102 @@ fn gate(args: &[String]) -> i32 {
     i32::from(failed)
 }
 
+/// JSON-safe rendering of a KPI value: verdicts over empty matched sets
+/// carry NaN, which the bench JSON writer (rightly) refuses to render.
+fn kpi_value_json(value: f64) -> Json {
+    if value.is_finite() {
+        Json::Num(value)
+    } else {
+        Json::Str(format!("{value}"))
+    }
+}
+
+fn ablate(args: &[String]) -> i32 {
+    let mut plan_name = None;
+    let mut registry_path = "results/ablation_registry.csv".to_string();
+    let mut report_path = None;
+    let mut commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--plan" => plan_name = it.next().cloned(),
+            "--registry" => registry_path = it.next().cloned().unwrap_or_else(|| usage()),
+            "--report" => report_path = it.next().cloned(),
+            "--commit" => commit = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let Some(plan_name) = plan_name else {
+        usage();
+    };
+    let Some(plan) = plans::by_name(&plan_name) else {
+        eprintln!("perfgate: unknown ablation plan '{plan_name}'");
+        usage();
+    };
+    let pool = Pool::from_env();
+    let report = match adaptive_photonics::run_ablation(&pool, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perfgate: ablation plan '{plan_name}' failed to evaluate: {e}");
+            return 2;
+        }
+    };
+    print!("{}", report.render_text());
+    let rows = report.registry_rows(&commit);
+    if let Some(parent) = std::path::Path::new(&registry_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("perfgate: cannot create {}: {e}", parent.display());
+                return 2;
+            }
+        }
+    }
+    if let Err(e) = append_rows(std::path::Path::new(&registry_path), &rows) {
+        eprintln!("perfgate: registry append to {registry_path} failed: {e}");
+        return 2;
+    }
+    println!(
+        "perfgate: appended {} rows to {registry_path} (commit {commit}, plan hash {})",
+        rows.len(),
+        report.plan_hash
+    );
+    if let Some(out) = report_path {
+        let verdicts: Vec<Json> = report
+            .verdicts
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("spec", Json::Str(v.spec.clone())),
+                    ("value", kpi_value_json(v.value)),
+                    ("pass", Json::Bool(v.pass)),
+                    ("detail", Json::Str(v.detail.clone())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("schema_version", Json::UInt(1)),
+            ("kind", Json::Str("ablation-kpi-report".to_string())),
+            ("plan", Json::Str(report.plan.clone())),
+            ("plan_hash", Json::Str(report.plan_hash.clone())),
+            ("commit", Json::Str(commit.clone())),
+            ("cells", Json::UInt(report.results.len() as u64)),
+            ("pass", Json::Bool(report.pass())),
+            ("verdicts", Json::Arr(verdicts)),
+        ]);
+        if let Err(e) = std::fs::write(&out, doc.render()) {
+            eprintln!("perfgate: cannot write {out}: {e}");
+            return 2;
+        }
+        println!("perfgate: wrote KPI report to {out}");
+    }
+    if report.pass() {
+        0
+    } else {
+        eprintln!("perfgate: ABLATION GATE FAILURE in plan '{plan_name}' (see verdicts above)");
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -321,6 +463,7 @@ fn main() {
         "compare" => compare(rest),
         "baseline" => baseline(rest),
         "gate" => gate(rest),
+        "ablate" => ablate(rest),
         _ => usage(),
     };
     std::process::exit(code);

@@ -362,6 +362,13 @@ pub fn shipped() -> [&'static dyn Controller; 5] {
     [&Static, &AlwaysReconfigure, &Threshold, &DpPlanned, &Greedy]
 }
 
+/// Looks a shipped controller up by its stable [`Controller::name`] — the
+/// factor-injection hook declarative harnesses (the ablation registry,
+/// config files) use to turn a string cell value into a controller.
+pub fn by_name(name: &str) -> Option<&'static dyn Controller> {
+    shipped().into_iter().find(|c| c.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +511,10 @@ mod tests {
         let ctls = shipped();
         let names: Vec<&str> = ctls.iter().map(|c| c.name()).collect();
         assert_eq!(names, ["static", "bvn", "threshold", "opt", "greedy"]);
+        for c in ctls {
+            assert_eq!(by_name(c.name()).unwrap().name(), c.name());
+        }
+        assert!(by_name("no-such-controller").is_none());
         let p = problem(8, 1e6, 1e-6);
         let obs = StepObservation::new(&p, ReconfigAccounting::default(), 0, ConfigChoice::Base);
         for c in shipped() {

@@ -28,9 +28,12 @@
 //! clocked in integer picoseconds — results are bit-identical at any
 //! `APS_THREADS` setting.
 
+use aps_ablate::{AblateError, AblationPlan, AblationReport, Cell, FactorKey, KpiValues};
 use aps_collectives::workload::materialize;
-use aps_collectives::{Collective, CollectiveError, Schedule, ScheduleStream, Workload};
-use aps_core::controller::{Controller, DpPlanned};
+use aps_collectives::{
+    allreduce, alltoall, broadcast, Collective, CollectiveError, Schedule, ScheduleStream, Workload,
+};
+use aps_core::controller::{by_name, Controller, DpPlanned, Static};
 use aps_core::sweep::{run_sweep_on, SweepGrid, SweepResult};
 use aps_core::{
     CoreError, CostReport, PolicyComparison, ReconfigAccounting, ScaleupDomain, SwitchSchedule,
@@ -70,6 +73,9 @@ pub enum ExperimentError {
     /// [`aps_collectives::workload::Workload::repeat_forever`]). Streaming
     /// simulation (`simulate`/`simulate_summary`) still works.
     UnboundedWorkload,
+    /// An ablation-plan error: invalid plan/sampling, a cell naming an
+    /// unknown controller or workload, or registry I/O.
+    Ablation(AblateError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -87,6 +93,7 @@ impl fmt::Display for ExperimentError {
                 "planning needs a finite workload, but the bound stream reports no upper \
                  size bound (simulate it instead, or bound it with repeat(n))"
             ),
+            Self::Ablation(e) => write!(f, "ablation failed: {e}"),
         }
     }
 }
@@ -97,8 +104,15 @@ impl std::error::Error for ExperimentError {
             Self::Core(e) => Some(e),
             Self::Sim(e) => Some(e),
             Self::Collective(e) => Some(e),
+            Self::Ablation(e) => Some(e),
             Self::BaseNotACircuit | Self::UnboundedWorkload => None,
         }
+    }
+}
+
+impl From<AblateError> for ExperimentError {
+    fn from(e: AblateError) -> Self {
+        Self::Ablation(e)
     }
 }
 
@@ -746,11 +760,208 @@ impl Experiment<Shared> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ablation bridge: plan cells → Experiment runs → KPI vectors.
+// ---------------------------------------------------------------------------
+
+/// Runs an [`AblationPlan`] by evaluating every cell through the
+/// [`Experiment`] builder on `pool` — the concrete executor behind
+/// `perfgate ablate` and the nightly sweep.
+///
+/// Cell evaluation ([`evaluate_ablation_cell`]) is a pure function of the
+/// cell, and the cell list is a pure function of the plan, so the report
+/// (and every registry row derived from it) is bit-identical at any
+/// `APS_THREADS` setting.
+///
+/// # Errors
+///
+/// Plan validation/sampling errors, plus the first failing cell in
+/// cell-index order.
+pub fn run_ablation(pool: &Pool, plan: &AblationPlan) -> Result<AblationReport, ExperimentError> {
+    aps_ablate::run_plan(pool, plan, evaluate_ablation_cell)
+}
+
+/// Evaluates one plan cell into its KPI vector.
+///
+/// Factor semantics (unset factors fall back to the experiment defaults):
+///
+/// * `workload` (required) — a collective family (`hd-allreduce`,
+///   `ring-allreduce`, `alltoall`, `broadcast`) simulated alone on a
+///   unidirectional ring of `ports` GPUs, or a named `aps-sim` scenario
+///   (`mixed-collectives`, `skewed-tenants`, `staggered-arrivals`) on its
+///   own fixed fabric (the `ports` factor is ignored).
+/// * `controller` — an [`aps_core::controller::by_name`] name; `static`
+///   means *no adaptation*: the collective runs entirely on base, and a
+///   scenario keeps its built-in per-tenant switch policies.
+/// * `alpha_r_s`, `message_bytes`, `alpha_s`, `delta_s`, `bandwidth_gbps`
+///   — the cost regime.
+///
+/// The `speedup_vs_static` KPI divides the matching static baseline's
+/// completion time by the cell's, so `static` cells report exactly 1.
+/// All simulation runs inside the cell use [`Pool::serial`]; outer
+/// parallelism belongs to [`run_ablation`]'s pool.
+///
+/// # Errors
+///
+/// [`ExperimentError::Ablation`] with an [`AblateError::Cell`] payload
+/// for unknown names or invalid parameters; simulation errors are also
+/// folded into the cell error so the failing cell is identifiable.
+pub fn evaluate_ablation_cell(cell: &Cell) -> Result<KpiValues, ExperimentError> {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let fail = |reason: String| {
+        ExperimentError::Ablation(AblateError::Cell {
+            cell: cell.index,
+            reason,
+        })
+    };
+
+    let workload = cell
+        .name(FactorKey::Workload)
+        .ok_or_else(|| fail("cell has no workload factor".into()))?;
+    let controller_name = cell.name(FactorKey::Controller).unwrap_or("opt");
+    let controller = by_name(controller_name)
+        .ok_or_else(|| fail(format!("unknown controller '{controller_name}'")))?;
+    let alpha_r = cell.num(FactorKey::AlphaR).unwrap_or(10e-6);
+    let bytes = cell.num(FactorKey::MessageBytes).unwrap_or(MIB);
+    let ports = cell.num(FactorKey::Ports).unwrap_or(16.0) as usize;
+    let defaults = CostParams::paper_defaults();
+    let params = CostParams::new(
+        cell.num(FactorKey::Alpha).unwrap_or(defaults.alpha_s),
+        cell.num(FactorKey::BandwidthGbps).unwrap_or(800.0),
+        cell.num(FactorKey::Delta).unwrap_or(defaults.delta_s),
+    )
+    .map_err(|e| fail(format!("invalid cost parameters: {e}")))?;
+    let reconfig = ReconfigModel::constant(alpha_r)
+        .map_err(|e| fail(format!("invalid alpha_r {alpha_r}: {e}")))?;
+
+    if let Some(scenario) = aps_sim::scenarios::by_name(workload, bytes) {
+        // Shared-fabric path. The baseline keeps the scenario's built-in
+        // per-tenant switch policies; any other controller re-plans every
+        // tenant's schedule on its own partition.
+        let run =
+            |ctl: Option<&'static dyn Controller>| -> Result<Vec<TenantReport>, ExperimentError> {
+                let base = aps_topology::builders::ring_unidirectional(scenario.n)
+                    .map_err(|e| fail(format!("bad scenario fabric: {e}")))?;
+                let mut e = Experiment::domain(base)
+                    .params(params)
+                    .reconfig(reconfig)
+                    .pool(Pool::serial())
+                    .scenario(scenario.clone());
+                if let Some(c) = ctl {
+                    e = e.controller(c);
+                    e.plan()
+                        .map_err(|err| fail(format!("planning failed: {err}")))?;
+                    return collect_tenants(e.simulate(), &fail);
+                }
+                collect_tenants(e.simulate(), &fail)
+            };
+        let adapted = run(if controller_name == "static" {
+            None
+        } else {
+            Some(controller)
+        })?;
+        let completion = tenant_completion_ps(&adapted);
+        let speedup = if controller_name == "static" {
+            1.0
+        } else {
+            tenant_completion_ps(&run(None)?) / completion
+        };
+        let busy: f64 = adapted.iter().map(|t| t.report.total_ps as f64).sum();
+        let reconfig_total: f64 = adapted
+            .iter()
+            .flat_map(|t| &t.report.steps)
+            .map(|s| s.reconfig_ps as f64)
+            .sum();
+        Ok(KpiValues {
+            speedup_vs_static: speedup,
+            completion_ps: completion,
+            reconfig_fraction: if busy > 0.0 {
+                reconfig_total / busy
+            } else {
+                0.0
+            },
+            arbitration_ps: adapted.iter().map(|t| t.arbitration_ps() as f64).sum(),
+        })
+    } else {
+        // Single-collective path on a unidirectional ring of `ports` GPUs.
+        let collective = build_ablation_collective(workload, ports, bytes)
+            .ok_or_else(|| fail(format!("unknown workload '{workload}'")))?
+            .map_err(|e| fail(format!("cannot build {workload} on {ports} ports: {e}")))?;
+        let run = |ctl: &'static dyn Controller| -> Result<SimRun, ExperimentError> {
+            let base = aps_topology::builders::ring_unidirectional(ports)
+                .map_err(|e| fail(format!("bad base topology: {e}")))?;
+            Experiment::domain(base)
+                .params(params)
+                .reconfig(reconfig)
+                .pool(Pool::serial())
+                .controller(ctl)
+                .collective(&collective)
+                .simulate()
+                .map_err(|e| fail(format!("simulation failed: {e}")))
+        };
+        let adapted = run(controller)?;
+        let completion = adapted.report.total_ps as f64;
+        let speedup = if controller_name == "static" {
+            1.0
+        } else {
+            run(&Static)?.report.total_ps as f64 / completion
+        };
+        let reconfig_total: f64 = adapted
+            .report
+            .steps
+            .iter()
+            .map(|s| s.reconfig_ps as f64)
+            .sum();
+        Ok(KpiValues {
+            speedup_vs_static: speedup,
+            completion_ps: completion,
+            reconfig_fraction: if completion > 0.0 {
+                reconfig_total / completion
+            } else {
+                0.0
+            },
+            arbitration_ps: 0.0,
+        })
+    }
+}
+
+/// The collective families the ablation bridge resolves by name.
+fn build_ablation_collective(
+    name: &str,
+    n: usize,
+    bytes: f64,
+) -> Option<Result<Collective, CollectiveError>> {
+    match name {
+        "hd-allreduce" => Some(allreduce::halving_doubling::build(n, bytes)),
+        "ring-allreduce" => Some(allreduce::ring::build(n, bytes)),
+        "alltoall" => Some(alltoall::linear_shift(n, bytes)),
+        "broadcast" => Some(broadcast::binomial(n, 0, bytes)),
+        _ => None,
+    }
+}
+
+/// Flattens the per-tenant results, folding the first tenant failure (or
+/// structural error) into the cell error.
+fn collect_tenants(
+    reports: Result<Vec<Result<TenantReport, SimError>>, ExperimentError>,
+    fail: &dyn Fn(String) -> ExperimentError,
+) -> Result<Vec<TenantReport>, ExperimentError> {
+    reports
+        .map_err(|e| fail(format!("scenario failed: {e}")))?
+        .into_iter()
+        .map(|r| r.map_err(|e| fail(format!("tenant failed: {e}"))))
+        .collect()
+}
+
+/// Completion of a shared-fabric run: the last tenant's finish time.
+fn tenant_completion_ps(tenants: &[TenantReport]) -> f64 {
+    tenants.iter().map(|t| t.finish_ps).max().unwrap_or(0) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aps_collectives::allreduce;
-    use aps_core::controller::{shipped, AlwaysReconfigure, Greedy, Static};
+    use aps_core::controller::{shipped, AlwaysReconfigure, Greedy};
     use aps_cost::units::MIB;
     use aps_sim::{scenarios, TraceKind};
     use aps_topology::builders;
@@ -882,6 +1093,74 @@ mod tests {
         for (a, b) in e.scenario().tenants.iter().zip(&want.tenants) {
             assert_eq!(a.switch_schedule, b.switch_schedule, "{}", a.name);
         }
+    }
+
+    #[test]
+    fn ablation_bridge_evaluates_collectives_and_scenarios() {
+        use aps_ablate::{AblationPlan, Factor, FactorKey, Sampling};
+        let plan = AblationPlan {
+            name: "bridge-test".into(),
+            seed: 0,
+            sampling: Sampling::FullGrid,
+            factors: vec![
+                Factor::names(FactorKey::Workload, ["hd-allreduce", "mixed-collectives"]),
+                Factor::names(FactorKey::Controller, ["static", "greedy"]),
+                Factor::nums(FactorKey::AlphaR, [1e-6]),
+                Factor::nums(FactorKey::MessageBytes, [1024.0 * 1024.0]),
+                Factor::nums(FactorKey::Ports, [8.0]),
+            ],
+            kpis: vec![],
+        };
+        let report = run_ablation(&Pool::serial(), &plan).unwrap();
+        assert_eq!(report.results.len(), 4);
+        for r in &report.results {
+            assert!(r.kpis.completion_ps >= 1.0, "{}", r.cell.factors_string());
+            assert!(
+                (0.0..=1.0).contains(&r.kpis.reconfig_fraction),
+                "{}",
+                r.cell.factors_string()
+            );
+            if r.cell.name(FactorKey::Controller) == Some("static") {
+                assert_eq!(r.kpis.speedup_vs_static, 1.0);
+            }
+            if r.cell.name(FactorKey::Workload) == Some("hd-allreduce") {
+                assert_eq!(r.kpis.arbitration_ps, 0.0);
+            }
+        }
+        // Bit-identity across pool sizes, down to the registry bytes.
+        let other = run_ablation(&Pool::new(3), &plan).unwrap();
+        assert_eq!(
+            aps_ablate::rows_csv(&report.registry_rows("t")).unwrap(),
+            aps_ablate::rows_csv(&other.registry_rows("t")).unwrap()
+        );
+    }
+
+    #[test]
+    fn ablation_bridge_rejects_unknown_names() {
+        use aps_ablate::{Cell, FactorValue};
+        let cell = Cell {
+            index: 5,
+            values: vec![(
+                FactorKey::Workload,
+                FactorValue::Name("no-such-workload".into()),
+            )],
+        };
+        let err = evaluate_ablation_cell(&cell).unwrap_err();
+        assert!(matches!(
+            err,
+            ExperimentError::Ablation(AblateError::Cell { cell: 5, .. })
+        ));
+        let cell = Cell {
+            index: 0,
+            values: vec![
+                (FactorKey::Workload, FactorValue::Name("alltoall".into())),
+                (
+                    FactorKey::Controller,
+                    FactorValue::Name("no-such-controller".into()),
+                ),
+            ],
+        };
+        assert!(evaluate_ablation_cell(&cell).is_err());
     }
 
     #[test]

@@ -188,6 +188,7 @@
 //! | [`fabric`] | `aps-fabric` | circuit-switch & wavelength fabric device models with fault injection |
 //! | [`sim`] | `aps-sim` | deterministic fluid simulator: scheduled & adaptive executors, multi-tenant scenarios |
 //! | [`replay`] | `aps-replay` | deterministic replay: state hashing, replay records, divergence reports, snapshots |
+//! | [`ablate`] | `aps-ablate` | declarative ablation plans: grid/LHS sampling, KPI tolerance gates, append-only CSV registry |
 //! | [`experiment`] | (this crate) | the typed `Experiment` builder unifying plan / simulate / sweep / multi-tenant |
 //!
 //! ## Replay & determinism
@@ -230,6 +231,7 @@
 //! assert_eq!(tail.final_state, record.final_state); // bit-identical
 //! ```
 
+pub use aps_ablate as ablate;
 pub use aps_collectives as collectives;
 pub use aps_core as core;
 pub use aps_cost as cost;
@@ -243,13 +245,21 @@ pub use aps_topology as topology;
 
 pub mod experiment;
 
-pub use experiment::{Experiment, ExperimentError, Plan, SimRun};
+pub use experiment::{
+    evaluate_ablation_cell, run_ablation, Experiment, ExperimentError, Plan, SimRun,
+};
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use crate::collectives;
-    pub use crate::experiment::{Experiment, ExperimentError, Plan, SimRun};
+    pub use crate::experiment::{
+        evaluate_ablation_cell, run_ablation, Experiment, ExperimentError, Plan, SimRun,
+    };
     pub use crate::topology;
+    pub use aps_ablate::{
+        plans, run_plan, AblateError, AblationPlan, AblationReport, Aggregate, Check, Factor,
+        FactorKey, FactorValue, KpiSpec, KpiValues, RegistryRow, Sampling, Tolerance, Verdict,
+    };
     pub use aps_collectives::workload::{
         generators, materialize, Overlay, ScheduleStream, Workload, WorkloadCtx,
     };

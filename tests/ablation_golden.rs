@@ -1,0 +1,82 @@
+//! Golden-file test for the ablation registry CSV format.
+//!
+//! Registry rows are append-only across history: a row written today must
+//! still mean the same thing — same header, same factor canonicalization,
+//! same float formatting, same KPI order — when a later commit appends
+//! next to it. This pins the exact bytes of a canonical small plan's rows
+//! against a committed fixture. Any intentional format change must bump
+//! [`REGISTRY_SCHEMA_VERSION`](aps_ablate::REGISTRY_SCHEMA_VERSION) and
+//! regenerate the fixture (run with `UPDATE_GOLDEN=1`).
+
+use adaptive_photonics::prelude::*;
+use aps_ablate::{parse_rows, rows_csv, Sampling, REGISTRY_SCHEMA_VERSION};
+
+const GOLDEN_PATH: &str = "tests/fixtures/ablation_registry_golden.csv";
+
+/// A small but representative plan: both collective and multi-tenant
+/// scenario workloads, a static and an adaptive controller, two α_r
+/// regimes — 8 cells, cheap enough for a debug-build test run.
+fn canonical_plan() -> AblationPlan {
+    AblationPlan {
+        name: "golden".into(),
+        seed: 3,
+        sampling: Sampling::FullGrid,
+        factors: vec![
+            Factor::names(FactorKey::Workload, ["hd-allreduce", "mixed-collectives"]),
+            Factor::names(FactorKey::Controller, ["static", "greedy"]),
+            Factor::nums(FactorKey::AlphaR, [1e-6, 1e-4]),
+            Factor::nums(FactorKey::Ports, [8.0]),
+            Factor::nums(FactorKey::MessageBytes, [65536.0]),
+        ],
+        kpis: vec![],
+    }
+}
+
+fn canonical_rows_csv() -> String {
+    let report = run_ablation(&Pool::new(2), &canonical_plan()).unwrap();
+    rows_csv(&report.registry_rows("golden")).unwrap()
+}
+
+#[test]
+fn registry_csv_bytes_match_the_committed_golden_file() {
+    let csv = canonical_rows_csv();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &csv).expect("write golden fixture");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden fixture missing — regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        csv, golden,
+        "registry bytes drifted from {GOLDEN_PATH}; if the change is \
+         intentional, bump REGISTRY_SCHEMA_VERSION and regenerate with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_and_keys_are_coherent() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden fixture");
+    let rows = parse_rows(&golden).expect("golden fixture parses");
+    let plan_hash = canonical_plan().plan_hash();
+    // 8 cells × 4 KPIs, all keyed by the same commit + today's plan hash.
+    assert_eq!(rows.len(), 8 * 4);
+    for row in &rows {
+        assert_eq!(row.commit, "golden");
+        assert_eq!(row.plan, "golden");
+        assert_eq!(
+            row.plan_hash, plan_hash,
+            "plan hash drifted — the committed plan no longer matches the \
+             fixture (schema_version {REGISTRY_SCHEMA_VERSION})"
+        );
+        assert!(row.value.is_finite());
+    }
+    // Cells 0..8, each contributing every KPI exactly once.
+    for cell in 0..8 {
+        let kpis: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.cell == cell)
+            .map(|r| r.kpi.as_str())
+            .collect();
+        assert_eq!(kpis, aps_ablate::KPI_NAMES.to_vec(), "cell {cell}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Integration tests for the ablation registry: sampler determinism and
+//! stratification (property-based), committed-plan shape checks, and
+//! bit-identical executor output across pool sizes.
+//!
+//! The nightly plan is only *shape*-checked here — 216 simulator cells
+//! belong in the scheduled release-build workflow, not in `cargo test`.
+
+use adaptive_photonics::prelude::*;
+use aps_ablate::{plans, rows_csv, Cell, Levels, Sampling};
+use aps_core::controller::by_name;
+use proptest::prelude::*;
+
+/// A fixed 3-factor design: one log-range and two discrete factors with
+/// co-prime level counts, so stratum→level rounding gets exercised.
+fn demo_factors() -> Vec<Factor> {
+    vec![
+        Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-2),
+        Factor::names(FactorKey::Controller, ["static", "opt", "greedy"]),
+        Factor::nums(FactorKey::Ports, [8.0, 16.0]),
+    ]
+}
+
+fn demo_plan(seed: u64, cells: usize) -> AblationPlan {
+    AblationPlan {
+        name: "prop-demo".into(),
+        seed,
+        sampling: Sampling::LatinHypercube { cells },
+        factors: demo_factors(),
+        kpis: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lhs_sampling_is_a_pure_function_of_the_plan(seed in any::<u64>(), k in 1usize..64) {
+        let a = demo_plan(seed, k).cells().unwrap();
+        let b = demo_plan(seed, k).cells().unwrap();
+        prop_assert_eq!(a.len(), k);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lhs_continuous_factors_hit_every_stratum_once(seed in any::<u64>(), k in 1usize..48) {
+        let cells = demo_plan(seed, k).cells().unwrap();
+        // α_r is log-range sampled: exactly one cell must land in each of
+        // the k geometric strata of [lo, hi).
+        let (lo, hi) = (1e-7f64, 1e-2f64);
+        let mut counts = vec![0usize; k];
+        for cell in &cells {
+            let v = cell.num(FactorKey::AlphaR).unwrap();
+            prop_assert!(v >= lo && v <= hi, "α_r {v} escaped [{lo}, {hi}]");
+            let s = ((v / lo).ln() / (hi / lo).ln() * k as f64).floor() as usize;
+            counts[s.min(k - 1)] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1), "strata counts {counts:?}");
+    }
+
+    #[test]
+    fn lhs_discrete_factors_stay_balanced(seed in any::<u64>(), k in 1usize..48) {
+        let cells = demo_plan(seed, k).cells().unwrap();
+        // 3 controller levels over k strata: level counts may differ by
+        // at most one stratum-block (⌈k/3⌉ vs ⌊k/3⌋).
+        let levels = ["static", "opt", "greedy"];
+        let mut counts = vec![0usize; levels.len()];
+        for cell in &cells {
+            let name = cell.name(FactorKey::Controller).unwrap();
+            let i = levels.iter().position(|l| *l == name).expect("known level");
+            counts[i] += 1;
+        }
+        let (lo, hi) = (k / levels.len(), k.div_ceil(levels.len()));
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                c >= lo.min(1) && c <= hi,
+                "level {} drew {c} of {k} cells (expected within [{lo}, {hi}])",
+                levels[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn pr_smoke_execution_is_bit_identical_across_pool_sizes() {
+    let plan = plans::pr_smoke();
+    let serial = run_ablation(&Pool::new(1), &plan).unwrap();
+    let parallel = run_ablation(&Pool::new(3), &plan).unwrap();
+    let a = rows_csv(&serial.registry_rows("threads")).unwrap();
+    let b = rows_csv(&parallel.registry_rows("threads")).unwrap();
+    assert_eq!(
+        a, b,
+        "registry rows diverged between 1 and 3 worker threads"
+    );
+    assert!(
+        serial.pass(),
+        "committed pr-smoke gates must pass:\n{}",
+        serial.render_text()
+    );
+}
+
+#[test]
+fn nightly_plan_shape_is_committed_not_executed() {
+    let plan = plans::nightly();
+    let cells = plan.cells().unwrap();
+    assert!(
+        cells.len() >= 200,
+        "nightly must stay a broad sweep (got {} cells)",
+        cells.len()
+    );
+    assert!(matches!(plan.sampling, Sampling::LatinHypercube { .. }));
+    // Every cell carries every factor, controllers resolve against the
+    // shipped set, and port counts stay powers of two (halving-doubling
+    // requires them).
+    for cell in &cells {
+        for factor in &plan.factors {
+            assert!(
+                cell.values.iter().any(|(k, _)| *k == factor.key),
+                "cell {} is missing factor {}",
+                cell.index,
+                factor.key
+            );
+        }
+        let controller = cell.name(FactorKey::Controller).unwrap();
+        assert!(
+            by_name(controller).is_some(),
+            "unknown controller '{controller}' in the nightly plan"
+        );
+        let ports = cell.num(FactorKey::Ports).unwrap() as usize;
+        assert!(ports.is_power_of_two(), "ports {ports} not a power of two");
+    }
+}
+
+#[test]
+fn committed_plans_resolve_by_name_and_hash_stably() {
+    for plan in plans::all() {
+        let found = plans::by_name(&plan.name).expect("committed plan resolves");
+        assert_eq!(found.plan_hash(), plan.plan_hash());
+    }
+    assert!(plans::by_name("no-such-plan").is_none());
+}
+
+#[test]
+fn full_grid_rejects_continuous_factors() {
+    let plan = AblationPlan {
+        name: "bad-grid".into(),
+        seed: 0,
+        sampling: Sampling::FullGrid,
+        factors: vec![Factor::log_range(FactorKey::AlphaR, 1e-7, 1e-2)],
+        kpis: vec![],
+    };
+    assert!(matches!(
+        plan.cells(),
+        Err(AblateError::GridNeedsDiscreteLevels { .. })
+    ));
+}
+
+#[test]
+fn evaluator_reports_the_failing_cell() {
+    // An unknown workload must surface as a cell-indexed error, not a
+    // panic, so a misconfigured nightly sweep names its broken cell.
+    let cell = Cell {
+        index: 41,
+        values: vec![(
+            FactorKey::Workload,
+            aps_ablate::FactorValue::Name("no-such-workload".into()),
+        )],
+    };
+    let err = evaluate_ablation_cell(&cell).unwrap_err();
+    assert!(
+        err.to_string().contains("41"),
+        "error should name cell 41: {err}"
+    );
+}
+
+#[test]
+fn levels_expose_their_raw_values() {
+    let f = Factor::nums(FactorKey::Ports, [8.0, 16.0]);
+    match &f.levels {
+        Levels::Discrete(values) => assert_eq!(values.len(), 2),
+        Levels::LogRange { .. } => panic!("nums() built a log range"),
+    }
+}

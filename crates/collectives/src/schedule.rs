@@ -28,12 +28,41 @@ pub enum CollectiveKind {
 
 /// One communication step: a matching and the bytes each participating pair
 /// exchanges (`mᵢ` in the paper).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Step {
     /// The communication pattern `Mᵢ`.
     pub matching: Matching,
     /// Bytes sent by each sender in the matching during this step.
     pub bytes_per_pair: f64,
+}
+
+impl Step {
+    /// A zero-size placeholder step — the seed for a long-lived pull
+    /// buffer filled via [`crate::workload::Workload::next_step_into`].
+    pub fn empty() -> Self {
+        Self {
+            matching: Matching::empty(0),
+            bytes_per_pair: 0.0,
+        }
+    }
+}
+
+/// Hand-written so [`Clone::clone_from`] reuses the matching's buffer —
+/// streaming executors pull steps into one long-lived `Step` via
+/// [`crate::workload::Workload::next_step_into`], which must not allocate
+/// in steady state.
+impl Clone for Step {
+    fn clone(&self) -> Self {
+        Self {
+            matching: self.matching.clone(),
+            bytes_per_pair: self.bytes_per_pair,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.matching.clone_from(&source.matching);
+        self.bytes_per_pair = source.bytes_per_pair;
+    }
 }
 
 /// A collective communication algorithm: the sequence

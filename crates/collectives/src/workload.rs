@@ -77,6 +77,27 @@ pub trait Workload: Send {
     /// Pulls the next step; `None` means the stream is exhausted.
     fn next_step(&mut self, ctx: &WorkloadCtx) -> Option<Step>;
 
+    /// Pulls the next step *into* a caller-owned buffer; `false` means the
+    /// stream is exhausted (and `out` is left untouched).
+    ///
+    /// The zero-allocation streaming hook: executors keep one long-lived
+    /// [`Step`] and recycle its matching buffer across pulls. The default
+    /// delegates to [`Workload::next_step`] and moves the result into
+    /// `out`; sources whose steps live in stable storage (e.g.
+    /// [`ScheduleStream`], `TrainingLoop`) override it with a
+    /// [`Clone::clone_from`] copy so a steady-state pull never allocates,
+    /// and the combinators forward it so the override is reached through
+    /// arbitrarily nested compositions.
+    fn next_step_into(&mut self, ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        match self.next_step(ctx) {
+            Some(step) => {
+                *out = step;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Bounds on the number of steps *remaining*: `(lower, upper)`, with
     /// `None` meaning unbounded or unknown. Exact streams report
     /// `(k, Some(k))`; executors use the upper bound to refuse to
@@ -168,6 +189,9 @@ impl Workload for Box<dyn Workload> {
     fn next_step(&mut self, ctx: &WorkloadCtx) -> Option<Step> {
         (**self).next_step(ctx)
     }
+    fn next_step_into(&mut self, ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        (**self).next_step_into(ctx, out)
+    }
     fn size_hint(&self) -> (usize, Option<usize>) {
         (**self).size_hint()
     }
@@ -235,6 +259,17 @@ impl<S: Borrow<Schedule> + Send> Workload for ScheduleStream<S> {
         let step = self.schedule().steps().get(self.pos)?.clone();
         self.pos += 1;
         Some(step)
+    }
+
+    fn next_step_into(&mut self, _ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        match self.schedule().steps().get(self.pos) {
+            Some(step) => {
+                out.clone_from(step);
+                self.pos += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -313,6 +348,16 @@ impl<A: Workload, B: Workload> Workload for Then<A, B> {
             self.in_second = true;
         }
         self.second.next_step(ctx)
+    }
+
+    fn next_step_into(&mut self, ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        if !self.in_second {
+            if self.first.next_step_into(ctx, out) {
+                return true;
+            }
+            self.in_second = true;
+        }
+        self.second.next_step_into(ctx, out)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -399,6 +444,26 @@ impl<W: Workload> Workload for Repeat<W> {
         }
     }
 
+    fn next_step_into(&mut self, ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        loop {
+            if self.epochs.is_some_and(|k| self.done >= k) {
+                return false;
+            }
+            if self.inner.next_step_into(ctx, out) {
+                self.yielded = true;
+                return true;
+            }
+            // Same epoch accounting as `next_step`: an epoch that yielded
+            // nothing proves the inner workload is empty, so stop.
+            self.done += 1;
+            if !self.yielded {
+                return false;
+            }
+            self.inner.reset();
+            self.yielded = false;
+        }
+    }
+
     fn size_hint(&self) -> (usize, Option<usize>) {
         let (lo, hi) = self.inner.size_hint();
         match self.epochs {
@@ -478,6 +543,15 @@ impl<A: Workload, B: Workload> Workload for Interleave<A, B> {
         }
     }
 
+    fn next_step_into(&mut self, ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        let first_b = self.b_turn;
+        self.b_turn = !self.b_turn;
+        if first_b {
+            return self.b.next_step_into(ctx, out) || self.a.next_step_into(ctx, out);
+        }
+        self.a.next_step_into(ctx, out) || self.b.next_step_into(ctx, out)
+    }
+
     fn size_hint(&self) -> (usize, Option<usize>) {
         let (al, au) = self.a.size_hint();
         let (bl, bu) = self.b.size_hint();
@@ -536,6 +610,15 @@ impl<W: Workload> Workload for Scaled<W> {
             s.bytes_per_pair *= self.factor;
             s
         })
+    }
+
+    fn next_step_into(&mut self, ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        if self.inner.next_step_into(ctx, out) {
+            out.bytes_per_pair *= self.factor;
+            true
+        } else {
+            false
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -81,7 +81,11 @@ enum Phase {
 pub struct TrainingLoop {
     n: usize,
     microbatches: usize,
-    activation_bytes: f64,
+    /// The `shift(+1)` activation step, precomputed so steady-state pulls
+    /// via [`Workload::next_step_into`] never build a matching.
+    fwd_step: Step,
+    /// The `shift(−1)` gradient step, precomputed like `fwd_step`.
+    bwd_step: Step,
     /// One epoch's AllReduce steps, precomputed once (O(per-epoch), not
     /// O(total steps)).
     allreduce_steps: Vec<Step>,
@@ -113,10 +117,19 @@ impl TrainingLoop {
             .schedule
             .steps()
             .to_vec();
+        let fwd_step = Step {
+            matching: Matching::shift(n, 1).expect("n ≥ 2"),
+            bytes_per_pair: activation_bytes,
+        };
+        let bwd_step = Step {
+            matching: Matching::shift(n, n - 1).expect("n ≥ 2"),
+            bytes_per_pair: activation_bytes,
+        };
         Ok(Self {
             n,
             microbatches,
-            activation_bytes,
+            fwd_step,
+            bwd_step,
             allreduce_steps,
             epochs,
             epoch: 0,
@@ -139,6 +152,46 @@ impl TrainingLoop {
             Phase::AllReduce => 2 * self.microbatches + self.idx,
         }
     }
+
+    /// Advances the epoch state machine one emission and returns the step
+    /// to emit (`None` when the configured epochs are exhausted). Both
+    /// pull paths share this, so `next_step` and `next_step_into` cannot
+    /// drift apart; the returned reference points at precomputed storage,
+    /// which is what lets `next_step_into` copy without allocating.
+    fn advance(&mut self) -> Option<&Step> {
+        loop {
+            if self.epochs.is_some_and(|k| self.epoch >= k) {
+                return None;
+            }
+            match self.phase {
+                Phase::Fwd if self.idx < self.microbatches => {
+                    self.idx += 1;
+                    return Some(&self.fwd_step);
+                }
+                Phase::Fwd => {
+                    self.phase = Phase::Bwd;
+                    self.idx = 0;
+                }
+                Phase::Bwd if self.idx < self.microbatches => {
+                    self.idx += 1;
+                    return Some(&self.bwd_step);
+                }
+                Phase::Bwd => {
+                    self.phase = Phase::AllReduce;
+                    self.idx = 0;
+                }
+                Phase::AllReduce if self.idx < self.allreduce_steps.len() => {
+                    self.idx += 1;
+                    return Some(&self.allreduce_steps[self.idx - 1]);
+                }
+                Phase::AllReduce => {
+                    self.phase = Phase::Fwd;
+                    self.idx = 0;
+                    self.epoch += 1;
+                }
+            }
+        }
+    }
 }
 
 impl Workload for TrainingLoop {
@@ -151,43 +204,16 @@ impl Workload for TrainingLoop {
     }
 
     fn next_step(&mut self, _ctx: &WorkloadCtx) -> Option<Step> {
-        loop {
-            if self.epochs.is_some_and(|k| self.epoch >= k) {
-                return None;
+        self.advance().cloned()
+    }
+
+    fn next_step_into(&mut self, _ctx: &WorkloadCtx, out: &mut Step) -> bool {
+        match self.advance() {
+            Some(step) => {
+                out.clone_from(step);
+                true
             }
-            match self.phase {
-                Phase::Fwd if self.idx < self.microbatches => {
-                    self.idx += 1;
-                    return Some(Step {
-                        matching: Matching::shift(self.n, 1).expect("n ≥ 2"),
-                        bytes_per_pair: self.activation_bytes,
-                    });
-                }
-                Phase::Fwd => {
-                    self.phase = Phase::Bwd;
-                    self.idx = 0;
-                }
-                Phase::Bwd if self.idx < self.microbatches => {
-                    self.idx += 1;
-                    return Some(Step {
-                        matching: Matching::shift(self.n, self.n - 1).expect("n ≥ 2"),
-                        bytes_per_pair: self.activation_bytes,
-                    });
-                }
-                Phase::Bwd => {
-                    self.phase = Phase::AllReduce;
-                    self.idx = 0;
-                }
-                Phase::AllReduce if self.idx < self.allreduce_steps.len() => {
-                    self.idx += 1;
-                    return Some(self.allreduce_steps[self.idx - 1].clone());
-                }
-                Phase::AllReduce => {
-                    self.phase = Phase::Fwd;
-                    self.idx = 0;
-                    self.epoch += 1;
-                }
-            }
+            None => false,
         }
     }
 

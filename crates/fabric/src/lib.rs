@@ -48,16 +48,18 @@ pub struct FabricState {
     pub busy_until: Picos,
 }
 
-/// Result of asking a fabric to reconfigure.
-#[derive(Debug, Clone, PartialEq)]
+/// Result of asking a fabric to reconfigure. The configuration actually
+/// achieved (which differs from the target only under fault injection) is
+/// not carried here — after [`Fabric::request`] returns it *is*
+/// [`Fabric::current`], so callers read it from the device and the outcome
+/// stays `Copy` (the simulator's zero-allocation hot path depends on
+/// reconfiguration requests not cloning matchings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReconfigOutcome {
     /// When the new configuration carries traffic.
     pub ready_at: Picos,
     /// Number of TX ports whose circuit changed.
     pub ports_changed: usize,
-    /// The configuration actually achieved (differs from the target only
-    /// under fault injection).
-    pub achieved: Matching,
 }
 
 /// A reconfigurable photonic interconnect.

@@ -129,12 +129,11 @@ impl Fabric for WavelengthFabric {
             .fold(0.0f64, f64::max);
         let ports_changed = self.current.tx_ports_changed(target);
         let ready_at = now + secs_to_picos(slowest);
-        self.current = target.clone();
+        self.current.clone_from(target);
         self.busy_until = ready_at;
         Ok(ReconfigOutcome {
             ready_at,
             ports_changed,
-            achieved: target.clone(),
         })
     }
 }

@@ -16,10 +16,25 @@ use crate::error::MatrixError;
 
 /// A partial permutation of `{0, …, n-1}`: an injective map from senders to
 /// receivers with no fixed points.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Matching {
     /// `dst[i] = Some(j)` iff node `i` sends to node `j` in this step.
     dst: Vec<Option<usize>>,
+}
+
+/// Hand-written so [`Clone::clone_from`] reuses the destination's `dst`
+/// buffer (the derive would drop and reallocate it) — the zero-allocation
+/// steady-state step leans on `clone_from` to recycle matchings in place.
+impl Clone for Matching {
+    fn clone(&self) -> Self {
+        Self {
+            dst: self.dst.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.dst.clone_from(&source.dst);
+    }
 }
 
 impl Matching {

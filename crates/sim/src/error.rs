@@ -43,6 +43,14 @@ pub enum SimError {
     /// configuration, so a streaming executor cannot derive the fabric
     /// state `ConfigChoice::Base` steps target.
     BaseNotACircuit,
+    /// Assembling a global circuit configuration from tenant-local pieces
+    /// produced colliding circuits: duplicate ports within one
+    /// [`crate::tenant::TenantSpec`], or overlapping tenant bases in a
+    /// [`crate::scenarios::Scenario`].
+    ConfigConflict {
+        /// The underlying matching-construction failure.
+        source: aps_matrix::MatrixError,
+    },
     /// θ pricing of a streamed step failed on the base topology (the
     /// streaming executors price each pulled step for the controller's
     /// observation window).
@@ -105,6 +113,9 @@ impl fmt::Display for SimError {
                     f,
                     "the base topology is not realizable as a single circuit configuration"
                 )
+            }
+            Self::ConfigConflict { source } => {
+                write!(f, "tenant circuits collide on the global fabric: {source}")
             }
             Self::Pricing { step, source } => {
                 write!(f, "step {step}: θ pricing failed on the base: {source}")

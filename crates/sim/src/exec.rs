@@ -12,8 +12,9 @@
 //!
 //! Both are normally reached through `adaptive_photonics::Experiment`.
 
+use crate::arena::{StepScratch, UNUSED};
 use crate::error::SimError;
-use crate::fluid::{simulate_flows, FlowSpec};
+use crate::fluid::simulate_flows_scratch;
 use crate::report::{SimReport, StepReport};
 use crate::trace::{TraceEvent, TraceKind};
 use aps_collectives::Schedule;
@@ -23,8 +24,6 @@ use aps_cost::units::{secs_to_picos, Picos};
 use aps_cost::CostParams;
 use aps_fabric::{BarrierModel, Fabric, ReconfigOutcome};
 use aps_matrix::Matching;
-use aps_topology::builders::from_matching;
-use aps_topology::paths::shortest_path;
 
 #[allow(deprecated)]
 pub use crate::tenant::run_tenants;
@@ -88,8 +87,9 @@ pub(crate) struct StepInput<'a> {
     pub matched: bool,
     /// Fabric configuration the step asks for.
     pub target: &'a Matching,
-    /// Communicating `(src, dst)` port pairs.
-    pub pairs: Vec<(usize, usize)>,
+    /// Communicating `(src, dst)` port pairs — borrowed from the caller's
+    /// reusable buffer so assembling a step allocates nothing.
+    pub pairs: &'a [(usize, usize)],
     /// Bytes each pair exchanges.
     pub bytes_per_pair: f64,
     /// Nodes synchronizing at the step's barrier.
@@ -133,6 +133,7 @@ pub(crate) fn natural_request_at(
 /// a collective running a fabric alone passes `false` and a busy fabric is
 /// a hard [`aps_fabric::FabricError::Busy`] error, exactly as in the seed
 /// executor.
+#[allow(clippy::too_many_arguments)] // internal engine entry: clocks + buffers are deliberately explicit
 pub(crate) fn execute_step(
     fabric: &mut dyn Fabric,
     input: &StepInput<'_>,
@@ -141,6 +142,7 @@ pub(crate) fn execute_step(
     comm_end: Picos,
     gpu_free: Picos,
     report: &mut SimReport,
+    scratch: &mut StepScratch,
 ) -> Result<(Picos, Picos), SimError> {
     let bandwidth = cfg.params.bandwidth_bytes_per_sec();
     let barrier_ps = secs_to_picos(cfg.barrier.latency_s(input.barrier_n));
@@ -166,7 +168,6 @@ pub(crate) fn execute_step(
         let outcome = ReconfigOutcome {
             ready_at: natural_request,
             ports_changed: 0,
-            achieved: input.target.clone(),
         };
         (natural_request, outcome)
     } else if arbitrate {
@@ -206,36 +207,72 @@ pub(crate) fn execute_step(
         },
     });
 
-    // Transfer: route every pair on the achieved circuit topology.
-    let circuit_topo = from_matching(&outcome.achieved);
-    let mut specs = Vec::with_capacity(input.pairs.len());
-    let mut max_hops = 0usize;
-    for &(src, dst) in &input.pairs {
-        let path = shortest_path(&circuit_topo, src, dst).ok_or(SimError::Unroutable {
-            step: input.step,
-            src,
-            dst,
-        })?;
-        max_hops = max_hops.max(path.hops());
-        specs.push(FlowSpec {
-            bytes: input.bytes_per_pair,
-            path: path.links,
-        });
+    // Transfer: route every pair on the achieved circuit topology, which
+    // after the request above *is* the fabric's current configuration. A
+    // circuit configuration is a partial permutation — every port has at
+    // most one outgoing circuit — so the unique (hence shortest) path from
+    // `src` is the successor chain, and link ids follow `from_matching`'s
+    // convention: links are numbered by ascending sender port. The walk
+    // writes CSR paths straight into the long-lived scratch, so routing a
+    // steady-state step performs zero heap allocation.
+    let config = fabric.current();
+    let n = config.n();
+    scratch.link_of.clear();
+    scratch.link_of.resize(n, UNUSED);
+    let mut num_links = 0usize;
+    for (s, _) in config.pairs() {
+        scratch.link_of[s] = num_links;
+        num_links += 1;
     }
-    let transfer_ps = if specs.is_empty() {
+    scratch.fluid.start();
+    let mut max_hops = 0usize;
+    for &(src, dst) in input.pairs {
+        let mut cur = src;
+        let mut hops = 0usize;
+        loop {
+            let Some(next) = config.dst_of(cur) else {
+                return Err(SimError::Unroutable {
+                    step: input.step,
+                    src,
+                    dst,
+                });
+            };
+            scratch.fluid.push_link(scratch.link_of[cur]);
+            hops += 1;
+            cur = next;
+            if cur == dst {
+                break;
+            }
+            if hops >= n {
+                // Walked a full cycle without meeting `dst`: unreachable.
+                return Err(SimError::Unroutable {
+                    step: input.step,
+                    src,
+                    dst,
+                });
+            }
+        }
+        max_hops = max_hops.max(hops);
+        scratch.fluid.seal_flow(input.bytes_per_pair);
+    }
+    let transfer_ps = if input.pairs.is_empty() {
         0
     } else {
         report.trace.push(TraceEvent {
             at: flows_start,
-            kind: TraceKind::FlowsStart { count: specs.len() },
+            kind: TraceKind::FlowsStart {
+                count: input.pairs.len(),
+            },
         });
-        let caps = vec![bandwidth; circuit_topo.num_links()];
-        let finish = simulate_flows(&caps, &specs);
-        let worst_s = finish
-            .iter()
-            .zip(&specs)
-            .map(|(f, s)| f + cfg.params.delta_s * s.path.len() as f64)
-            .fold(0.0f64, f64::max);
+        scratch.caps.clear();
+        scratch.caps.resize(num_links, bandwidth);
+        simulate_flows_scratch(&scratch.caps, &mut scratch.fluid);
+        let mut worst_s = 0.0f64;
+        for i in 0..scratch.fluid.num_flows() {
+            let total =
+                scratch.fluid.finish_of(i) + cfg.params.delta_s * scratch.fluid.path_len(i) as f64;
+            worst_s = worst_s.max(total);
+        }
         secs_to_picos(worst_s)
     };
     let comm_end = flows_start + transfer_ps;
@@ -351,6 +388,8 @@ pub fn run_adaptive(
     let mut gpu_free: Picos = 0;
     let mut prev = ConfigChoice::Base;
     let mut choices = Vec::with_capacity(problem.num_steps());
+    let mut scratch = StepScratch::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
 
     for (i, step) in problem.steps.iter().enumerate() {
         let obs = StepObservation::new(problem, accounting, i, prev);
@@ -370,17 +409,27 @@ pub fn run_adaptive(
                 why: controller.explain(&obs, choice),
             },
         });
+        pairs.clear();
+        pairs.extend(step.matching.pairs());
         let input = StepInput {
             step: i,
             matched,
             target: if matched { &step.matching } else { base_config },
-            pairs: step.matching.pairs().collect(),
+            pairs: &pairs,
             bytes_per_pair: step.bytes,
             barrier_n: problem.n,
             first: i == 0,
         };
-        (comm_end, gpu_free) =
-            execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
+        (comm_end, gpu_free) = execute_step(
+            fabric,
+            &input,
+            cfg,
+            false,
+            comm_end,
+            gpu_free,
+            &mut report,
+            &mut scratch,
+        )?;
         choices.push(choice);
         prev = choice;
     }

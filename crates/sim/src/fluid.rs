@@ -59,6 +59,8 @@
 //! the *solver* work is skipped for untouched components, and skipped
 //! work is exactly the work whose results are unchanged.
 
+use crate::arena::{FluidScratch, UNUSED};
+
 /// One flow to simulate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpec {
@@ -117,125 +119,157 @@ pub fn max_min_rates(link_caps: &[f64], paths: &[&[usize]]) -> Vec<f64> {
     rates
 }
 
-/// Per-flow state of the event engine.
-struct Engine<'a> {
-    caps: &'a [f64],
-    specs: &'a [FlowSpec],
-    /// Current max-min rate per flow (stale for finished flows).
-    rates: Vec<f64>,
-    /// Remaining bytes per flow.
-    remaining: Vec<f64>,
-    /// Active flow ids, ascending.
-    active: Vec<usize>,
+/// Re-solves max-min progressive filling restricted to `flows` (ascending
+/// flow ids forming a union of sharing components), writing the new rates
+/// into `s.rates` in place. Only links used by these flows are scanned —
+/// by the isolation invariant the result is bitwise what a full global
+/// re-solve would assign them.
+///
+/// `flows` is passed separately (typically `mem::take`n out of the scratch)
+/// so the scratch's own buffers stay mutably borrowable; `s.slot` entries
+/// are restored to [`UNUSED`] on exit, so no O(links) reset is ever needed.
+fn solve_subset(s: &mut FluidScratch, caps: &[f64], flows: &[usize]) {
+    s.frozen.clear();
+    s.frozen.resize(flows.len(), false);
+    // Residual capacity and user count, only for links these flows use.
+    // Links are scanned in ascending id via a sorted dense list so tie
+    // breaking matches the global solver; `slot` maps link id → dense
+    // index for O(1) lookups on the freeze path.
+    if s.slot.len() < caps.len() {
+        s.slot.resize(caps.len(), UNUSED);
+    }
+    s.links.clear();
+    for &i in flows {
+        for h in s.path_off[i]..s.path_off[i + 1] {
+            let l = s.path_data[h];
+            if s.slot[l] == UNUSED {
+                s.slot[l] = 0; // mark; real indices assigned after sorting
+                s.links.push(l);
+            }
+        }
+    }
+    s.links.sort_unstable();
+    for (k, &l) in s.links.iter().enumerate() {
+        s.slot[l] = k;
+    }
+    s.cap_left.clear();
+    for &l in &s.links {
+        s.cap_left.push(caps[l]);
+    }
+    s.users.clear();
+    s.users.resize(s.links.len(), 0);
+    for &i in flows {
+        for h in s.path_off[i]..s.path_off[i + 1] {
+            s.users[s.slot[s.path_data[h]]] += 1;
+        }
+    }
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, &u) in s.users.iter().enumerate() {
+            if u > 0 {
+                let fair = s.cap_left[k] / u as f64;
+                if best.is_none_or(|(_, b)| fair < b) {
+                    best = Some((k, fair));
+                }
+            }
+        }
+        let Some((bottleneck_slot, fair)) = best else {
+            break;
+        };
+        let bottleneck = s.links[bottleneck_slot];
+        for (k, &i) in flows.iter().enumerate() {
+            if !s.frozen[k] && s.path_data[s.path_off[i]..s.path_off[i + 1]].contains(&bottleneck) {
+                s.frozen[k] = true;
+                s.rates[i] = fair;
+                for h in s.path_off[i]..s.path_off[i + 1] {
+                    let d = s.slot[s.path_data[h]];
+                    s.cap_left[d] = (s.cap_left[d] - fair).max(0.0);
+                    s.users[d] -= 1;
+                }
+            }
+        }
+    }
+    // Restore the slot map's "all UNUSED" invariant for the next solve.
+    for idx in 0..s.links.len() {
+        let l = s.links[idx];
+        s.slot[l] = UNUSED;
+    }
 }
 
-impl Engine<'_> {
-    /// Re-solves max-min progressive filling restricted to `flows`
-    /// (ascending flow ids forming a union of sharing components), writing
-    /// the new rates in place. Only links used by these flows are scanned —
-    /// by the isolation invariant the result is bitwise what a full global
-    /// re-solve would assign them.
-    fn solve_subset(&mut self, flows: &[usize]) {
-        let mut frozen = vec![false; flows.len()];
-        // Residual capacity and user count, only for links these flows use.
-        // Links are scanned in ascending id via a sorted dense list so tie
-        // breaking matches the global solver; `slot` maps link id → dense
-        // index for O(1) lookups on the freeze path.
-        const UNUSED: usize = usize::MAX;
-        let mut links: Vec<usize> = Vec::new();
-        let mut slot = vec![UNUSED; self.caps.len()];
-        for &i in flows {
-            for &l in &self.specs[i].path {
-                if slot[l] == UNUSED {
-                    slot[l] = 0; // mark; real indices assigned after sorting
-                    links.push(l);
-                }
+/// Computes the flows whose rates may change when `s.completed` depart:
+/// the transitive closure, over the surviving active set, of link sharing
+/// with the departed flows, written ascending into `s.affected_list`. BFS
+/// over the incrementally-maintained link→flows index — the departed flows
+/// must already have been removed from the index (the closure is over
+/// survivors), which `simulate_flows_scratch` does at each round boundary.
+fn affected_by(s: &mut FluidScratch, num_links: usize) {
+    let num_flows = s.bytes.len();
+    s.link_seen.clear();
+    s.link_seen.resize(num_links, false);
+    s.affected.clear();
+    s.affected.resize(num_flows, false);
+    s.frontier.clear();
+    for idx in 0..s.completed.len() {
+        let i = s.completed[idx];
+        for h in s.path_off[i]..s.path_off[i + 1] {
+            let l = s.path_data[h];
+            if !s.link_seen[l] {
+                s.link_seen[l] = true;
+                s.frontier.push(l);
             }
         }
-        links.sort_unstable();
-        for (s, &l) in links.iter().enumerate() {
-            slot[l] = s;
-        }
-        let mut cap_left: Vec<f64> = links.iter().map(|&l| self.caps[l]).collect();
-        let mut users: Vec<usize> = vec![0; links.len()];
-        for &i in flows {
-            for &l in &self.specs[i].path {
-                users[slot[l]] += 1;
-            }
-        }
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (s, &u) in users.iter().enumerate() {
-                if u > 0 {
-                    let fair = cap_left[s] / u as f64;
-                    if best.is_none_or(|(_, b)| fair < b) {
-                        best = Some((s, fair));
-                    }
-                }
-            }
-            let Some((bottleneck_slot, fair)) = best else {
-                break;
-            };
-            let bottleneck = links[bottleneck_slot];
-            for (k, &i) in flows.iter().enumerate() {
-                if !frozen[k] && self.specs[i].path.contains(&bottleneck) {
-                    frozen[k] = true;
-                    self.rates[i] = fair;
-                    for &l in &self.specs[i].path {
-                        let s = slot[l];
-                        cap_left[s] = (cap_left[s] - fair).max(0.0);
-                        users[s] -= 1;
+    }
+    while let Some(l) = s.frontier.pop() {
+        for k in 0..s.flows_of_link[l].len() {
+            let i = s.flows_of_link[l][k];
+            if !s.affected[i] {
+                s.affected[i] = true;
+                for h in s.path_off[i]..s.path_off[i + 1] {
+                    let l2 = s.path_data[h];
+                    if !s.link_seen[l2] {
+                        s.link_seen[l2] = true;
+                        s.frontier.push(l2);
                     }
                 }
             }
         }
     }
-
-    /// The flows whose rates may change when `completed` depart: the
-    /// transitive closure, over the surviving active set, of link sharing
-    /// with the departed flows. Returned ascending. BFS over a link→flows
-    /// adjacency, linear in the total path length of the active set.
-    fn affected_by(&self, completed: &[usize]) -> Vec<usize> {
-        let mut flows_of_link: Vec<Vec<usize>> = vec![Vec::new(); self.caps.len()];
-        for &i in &self.active {
-            for &l in &self.specs[i].path {
-                flows_of_link[l].push(i);
-            }
+    s.affected_list.clear();
+    for idx in 0..s.active.len() {
+        let i = s.active[idx];
+        if s.affected[i] {
+            s.affected_list.push(i);
         }
-        let mut link_seen = vec![false; self.caps.len()];
-        let mut affected = vec![false; self.specs.len()];
-        let mut frontier: Vec<usize> = Vec::new(); // links to expand
-        for &i in completed {
-            for &l in &self.specs[i].path {
-                if !link_seen[l] {
-                    link_seen[l] = true;
-                    frontier.push(l);
-                }
-            }
-        }
-        while let Some(l) = frontier.pop() {
-            for &i in &flows_of_link[l] {
-                if !affected[i] {
-                    affected[i] = true;
-                    for &l2 in &self.specs[i].path {
-                        if !link_seen[l2] {
-                            link_seen[l2] = true;
-                            frontier.push(l2);
-                        }
-                    }
-                }
-            }
-        }
-        self.active
-            .iter()
-            .copied()
-            .filter(|&i| affected[i])
-            .collect()
     }
 }
 
-/// Simulates the flows to completion; returns per-flow finish times in
-/// seconds (transmission only — the caller adds propagation).
+/// Builds the link→flows sharing index from the current active set —
+/// called exactly once per simulation; afterwards the index is maintained
+/// incrementally as flows complete. (The pre-arena engine rebuilt it on
+/// *every completion event*; [`FluidScratch::index_builds`] pins the fix.)
+fn build_link_index(s: &mut FluidScratch, num_links: usize) {
+    if s.flows_of_link.len() < num_links {
+        s.flows_of_link.resize_with(num_links, Vec::new);
+    }
+    for bucket in &mut s.flows_of_link[..num_links] {
+        bucket.clear();
+    }
+    for idx in 0..s.active.len() {
+        let i = s.active[idx];
+        for h in s.path_off[i]..s.path_off[i + 1] {
+            let l = s.path_data[h];
+            s.flows_of_link[l].push(i);
+        }
+    }
+    s.note_index_build();
+}
+
+/// Simulates the flows loaded in `s` (via [`FluidScratch::start`] /
+/// [`FluidScratch::push_link`] / [`FluidScratch::seal_flow`] or
+/// [`FluidScratch::load_specs`]) to completion, writing per-flow finish
+/// times in seconds into `s.finish` (transmission only — the caller adds
+/// propagation). The zero-allocation core of [`simulate_flows`]: after
+/// warm-up, a call touches no heap.
 ///
 /// Zero-byte flows and empty-path flows finish at `t = 0`. Flows only
 /// depart — the per-step model releases all of a step's flows together —
@@ -249,36 +283,43 @@ impl Engine<'_> {
 ///
 /// Panics if a path references an out-of-range link or a link capacity is
 /// non-positive while used.
-pub fn simulate_flows(link_caps_bytes_per_s: &[f64], specs: &[FlowSpec]) -> Vec<f64> {
-    for s in specs {
-        for &l in &s.path {
-            assert!(
-                l < link_caps_bytes_per_s.len(),
-                "path references unknown link {l}"
-            );
-            assert!(link_caps_bytes_per_s[l] > 0.0, "link {l} has no capacity");
+pub fn simulate_flows_scratch(link_caps_bytes_per_s: &[f64], s: &mut FluidScratch) {
+    let caps = link_caps_bytes_per_s;
+    let num_flows = s.bytes.len();
+    for i in 0..num_flows {
+        for h in s.path_off[i]..s.path_off[i + 1] {
+            let l = s.path_data[h];
+            assert!(l < caps.len(), "path references unknown link {l}");
+            assert!(caps[l] > 0.0, "link {l} has no capacity");
         }
     }
-    let mut finish = vec![0.0f64; specs.len()];
-    let active: Vec<usize> = (0..specs.len())
-        .filter(|&i| specs[i].bytes > 0.0 && !specs[i].path.is_empty())
-        .collect();
-    let mut engine = Engine {
-        caps: link_caps_bytes_per_s,
-        specs,
-        rates: vec![0.0f64; specs.len()],
-        remaining: specs.iter().map(|s| s.bytes).collect(),
-        active,
-    };
-    // Initial allocation: one full solve (all flows are "affected").
-    let all: Vec<usize> = engine.active.clone();
-    engine.solve_subset(&all);
+    s.finish.clear();
+    s.finish.resize(num_flows, 0.0);
+    s.rates.clear();
+    s.rates.resize(num_flows, 0.0);
+    s.remaining.clear();
+    s.remaining.extend_from_slice(&s.bytes);
+    s.active.clear();
+    for i in 0..num_flows {
+        if s.bytes[i] > 0.0 && s.path_off[i + 1] > s.path_off[i] {
+            s.active.push(i);
+        }
+    }
+    // The sharing index: built once here, maintained incrementally below.
+    build_link_index(s, caps.len());
+    // Initial allocation: one full solve (all flows are "affected"). The
+    // active list is taken out and put back so the scratch stays mutably
+    // borrowable — `mem::take` swaps in an unallocated empty Vec, so this
+    // costs nothing on the heap.
+    let all = std::mem::take(&mut s.active);
+    solve_subset(s, caps, &all);
+    s.active = all;
 
     let mut t = 0.0f64;
     // Each round retires at least one flow: ≤ F rounds.
-    while !engine.active.is_empty() {
+    while !s.active.is_empty() {
         debug_assert!(
-            engine.active.iter().all(|&i| engine.rates[i] > 0.0),
+            s.active.iter().all(|&i| s.rates[i] > 0.0),
             "active flow starved"
         );
         // Time of the earliest candidate completion. (Every candidate
@@ -287,37 +328,70 @@ pub fn simulate_flows(link_caps_bytes_per_s: &[f64], specs: &[FlowSpec]) -> Vec<
         // to cache; the plain minimum is the whole event selection. Which
         // flow attains it is irrelevant: all flows within ε of zero at
         // `t + dt` complete together, in ascending flow id, below.)
-        let dt = engine
-            .active
-            .iter()
-            .map(|&i| engine.remaining[i] / engine.rates[i])
-            .fold(f64::INFINITY, f64::min);
+        let mut dt = f64::INFINITY;
+        for idx in 0..s.active.len() {
+            let i = s.active[idx];
+            dt = dt.min(s.remaining[i] / s.rates[i]);
+        }
         t += dt;
         // Materialize every active flow at the event time; flows at (or
-        // numerically within ε of) zero remaining complete together.
-        let mut still = Vec::with_capacity(engine.active.len());
-        let mut completed = Vec::new();
-        for &i in &engine.active {
-            engine.remaining[i] -= engine.rates[i] * dt;
-            if engine.remaining[i] <= 1e-9 * specs[i].bytes.max(1.0) {
-                finish[i] = t;
-                completed.push(i);
+        // numerically within ε of) zero remaining complete together. The
+        // survivors fill the `still` generation, which then ping-pongs
+        // with `active` — no per-round Vec is ever constructed.
+        s.still.clear();
+        s.completed.clear();
+        for idx in 0..s.active.len() {
+            let i = s.active[idx];
+            s.remaining[i] -= s.rates[i] * dt;
+            if s.remaining[i] <= 1e-9 * s.bytes[i].max(1.0) {
+                s.finish[i] = t;
+                s.completed.push(i);
             } else {
-                still.push(i);
+                s.still.push(i);
             }
         }
-        engine.active = still;
-        if engine.active.is_empty() {
+        std::mem::swap(&mut s.active, &mut s.still);
+        if s.active.is_empty() {
             break;
+        }
+        // Retire the departures from the sharing index *before* the
+        // closure walk: `affected_by` must see exactly the survivors.
+        for idx in 0..s.completed.len() {
+            let i = s.completed[idx];
+            for h in s.path_off[i]..s.path_off[i + 1] {
+                let l = s.path_data[h];
+                let bucket = &mut s.flows_of_link[l];
+                if let Some(pos) = bucket.iter().position(|&f| f == i) {
+                    bucket.swap_remove(pos);
+                }
+            }
         }
         // Incremental re-solve: only the sharing components the departures
         // touched; everyone else keeps their cached bottleneck rate.
-        let affected = engine.affected_by(&completed);
-        if !affected.is_empty() {
-            engine.solve_subset(&affected);
+        affected_by(s, caps.len());
+        if !s.affected_list.is_empty() {
+            let aff = std::mem::take(&mut s.affected_list);
+            solve_subset(s, caps, &aff);
+            s.affected_list = aff;
         }
     }
-    finish
+}
+
+/// Simulates the flows to completion; returns per-flow finish times in
+/// seconds (transmission only — the caller adds propagation). The
+/// materialized-spec face of [`simulate_flows_scratch`] — it builds a
+/// fresh scratch per call, so hot paths that care about allocation load a
+/// long-lived [`FluidScratch`] instead.
+///
+/// # Panics
+///
+/// Panics if a path references an out-of-range link or a link capacity is
+/// non-positive while used.
+pub fn simulate_flows(link_caps_bytes_per_s: &[f64], specs: &[FlowSpec]) -> Vec<f64> {
+    let mut scratch = FluidScratch::new();
+    scratch.load_specs(specs);
+    simulate_flows_scratch(link_caps_bytes_per_s, &mut scratch);
+    scratch.finish
 }
 
 pub mod reference {
@@ -648,6 +722,76 @@ mod tests {
         let b = simulate_flows_reference(&caps, &specs);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits(), "event {x} vs reference {y}");
+        }
+    }
+
+    #[test]
+    fn link_index_is_built_exactly_once_per_simulation() {
+        // The regression hook for the old per-completion rebuild: this
+        // flow set completes in several distinct rounds (staggered
+        // volumes on one shared link), yet the link→flows index must be
+        // constructed once per call — completions maintain it
+        // incrementally.
+        let caps = vec![100.0; 3];
+        let specs: Vec<FlowSpec> = (0..5)
+            .map(|i| FlowSpec {
+                bytes: 50.0 * (i + 1) as f64,
+                path: vec![i % 3, (i + 1) % 3],
+            })
+            .collect();
+        let mut s = FluidScratch::new();
+        assert_eq!(s.index_builds(), 0);
+        for round in 1..=4u64 {
+            s.load_specs(&specs);
+            simulate_flows_scratch(&caps, &mut s);
+            assert_eq!(
+                s.index_builds(),
+                round,
+                "one index build per simulation, even with multiple \
+                 completion rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_is_bit_identical_to_fresh_scratch() {
+        // Arena reuse must be invisible: running flow set B in a scratch
+        // warmed by flow set A gives bitwise the same finish times as a
+        // fresh scratch — stale capacity, slot maps, and index buckets
+        // from A must not leak into B.
+        let caps_a = vec![100.0; 6];
+        let specs_a: Vec<FlowSpec> = (0..9)
+            .map(|i| FlowSpec {
+                bytes: 10.0 + 37.0 * i as f64,
+                path: (0..=(i % 4)).map(|h| (i + h) % 6).collect(),
+            })
+            .collect();
+        // B is smaller in every dimension (fewer links, fewer flows,
+        // shorter paths) so every buffer must correctly shrink its live
+        // region while keeping capacity.
+        let caps_b = vec![40.0, 70.0];
+        let specs_b = vec![
+            FlowSpec {
+                bytes: 30.0,
+                path: vec![0, 1],
+            },
+            FlowSpec {
+                bytes: 80.0,
+                path: vec![1],
+            },
+        ];
+        let mut warmed = FluidScratch::new();
+        warmed.load_specs(&specs_a);
+        simulate_flows_scratch(&caps_a, &mut warmed);
+        warmed.load_specs(&specs_b);
+        simulate_flows_scratch(&caps_b, &mut warmed);
+        let fresh = simulate_flows(&caps_b, &specs_b);
+        for (i, fresh_finish) in fresh.iter().enumerate() {
+            assert_eq!(
+                warmed.finish_of(i).to_bits(),
+                fresh_finish.to_bits(),
+                "recycled scratch diverged on flow {i}"
+            );
         }
     }
 }

@@ -46,6 +46,7 @@
 //! All of this is normally reached through the
 //! `adaptive_photonics::Experiment` facade at the workspace root.
 
+pub mod arena;
 pub mod error;
 pub mod exec;
 pub mod fluid;
@@ -57,9 +58,10 @@ pub mod stream;
 pub mod tenant;
 pub mod trace;
 
+pub use arena::{FluidScratch, StepScratch};
 pub use error::SimError;
 pub use exec::{run_adaptive, run_scheduled, ComputeModel, RunConfig};
-pub use fluid::{max_min_rates, simulate_flows, FlowSpec};
+pub use fluid::{max_min_rates, simulate_flows, simulate_flows_scratch, FlowSpec};
 pub use harness::{run_trial_batch, Trial};
 pub use record::{RecordSink, StepRecord};
 pub use report::{SimReport, StepReport};

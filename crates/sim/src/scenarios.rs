@@ -56,18 +56,28 @@ pub struct Scenario {
 impl Scenario {
     /// The union of the tenants' base configurations — the fabric's
     /// initial state, with idle ports unconnected.
-    pub fn initial_config(&self) -> Matching {
-        let pairs: Vec<(usize, usize)> = self
-            .tenants
-            .iter()
-            .flat_map(|t| t.global_base().pairs().collect::<Vec<_>>())
-            .collect();
-        Matching::from_pairs(self.n, &pairs).expect("disjoint tenant bases form a matching")
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ConfigConflict`] when tenant bases overlap on a port
+    /// (user-built scenarios; the named generators always partition), and
+    /// whatever [`TenantSpec::global_base`] raises per tenant.
+    pub fn initial_config(&self) -> Result<Matching, SimError> {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for t in &self.tenants {
+            let base = t.global_base()?;
+            pairs.extend(base.pairs());
+        }
+        Matching::from_pairs(self.n, &pairs).map_err(|source| SimError::ConfigConflict { source })
     }
 
     /// A circuit-switch fabric initialized for this scenario.
-    pub fn fabric(&self, reconfig: ReconfigModel) -> CircuitSwitch {
-        CircuitSwitch::new(self.initial_config(), reconfig)
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::initial_config`].
+    pub fn fabric(&self, reconfig: ReconfigModel) -> Result<CircuitSwitch, SimError> {
+        Ok(CircuitSwitch::new(self.initial_config()?, reconfig))
     }
 
     /// Replaces every tenant's switch schedule with the one `controller`
@@ -153,14 +163,15 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Propagates structural errors from [`execute_tenants`]; per-tenant
-    /// failures land in the returned per-tenant results.
+    /// Propagates structural errors from [`Scenario::fabric`] and
+    /// [`execute_tenants`]; per-tenant failures land in the returned
+    /// per-tenant results.
     pub fn run(
         &self,
         reconfig: ReconfigModel,
         cfg: &RunConfig,
     ) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
-        let mut fabric = self.fabric(reconfig);
+        let mut fabric = self.fabric(reconfig)?;
         execute_tenants(&mut fabric, &self.tenants, cfg)
     }
 }
@@ -330,7 +341,7 @@ mod tests {
         let cfg = RunConfig::paper_defaults();
         let reconfig = ReconfigModel::constant(5e-6).unwrap();
         for scenario in all(MIB) {
-            let config = scenario.initial_config();
+            let config = scenario.initial_config().unwrap();
             assert_eq!(config.n(), scenario.n);
             let reports = scenario.run(reconfig, &cfg).unwrap();
             assert_eq!(reports.len(), scenario.tenants.len());

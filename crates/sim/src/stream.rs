@@ -47,6 +47,7 @@
 //! streaming — by construction: an unbounded stream has no suffix to
 //! solve.
 
+use crate::arena::StepScratch;
 use crate::error::SimError;
 use crate::exec::{execute_step, natural_request_at, RunConfig, StepInput};
 use crate::record::{RecordSink, StepRecord};
@@ -223,7 +224,10 @@ pub fn run_scheduled_workload_recorded(
     let mut comm_end: Picos = 0;
     let mut gpu_free: Picos = 0;
     let mut i = 0usize;
-    while let Some(step) = workload.next_step(&WorkloadCtx::at(i)) {
+    let mut step = Step::empty();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut scratch = StepScratch::new();
+    while workload.next_step_into(&WorkloadCtx::at(i), &mut step) {
         if i >= switch_schedule.len() {
             return Err(SimError::ScheduleLengthMismatch {
                 expected: i + 1,
@@ -232,24 +236,35 @@ pub fn run_scheduled_workload_recorded(
         }
         validate_step(i, n, &step)?;
         let matched = switch_schedule.choice(i) == ConfigChoice::Matched;
+        pairs.clear();
+        pairs.extend(step.matching.pairs());
         let input = StepInput {
             step: i,
             matched,
             target: if matched { &step.matching } else { base_config },
-            pairs: step.matching.pairs().collect(),
+            pairs: &pairs,
             bytes_per_pair: step.bytes_per_pair,
             barrier_n: n,
             first: i == 0,
         };
         let trace_before = report.trace.len();
-        (comm_end, gpu_free) =
-            execute_step(fabric, &input, cfg, false, comm_end, gpu_free, &mut report)?;
+        let step_idx = report.steps.len();
+        (comm_end, gpu_free) = execute_step(
+            fabric,
+            &input,
+            cfg,
+            false,
+            comm_end,
+            gpu_free,
+            &mut report,
+            &mut scratch,
+        )?;
         if let Some(s) = sink.as_deref_mut() {
             s.record_step(&StepRecord {
                 step: i,
                 tenant: None,
                 matched,
-                report: report.steps.last().expect("execute_step pushed a step"),
+                report: &report.steps[step_idx],
                 events: &report.trace[trace_before..],
                 config: fabric.current(),
                 busy_until: fabric.busy_until(),
@@ -272,12 +287,18 @@ pub fn run_scheduled_workload_recorded(
 /// simulation clocks.
 struct AdaptiveStream<'a> {
     base: &'a Topology,
-    base_config: aps_matrix::Matching,
     cache: ThetaCache,
+    /// The observation window; also the single owner of the base circuit
+    /// configuration (`window.base_config`, always `Some` here — the old
+    /// duplicate field cloned the matching a second time for nothing).
     window: SwitchingProblem,
     prev: ConfigChoice,
     comm_end: Picos,
     gpu_free: Picos,
+    /// Persistent pair buffer, refilled per step (zero-alloc hot path).
+    pairs: Vec<(usize, usize)>,
+    /// Arena-backed per-step simulator state, recycled every step.
+    scratch: StepScratch,
 }
 
 impl<'a> AdaptiveStream<'a> {
@@ -300,17 +321,18 @@ impl<'a> AdaptiveStream<'a> {
             n,
             params: cfg.params,
             reconfig: pricing.reconfig,
-            base_config: Some(base_config.clone()),
+            base_config: Some(base_config),
             steps: Vec::with_capacity(2),
         };
         Ok(Self {
             base,
-            base_config,
             cache: ThetaCache::new(base, pricing.solver),
             window,
             prev: ConfigChoice::Base,
             comm_end: 0,
             gpu_free: 0,
+            pairs: Vec::new(),
+            scratch: StepScratch::new(),
         })
     }
 
@@ -329,16 +351,24 @@ impl<'a> AdaptiveStream<'a> {
             .cache
             .get(self.base, &step.matching)
             .map_err(|source| SimError::Pricing { step: i, source })?;
-        let costs = StepCosts {
-            matching: step.matching.clone(),
-            bytes: step.bytes_per_pair,
-            theta_base: t.theta,
-            ell_base: t.max_hops,
-        };
-        if self.window.steps.len() == 2 {
-            self.window.steps.remove(0);
+        // Two-slot sliding window: once warm, recycle the oldest slot
+        // in place (`clone_from` reuses the matching's buffer) instead of
+        // `remove(0)` + pushing a freshly-cloned `StepCosts` every step.
+        if self.window.steps.len() < 2 {
+            self.window.steps.push(StepCosts {
+                matching: step.matching.clone(),
+                bytes: step.bytes_per_pair,
+                theta_base: t.theta,
+                ell_base: t.max_hops,
+            });
+        } else {
+            self.window.steps.swap(0, 1);
+            let slot = &mut self.window.steps[1];
+            slot.matching.clone_from(&step.matching);
+            slot.bytes = step.bytes_per_pair;
+            slot.theta_base = t.theta;
+            slot.ell_base = t.max_hops;
         }
-        self.window.steps.push(costs);
         let wi = self.window.steps.len() - 1;
         let obs = StepObservation::new(&self.window, accounting, wi, self.prev).at_stream_step(i);
         Ok((controller.decide(&obs), wi))
@@ -354,15 +384,23 @@ impl<'a> AdaptiveStream<'a> {
         cfg: &RunConfig,
         report: &mut SimReport,
     ) -> Result<(), SimError> {
+        self.pairs.clear();
+        self.pairs.extend(step.matching.pairs());
+        let target = if matched {
+            &step.matching
+        } else {
+            // `new` always seeds the window with the base circuit; a
+            // missing one is a construction bug surfaced as a typed error.
+            self.window
+                .base_config
+                .as_ref()
+                .ok_or(SimError::BaseNotACircuit)?
+        };
         let input = StepInput {
             step: i,
             matched,
-            target: if matched {
-                &step.matching
-            } else {
-                &self.base_config
-            },
-            pairs: step.matching.pairs().collect(),
+            target,
+            pairs: &self.pairs,
             bytes_per_pair: step.bytes_per_pair,
             barrier_n: self.window.n,
             first: i == 0,
@@ -375,6 +413,7 @@ impl<'a> AdaptiveStream<'a> {
             self.comm_end,
             self.gpu_free,
             report,
+            &mut self.scratch,
         )?;
         self.prev = if matched {
             ConfigChoice::Matched
@@ -394,9 +433,10 @@ impl<'a> AdaptiveStream<'a> {
         workload: &mut dyn Workload,
     ) -> Result<(), SimError> {
         workload.reset();
-        let mut last: Option<Step> = None;
+        let mut step = Step::empty();
+        let mut any = false;
         for j in 0..checkpoint.steps_done {
-            let Some(step) = workload.next_step(&WorkloadCtx::at(j)) else {
+            if !workload.next_step_into(&WorkloadCtx::at(j), &mut step) {
                 // The stream replayed shorter than the checkpoint claims —
                 // the reset contract was violated (or the checkpoint
                 // belongs to a different workload).
@@ -404,10 +444,10 @@ impl<'a> AdaptiveStream<'a> {
                     expected: checkpoint.steps_done,
                     got: j,
                 });
-            };
-            last = Some(step);
+            }
+            any = true;
         }
-        if let Some(step) = last {
+        if any {
             let i = checkpoint.steps_done - 1;
             validate_step(i, self.window.n, &step)?;
             let t = self
@@ -518,10 +558,11 @@ fn run_stream_core(
         choices.reserve(workload.size_hint().0);
     }
     let mut scratch = SimReport::default();
+    let mut step = Step::empty();
     while i < max_steps {
-        let Some(step) = workload.next_step(&WorkloadCtx::at(i)) else {
+        if !workload.next_step_into(&WorkloadCtx::at(i), &mut step) {
             break;
-        };
+        }
         let (choice, wi) = stream.observe(i, &step, controller, pricing.accounting)?;
         let matched = choice == ConfigChoice::Matched;
         if full.is_some() || sink.is_some() {

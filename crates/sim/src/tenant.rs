@@ -66,7 +66,14 @@ pub struct TenantSpec {
 
 impl TenantSpec {
     /// The tenant's base configuration mapped to global fabric ports.
-    pub fn global_base(&self) -> Matching {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] when the base configuration spans
+    /// more ranks than the port list, and [`SimError::ConfigConflict`]
+    /// when the port list maps two circuits onto the same global port
+    /// (duplicate entries in [`TenantSpec::ports`]).
+    pub fn global_base(&self) -> Result<Matching, SimError> {
         map_matching(&self.base_config, &self.ports)
     }
 }
@@ -99,12 +106,20 @@ impl TenantReport {
     }
 }
 
-/// Maps a matching over local ranks onto global fabric ports.
-fn map_matching(local: &Matching, ports: &[usize]) -> Matching {
+/// Maps a matching over local ranks onto global fabric ports. Duplicate
+/// ports surface as [`SimError::ConfigConflict`] (a user-built spec can
+/// carry them — the executor's partition validation is not on this path).
+fn map_matching(local: &Matching, ports: &[usize]) -> Result<Matching, SimError> {
+    if local.n() > ports.len() {
+        return Err(SimError::DimensionMismatch {
+            fabric: ports.len(),
+            collective: local.n(),
+        });
+    }
     let n_global = ports.iter().copied().max().map_or(0, |m| m + 1);
     let pairs: Vec<(usize, usize)> = local.pairs().map(|(s, d)| (ports[s], ports[d])).collect();
     Matching::from_pairs(n_global.max(local.n()), &pairs)
-        .expect("a matching over distinct ports stays a matching")
+        .map_err(|source| SimError::ConfigConflict { source })
 }
 
 /// Builds the global reconfiguration target for one tenant: the tenant's
@@ -247,6 +262,8 @@ pub fn execute_tenants_recorded(
     // earliest (ties to the lowest tenant index). Requests therefore reach
     // the controller in nondecreasing time order — first come, first
     // served.
+    let mut scratch = crate::arena::StepScratch::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     loop {
         let mut next: Option<(Picos, usize)> = None;
         for (t, spec) in tenants.iter().enumerate() {
@@ -283,21 +300,23 @@ pub fn execute_tenants_recorded(
         };
         let owned: Vec<bool> = (0..n).map(|p| owner[p] == Some(t)).collect();
         let target = tenant_target(fabric.current(), &spec.ports, local_target, &owned);
-        let pairs: Vec<(usize, usize)> = step
-            .matching
-            .pairs()
-            .map(|(s, d)| (spec.ports[s], spec.ports[d]))
-            .collect();
+        pairs.clear();
+        pairs.extend(
+            step.matching
+                .pairs()
+                .map(|(s, d)| (spec.ports[s], spec.ports[d])),
+        );
         let input = StepInput {
             step: i,
             matched,
             target: &target,
-            pairs,
+            pairs: &pairs,
             bytes_per_pair: step.bytes_per_pair,
             barrier_n: spec.ports.len(),
             first: i == 0,
         };
         let trace_before = states[t].report.trace.len();
+        let step_idx = states[t].report.steps.len();
         let (comm_end, gpu_free) = {
             let st = &mut states[t];
             match execute_step(
@@ -308,6 +327,7 @@ pub fn execute_tenants_recorded(
                 st.comm_end,
                 st.gpu_free,
                 &mut st.report,
+                &mut scratch,
             ) {
                 Ok(clocks) => clocks,
                 Err(e) => {
@@ -322,7 +342,7 @@ pub fn execute_tenants_recorded(
                 step: i,
                 tenant: Some(t),
                 matched,
-                report: st.report.steps.last().expect("execute_step pushed a step"),
+                report: &st.report.steps[step_idx],
                 events: &st.report.trace[trace_before..],
                 config: fabric.current(),
                 busy_until: fabric.busy_until(),
@@ -416,6 +436,7 @@ mod tests {
             tenants: tenants.to_vec(),
         }
         .fabric(ReconfigModel::constant(5e-6).unwrap())
+        .unwrap()
     }
 
     #[test]
@@ -428,7 +449,10 @@ mod tests {
         let reports = execute_tenants(&mut fab, std::slice::from_ref(&t), &cfg).unwrap();
         let got = reports[0].as_ref().unwrap();
 
-        let mut solo = CircuitSwitch::new(t.global_base(), ReconfigModel::constant(5e-6).unwrap());
+        let mut solo = CircuitSwitch::new(
+            t.global_base().unwrap(),
+            ReconfigModel::constant(5e-6).unwrap(),
+        );
         let want = crate::exec::run_scheduled(
             &mut solo,
             &t.base_config,

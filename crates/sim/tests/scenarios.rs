@@ -31,7 +31,7 @@ fn generators_are_deterministic_across_invocations() {
             for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
                 assert_tenants_identical(ta, tb);
             }
-            assert_eq!(a.initial_config(), b.initial_config());
+            assert_eq!(a.initial_config().unwrap(), b.initial_config().unwrap());
         }
     }
 }
@@ -113,7 +113,7 @@ fn config_owner_check(s: &Scenario) -> aps_matrix::Matching {
             owner[p] = Some(i);
         }
     }
-    let config = s.initial_config();
+    let config = s.initial_config().unwrap();
     for (src, dst) in config.pairs() {
         assert_eq!(
             owner[src], owner[dst],

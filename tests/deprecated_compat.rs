@@ -60,8 +60,8 @@ fn run_tenants_matches_execute_tenants() {
     let scenario = scenarios::skewed_tenants(MIB);
     let cfg = RunConfig::paper_defaults();
     let reconfig = ReconfigModel::constant(5e-6).unwrap();
-    let mut f1 = scenario.fabric(reconfig);
-    let mut f2 = scenario.fabric(reconfig);
+    let mut f1 = scenario.fabric(reconfig).unwrap();
+    let mut f2 = scenario.fabric(reconfig).unwrap();
     let old = run_tenants(&mut f1, &scenario.tenants, &cfg).unwrap();
     let new = execute_tenants(&mut f2, &scenario.tenants, &cfg).unwrap();
     for (a, b) in old.iter().zip(&new) {

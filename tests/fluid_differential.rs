@@ -110,6 +110,36 @@ proptest! {
     }
 
     #[test]
+    fn recycled_scratch_matches_fresh_scratch_across_random_sequences(
+        nets in proptest::collection::vec(arb_network(), 2..6),
+    ) {
+        // The arena contract: one long-lived `FluidScratch` recycled
+        // across an arbitrary sequence of simulations (the executor's
+        // steady-state pattern) is bit-identical to a fresh scratch per
+        // call — no state leaks across steps of any shape sequence
+        // (growing, shrinking, degenerate).
+        use aps_sim::fluid::simulate_flows_scratch;
+        use aps_sim::FluidScratch;
+
+        let mut recycled = FluidScratch::new();
+        for (round, (caps, specs)) in nets.iter().enumerate() {
+            recycled.load_specs(specs);
+            simulate_flows_scratch(caps, &mut recycled);
+            let fresh = simulate_flows(caps, specs);
+            for (i, want) in fresh.iter().enumerate() {
+                prop_assert_eq!(
+                    recycled.finish_of(i).to_bits(),
+                    want.to_bits(),
+                    "round {}: recycled scratch diverged on flow {}",
+                    round,
+                    i
+                );
+            }
+            prop_assert_eq!(recycled.index_builds(), round as u64 + 1);
+        }
+    }
+
+    #[test]
     fn cached_rates_equal_fresh_progressive_filling((caps, specs) in arb_network()) {
         // Cross-check the solver itself: the public progressive-filling
         // allocation never oversubscribes a link, on any random instance.

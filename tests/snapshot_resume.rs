@@ -95,7 +95,7 @@ fn snapshot_timing_does_not_leak_into_the_chain() {
 fn record_tenant_run() -> (ReplayRecord, Vec<String>) {
     let scenario = scenarios::mixed_collectives(2.0 * 1024.0 * 1024.0);
     let reconfig = ReconfigModel::constant(10e-6).unwrap();
-    let mut fabric = scenario.fabric(reconfig);
+    let mut fabric = scenario.fabric(reconfig).unwrap();
     let mut recorder = Recorder::new(scenario.n, "scheduled", &scenario.name);
     let reports = execute_tenants_recorded(
         &mut fabric,

@@ -1,0 +1,183 @@
+//! Fabric-as-a-service benchmark: an open-system job stream on a
+//! 16-port fabric under the three admission policies — reject, bounded
+//! queue, and backpressure — at two arrival intensities each.
+//!
+//! Two tenant classes share the fabric: a half-fabric class and a
+//! quarter-fabric class, both Poisson. Every cell reports goodput,
+//! streaming p50/p99 job-completion latency, and makespan from the O(1)
+//! `ServiceSummary` fold — nothing is materialized per job.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p aps-bench --release --bin fig_faas [-- --jobs 200 --alpha-r 1e-5]
+//! APS_THREADS=4 cargo run -p aps-bench --release --bin fig_faas
+//! ```
+//!
+//! Prints a per-cell summary and writes the machine-readable
+//! `results/bench_faas.json` report. Arrival processes are seeded and
+//! the engine is single-clocked in integer picoseconds, so the report's
+//! `data` section is bit-identical at any `APS_THREADS` setting and
+//! `perfgate compare`/`gate` accept it alongside the figure reports.
+
+use aps_bench::cli::{emit_bench_report, parse_flags};
+use aps_bench::output::Json;
+use aps_collectives::allreduce;
+use aps_collectives::{ScheduleStream, Workload};
+use aps_core::ConfigChoice;
+use aps_cost::units::{format_time, picos_to_secs, MIB};
+use aps_cost::ReconfigModel;
+use aps_faas::{
+    run_service, AdmissionPolicy, PoissonArrivals, ServiceConfig, ServiceSwitching, TenantClass,
+};
+use aps_fabric::CircuitSwitch;
+use aps_matrix::Matching;
+use aps_par::Pool;
+
+const N: usize = 16;
+
+/// The two tenant classes, fresh per cell (each run consumes the
+/// arrival streams even though they reset on entry — fresh state keeps
+/// the cells independent by construction).
+fn classes(jobs: u64, rate_hz: f64) -> Vec<TenantClass> {
+    let half = allreduce::halving_doubling::build(8, 4.0 * MIB)
+        .expect("8-port allreduce")
+        .schedule;
+    let quarter = allreduce::halving_doubling::build(4, MIB)
+        .expect("4-port allreduce")
+        .schedule;
+    vec![
+        TenantClass::new(
+            "half-fabric",
+            8,
+            Matching::shift(8, 1).expect("ring base"),
+            ServiceSwitching::Uniform(ConfigChoice::Matched),
+            Box::new(PoissonArrivals::new(rate_hz, Some(jobs), 42).expect("valid rate")),
+            Box::new(move |_id: u64| -> Box<dyn Workload> {
+                Box::new(ScheduleStream::new(half.clone()))
+            }),
+        ),
+        TenantClass::new(
+            "quarter-fabric",
+            4,
+            Matching::shift(4, 1).expect("ring base"),
+            ServiceSwitching::Uniform(ConfigChoice::Matched),
+            Box::new(PoissonArrivals::new(2.0 * rate_hz, Some(jobs), 7).expect("valid rate")),
+            Box::new(move |_id: u64| -> Box<dyn Workload> {
+                Box::new(ScheduleStream::new(quarter.clone()))
+            }),
+        ),
+    ]
+}
+
+fn main() {
+    let flags = parse_flags(&["--jobs", "--alpha-r"]);
+    let jobs = flags.parsed_or("jobs", 200.0) as u64;
+    let alpha_r = flags.parsed_or("alpha-r", 10e-6);
+
+    let pool = Pool::from_env();
+    let policies: [(&str, AdmissionPolicy); 3] = [
+        ("reject", AdmissionPolicy::Reject),
+        ("queue", AdmissionPolicy::Queue { capacity: 8 }),
+        (
+            "backpressure",
+            AdmissionPolicy::Backpressure { capacity: 8 },
+        ),
+    ];
+    let rates_hz = [2.0e5, 2.0e6];
+    println!(
+        "Fabric as a service on {N} ports — {jobs} jobs/class, α_r = {}, \
+         reject/queue/backpressure admission, {} worker thread(s)\n",
+        format_time(alpha_r),
+        pool.threads()
+    );
+
+    let started = std::time::Instant::now();
+    let mut cell_reports = Vec::new();
+    for (policy_name, policy) in policies {
+        for rate_hz in rates_hz {
+            let cfg = ServiceConfig {
+                admission: policy,
+                ..ServiceConfig::paper_defaults()
+            };
+            let mut fab = CircuitSwitch::new(
+                Matching::shift(N, 1).expect("ring base"),
+                ReconfigModel::constant(alpha_r).expect("valid delay"),
+            );
+            let report =
+                run_service(&mut fab, &mut classes(jobs, rate_hz), &cfg).expect("service run");
+            let s = &report.summary;
+            let offered = s.offered();
+            let completed = s.completed();
+            let p99_s = s
+                .tenants
+                .iter()
+                .filter_map(|t| t.completion.p99_ps())
+                .max()
+                .map_or(0.0, picos_to_secs);
+            println!(
+                "── {policy_name:<13} λ={rate_hz:>9.0}/s  {completed:>4}/{offered:<4} done  \
+                 makespan {:>12}  worst p99 {:>12}",
+                format_time(s.makespan_s()),
+                format_time(p99_s),
+            );
+            let tenants = s
+                .tenants
+                .iter()
+                .zip(&s.class_names)
+                .map(|(t, name)| {
+                    Json::obj([
+                        ("class", Json::Str(name.clone())),
+                        ("offered", Json::UInt(t.offered)),
+                        ("completed", Json::UInt(t.completed)),
+                        ("queued", Json::UInt(t.queued)),
+                        ("backpressured", Json::UInt(t.backpressured)),
+                        ("rejected", Json::UInt(t.rejected())),
+                        ("goodput", Json::Num(t.goodput())),
+                        (
+                            "p50_s",
+                            Json::Num(t.completion.p50_ps().map_or(0.0, picos_to_secs)),
+                        ),
+                        (
+                            "p99_s",
+                            Json::Num(t.completion.p99_ps().map_or(0.0, picos_to_secs)),
+                        ),
+                    ])
+                })
+                .collect();
+            cell_reports.push(Json::obj([
+                ("policy", Json::Str(policy_name.into())),
+                ("rate_hz", Json::Num(rate_hz)),
+                ("offered", Json::UInt(offered)),
+                ("completed", Json::UInt(completed)),
+                ("steps", Json::UInt(s.steps.steps as u64)),
+                ("makespan_s", Json::Num(s.makespan_s())),
+                (
+                    "fairness",
+                    Json::Arr(s.fairness_vector().into_iter().map(Json::Num).collect()),
+                ),
+                ("tenants", Json::Arr(tenants)),
+            ]));
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    println!();
+
+    let data = Json::obj([
+        ("figure", Json::Str("faas".into())),
+        ("n", Json::UInt(N as u64)),
+        ("jobs_per_class", Json::UInt(jobs)),
+        ("alpha_r_s", Json::Num(alpha_r)),
+        (
+            "policies",
+            Json::Arr(
+                policies
+                    .iter()
+                    .map(|(p, _)| Json::Str((*p).into()))
+                    .collect(),
+            ),
+        ),
+        ("cells", Json::Arr(cell_reports)),
+    ]);
+    emit_bench_report("faas", &pool, wall_s, data);
+}

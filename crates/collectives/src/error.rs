@@ -24,6 +24,9 @@ pub enum CollectiveError {
     },
     /// The message size must be positive and finite.
     BadMessageSize(f64),
+    /// An arrival-process rate or dwell time must be positive and finite
+    /// (see [`crate::workload::arrivals`]).
+    BadRate(f64),
     /// An internal invariant of the algorithm construction failed. This
     /// indicates a bug in the algorithm builder, not bad user input.
     ConstructionInvariant(&'static str),
@@ -50,6 +53,7 @@ impl fmt::Display for CollectiveError {
                 write!(f, "root {root} out of range for {n} nodes")
             }
             Self::BadMessageSize(m) => write!(f, "message size {m} must be positive and finite"),
+            Self::BadRate(r) => write!(f, "rate {r} must be positive and finite"),
             Self::ConstructionInvariant(what) => {
                 write!(f, "algorithm construction invariant violated: {what}")
             }

@@ -34,6 +34,7 @@ use aps_matrix::{Matching, MatrixError};
 use std::borrow::Borrow;
 use std::collections::VecDeque;
 
+pub mod arrivals;
 pub mod generators;
 
 /// Context handed to a workload at each pull. Carries the executor-side

@@ -1,0 +1,49 @@
+//! Admission control policies for the service ingress.
+//!
+//! A job that does not fit at arrival (not enough free ports) meets one
+//! of three policies:
+//!
+//! * [`AdmissionPolicy::Reject`] — turned away immediately with a typed
+//!   [`RejectReason::PortsBusy`](crate::RejectReason::PortsBusy);
+//! * [`AdmissionPolicy::Queue`] — waits in a bounded FIFO ingress queue;
+//!   when the queue is full the job is rejected with
+//!   [`RejectReason::QueueFull`](crate::RejectReason::QueueFull);
+//! * [`AdmissionPolicy::Backpressure`] — waits in the same bounded queue,
+//!   but when the queue is full the *source stalls*: the class's arrival
+//!   process generates no further arrivals until its held job drains
+//!   into the queue, modeling closed-loop clients.
+//!
+//! The queue is strictly FIFO with head-of-line blocking — a small job
+//! never jumps a large head — which keeps admission order (and therefore
+//! the whole run) deterministic. Jobs larger than the entire fabric are
+//! always rejected up front with
+//! [`RejectReason::TooLarge`](crate::RejectReason::TooLarge), under every
+//! policy: no departure can ever make them fit.
+
+/// What happens when an arriving job cannot be placed immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject immediately; nothing ever waits.
+    Reject,
+    /// Wait in a bounded FIFO ingress queue; reject when it is full.
+    Queue {
+        /// Maximum jobs waiting at once (0 degenerates to `Reject`).
+        capacity: usize,
+    },
+    /// Wait in the bounded queue; when full, stall the arriving class's
+    /// source instead of rejecting.
+    Backpressure {
+        /// Maximum jobs waiting at once.
+        capacity: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The ingress-queue capacity this policy grants (0 for `Reject`).
+    pub fn queue_capacity(&self) -> usize {
+        match self {
+            Self::Reject => 0,
+            Self::Queue { capacity } | Self::Backpressure { capacity } => *capacity,
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the fabric-as-a-service engine.
+
+use aps_sim::SimError;
+use std::fmt;
+
+/// Errors raised by the service engine and the partition allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaasError {
+    /// The service was started with no tenant classes.
+    NoClasses,
+    /// A tenant class is structurally invalid.
+    BadClass {
+        /// Class index in the engine input.
+        class: usize,
+        /// What is wrong with it.
+        what: &'static str,
+    },
+    /// A partition handle's generation does not match the slot's current
+    /// incarnation: the handle is from an earlier tenancy of the slot.
+    StaleHandle {
+        /// Allocator slot the handle names.
+        slot: usize,
+        /// The slot's current generation.
+        current: u32,
+        /// The generation the handle carries.
+        got: u32,
+    },
+    /// The partition named by the handle was already reclaimed — a
+    /// second reclaim of the same incarnation. Departing jobs must
+    /// release their partition exactly once.
+    DoubleReclaim {
+        /// Allocator slot the handle names.
+        slot: usize,
+        /// The (already freed) generation.
+        generation: u32,
+    },
+    /// The handle names a slot the allocator never created.
+    UnknownSlot {
+        /// The out-of-range slot.
+        slot: usize,
+    },
+    /// A simulation error that escaped job isolation (structural, not
+    /// per-job).
+    Sim(SimError),
+}
+
+impl fmt::Display for FaasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoClasses => write!(f, "a service needs at least one tenant class"),
+            Self::BadClass { class, what } => write!(f, "tenant class {class}: {what}"),
+            Self::StaleHandle { slot, current, got } => write!(
+                f,
+                "stale partition handle: slot {slot} is at generation {current}, handle \
+                 carries {got}"
+            ),
+            Self::DoubleReclaim { slot, generation } => write!(
+                f,
+                "partition slot {slot} generation {generation} was already reclaimed"
+            ),
+            Self::UnknownSlot { slot } => {
+                write!(f, "partition handle names unknown slot {slot}")
+            }
+            Self::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for FaasError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}

@@ -1,0 +1,273 @@
+//! Port-partition allocation with slot + generation handles.
+//!
+//! Every admitted job owns a contiguous *set* (not necessarily a
+//! contiguous range) of the fabric's ports for its lifetime. The
+//! allocator hands out a [`PartitionHandle`] — a slot index plus a
+//! generation counter, the classic defense against use-after-free in
+//! handle tables (cf. FFI handle-table designs): reclaiming a partition
+//! keeps the slot's generation, and re-allocating the slot bumps it, so
+//! a handle from an earlier tenancy can never free the current tenant's
+//! ports. Double reclaims and stale handles surface as typed
+//! [`FaasError`]s.
+//!
+//! Allocation is deterministic: the lowest-numbered free ports win, and
+//! freed slots are reused LIFO — the same op sequence always produces
+//! the same handles and port sets, on any machine.
+
+use crate::error::FaasError;
+
+/// A capability naming one live partition: allocator slot + generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionHandle {
+    slot: u32,
+    generation: u32,
+}
+
+impl PartitionHandle {
+    /// The allocator slot this handle names.
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// The slot incarnation this handle belongs to.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+/// One allocator slot: the current incarnation and its port set.
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    live: bool,
+    ports: Vec<usize>,
+}
+
+/// Deterministic first-fit port-partition allocator over an `n`-port
+/// fabric.
+///
+/// ```
+/// use aps_faas::PartitionAllocator;
+///
+/// let mut alloc = PartitionAllocator::new(8);
+/// let a = alloc.try_alloc(4).unwrap();
+/// assert_eq!(alloc.ports(a).unwrap(), &[0, 1, 2, 3]);
+/// let b = alloc.try_alloc(4).unwrap();
+/// assert_eq!(alloc.ports(b).unwrap(), &[4, 5, 6, 7]);
+/// assert!(alloc.try_alloc(1).is_none(), "fabric is full");
+/// alloc.reclaim(a).unwrap();
+/// let c = alloc.try_alloc(2).unwrap();
+/// assert_eq!(alloc.ports(c).unwrap(), &[0, 1], "lowest free ports win");
+/// assert!(alloc.reclaim(a).is_err(), "a's slot was re-allocated: stale");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionAllocator {
+    /// `port_free[p]` — whether global port `p` is unallocated.
+    port_free: Vec<bool>,
+    free_ports: usize,
+    slots: Vec<Slot>,
+    /// Vacant slot indices, reused LIFO.
+    free_slots: Vec<u32>,
+    live: usize,
+}
+
+impl PartitionAllocator {
+    /// An allocator with all `n` ports free.
+    pub fn new(n: usize) -> Self {
+        Self {
+            port_free: vec![true; n],
+            free_ports: n,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Total fabric ports.
+    pub fn n(&self) -> usize {
+        self.port_free.len()
+    }
+
+    /// Ports not owned by any live partition.
+    pub fn free_ports(&self) -> usize {
+        self.free_ports
+    }
+
+    /// Number of live partitions.
+    pub fn live_partitions(&self) -> usize {
+        self.live
+    }
+
+    /// Claims the `want` lowest-numbered free ports as a new partition.
+    /// Returns `None` (claiming nothing) when fewer than `want` ports are
+    /// free or `want` is zero.
+    pub fn try_alloc(&mut self, want: usize) -> Option<PartitionHandle> {
+        if want == 0 || want > self.free_ports {
+            return None;
+        }
+        let mut ports = Vec::with_capacity(want);
+        for (p, free) in self.port_free.iter_mut().enumerate() {
+            if *free {
+                *free = false;
+                ports.push(p);
+                if ports.len() == want {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(ports.len(), want);
+        self.free_ports -= want;
+        self.live += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                let entry = &mut self.slots[s as usize];
+                entry.generation += 1;
+                entry.live = true;
+                entry.ports = ports;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slot count fits u32");
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: true,
+                    ports,
+                });
+                s
+            }
+        };
+        Some(PartitionHandle {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        })
+    }
+
+    /// The global ports of a live partition.
+    ///
+    /// # Errors
+    ///
+    /// [`FaasError::UnknownSlot`], [`FaasError::StaleHandle`] (wrong
+    /// incarnation), or [`FaasError::DoubleReclaim`] (right incarnation,
+    /// already freed).
+    pub fn ports(&self, handle: PartitionHandle) -> Result<&[usize], FaasError> {
+        let slot = self.check(handle)?;
+        Ok(&slot.ports)
+    }
+
+    /// Releases a live partition's ports. Exactly-once: a second reclaim
+    /// of the same handle is a typed [`FaasError::DoubleReclaim`], and a
+    /// handle from an earlier incarnation of the slot is a
+    /// [`FaasError::StaleHandle`]. Returns the number of ports freed.
+    ///
+    /// # Errors
+    ///
+    /// See above; on error nothing is freed.
+    pub fn reclaim(&mut self, handle: PartitionHandle) -> Result<usize, FaasError> {
+        self.check(handle)?;
+        let entry = &mut self.slots[handle.slot()];
+        let freed = entry.ports.len();
+        for &p in &entry.ports {
+            debug_assert!(!self.port_free[p]);
+            self.port_free[p] = true;
+        }
+        entry.live = false;
+        entry.ports.clear();
+        self.free_ports += freed;
+        self.live -= 1;
+        self.free_slots.push(handle.slot);
+        Ok(freed)
+    }
+
+    /// Validates a handle against the slot table.
+    fn check(&self, handle: PartitionHandle) -> Result<&Slot, FaasError> {
+        let entry = self
+            .slots
+            .get(handle.slot())
+            .ok_or(FaasError::UnknownSlot {
+                slot: handle.slot(),
+            })?;
+        if handle.generation != entry.generation {
+            return Err(FaasError::StaleHandle {
+                slot: handle.slot(),
+                current: entry.generation,
+                got: handle.generation,
+            });
+        }
+        if !entry.live {
+            return Err(FaasError::DoubleReclaim {
+                slot: handle.slot(),
+                generation: handle.generation,
+            });
+        }
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_takes_lowest_free_ports() {
+        let mut a = PartitionAllocator::new(6);
+        let h1 = a.try_alloc(2).unwrap();
+        let h2 = a.try_alloc(3).unwrap();
+        assert_eq!(a.ports(h1).unwrap(), &[0, 1]);
+        assert_eq!(a.ports(h2).unwrap(), &[2, 3, 4]);
+        assert_eq!(a.free_ports(), 1);
+        assert!(a.try_alloc(2).is_none());
+        assert_eq!(a.free_ports(), 1, "failed alloc claims nothing");
+    }
+
+    #[test]
+    fn reclaim_is_exactly_once() {
+        let mut a = PartitionAllocator::new(4);
+        let h = a.try_alloc(4).unwrap();
+        assert_eq!(a.reclaim(h).unwrap(), 4);
+        assert_eq!(a.free_ports(), 4);
+        // Second reclaim of the same incarnation: typed double-reclaim.
+        assert_eq!(
+            a.reclaim(h),
+            Err(FaasError::DoubleReclaim {
+                slot: 0,
+                generation: 0
+            })
+        );
+        assert_eq!(a.free_ports(), 4, "double reclaim frees nothing");
+    }
+
+    #[test]
+    fn generation_catches_stale_handles() {
+        let mut a = PartitionAllocator::new(4);
+        let old = a.try_alloc(2).unwrap();
+        a.reclaim(old).unwrap();
+        let new = a.try_alloc(2).unwrap();
+        assert_eq!(old.slot(), new.slot(), "slot is reused LIFO");
+        assert_ne!(old.generation(), new.generation());
+        assert_eq!(
+            a.reclaim(old),
+            Err(FaasError::StaleHandle {
+                slot: 0,
+                current: 1,
+                got: 0
+            })
+        );
+        assert!(a.ports(old).is_err());
+        assert_eq!(a.ports(new).unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn unknown_slots_are_rejected() {
+        let mut a = PartitionAllocator::new(4);
+        let h = a.try_alloc(1).unwrap();
+        let mut b = PartitionAllocator::new(4);
+        assert_eq!(b.reclaim(h), Err(FaasError::UnknownSlot { slot: 0 }));
+        let _ = a;
+    }
+
+    #[test]
+    fn zero_sized_partitions_are_refused() {
+        let mut a = PartitionAllocator::new(4);
+        assert!(a.try_alloc(0).is_none());
+    }
+}

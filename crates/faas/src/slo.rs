@@ -1,0 +1,424 @@
+//! Per-tenant SLO accounting: streaming quantiles, leximin fairness, and
+//! the O(1) [`ServiceSummary`] fold.
+//!
+//! The engine never materializes per-job records (unless explicitly asked
+//! to): every completed job folds into fixed-size state — a
+//! [`LatencyHistogram`] with deterministic power-of-two buckets for
+//! p50/p99 completion and queueing-wait quantiles, plus scalar counters
+//! per tenant class. A million-job trace therefore costs O(#classes)
+//! memory, and summaries from independent shards combine with
+//! [`ServiceSummary::merge`] (a monoid fold, like
+//! [`StreamSummary::merge`]).
+
+use aps_cost::units::{picos_to_secs, Picos};
+use aps_sim::StreamSummary;
+use std::cmp::Ordering;
+
+/// Histogram bucket count: one bucket per possible bit length of a `u64`
+/// picosecond duration (0 through 64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A deterministic fixed-bucket latency histogram: durations land in the
+/// bucket of their bit length (powers of two), so recording is O(1),
+/// memory is constant, and quantiles are exact bucket upper bounds —
+/// identical on every machine and at any `APS_THREADS`.
+///
+/// ```
+/// use aps_faas::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for ps in [10, 20, 30, 40, 1_000_000] {
+///     h.record(ps);
+/// }
+/// assert_eq!(h.count(), 5);
+/// // p50 falls in the bucket covering 16..=31 ps; p99 is clamped to the
+/// // exact maximum.
+/// assert_eq!(h.quantile(0.50), Some(31));
+/// assert_eq!(h.quantile(0.99), Some(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_ps: u128,
+    max_ps: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ps: 0,
+            max_ps: 0,
+        }
+    }
+}
+
+/// Bucket index of a duration: its bit length.
+fn bucket_of(ps: u64) -> usize {
+    (u64::BITS - ps.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, the quantile representative.
+fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one duration (picoseconds). O(1).
+    pub fn record(&mut self, ps: u64) {
+        self.buckets[bucket_of(ps)] += 1;
+        self.count += 1;
+        self.sum_ps += u128::from(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded duration, exact.
+    pub fn max_ps(&self) -> u64 {
+        self.max_ps
+    }
+
+    /// Mean duration in picoseconds, exact up to the final division.
+    pub fn mean_ps(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ps as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// holding the rank-⌈q·count⌉ sample — an upper bound within 2× of
+    /// the true value. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(bucket_upper(b).min(self.max_ps));
+            }
+        }
+        Some(self.max_ps)
+    }
+
+    /// Median completion estimate (`quantile(0.50)`).
+    pub fn p50_ps(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// Tail completion estimate (`quantile(0.99)`).
+    pub fn p99_ps(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Folds another histogram in: bucket-wise addition. Associative and
+    /// commutative with `Default` as identity.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+}
+
+/// Why the service turned a job away — the typed rejection taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The job wants more ports than the whole fabric has; no departure
+    /// can ever make it fit.
+    TooLarge {
+        /// Ports the job asked for.
+        wanted: usize,
+        /// Ports the fabric has.
+        fabric: usize,
+    },
+    /// Not enough free ports right now and the policy does not queue.
+    PortsBusy {
+        /// Ports the job asked for.
+        wanted: usize,
+        /// Free ports at arrival.
+        free: usize,
+    },
+    /// The bounded ingress queue is full.
+    QueueFull {
+        /// The queue's capacity.
+        capacity: usize,
+    },
+}
+
+/// Per-tenant-class SLO accounting: constant-size, folded as jobs flow
+/// through the service.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSlo {
+    /// Jobs the class's arrival process offered.
+    pub offered: u64,
+    /// Jobs admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Jobs that waited in the ingress queue before admission.
+    pub queued: u64,
+    /// Arrivals that stalled the class's source (backpressure policy).
+    pub backpressured: u64,
+    /// Jobs rejected because they exceed the fabric size.
+    pub rejected_too_large: u64,
+    /// Jobs rejected because their ports were busy (reject policy).
+    pub rejected_ports_busy: u64,
+    /// Jobs rejected because the ingress queue was full.
+    pub rejected_queue_full: u64,
+    /// Admitted jobs that ran their demand stream to completion.
+    pub completed: u64,
+    /// Admitted jobs that stopped on a step error (fault isolation).
+    pub failed: u64,
+    /// Job completion time (arrival → departure, includes queueing).
+    pub completion: LatencyHistogram,
+    /// Queueing wait (arrival → service start).
+    pub wait: LatencyHistogram,
+}
+
+impl TenantSlo {
+    /// Jobs rejected for any reason.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_too_large + self.rejected_ports_busy + self.rejected_queue_full
+    }
+
+    /// Fraction of offered jobs that completed (1 when none offered) —
+    /// the utility the leximin fairness order ranks.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+
+    /// Folds another class summary in (same class, different shard).
+    pub fn merge(&mut self, other: &Self) {
+        self.offered += other.offered;
+        self.admitted += other.admitted;
+        self.queued += other.queued;
+        self.backpressured += other.backpressured;
+        self.rejected_too_large += other.rejected_too_large;
+        self.rejected_ports_busy += other.rejected_ports_busy;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.completion.merge(&other.completion);
+        self.wait.merge(&other.wait);
+    }
+}
+
+/// The O(1) fold of a whole service run: per-class SLO state, the global
+/// step totals, and the makespan. Size is O(#classes) — never O(#jobs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceSummary {
+    /// Tenant class names, in engine input order.
+    pub class_names: Vec<String>,
+    /// Per-class SLO accounting, parallel to `class_names`.
+    pub tenants: Vec<TenantSlo>,
+    /// When the last job departed (global simulated clock).
+    pub makespan_ps: Picos,
+    /// Every executed step folded across all jobs (the
+    /// [`StreamSummary::merge`] monoid).
+    pub steps: StreamSummary,
+}
+
+impl ServiceSummary {
+    /// Makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        picos_to_secs(self.makespan_ps)
+    }
+
+    /// Total jobs offered across classes.
+    pub fn offered(&self) -> u64 {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
+
+    /// Total jobs completed across classes.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Per-class goodput vector, the input to the leximin order.
+    pub fn fairness_vector(&self) -> Vec<f64> {
+        self.tenants.iter().map(TenantSlo::goodput).collect()
+    }
+
+    /// Folds another shard's summary in. Classes must match (or either
+    /// side may be the empty identity). Associative, and
+    /// `ServiceSummary::default()` is the identity.
+    ///
+    /// # Panics
+    ///
+    /// When both sides are non-empty with different class lists.
+    pub fn merge(&mut self, other: &Self) {
+        if other.tenants.is_empty() && other.class_names.is_empty() {
+            self.makespan_ps = self.makespan_ps.max(other.makespan_ps);
+            self.steps = self.steps.merge(other.steps);
+            return;
+        }
+        if self.tenants.is_empty() && self.class_names.is_empty() {
+            let steps = self.steps.merge(other.steps);
+            let makespan = self.makespan_ps.max(other.makespan_ps);
+            *self = other.clone();
+            self.steps = steps;
+            self.makespan_ps = makespan;
+            return;
+        }
+        assert_eq!(
+            self.class_names, other.class_names,
+            "merging service summaries of different class lists"
+        );
+        for (a, b) in self.tenants.iter_mut().zip(&other.tenants) {
+            a.merge(b);
+        }
+        self.makespan_ps = self.makespan_ps.max(other.makespan_ps);
+        self.steps = self.steps.merge(other.steps);
+    }
+}
+
+/// Leximin order on utility vectors: sort both ascending and compare
+/// lexicographically — the vector whose worst-off entry is larger wins;
+/// ties recurse to the next-worst. The standard max-min fairness ranking
+/// across tenants.
+///
+/// ```
+/// use aps_faas::leximin_cmp;
+/// use std::cmp::Ordering;
+///
+/// // Raising the minimum beats raising the maximum.
+/// assert_eq!(leximin_cmp(&[0.5, 0.9], &[0.4, 1.0]), Ordering::Greater);
+/// assert_eq!(leximin_cmp(&[0.5, 0.9], &[0.9, 0.5]), Ordering::Equal);
+/// ```
+pub fn leximin_cmp(a: &[f64], b: &[f64]) -> Ordering {
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    for (x, y) in sa.iter().zip(&sb) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    sa.len().cmp(&sb.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_deterministic_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        for ps in 1..=1000u64 {
+            h.record(ps);
+        }
+        let p50 = h.p50_ps().unwrap();
+        let p99 = h.p99_ps().unwrap();
+        // Rank 500 lands in bucket 9 (256..=511); rank 990 in bucket 10.
+        assert_eq!(p50, 511);
+        assert_eq!(p99, 1000, "clamped to the exact max");
+        assert_eq!(h.max_ps(), 1000);
+        assert!((h.mean_ps() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_addition() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for ps in [3, 17, 900, 12_000] {
+            a.record(ps);
+            whole.record(ps);
+        }
+        for ps in [5, 5_000_000] {
+            b.record(ps);
+            whole.record(ps);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Identity.
+        let mut c = whole;
+        c.merge(&LatencyHistogram::default());
+        assert_eq!(c, whole);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ps(), 0.0);
+    }
+
+    #[test]
+    fn leximin_prefers_the_better_minimum() {
+        use Ordering::*;
+        assert_eq!(leximin_cmp(&[0.2, 1.0], &[0.3, 0.3]), Less);
+        assert_eq!(leximin_cmp(&[1.0, 0.5], &[0.5, 1.0]), Equal);
+        assert_eq!(leximin_cmp(&[0.5, 0.5], &[0.5, 0.4]), Greater);
+        // Equal minima recurse to the next-worst entry.
+        assert_eq!(leximin_cmp(&[0.4, 0.9], &[0.4, 0.8]), Greater);
+    }
+
+    #[test]
+    fn service_summary_merge_has_identity_and_matches_whole() {
+        let mut a = ServiceSummary {
+            class_names: vec!["x".into()],
+            tenants: vec![TenantSlo {
+                offered: 3,
+                completed: 2,
+                ..TenantSlo::default()
+            }],
+            makespan_ps: 100,
+            steps: StreamSummary::default(),
+        };
+        let b = ServiceSummary {
+            class_names: vec!["x".into()],
+            tenants: vec![TenantSlo {
+                offered: 5,
+                completed: 5,
+                ..TenantSlo::default()
+            }],
+            makespan_ps: 70,
+            steps: StreamSummary::default(),
+        };
+        let mut id_left = ServiceSummary::default();
+        id_left.merge(&a);
+        assert_eq!(id_left, a);
+        let mut id_right = a.clone();
+        id_right.merge(&ServiceSummary::default());
+        assert_eq!(id_right, a);
+        a.merge(&b);
+        assert_eq!(a.tenants[0].offered, 8);
+        assert_eq!(a.tenants[0].completed, 7);
+        assert_eq!(a.makespan_ps, 100);
+        assert_eq!(a.fairness_vector(), vec![7.0 / 8.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the port-partition allocator: live partitions
+//! never overlap, alloc→free→alloc replays deterministically, and the
+//! generation counter catches every stale handle.
+
+use aps_faas::{FaasError, PartitionAllocator, PartitionHandle};
+use proptest::prelude::*;
+
+/// One scripted allocator operation. `Alloc` sizes are interpreted
+/// modulo the fabric; `Free` indices pick among currently live handles.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Alloc(usize),
+    Free(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (
+        2usize..24,
+        proptest::collection::vec((0usize..2, 0usize..16), 1..80),
+    )
+        .prop_map(|(n, raw)| {
+            let ops = raw
+                .into_iter()
+                .map(|(kind, x)| if kind == 0 { Op::Alloc(x) } else { Op::Free(x) })
+                .collect();
+            (n, ops)
+        })
+}
+
+/// Runs the op script, checking the no-overlap invariant after every
+/// step. Returns the full (handle, ports) trace for replay comparison.
+fn run_script(n: usize, ops: &[Op]) -> Vec<(PartitionHandle, Vec<usize>)> {
+    let mut alloc = PartitionAllocator::new(n);
+    let mut live: Vec<PartitionHandle> = Vec::new();
+    let mut trace = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Alloc(want) => {
+                let want = (want % n).max(1);
+                if let Some(h) = alloc.try_alloc(want) {
+                    let ports = alloc.ports(h).unwrap().to_vec();
+                    assert_eq!(ports.len(), want);
+                    live.push(h);
+                    trace.push((h, ports));
+                }
+            }
+            Op::Free(i) => {
+                if !live.is_empty() {
+                    let h = live.remove(i % live.len());
+                    assert!(alloc.reclaim(h).is_ok());
+                }
+            }
+        }
+        // Invariant: live partitions never overlap, and their union
+        // plus the free count covers the fabric exactly.
+        let mut owned = vec![false; n];
+        for &h in &live {
+            for &p in alloc.ports(h).unwrap() {
+                assert!(!owned[p], "port {p} owned by two live partitions");
+                owned[p] = true;
+            }
+        }
+        let used = owned.iter().filter(|&&o| o).count();
+        assert_eq!(used + alloc.free_ports(), n);
+        assert_eq!(alloc.live_partitions(), live.len());
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn live_partitions_never_overlap((n, ops) in arb_ops()) {
+        run_script(n, &ops);
+    }
+
+    #[test]
+    fn alloc_free_alloc_replays_deterministically((n, ops) in arb_ops()) {
+        // Same script, fresh allocator: identical handles AND identical
+        // port sets, every time.
+        let a = run_script(n, &ops);
+        let b = run_script(n, &ops);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generations_catch_stale_handles((n, ops) in arb_ops()) {
+        // Every handle ever freed must stay dead: a later reuse of its
+        // slot bumps the generation, so the old handle errors with
+        // StaleHandle; before reuse it errors with DoubleReclaim.
+        let mut alloc = PartitionAllocator::new(n);
+        let mut live: Vec<PartitionHandle> = Vec::new();
+        let mut dead: Vec<PartitionHandle> = Vec::new();
+        for &op in &ops {
+            match op {
+                Op::Alloc(want) => {
+                    if let Some(h) = alloc.try_alloc((want % n).max(1)) {
+                        live.push(h);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let h = live.remove(i % live.len());
+                        alloc.reclaim(h).unwrap();
+                        dead.push(h);
+                    }
+                }
+            }
+            for &h in &dead {
+                let err = alloc.reclaim(h).unwrap_err();
+                prop_assert!(
+                    matches!(
+                        err,
+                        FaasError::DoubleReclaim { .. } | FaasError::StaleHandle { .. }
+                    ),
+                    "dead handle {h:?} must stay dead, got {err:?}"
+                );
+                prop_assert!(alloc.ports(h).is_err());
+            }
+        }
+        // Nothing a dead handle did disturbed the live set.
+        let mut owned = vec![false; n];
+        for &h in &live {
+            for &p in alloc.ports(h).unwrap() {
+                prop_assert!(!owned[p]);
+                owned[p] = true;
+            }
+        }
+    }
+}

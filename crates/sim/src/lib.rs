@@ -54,6 +54,7 @@ pub mod harness;
 pub mod record;
 pub mod report;
 pub mod scenarios;
+pub mod service;
 pub mod stream;
 pub mod tenant;
 pub mod trace;
@@ -66,6 +67,9 @@ pub use harness::{run_trial_batch, Trial};
 pub use record::{RecordSink, StepRecord};
 pub use report::{SimReport, StepReport};
 pub use scenarios::Scenario;
+pub use service::{
+    Admission, Departure, JobOutcome, ServiceExecutor, ServiceJobSpec, ServiceSwitching,
+};
 pub use stream::{
     run_scheduled_workload, run_scheduled_workload_recorded, run_workload, run_workload_recorded,
     run_workload_segment, run_workload_totals, StreamCheckpoint, StreamPricing, StreamSummary,

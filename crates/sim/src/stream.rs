@@ -121,8 +121,29 @@ impl StreamSummary {
         aps_cost::units::picos_to_secs(self.total_ps)
     }
 
+    /// Merges two summaries of runs that share one simulated clock — the
+    /// monoid fold for combining per-shard (e.g. per-job) service
+    /// summaries deterministically. Step counts and phase sums add;
+    /// `total_ps` takes the max, because shards complete on the same
+    /// global timeline. Associative, commutative, and
+    /// `StreamSummary::default()` is the identity.
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            steps: self.steps + other.steps,
+            matched_steps: self.matched_steps + other.matched_steps,
+            reconfig_events: self.reconfig_events + other.reconfig_events,
+            total_ps: self.total_ps.max(other.total_ps),
+            barrier_ps: self.barrier_ps + other.barrier_ps,
+            alpha_ps: self.alpha_ps + other.alpha_ps,
+            reconfig_ps: self.reconfig_ps + other.reconfig_ps,
+            transfer_ps: self.transfer_ps + other.transfer_ps,
+            compute_ps: self.compute_ps + other.compute_ps,
+        }
+    }
+
     /// Folds one step's report into the totals.
-    fn absorb(&mut self, step: &StepReport, matched: bool) {
+    pub(crate) fn absorb(&mut self, step: &StepReport, matched: bool) {
         self.steps += 1;
         self.matched_steps += usize::from(matched);
         self.reconfig_events += usize::from(step.ports_changed > 0);
@@ -161,7 +182,7 @@ pub struct StreamCheckpoint {
 
 /// Rejects malformed streamed steps (workloads are trusted streams, not
 /// validated schedules).
-fn validate_step(i: usize, n: usize, step: &Step) -> Result<(), SimError> {
+pub(crate) fn validate_step(i: usize, n: usize, step: &Step) -> Result<(), SimError> {
     if step.matching.n() != n {
         return Err(SimError::DimensionMismatch {
             fabric: n,
@@ -967,5 +988,46 @@ mod tests {
             ),
             Err(SimError::BadStepVolume { step: 0, .. })
         ));
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::StreamSummary;
+
+    fn summary(k: u64) -> StreamSummary {
+        StreamSummary {
+            steps: k as usize,
+            matched_steps: (k / 2) as usize,
+            reconfig_events: (k / 3) as usize,
+            total_ps: 1000 * k,
+            barrier_ps: 10 * k,
+            alpha_ps: 11 * k,
+            reconfig_ps: 12 * k,
+            transfer_ps: 13 * k,
+            compute_ps: 14 * k,
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (summary(3), summary(7), summary(11));
+        assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn default_is_the_merge_identity() {
+        let a = summary(5);
+        assert_eq!(a.merge(StreamSummary::default()), a);
+        assert_eq!(StreamSummary::default().merge(a), a);
+    }
+
+    #[test]
+    fn merge_adds_sums_and_maxes_the_clock() {
+        let m = summary(2).merge(summary(5));
+        assert_eq!(m.steps, 7);
+        assert_eq!(m.total_ps, 5000, "shards share one clock: max, not sum");
+        assert_eq!(m.transfer_ps, 13 * 7);
     }
 }

@@ -109,7 +109,7 @@ impl TenantReport {
 /// Maps a matching over local ranks onto global fabric ports. Duplicate
 /// ports surface as [`SimError::ConfigConflict`] (a user-built spec can
 /// carry them — the executor's partition validation is not on this path).
-fn map_matching(local: &Matching, ports: &[usize]) -> Result<Matching, SimError> {
+pub(crate) fn map_matching(local: &Matching, ports: &[usize]) -> Result<Matching, SimError> {
     if local.n() > ports.len() {
         return Err(SimError::DimensionMismatch {
             fabric: ports.len(),
@@ -126,7 +126,7 @@ fn map_matching(local: &Matching, ports: &[usize]) -> Result<Matching, SimError>
 /// desired circuits on its own ports, everything else kept as-is. Foreign
 /// circuits landing on an RX port the tenant claims are dropped (they can
 /// only exist if the initial configuration crossed partitions).
-fn tenant_target(
+pub(crate) fn tenant_target(
     current: &Matching,
     ports: &[usize],
     local_target: &Matching,

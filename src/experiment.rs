@@ -21,6 +21,7 @@
 //! | [`Experiment<Family>`] | [`Experiment::collective_family`] | [`sweep`](Experiment::sweep) |
 //! | [`Experiment<Shared>`] | [`Experiment::scenario`] / [`Experiment::tenants`] | [`plan`](Experiment::<Shared>::plan), [`simulate`](Experiment::<Shared>::simulate) |
 //! | [`Experiment<Streaming>`] | [`Experiment::workload`] | [`plan`](Experiment::<Streaming>::plan) (finite), [`simulate`](Experiment::<Streaming>::simulate), [`simulate_summary`](Experiment::<Streaming>::simulate_summary) |
+//! | [`Experiment<Service>`] | [`Experiment::service`] | [`run`](Experiment::<Service>::run), [`run_on`](Experiment::<Service>::run_on) |
 //!
 //! Every run is deterministic: controllers are required to be pure
 //! functions of their observations, batch work runs on an
@@ -40,6 +41,7 @@ use aps_core::{
     SwitchingProblem,
 };
 use aps_cost::{CostParams, ReconfigModel};
+use aps_faas::{run_service_recorded, AdmissionPolicy, FaasError, ServiceReport, TenantClass};
 use aps_fabric::{CircuitSwitch, Fabric};
 use aps_flow::ThroughputSolver;
 use aps_matrix::Matching;
@@ -76,6 +78,9 @@ pub enum ExperimentError {
     /// An ablation-plan error: invalid plan/sampling, a cell naming an
     /// unknown controller or workload, or registry I/O.
     Ablation(AblateError),
+    /// A fabric-as-a-service error: a structurally invalid tenant-class
+    /// list, or a partition-allocator invariant violation.
+    Service(FaasError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -94,6 +99,7 @@ impl fmt::Display for ExperimentError {
                  size bound (simulate it instead, or bound it with repeat(n))"
             ),
             Self::Ablation(e) => write!(f, "ablation failed: {e}"),
+            Self::Service(e) => write!(f, "service run failed: {e}"),
         }
     }
 }
@@ -105,8 +111,15 @@ impl std::error::Error for ExperimentError {
             Self::Sim(e) => Some(e),
             Self::Collective(e) => Some(e),
             Self::Ablation(e) => Some(e),
+            Self::Service(e) => Some(e),
             Self::BaseNotACircuit | Self::UnboundedWorkload => None,
         }
+    }
+}
+
+impl From<FaasError> for ExperimentError {
+    fn from(e: FaasError) -> Self {
+        Self::Service(e)
     }
 }
 
@@ -159,6 +172,15 @@ pub struct Family {
 /// Workload state: several tenants sharing one fabric.
 pub struct Shared {
     scenario: Scenario,
+}
+
+/// Workload state: an open-system service — tenant classes whose jobs
+/// arrive, run on a port partition, and depart over simulated time.
+pub struct Service {
+    classes: Vec<TenantClass>,
+    admission: AdmissionPolicy,
+    max_jobs: Option<u64>,
+    keep_job_reports: bool,
 }
 
 /// Workload state: a lazily-pulled demand stream (possibly unbounded).
@@ -273,6 +295,20 @@ impl Experiment<Unbound> {
     {
         self.with_workload(Family {
             build: Box::new(build),
+        })
+    }
+
+    /// Binds an open-system service: tenant classes whose jobs arrive
+    /// via seeded arrival processes, are admitted onto port partitions,
+    /// and depart when their demand runs dry. Defaults to the
+    /// [`AdmissionPolicy::Reject`] policy, no job cap, and O(1)
+    /// accounting — override with the [`Experiment::<Service>`] setters.
+    pub fn service(self, classes: Vec<TenantClass>) -> Experiment<Service> {
+        self.with_workload(Service {
+            classes,
+            admission: AdmissionPolicy::Reject,
+            max_jobs: None,
+            keep_job_reports: false,
         })
     }
 
@@ -757,6 +793,77 @@ impl Experiment<Shared> {
     /// results.
     pub fn simulate(&self) -> Result<Vec<Result<TenantReport, SimError>>, ExperimentError> {
         Ok(self.workload.scenario.run(self.reconfig, &self.sim)?)
+    }
+}
+
+impl Experiment<Service> {
+    /// Sets the admission policy (default: [`AdmissionPolicy::Reject`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.workload.admission = policy;
+        self
+    }
+
+    /// Caps the number of offered arrivals — the safety valve for
+    /// unbounded arrival processes.
+    pub fn max_jobs(mut self, jobs: u64) -> Self {
+        self.workload.max_jobs = Some(jobs);
+        self
+    }
+
+    /// Keeps every job's full [`aps_faas::ServiceJobRecord`] in the
+    /// report. Off by default so million-job traces stay O(1).
+    pub fn keep_job_reports(mut self) -> Self {
+        self.workload.keep_job_reports = true;
+        self
+    }
+
+    /// Runs the service on a fresh circuit-switch fabric realizing the
+    /// base topology. Arrival processes reset on entry, so repeated
+    /// calls replay bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the base topology is not a circuit configuration, or
+    /// on a structurally invalid class list.
+    pub fn run(&mut self) -> Result<ServiceReport, ExperimentError> {
+        let base_config = self.base_config()?;
+        let mut fabric = CircuitSwitch::new(base_config, self.reconfig);
+        self.run_on(&mut fabric)
+    }
+
+    /// [`run`](Experiment::<Service>::run) against a caller-supplied
+    /// fabric (e.g. a switch with injected faults), with an optional
+    /// replay [`RecordSink`] observing every committed step.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Experiment::<Service>::run).
+    pub fn run_on(&mut self, fabric: &mut dyn Fabric) -> Result<ServiceReport, ExperimentError> {
+        self.run_recorded(fabric, None)
+    }
+
+    /// [`run_on`](Experiment::<Service>::run_on) with a replay sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Experiment::<Service>::run).
+    pub fn run_recorded(
+        &mut self,
+        fabric: &mut dyn Fabric,
+        sink: Option<&mut dyn RecordSink>,
+    ) -> Result<ServiceReport, ExperimentError> {
+        let cfg = aps_faas::ServiceConfig {
+            run: self.sim,
+            admission: self.workload.admission,
+            max_jobs: self.workload.max_jobs,
+            keep_job_reports: self.workload.keep_job_reports,
+        };
+        Ok(run_service_recorded(
+            fabric,
+            &mut self.workload.classes,
+            &cfg,
+            sink,
+        )?)
     }
 }
 

@@ -188,6 +188,7 @@
 //! | [`fabric`] | `aps-fabric` | circuit-switch & wavelength fabric device models with fault injection |
 //! | [`sim`] | `aps-sim` | deterministic fluid simulator: scheduled & adaptive executors, multi-tenant scenarios |
 //! | [`replay`] | `aps-replay` | deterministic replay: state hashing, replay records, divergence reports, snapshots |
+//! | [`faas`] | `aps-faas` | fabric as a service: arrival processes, admission control, port partitions, SLO accounting |
 //! | [`ablate`] | `aps-ablate` | declarative ablation plans: grid/LHS sampling, KPI tolerance gates, append-only CSV registry |
 //! | [`experiment`] | (this crate) | the typed `Experiment` builder unifying plan / simulate / sweep / multi-tenant |
 //!
@@ -235,6 +236,7 @@ pub use aps_ablate as ablate;
 pub use aps_collectives as collectives;
 pub use aps_core as core;
 pub use aps_cost as cost;
+pub use aps_faas as faas;
 pub use aps_fabric as fabric;
 pub use aps_flow as flow;
 pub use aps_matrix as matrix;
@@ -273,6 +275,11 @@ pub mod prelude {
         SwitchSchedule, SwitchingProblem,
     };
     pub use aps_cost::{CostParams, ReconfigModel};
+    pub use aps_faas::{
+        leximin_cmp, run_service, AdmissionPolicy, ArrivalProcess, FaasError, LatencyHistogram,
+        MmppArrivals, PartitionAllocator, PoissonArrivals, ServiceConfig, ServiceReport,
+        ServiceSummary, TenantClass, TenantSlo, TraceArrivals,
+    };
     pub use aps_fabric::{BarrierModel, CircuitSwitch, Fabric, WavelengthFabric};
     pub use aps_flow::{ThetaCache, ThroughputSolver};
     pub use aps_matrix::{DemandMatrix, Matching};

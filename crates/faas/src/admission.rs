@@ -33,7 +33,11 @@ pub enum AdmissionPolicy {
     /// Wait in the bounded queue; when full, stall the arriving class's
     /// source instead of rejecting.
     Backpressure {
-        /// Maximum jobs waiting at once.
+        /// Maximum jobs waiting at once. Must be at least 1: a stalled
+        /// job can only resume by draining into the queue, so a
+        /// zero-capacity queue would deadlock its class — the engine
+        /// rejects it up front with
+        /// [`FaasError::BadConfig`](crate::FaasError::BadConfig).
         capacity: usize,
     },
 }

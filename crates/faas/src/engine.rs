@@ -26,7 +26,7 @@
 use crate::admission::AdmissionPolicy;
 use crate::error::FaasError;
 use crate::partition::{PartitionAllocator, PartitionHandle};
-use crate::slo::{ServiceSummary, TenantSlo};
+use crate::slo::{RejectReason, ServiceSummary, TenantSlo};
 use aps_collectives::workload::arrivals::ArrivalProcess;
 use aps_collectives::Workload;
 use aps_cost::units::Picos;
@@ -204,6 +204,14 @@ pub fn run_service_recorded(
     if classes.is_empty() {
         return Err(FaasError::NoClasses);
     }
+    if cfg.admission == (AdmissionPolicy::Backpressure { capacity: 0 }) {
+        // A stalled job only drains through the queue, and a zero-capacity
+        // queue never accepts it: the class would silently lose its whole
+        // remaining arrival stream.
+        return Err(FaasError::BadConfig {
+            what: "backpressure needs a queue capacity of at least 1",
+        });
+    }
     let n = fabric.n();
     for (c, class) in classes.iter_mut().enumerate() {
         if class.ports == 0 {
@@ -354,9 +362,13 @@ pub fn run_service_recorded(
                         slo[c].queued += 1;
                         queue.push_back(job);
                         // The source resumes: next interarrival gap is
-                        // measured from the unstall instant.
-                        class_states[c].next_at =
-                            classes[c].arrivals.next_gap_ps().map(|g| now + g);
+                        // measured from the unstall instant. A gap that
+                        // overflows the clock (saturated huge gaps from
+                        // near-zero rates) exhausts the source.
+                        class_states[c].next_at = classes[c]
+                            .arrivals
+                            .next_gap_ps()
+                            .and_then(|g| now.checked_add(g));
                         progress = true;
                     }
                 }
@@ -431,7 +443,10 @@ pub fn run_service_recorded(
                 let want = classes[c].ports;
                 let mut stalled_source = false;
                 if want > n {
-                    slo[c].rejected_too_large += 1;
+                    slo[c].reject(RejectReason::TooLarge {
+                        wanted: want,
+                        fabric: n,
+                    });
                 } else if queue.is_empty() {
                     if let Some(handle) = alloc.try_alloc(want) {
                         admit_job(
@@ -454,6 +469,8 @@ pub fn run_service_recorded(
                             job,
                             &cfg.admission,
                             queue_cap,
+                            want,
+                            alloc.free_ports(),
                             &mut queue,
                             &mut class_states[c],
                             &mut slo[c],
@@ -466,6 +483,8 @@ pub fn run_service_recorded(
                         job,
                         &cfg.admission,
                         queue_cap,
+                        want,
+                        alloc.free_ports(),
                         &mut queue,
                         &mut class_states[c],
                         &mut slo[c],
@@ -474,7 +493,13 @@ pub fn run_service_recorded(
                 if stalled_source {
                     class_states[c].next_at = None;
                 } else {
-                    class_states[c].next_at = classes[c].arrivals.next_gap_ps().map(|g| now + g);
+                    // `checked_add`: a saturated gap (near-zero arrival
+                    // rate) past the end of the u64 clock means the
+                    // source never fires again.
+                    class_states[c].next_at = classes[c]
+                        .arrivals
+                        .next_gap_ps()
+                        .and_then(|g| now.checked_add(g));
                 }
             }
             _ => {
@@ -482,6 +507,10 @@ pub fn run_service_recorded(
                 // so the sink isn't held across loop iterations.
                 let s = sink.as_mut().map(|s| s as &mut dyn RecordSink);
                 if let Some(dep) = exec.execute_next(fabric, s) {
+                    debug_assert!(
+                        dep.finish_ps >= now,
+                        "a departure cannot precede the step event that produced it"
+                    );
                     reclaims.push(Reverse((dep.finish_ps, reclaim_seq, dep.slot)));
                     reclaim_seq += 1;
                 }
@@ -502,18 +531,24 @@ pub fn run_service_recorded(
 }
 
 /// Parks a job that cannot be placed: queue it, stall its source, or
-/// reject it, per policy. Returns `true` when the class's source stalls.
+/// reject it, per policy — rejections fold through the typed
+/// [`RejectReason`] taxonomy. Returns `true` when the class's source
+/// stalls. `wanted`/`free` are the job's port demand and the free ports
+/// at arrival, carried into the reject reasons.
+#[allow(clippy::too_many_arguments)]
 fn park(
     job: PendingJob,
     policy: &AdmissionPolicy,
     queue_cap: usize,
+    wanted: usize,
+    free: usize,
     queue: &mut VecDeque<PendingJob>,
     class_state: &mut ClassState,
     slo: &mut TenantSlo,
 ) -> bool {
     match policy {
         AdmissionPolicy::Reject => {
-            slo.rejected_ports_busy += 1;
+            slo.reject(RejectReason::PortsBusy { wanted, free });
             false
         }
         AdmissionPolicy::Queue { .. } => {
@@ -521,7 +556,9 @@ fn park(
                 slo.queued += 1;
                 queue.push_back(job);
             } else {
-                slo.rejected_queue_full += 1;
+                slo.reject(RejectReason::QueueFull {
+                    capacity: queue_cap,
+                });
             }
             false
         }
@@ -674,6 +711,66 @@ mod tests {
         assert_eq!(t.completed, 4);
         assert_eq!(t.rejected(), 0);
         assert!(t.backpressured >= 1, "the source stalled at least once");
+    }
+
+    #[test]
+    fn failure_with_staggered_arrivals_keeps_the_clock_monotone() {
+        // Job 0 is admitted at t = 0 onto a stuck fabric and fails at its
+        // first step's *request instant* (barrier + α after t = 0). Job 1
+        // arrives in that window (gap 1000 ps) and queues. The failure
+        // departure must not reclaim in the past: job 1's admission wait
+        // is `now - offered_ps` and would underflow if the clock ran
+        // backwards to the victim's pre-failure `gpu_free`.
+        let mut fab = fabric(4);
+        fab.stick_port(0).unwrap();
+        let mut classes = [class("storm", 4, MIB, vec![0, 1_000])];
+        let cfg = ServiceConfig {
+            admission: AdmissionPolicy::Queue { capacity: 4 },
+            ..ServiceConfig::paper_defaults()
+        };
+        let rep = run_service(&mut fab, &mut classes, &cfg).unwrap();
+        let t = &rep.summary.tenants[0];
+        assert_eq!(t.offered, 2);
+        assert_eq!(t.admitted, 2, "the failed job released its partition");
+        assert_eq!(t.failed, 2);
+        assert_eq!(t.wait.count(), 2);
+        // Job 1 waited from its arrival to job 0's failure departure — a
+        // small positive span, not a wrapped-around u64.
+        assert!(t.wait.max_ps() > 0);
+        assert!(
+            t.wait.max_ps() < 1_000_000_000,
+            "wait {} ps looks like an underflow",
+            t.wait.max_ps()
+        );
+        assert!(rep.summary.makespan_ps >= 1_000);
+    }
+
+    #[test]
+    fn backpressure_with_zero_capacity_is_a_config_error() {
+        // capacity 0 can never drain a stalled job (the refill needs a
+        // free queue slot), so the engine refuses it up front instead of
+        // silently losing the class's arrival stream.
+        let mut fab = fabric(4);
+        let mut classes = [class("z", 4, MIB, vec![0, 0])];
+        let cfg = ServiceConfig {
+            admission: AdmissionPolicy::Backpressure { capacity: 0 },
+            ..ServiceConfig::paper_defaults()
+        };
+        let err = run_service(&mut fab, &mut classes, &cfg).unwrap_err();
+        assert!(matches!(err, FaasError::BadConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn interarrival_gap_past_the_clock_end_exhausts_the_source() {
+        // A gap that would overflow the u64 picosecond clock means "never
+        // again": the source is exhausted rather than wrapping into the
+        // past (saturated gaps come from near-zero Poisson rates).
+        let mut fab = fabric(4);
+        let mut classes = [class("slow", 4, MIB, vec![1_000, u64::MAX])];
+        let rep = run_service(&mut fab, &mut classes, &ServiceConfig::paper_defaults()).unwrap();
+        let t = &rep.summary.tenants[0];
+        assert_eq!(t.offered, 1, "the overflowing second arrival never fires");
+        assert_eq!(t.completed, 1);
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub enum FaasError {
         /// What is wrong with it.
         what: &'static str,
     },
+    /// The service configuration is invalid (e.g. a backpressure policy
+    /// with no queue slot, which could never drain a stalled source).
+    BadConfig {
+        /// What is wrong with it.
+        what: &'static str,
+    },
     /// A partition handle's generation does not match the slot's current
     /// incarnation: the handle is from an earlier tenancy of the slot.
     StaleHandle {
@@ -49,6 +55,7 @@ impl fmt::Display for FaasError {
         match self {
             Self::NoClasses => write!(f, "a service needs at least one tenant class"),
             Self::BadClass { class, what } => write!(f, "tenant class {class}: {what}"),
+            Self::BadConfig { what } => write!(f, "service config: {what}"),
             Self::StaleHandle { slot, current, got } => write!(
                 f,
                 "stale partition handle: slot {slot} is at generation {current}, handle \

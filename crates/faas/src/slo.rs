@@ -138,6 +138,8 @@ impl LatencyHistogram {
 }
 
 /// Why the service turned a job away — the typed rejection taxonomy.
+/// The engine constructs one of these for every rejection and folds it
+/// into the per-class counters via [`TenantSlo::reject`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// The job wants more ports than the whole fabric has; no departure
@@ -191,6 +193,17 @@ pub struct TenantSlo {
 }
 
 impl TenantSlo {
+    /// Accounts one rejection under its typed [`RejectReason`] — the
+    /// single entry point the engine folds every turned-away job through,
+    /// so the reason taxonomy and the counters cannot drift apart.
+    pub fn reject(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::TooLarge { .. } => self.rejected_too_large += 1,
+            RejectReason::PortsBusy { .. } => self.rejected_ports_busy += 1,
+            RejectReason::QueueFull { .. } => self.rejected_queue_full += 1,
+        }
+    }
+
     /// Jobs rejected for any reason.
     pub fn rejected(&self) -> u64 {
         self.rejected_too_large + self.rejected_ports_busy + self.rejected_queue_full
@@ -375,6 +388,22 @@ mod tests {
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean_ps(), 0.0);
+    }
+
+    #[test]
+    fn reject_reasons_fold_into_their_counters() {
+        let mut t = TenantSlo::default();
+        t.reject(RejectReason::TooLarge {
+            wanted: 9,
+            fabric: 8,
+        });
+        t.reject(RejectReason::PortsBusy { wanted: 4, free: 2 });
+        t.reject(RejectReason::PortsBusy { wanted: 4, free: 0 });
+        t.reject(RejectReason::QueueFull { capacity: 3 });
+        assert_eq!(t.rejected_too_large, 1);
+        assert_eq!(t.rejected_ports_busy, 2);
+        assert_eq!(t.rejected_queue_full, 1);
+        assert_eq!(t.rejected(), 4);
     }
 
     #[test]

@@ -99,7 +99,10 @@ pub struct Departure {
     /// Slot of the departing job.
     pub slot: usize,
     /// When the job's last step (including compute) finished; for a
-    /// failed job, the clock before the failing step.
+    /// failed job, the instant the failing step would have touched the
+    /// fabric (its `natural_request_at`), so the departure is never
+    /// earlier than the event that dispatched it — simulated clocks
+    /// driven by departures stay monotone.
     pub finish_ps: Picos,
     /// `true` when the job stopped on a step error instead of finishing.
     pub failed: bool,
@@ -340,28 +343,35 @@ impl ServiceExecutor {
         fabric: &mut dyn Fabric,
         sink: Option<&mut dyn RecordSink>,
     ) -> Option<Departure> {
-        let (_, slot) = self.next_request_at()?;
+        let (request_at, slot) = self.next_request_at()?;
         let n = self.n;
         let st = self.slots[slot].as_mut().expect("scheduled slot is live");
         let i = st.executed;
+        // A failing step departs at its request instant: `gpu_free` alone
+        // can predate the event that dispatched this step (the request
+        // adds barrier + α), and a departure in the caller's past would
+        // run its event clock backwards.
+        let fail_ps = request_at.max(st.gpu_free);
         let Some(choice) = st.switching.choice(i) else {
             st.error = Some(SimError::ScheduleLengthMismatch {
                 expected: i + 1,
                 got: i,
             });
             st.has_pending = false;
+            st.gpu_free = fail_ps;
             return Some(Departure {
                 slot,
-                finish_ps: st.gpu_free,
+                finish_ps: fail_ps,
                 failed: true,
             });
         };
         if let Err(e) = validate_step(i, st.ports.len(), &st.pending) {
             st.error = Some(e);
             st.has_pending = false;
+            st.gpu_free = fail_ps;
             return Some(Departure {
                 slot,
-                finish_ps: st.gpu_free,
+                finish_ps: fail_ps,
                 failed: true,
             });
         }
@@ -415,9 +425,10 @@ impl ServiceExecutor {
             Err(e) => {
                 st.error = Some(e);
                 st.has_pending = false;
+                st.gpu_free = fail_ps;
                 return Some(Departure {
                     slot,
-                    finish_ps: st.gpu_free,
+                    finish_ps: fail_ps,
                     failed: true,
                 });
             }

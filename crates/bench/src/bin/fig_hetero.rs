@@ -1,0 +1,163 @@
+//! Heterogeneous-fabric benchmark: the `hetero-hybrid` multi-tenant mix
+//! on three fabric technologies — all-electrical crossbar, all-optical
+//! circuit switch, and the split hybrid — under the static, DP-planned
+//! and greedy controllers.
+//!
+//! Every cell plans each tenant's switch schedule with the cell's
+//! controller, then executes all tenants on one shared fabric of the
+//! cell's kind (FCFS controller arbitration). Cells report scenario
+//! makespan, per-tenant finish/reconfiguration/transfer/arbitration
+//! splits, and speedup over the static controller on the same fabric.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p aps-bench --release --bin fig_hetero [-- --bytes 1048576 --alpha-r 1e-5]
+//! APS_THREADS=4 cargo run -p aps-bench --release --bin fig_hetero
+//! ```
+//!
+//! Prints a per-cell summary and writes the machine-readable
+//! `results/bench_hetero.json` report. Planning fans out per tenant on
+//! the `APS_THREADS` pool but each tenant is planned independently and
+//! execution is single-clocked in integer picoseconds, so the report's
+//! `data` section is bit-identical at any `APS_THREADS` setting and
+//! `perfgate compare`/`gate` accept it alongside the figure reports.
+
+use adaptive_photonics::experiment::Experiment;
+use aps_bench::cli::{emit_bench_report, parse_flags};
+use aps_bench::output::Json;
+use aps_core::controller::by_name as controller_by_name;
+use aps_cost::units::{format_time, picos_to_secs, MIB};
+use aps_cost::ReconfigModel;
+use aps_matrix::Matching;
+use aps_par::Pool;
+use aps_sim::scenarios::hetero::{self, FabricKind};
+use aps_sim::TenantReport;
+use aps_topology::builders::ring_unidirectional;
+
+const SCENARIO: &str = "hetero-hybrid";
+const FABRICS: [FabricKind; 3] = [
+    FabricKind::Electrical,
+    FabricKind::Optical,
+    FabricKind::Hybrid,
+];
+const CONTROLLERS: [&str; 3] = ["static", "opt", "greedy"];
+
+/// Plans and executes the scenario with `controller` on a fresh fabric
+/// of `kind`; one report per tenant, in input order.
+fn run_cell(
+    pool: &Pool,
+    kind: FabricKind,
+    controller: &str,
+    bytes: f64,
+    alpha_r: f64,
+) -> Vec<TenantReport> {
+    let scenario = hetero::by_name(SCENARIO, bytes).expect("shipped scenario");
+    let n = scenario.n;
+    let reconfig = ReconfigModel::constant(alpha_r).expect("valid delay");
+    let mut exp = Experiment::domain(ring_unidirectional(n).expect("valid ring"))
+        .reconfig(reconfig)
+        .pool(*pool)
+        .controller(controller_by_name(controller).expect("shipped controller"))
+        .scenario(scenario);
+    exp.plan().expect("plannable scenario");
+    let mut fabric =
+        hetero::build_fabric(kind, Matching::shift(n, 1).expect("ring base"), reconfig)
+            .expect("buildable fabric");
+    exp.simulate_on(fabric.as_mut())
+        .expect("runnable scenario")
+        .into_iter()
+        .map(|r| r.expect("healthy fabric"))
+        .collect()
+}
+
+fn makespan_ps(tenants: &[TenantReport]) -> u64 {
+    tenants.iter().map(|t| t.finish_ps).max().unwrap_or(0)
+}
+
+fn main() {
+    let flags = parse_flags(&["--bytes", "--alpha-r"]);
+    let bytes = flags.parsed_or("bytes", MIB);
+    let alpha_r = flags.parsed_or("alpha-r", 10e-6);
+
+    let pool = Pool::from_env();
+    println!(
+        "Heterogeneous fabrics — `{SCENARIO}` mix at {bytes:.0} B, α_r = {}, \
+         electrical/optical/hybrid × static/opt/greedy, {} worker thread(s)\n",
+        format_time(alpha_r),
+        pool.threads()
+    );
+
+    let started = std::time::Instant::now();
+    let mut cell_reports = Vec::new();
+    for kind in FABRICS {
+        let baseline_ps = makespan_ps(&run_cell(&pool, kind, "static", bytes, alpha_r)).max(1);
+        for controller in CONTROLLERS {
+            let tenants = run_cell(&pool, kind, controller, bytes, alpha_r);
+            let completion_ps = makespan_ps(&tenants);
+            let speedup = baseline_ps as f64 / completion_ps.max(1) as f64;
+            let reconfig_events: u64 = tenants
+                .iter()
+                .map(|t| t.report.reconfig_events() as u64)
+                .sum();
+            println!(
+                "── {:<12} {controller:<8} makespan {:>12}  {reconfig_events:>3} reconfigs  \
+                 speedup ×{speedup:.3}",
+                kind.name(),
+                format_time(picos_to_secs(completion_ps)),
+            );
+            let tenant_rows = tenants
+                .iter()
+                .map(|t| {
+                    Json::obj([
+                        ("name", Json::Str(t.name.clone())),
+                        ("finish_s", Json::Num(picos_to_secs(t.finish_ps))),
+                        (
+                            "reconfig_s",
+                            Json::Num(picos_to_secs(
+                                t.report.steps.iter().map(|s| s.reconfig_ps).sum(),
+                            )),
+                        ),
+                        (
+                            "transfer_s",
+                            Json::Num(picos_to_secs(
+                                t.report.steps.iter().map(|s| s.transfer_ps).sum(),
+                            )),
+                        ),
+                        (
+                            "arbitration_s",
+                            Json::Num(picos_to_secs(t.arbitration_ps())),
+                        ),
+                    ])
+                })
+                .collect();
+            cell_reports.push(Json::obj([
+                ("fabric", Json::Str(kind.name().into())),
+                ("controller", Json::Str(controller.into())),
+                ("makespan_s", Json::Num(picos_to_secs(completion_ps))),
+                ("reconfig_events", Json::UInt(reconfig_events)),
+                ("speedup_vs_static", Json::Num(speedup)),
+                ("tenants", Json::Arr(tenant_rows)),
+            ]));
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    println!();
+
+    let data = Json::obj([
+        ("figure", Json::Str("hetero".into())),
+        ("scenario", Json::Str(SCENARIO.into())),
+        ("bytes", Json::Num(bytes)),
+        ("alpha_r_s", Json::Num(alpha_r)),
+        (
+            "fabrics",
+            Json::Arr(FABRICS.iter().map(|k| Json::Str(k.name().into())).collect()),
+        ),
+        (
+            "controllers",
+            Json::Arr(CONTROLLERS.iter().map(|c| Json::Str((*c).into())).collect()),
+        ),
+        ("cells", Json::Arr(cell_reports)),
+    ]);
+    emit_bench_report("hetero", &pool, wall_s, data);
+}

@@ -27,6 +27,8 @@ pub enum FabricError {
     },
     /// A per-port tuning delay was negative or non-finite.
     BadTuningDelay(f64),
+    /// A wavelength-bank fabric was built with zero wavelength bands.
+    EmptyWavelengthBank,
 }
 
 impl fmt::Display for FabricError {
@@ -46,6 +48,9 @@ impl fmt::Display for FabricError {
             }
             Self::BadTuningDelay(v) => {
                 write!(f, "tuning delay {v} must be finite and non-negative")
+            }
+            Self::EmptyWavelengthBank => {
+                write!(f, "wavelength bank needs at least one band")
             }
         }
     }

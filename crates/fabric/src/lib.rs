@@ -13,6 +13,16 @@
 //!   with tunable transceivers: no central controller, reconfiguration time
 //!   is the slowest *retuned* port.
 //!
+//! Two heterogeneous variants extend them for the paper's mixed-fabric
+//! scenarios:
+//!
+//! * [`hybrid::HybridFabric`] — a composite fabric routing a designated
+//!   port subset through a zero-reconfiguration electrical crossbar while
+//!   the rest pays full photonic switching cost.
+//! * [`wavelength_bank::WavelengthBankFabric`] — a dense-WDM bank of
+//!   discrete wavelength bands with per-λ lock-on costs and fast
+//!   intra-band hops.
+//!
 //! Both implement the [`Fabric`] trait the simulator drives. Fault injection
 //! (stuck ports, slow tuning) lets tests exercise degraded-fabric behavior,
 //! mirroring smoltcp-style fault options.
@@ -23,14 +33,18 @@
 
 pub mod barrier;
 pub mod error;
+pub mod hybrid;
 pub mod switch;
 pub mod transceiver;
 pub mod wavelength;
+pub mod wavelength_bank;
 
 pub use barrier::BarrierModel;
 pub use error::FabricError;
+pub use hybrid::HybridFabric;
 pub use switch::CircuitSwitch;
 pub use wavelength::WavelengthFabric;
+pub use wavelength_bank::WavelengthBankFabric;
 
 use aps_cost::units::Picos;
 use aps_matrix::Matching;

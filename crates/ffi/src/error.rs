@@ -1,0 +1,29 @@
+//! Thread-local last-error storage behind `aps_last_error_message()`.
+
+use std::cell::RefCell;
+use std::ffi::{c_char, CString};
+
+thread_local! {
+    /// The message of the last failing call on this thread. Kept alive
+    /// until the next failure on the same thread, so the pointer
+    /// returned by [`aps_last_error_message`] stays valid across
+    /// intervening *successful* calls.
+    static LAST_ERROR: RefCell<CString> = RefCell::new(CString::default());
+}
+
+/// Records `message` as the thread's last error. Interior NULs (which
+/// `CString` rejects) are replaced so storage never fails.
+pub fn set_last_error(message: &str) {
+    let owned = CString::new(message)
+        .unwrap_or_else(|_| CString::new(message.replace('\0', "?")).expect("NULs replaced"));
+    LAST_ERROR.with(|e| *e.borrow_mut() = owned);
+}
+
+/// The message of the most recent failing ABI call on the calling
+/// thread, as a NUL-terminated UTF-8 string. Empty until the first
+/// failure. The pointer is owned by the library and valid until the
+/// next failing call on the same thread; callers must not free it.
+#[no_mangle]
+pub extern "C" fn aps_last_error_message() -> *const c_char {
+    LAST_ERROR.with(|e| e.borrow().as_ptr())
+}

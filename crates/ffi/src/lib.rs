@@ -1,0 +1,39 @@
+//! `aps-ffi`: the stable C embedding ABI for the adaptive-photonics
+//! engine.
+//!
+//! The crate builds as a `cdylib`/`staticlib` (plus an `rlib` so Rust
+//! tests can call the exact exported functions in-process) and exposes
+//! the engine's front door to foreign callers:
+//!
+//! * **Versioned entry points** — [`api::aps_abi_version`] packs a
+//!   semver triple; callers reject a major mismatch before touching
+//!   anything else, and every in/out struct carries a `struct_size`
+//!   first field the library checks against its own layout.
+//! * **Typed opaque handles** — foreign code never holds pointers.
+//!   Experiments, simulation runs and service summaries live in
+//!   slot+generation [`handle::HandleTable`]s; a stale handle or a
+//!   double-destroy returns a typed [`status::ApsStatus`] instead of
+//!   undefined behavior.
+//! * **No panics across the boundary** — every entry point runs under
+//!   `catch_unwind`; a panic becomes `APS_STATUS_PANICKED` with the
+//!   message readable via [`error::aps_last_error_message`].
+//! * **The full front door** — build an experiment (ports, α/β/δ cost
+//!   parameters, α_r reconfiguration delay, controller by name,
+//!   heterogeneous fabric kind, seeded failure storm), bind a
+//!   collective / scenario / service-class mix, then plan, simulate,
+//!   sweep or run the service and read flat `#[repr(C)]` summaries
+//!   back through caller-owned buffers.
+//!
+//! The C view of all of this is the hand-written header
+//! `include/adaptive_photonics.h` at the repository root;
+//! `examples/ffi_smoke.c` is a complete embedding client that
+//! cross-checks every summary byte-for-byte against the native oracle
+//! (`cargo run -p aps-ffi --example ffi_oracle`).
+
+pub mod api;
+pub mod error;
+pub mod handle;
+pub mod status;
+
+pub use api::{aps_abi_version, ABI_MAJOR, ABI_MINOR, ABI_PATCH};
+pub use status::ApsStatus;

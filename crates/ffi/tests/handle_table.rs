@@ -1,0 +1,126 @@
+//! Property tests for the slot+generation handle table: stale handles
+//! and double-destroys are typed errors, never aliasing; exhaustion is
+//! a clean error; slot reuse always changes the public handle.
+
+use aps_ffi::handle::{HandleError, HandleTable};
+use proptest::prelude::*;
+
+/// A driver op, drawn against a small value space so collisions and
+/// reuse are frequent.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    /// Remove the i-th live handle (mod live count).
+    Remove(usize),
+    /// Re-remove a handle that was already destroyed.
+    RemoveDead(usize),
+    /// Get via a handle that was already destroyed.
+    GetDead(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..4u32, 0..64usize, any::<u64>()).prop_map(|(kind, index, value)| match kind {
+        0 => Op::Insert(value as u32),
+        1 => Op::Remove(index),
+        2 => Op::RemoveDead(index),
+        _ => Op::GetDead(index),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random interleavings of insert/remove/double-destroy/stale-get
+    /// against a shadow model: live handles always resolve to their
+    /// value, dead handles always resolve to `Stale`, and the table
+    /// never exceeds its capacity.
+    #[test]
+    fn table_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        const CAPACITY: usize = 8;
+        let mut table = HandleTable::with_capacity(CAPACITY);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        let mut dead: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => match table.insert(v) {
+                    Ok(h) => {
+                        prop_assert!(live.len() < CAPACITY);
+                        prop_assert!(!dead.contains(&h), "reused slot kept its old handle");
+                        live.push((h, v));
+                    }
+                    Err(e) => {
+                        prop_assert_eq!(e, HandleError::Exhausted);
+                        prop_assert_eq!(live.len(), CAPACITY);
+                    }
+                },
+                Op::Remove(i) if !live.is_empty() => {
+                    let (h, v) = live.remove(i % live.len());
+                    prop_assert_eq!(table.remove(h), Ok(v));
+                    dead.push(h);
+                }
+                Op::RemoveDead(i) if !dead.is_empty() => {
+                    let h = dead[i % dead.len()];
+                    prop_assert_eq!(table.remove(h), Err(HandleError::Stale));
+                }
+                Op::GetDead(i) if !dead.is_empty() => {
+                    let h = dead[i % dead.len()];
+                    prop_assert_eq!(table.get(h), Err(HandleError::Stale));
+                }
+                // Nothing to act on yet; skip.
+                Op::Remove(_) | Op::RemoveDead(_) | Op::GetDead(_) => {}
+            }
+            prop_assert_eq!(table.len(), live.len());
+            for (h, v) in &live {
+                prop_assert_eq!(table.get(*h), Ok(v));
+            }
+        }
+    }
+
+    /// Destroy-then-reinsert on one slot: every reincarnation gets a
+    /// fresh public handle, and all prior handles for the slot are
+    /// stale forever after.
+    #[test]
+    fn slot_reuse_always_bumps_generation(rounds in 1..100u32) {
+        let mut table = HandleTable::with_capacity(1);
+        let mut retired = Vec::new();
+        for r in 0..rounds {
+            let h = table.insert(r).unwrap();
+            prop_assert!(!retired.contains(&h));
+            prop_assert_eq!(table.get(h), Ok(&r));
+            prop_assert_eq!(table.remove(h), Ok(r));
+            prop_assert_eq!(table.remove(h), Err(HandleError::Stale));
+            retired.push(h);
+            for old in &retired {
+                prop_assert_eq!(table.get(*old), Err(HandleError::Stale));
+            }
+        }
+    }
+
+    /// Handles never issued by the table (arbitrary bit patterns) are
+    /// stale, not UB — including the all-zero handle.
+    #[test]
+    fn foreign_handles_are_stale(h in any::<u64>(), fill in 0..4usize) {
+        let mut table = HandleTable::with_capacity(4);
+        let issued: Vec<u64> = (0..fill).map(|v| table.insert(v).unwrap()).collect();
+        if !issued.contains(&h) {
+            prop_assert_eq!(table.get(h), Err(HandleError::Stale));
+        }
+        prop_assert_eq!(table.get(0), Err(HandleError::Stale));
+    }
+
+    /// Exhaustion reports cleanly and the table recovers as soon as one
+    /// slot frees up.
+    #[test]
+    fn exhaustion_is_clean_and_recoverable(capacity in 1..16usize) {
+        let mut table = HandleTable::with_capacity(capacity);
+        let handles: Vec<u64> = (0..capacity).map(|v| table.insert(v).unwrap()).collect();
+        prop_assert_eq!(table.insert(99), Err(HandleError::Exhausted));
+        // Existing handles are untouched by the failed insert.
+        for (v, h) in handles.iter().enumerate() {
+            prop_assert_eq!(table.get(*h), Ok(&v));
+        }
+        table.remove(handles[0]).unwrap();
+        prop_assert!(table.insert(99).is_ok());
+    }
+}

@@ -27,6 +27,8 @@
 //! optimum shorthand, the same eq. (7) machinery the single-tenant sweeps
 //! use.
 
+pub mod hetero;
+
 use crate::error::SimError;
 use crate::exec::RunConfig;
 use crate::tenant::{execute_tenants, TenantReport, TenantSpec};
@@ -35,7 +37,7 @@ use aps_core::controller::{Controller, DpPlanned};
 use aps_core::sweep::{plan_jobs_on, PlanJob};
 use aps_core::{CoreError, ReconfigAccounting, SwitchSchedule};
 use aps_cost::{CostParams, ReconfigModel};
-use aps_fabric::CircuitSwitch;
+use aps_fabric::{CircuitSwitch, Fabric, FabricState};
 use aps_flow::ThroughputSolver;
 use aps_matrix::Matching;
 use aps_par::Pool;
@@ -173,6 +175,36 @@ impl Scenario {
     ) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
         let mut fabric = self.fabric(reconfig)?;
         execute_tenants(&mut fabric, &self.tenants, cfg)
+    }
+
+    /// Runs the scenario on a caller-supplied fabric — the door to
+    /// heterogeneous media ([`hetero`]) and pre-faulted devices. The
+    /// fabric's configuration is first reset to
+    /// [`Scenario::initial_config`]; its device clock, faults and
+    /// statistics are left as the caller set them (rewind with the
+    /// device's `reset_clock` for a fresh run).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] when the fabric's port count
+    /// differs from the scenario's; otherwise as [`Scenario::run`].
+    pub fn run_on(
+        &self,
+        fabric: &mut dyn Fabric,
+        cfg: &RunConfig,
+    ) -> Result<Vec<Result<TenantReport, SimError>>, SimError> {
+        if fabric.n() != self.n {
+            return Err(SimError::DimensionMismatch {
+                fabric: fabric.n(),
+                collective: self.n,
+            });
+        }
+        let state = FabricState {
+            config: self.initial_config()?,
+            busy_until: fabric.busy_until(),
+        };
+        fabric.load_state(&state).map_err(SimError::Fabric)?;
+        execute_tenants(fabric, &self.tenants, cfg)
     }
 }
 

@@ -1,0 +1,235 @@
+/* ffi_smoke.c — a complete C embedding client for libaps_ffi.
+ *
+ * Exercises the whole front door — version gate, collective plan +
+ * simulate, heterogeneous scenario with a seeded failure storm, policy
+ * sweep, service run with SLO readback — and prints every summary in a
+ * canonical line format with doubles as raw IEEE-754 bit patterns.
+ * scripts/ffi_smoke.sh diffs this output byte-for-byte against the
+ * native Rust oracle (cargo run -p aps-ffi --example ffi_oracle), so
+ * any drift between the C ABI and the native API fails CI.
+ *
+ * Build: cc examples/ffi_smoke.c -Iinclude -Ltarget/release -laps_ffi
+ */
+
+#include <inttypes.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "adaptive_photonics.h"
+
+#define MIB (1024.0 * 1024.0)
+
+static void check(aps_status_t status, const char *what) {
+  if (status != APS_STATUS_OK) {
+    fprintf(stderr, "FAIL %s: %s (%s)\n", what, aps_status_name(status),
+            aps_last_error_message());
+    exit(1);
+  }
+}
+
+/* The raw bit pattern of a double, so output compares exactly. */
+static uint64_t bits(double v) {
+  uint64_t u;
+  memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+static aps_domain_config_t domain(uint32_t ports, const char *controller,
+                                  int32_t fabric, int32_t storm,
+                                  uint64_t seed) {
+  aps_domain_config_t cfg;
+  memset(&cfg, 0, sizeof cfg);
+  cfg.struct_size = sizeof cfg;
+  cfg.ports = ports;
+  cfg.alpha_s = 100e-9;
+  cfg.bandwidth_gbps = 800.0;
+  cfg.delta_s = 100e-9;
+  cfg.alpha_r_s = 10e-6;
+  cfg.controller = controller;
+  cfg.fabric = fabric;
+  cfg.storm = storm;
+  cfg.storm_seed = seed;
+  return cfg;
+}
+
+static void print_sim(const char *tag, aps_simrun_t run) {
+  aps_sim_summary_t s;
+  memset(&s, 0, sizeof s);
+  s.struct_size = sizeof s;
+  check(aps_simrun_summary(run, &s), "simrun_summary");
+  printf("%s completion_ps=%" PRIu64 " rows=%" PRIu64 " events=%" PRIu64
+         " reconfig_ps=%" PRIu64 " transfer_ps=%" PRIu64
+         " arbitration_ps=%" PRIu64 " speedup=%016" PRIx64 "\n",
+         tag, s.completion_ps, s.rows, s.reconfig_events, s.reconfig_ps,
+         s.transfer_ps, s.arbitration_ps, bits(s.speedup_vs_static));
+
+  size_t written = 0;
+  aps_run_row_t *rows = calloc(s.rows, sizeof *rows);
+  if (!rows) {
+    fprintf(stderr, "FAIL calloc\n");
+    exit(1);
+  }
+  check(aps_simrun_rows(run, sizeof *rows, rows, s.rows, &written),
+        "simrun_rows");
+  for (size_t i = 0; i < written; i++) {
+    printf("%s.row index=%" PRIu64 " total_ps=%" PRIu64 " reconfig_ps=%" PRIu64
+           " transfer_ps=%" PRIu64 " arbitration_ps=%" PRIu64 "\n",
+           tag, rows[i].index, rows[i].total_ps, rows[i].reconfig_ps,
+           rows[i].transfer_ps, rows[i].arbitration_ps);
+  }
+  free(rows);
+}
+
+int main(void) {
+  uint32_t major = 0, minor = 0, patch = 0;
+  check(aps_abi_version_triple(&major, &minor, &patch), "version_triple");
+  if (major != APS_ABI_MAJOR) {
+    fprintf(stderr, "FAIL ABI major %u, header expects %u\n", major,
+            APS_ABI_MAJOR);
+    return 1;
+  }
+  printf("abi %u.%u.%u\n", major, minor, patch);
+
+  /* 1. Collective on the optical baseline: plan, then simulate. */
+  {
+    aps_domain_config_t cfg = domain(16, "opt", APS_FABRIC_OPTICAL, 0, 0);
+    aps_experiment_t exp = 0;
+    check(aps_experiment_new(&cfg, &exp), "experiment_new");
+    check(aps_experiment_bind_collective(exp, "hd-allreduce", MIB),
+          "bind_collective");
+
+    aps_plan_summary_t plan;
+    memset(&plan, 0, sizeof plan);
+    plan.struct_size = sizeof plan;
+    check(aps_experiment_plan(exp, &plan), "plan");
+    printf("plan steps=%" PRIu64 " matched=%" PRIu64 " events=%" PRIu64
+           " total_s=%016" PRIx64 " reconfig_s=%016" PRIx64
+           " transmission_s=%016" PRIx64 "\n",
+           plan.steps, plan.matched_steps, plan.reconfig_events,
+           bits(plan.total_s), bits(plan.reconfig_s),
+           bits(plan.transmission_s));
+
+    aps_simrun_t run = 0;
+    check(aps_experiment_simulate(exp, &run), "simulate");
+    print_sim("sim", run);
+    check(aps_simrun_destroy(run), "simrun_destroy");
+    check(aps_experiment_destroy(exp), "experiment_destroy");
+  }
+
+  /* 2. Heterogeneous scenario: hybrid fabric under a seeded failure
+   * storm, greedy controller. */
+  {
+    aps_domain_config_t cfg = domain(32, "greedy", APS_FABRIC_HYBRID, 1, 42);
+    aps_experiment_t exp = 0;
+    check(aps_experiment_new(&cfg, &exp), "experiment_new(hetero)");
+    check(aps_experiment_bind_scenario(exp, "hetero-hybrid", MIB),
+          "bind_scenario");
+    aps_simrun_t run = 0;
+    check(aps_experiment_simulate(exp, &run), "simulate(hetero)");
+    print_sim("hetero", run);
+    check(aps_simrun_destroy(run), "simrun_destroy");
+    check(aps_experiment_destroy(exp), "experiment_destroy");
+  }
+
+  /* 3. Multi-wavelength scenario on the wavelength bank. */
+  {
+    aps_domain_config_t cfg =
+        domain(24, "opt", APS_FABRIC_WAVELENGTH_BANK, 0, 0);
+    aps_experiment_t exp = 0;
+    check(aps_experiment_new(&cfg, &exp), "experiment_new(bank)");
+    check(aps_experiment_bind_scenario(exp, "multi-wavelength", MIB),
+          "bind_scenario(bank)");
+    aps_simrun_t run = 0;
+    check(aps_experiment_simulate(exp, &run), "simulate(bank)");
+    print_sim("bank", run);
+    check(aps_simrun_destroy(run), "simrun_destroy");
+    check(aps_experiment_destroy(exp), "experiment_destroy");
+  }
+
+  /* 4. Policy sweep over a small alpha_r x message-size grid. */
+  {
+    aps_domain_config_t cfg = domain(8, "opt", APS_FABRIC_OPTICAL, 0, 0);
+    aps_experiment_t exp = 0;
+    check(aps_experiment_new(&cfg, &exp), "experiment_new(sweep)");
+    check(aps_experiment_bind_collective(exp, "alltoall", MIB),
+          "bind_collective(sweep)");
+    const double delays[2] = {1e-6, 10e-6};
+    const double sizes[2] = {MIB, 4.0 * MIB};
+    aps_sweep_cell_t cells[4];
+    memset(cells, 0, sizeof cells);
+    size_t written = 0;
+    check(aps_experiment_sweep(exp, delays, 2, sizes, 2, sizeof cells[0],
+                               cells, 4, &written),
+          "sweep");
+    for (size_t i = 0; i < written; i++) {
+      printf("sweep.cell index=%zu static=%016" PRIx64 " bvn=%016" PRIx64
+             " opt=%016" PRIx64 " threshold=%016" PRIx64 "\n",
+             i, bits(cells[i].t_static_s), bits(cells[i].t_bvn_s),
+             bits(cells[i].t_opt_s), bits(cells[i].t_threshold_s));
+    }
+    check(aps_experiment_destroy(exp), "experiment_destroy");
+  }
+
+  /* 5. Fabric-as-a-service: one bursty class, bounded-queue admission,
+   * SLO readback. */
+  {
+    aps_domain_config_t cfg = domain(16, "opt", APS_FABRIC_OPTICAL, 0, 0);
+    aps_experiment_t exp = 0;
+    check(aps_experiment_new(&cfg, &exp), "experiment_new(service)");
+    aps_service_class_t cls;
+    memset(&cls, 0, sizeof cls);
+    cls.struct_size = sizeof cls;
+    cls.name = "burst";
+    cls.ports = 8;
+    cls.workload = "hd-allreduce";
+    cls.message_bytes = MIB;
+    cls.arrival_rate_hz = 2000.0;
+    cls.jobs = 24;
+    cls.seed = 7;
+    cls.matched = 1;
+    check(aps_experiment_add_service_class(exp, &cls), "add_service_class");
+    check(aps_experiment_set_admission(exp, APS_ADMISSION_QUEUE, 4),
+          "set_admission");
+
+    aps_service_t service = 0;
+    check(aps_experiment_run_service(exp, &service), "run_service");
+    aps_service_stats_t stats;
+    memset(&stats, 0, sizeof stats);
+    stats.struct_size = sizeof stats;
+    check(aps_service_stats(service, &stats), "service_stats");
+    printf("service makespan_ps=%" PRIu64 " offered=%" PRIu64
+           " completed=%" PRIu64 " steps=%" PRIu64 " events=%" PRIu64
+           " classes=%" PRIu64 "\n",
+           stats.makespan_ps, stats.offered, stats.completed, stats.steps,
+           stats.reconfig_events, stats.classes);
+
+    for (size_t i = 0; i < stats.classes; i++) {
+      char name[64];
+      size_t written = 0;
+      check(aps_service_class_name(service, i, name, sizeof name, &written),
+            "service_class_name");
+      aps_class_slo_t slo;
+      memset(&slo, 0, sizeof slo);
+      slo.struct_size = sizeof slo;
+      check(aps_service_class_slo(service, i, &slo), "service_class_slo");
+      printf("slo name=%s offered=%" PRIu64 " admitted=%" PRIu64
+             " queued=%" PRIu64 " completed=%" PRIu64 " p50=%" PRIu64
+             " p99=%" PRIu64 " max=%" PRIu64 " wait_p99=%" PRIu64
+             " goodput=%016" PRIx64 "\n",
+             name, slo.offered, slo.admitted, slo.queued, slo.completed,
+             slo.completion_p50_ps, slo.completion_p99_ps,
+             slo.completion_max_ps, slo.wait_p99_ps, bits(slo.goodput));
+    }
+
+    check(aps_service_destroy(service), "service_destroy");
+    /* Typed double-destroy: the generation check must catch this. */
+    if (aps_service_destroy(service) != APS_STATUS_STALE_HANDLE) {
+      fprintf(stderr, "FAIL double-destroy was not typed\n");
+      return 1;
+    }
+    check(aps_experiment_destroy(exp), "experiment_destroy");
+  }
+
+  return 0;
+}

@@ -794,6 +794,24 @@ impl Experiment<Shared> {
     pub fn simulate(&self) -> Result<Vec<Result<TenantReport, SimError>>, ExperimentError> {
         Ok(self.workload.scenario.run(self.reconfig, &self.sim)?)
     }
+
+    /// [`simulate`](Experiment::<Shared>::simulate) against a
+    /// caller-supplied fabric — heterogeneous media
+    /// (`aps_sim::scenarios::hetero`) or pre-faulted devices. The
+    /// fabric's configuration is reset to the scenario's initial state;
+    /// faults and the device clock are left as the caller set them.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate`](Experiment::<Shared>::simulate), plus a dimension
+    /// mismatch when the fabric's port count differs from the
+    /// scenario's.
+    pub fn simulate_on(
+        &self,
+        fabric: &mut dyn Fabric,
+    ) -> Result<Vec<Result<TenantReport, SimError>>, ExperimentError> {
+        Ok(self.workload.scenario.run_on(fabric, &self.sim)?)
+    }
 }
 
 impl Experiment<Service> {
@@ -991,7 +1009,7 @@ pub fn evaluate_ablation_cell(cell: &Cell) -> Result<KpiValues, ExperimentError>
         })
     } else {
         // Single-collective path on a unidirectional ring of `ports` GPUs.
-        let collective = build_ablation_collective(workload, ports, bytes)
+        let collective = collective_by_name(workload, ports, bytes)
             .ok_or_else(|| fail(format!("unknown workload '{workload}'")))?
             .map_err(|e| fail(format!("cannot build {workload} on {ports} ports: {e}")))?;
         let run = |ctl: &'static dyn Controller| -> Result<SimRun, ExperimentError> {
@@ -1032,8 +1050,11 @@ pub fn evaluate_ablation_cell(cell: &Cell) -> Result<KpiValues, ExperimentError>
     }
 }
 
-/// The collective families the ablation bridge resolves by name.
-fn build_ablation_collective(
+/// The collective families resolvable by a stable name — the lookup the
+/// ablation bridge and the C ABI (`aps-ffi`) share: `hd-allreduce`,
+/// `ring-allreduce`, `alltoall`, `broadcast`. Returns `None` for an
+/// unknown family, `Some(Err)` when the family rejects `(n, bytes)`.
+pub fn collective_by_name(
     name: &str,
     n: usize,
     bytes: f64,

@@ -248,7 +248,8 @@ pub use aps_topology as topology;
 pub mod experiment;
 
 pub use experiment::{
-    evaluate_ablation_cell, run_ablation, Experiment, ExperimentError, Plan, SimRun,
+    collective_by_name, evaluate_ablation_cell, run_ablation, Experiment, ExperimentError, Plan,
+    SimRun,
 };
 
 /// The most common imports, re-exported flat.

@@ -365,6 +365,243 @@ fn oversized_base_config_errors_instead_of_indexing_out_of_bounds() {
     ));
 }
 
+// ---------------------------------------------------------------------
+// Seeded failure storms on heterogeneous fabrics (scenarios::hetero).
+// ---------------------------------------------------------------------
+
+use aps_sim::scenarios::hetero::{self, FabricKind, FailureStorm};
+
+/// The first seed whose correlated flap run lands entirely inside
+/// `range` on an `n`-port fabric. Deterministic: the storm is a pure
+/// function of `(seed, n)`.
+fn seed_with_victims_in(n: usize, range: std::ops::Range<usize>) -> u64 {
+    (0..10_000u64)
+        .find(|&s| {
+            let v = FailureStorm::new(s).victims(n);
+            !v.is_empty() && v.iter().all(|&p| range.contains(&p))
+        })
+        .expect("a seed exists in the first 10k")
+}
+
+#[test]
+fn correlated_flap_storm_isolates_victims_per_tenant() {
+    // A flap storm aimed at the optical tenant of the hybrid mix: that
+    // tenant must fail loudly with its own identity, the all-electrical
+    // tenant must keep its exact healthy timing (its crossbar neither
+    // flaps nor slows), and the boundary tenant completes — degraded,
+    // never corrupted.
+    let scenario = hetero::hybrid_mix(MIB);
+    let cfg = RunConfig::paper_defaults();
+    let reconfig = ReconfigModel::constant(10e-6).unwrap();
+    let initial = Matching::shift(32, 1).unwrap();
+
+    let healthy = {
+        let mut fab = hetero::build_fabric(FabricKind::Hybrid, initial.clone(), reconfig).unwrap();
+        scenario.run_on(fab.as_mut(), &cfg).unwrap()
+    };
+
+    let seed = seed_with_victims_in(32, 24..32); // opt-shuffle's partition
+    let storm = FailureStorm::new(seed);
+    let mut fab =
+        hetero::build_fabric_stormy(FabricKind::Hybrid, initial, reconfig, Some(storm)).unwrap();
+    let stormy = scenario.run_on(fab.as_mut(), &cfg).unwrap();
+
+    // The victim fails tenant-tagged; the flap storm cannot take down
+    // the whole scenario.
+    match stormy[2].as_ref().unwrap_err() {
+        SimError::Tenant {
+            tenant: 2,
+            name,
+            source,
+        } => {
+            assert_eq!(name, "opt-shuffle");
+            assert!(matches!(**source, SimError::Unroutable { .. }), "{source}");
+        }
+        other => panic!("expected tenant-tagged Unroutable, got {other}"),
+    }
+
+    // The electrical tenant's data plane is untouched, step for step:
+    // the flaps hit the wrong ports and the photonic slowdown hits the
+    // wrong medium. Its stalls may shift either way — queueing behind
+    // the shared controller stretches when the boundary tenant's
+    // photonic reconfigurations slow and shrinks once the dead optical
+    // tenant stops contending — but every picosecond of them is
+    // queueing, never its own switching: the crossbar reconfigures for
+    // free under the storm exactly as it does healthy.
+    let (h_elec, s_elec) = (healthy[0].as_ref().unwrap(), stormy[0].as_ref().unwrap());
+    for (h, s) in h_elec.report.steps.iter().zip(&s_elec.report.steps) {
+        assert_eq!(h.transfer_ps, s.transfer_ps);
+        assert_eq!(h.reconfig_ps, h.arbitration_ps);
+        assert_eq!(s.reconfig_ps, s.arbitration_ps);
+    }
+
+    // The boundary tenant straddles the media split: the storm's
+    // transceiver degradation stretches its photonic reconfigurations,
+    // but its data plane stays exact.
+    let (h_bnd, s_bnd) = (healthy[1].as_ref().unwrap(), stormy[1].as_ref().unwrap());
+    assert!(s_bnd.finish_ps >= h_bnd.finish_ps);
+    for (h, s) in h_bnd.report.steps.iter().zip(&s_bnd.report.steps) {
+        assert_eq!(h.transfer_ps, s.transfer_ps);
+        assert!(s.reconfig_ps >= h.reconfig_ps);
+    }
+
+    // Trace causality survives the storm: the boundary tenant still
+    // reconfigures (storm-stretched, not suppressed), and every
+    // ReconfigStart is closed by a ReconfigDone stamped no earlier.
+    let mut starts = 0usize;
+    let mut open_at = None;
+    for ev in &s_bnd.report.trace {
+        match ev.kind {
+            TraceKind::ReconfigStart { ports } => {
+                assert!(ports > 0);
+                starts += 1;
+                open_at = Some(ev.at);
+            }
+            TraceKind::ReconfigDone => {
+                let at = open_at.take().expect("ReconfigDone without a start");
+                assert!(ev.at >= at, "reconfiguration finished before it began");
+            }
+            _ => {}
+        }
+    }
+    assert!(starts > 0, "boundary tenant must still reconfigure");
+    assert!(open_at.is_none(), "every ReconfigStart is closed");
+}
+
+#[test]
+fn healed_storm_fabric_reruns_to_goodput_one() {
+    // Fabric-as-a-service on a stormy hybrid device: while the storm
+    // holds, matched jobs crossing the flapped ports fail and goodput
+    // drops below one. Heal the storm, rewind the clock, rerun the same
+    // offered load — every job completes.
+    use aps_core::ConfigChoice;
+    use aps_faas::{AdmissionPolicy, PoissonArrivals, TenantClass};
+    use aps_fabric::HybridFabric;
+    use aps_sim::ServiceSwitching;
+
+    let n = 16;
+    let reconfig = ReconfigModel::constant(10e-6).unwrap();
+    let initial = Matching::shift(n, 1).unwrap();
+    let seed = seed_with_victims_in(n, 8..16); // the optical half
+    let storm = FailureStorm::new(seed);
+
+    let coll = collectives::allreduce::halving_doubling::build(n, MIB).unwrap();
+    let schedule = coll.schedule;
+    let class = |sched: collectives::Schedule| {
+        TenantClass::new(
+            "storm-riders",
+            n,
+            Matching::shift(n, 1).unwrap(),
+            ServiceSwitching::Uniform(ConfigChoice::Matched),
+            Box::new(PoissonArrivals::new(1000.0, Some(12), 3).unwrap()),
+            Box::new(move |_id: u64| -> Box<dyn collectives::Workload> {
+                Box::new(collectives::workload::ScheduleStream::new(sched.clone()))
+            }),
+        )
+    };
+    // Queued admission: arrivals that land while the fabric is busy wait
+    // instead of bouncing ports-busy, so on a healthy device every
+    // offered job is eventually admitted and goodput can reach one.
+    let mut service = Experiment::domain(topology::builders::ring_unidirectional(n).unwrap())
+        .reconfig(reconfig)
+        .service(vec![class(schedule)])
+        .admission(AdmissionPolicy::Queue { capacity: 16 });
+
+    let mut fabric = HybridFabric::split(initial.clone(), n / 2, reconfig).unwrap();
+    storm.apply_hybrid(&mut fabric).unwrap();
+    let stormy = service.run_on(&mut fabric).unwrap().summary;
+    let t = &stormy.tenants[0];
+    assert_eq!(t.offered, 12);
+    assert!(t.failed > 0, "storm must fail matched jobs");
+    assert!(t.goodput() < 1.0);
+
+    // Heal: unstick the flapped ports, lift the slowdown, restore the
+    // base configuration and rewind the device clock.
+    storm.heal_hybrid(&mut fabric);
+    fabric
+        .load_state(&aps_fabric::FabricState {
+            config: initial,
+            busy_until: 0,
+        })
+        .unwrap();
+    fabric.reset_clock();
+    let healed = service.run_on(&mut fabric).unwrap().summary;
+    let t = &healed.tenants[0];
+    assert_eq!(t.offered, 12);
+    assert_eq!(t.failed, 0);
+    assert_eq!(t.completed, t.admitted);
+    assert!((t.goodput() - 1.0).abs() < f64::EPSILON);
+    assert!(healed.makespan_ps > 0);
+}
+
+#[test]
+fn decisions_precede_reconfigs_under_transceiver_ageing_storm() {
+    // The wavelength-bank storm degrades transceivers (no flaps), so
+    // every tenant completes — slower, since aged tuning stretches every
+    // matched step's reconfiguration on the critical path (no compute to
+    // hide it behind).
+    let scenario = hetero::multi_wavelength(MIB);
+    let cfg = RunConfig::paper_defaults();
+    let reconfig = ReconfigModel::constant(10e-6).unwrap();
+    let initial = Matching::shift(24, 1).unwrap();
+    // Age transceivers inside the band-hopper's partition (ports 8..24),
+    // the tenant whose cross-band hops dominate the makespan.
+    let storm = FailureStorm::new(seed_with_victims_in(24, 8..24));
+
+    let run = |storm: Option<FailureStorm>| {
+        let mut fab = hetero::build_fabric_stormy(
+            FabricKind::WavelengthBank,
+            initial.clone(),
+            reconfig,
+            storm,
+        )
+        .unwrap();
+        scenario
+            .run_on(fab.as_mut(), &cfg)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>()
+    };
+    let healthy = run(None);
+    let stormy = run(Some(storm));
+    for (h, s) in healthy.iter().zip(&stormy) {
+        assert!(
+            s.finish_ps >= h.finish_ps,
+            "ageing never speeds a tenant up"
+        );
+    }
+    // Degradation is visible somewhere: the storm's victims slow at
+    // least one tenant down.
+    assert!(
+        stormy.iter().map(|t| t.finish_ps).max() > healthy.iter().map(|t| t.finish_ps).max(),
+        "storm must cost time"
+    );
+
+    // The causality invariant rides the adaptive path — scheduled
+    // scenario replay never consults a controller, so drive a live
+    // controller over the same aged bank, with reconfigure/compute
+    // overlap on to stress the event ordering, and check every
+    // storm-stretched reconfiguration is still preceded by its decision.
+    let coll = collectives::alltoall::linear_shift(24, MIB).unwrap();
+    let mut aged =
+        hetero::build_fabric_stormy(FabricKind::WavelengthBank, initial, reconfig, Some(storm))
+            .unwrap();
+    let run = Experiment::domain(topology::builders::ring_unidirectional(24).unwrap())
+        .reconfig(reconfig)
+        .sim_config(RunConfig {
+            compute: Some(ComputeModel { per_byte_s: 1e-9 }),
+            overlap_reconfig_with_compute: true,
+            ..RunConfig::paper_defaults()
+        })
+        .controller(AlwaysReconfigure)
+        .collective(&coll)
+        .simulate_on(aged.as_mut())
+        .unwrap();
+    let reconfigs = assert_decisions_precede_reconfigs(&run.report.trace);
+    assert!(reconfigs > 0, "the adaptive run must reconfigure");
+}
+
 #[test]
 fn overlapping_tenant_bases_error_instead_of_panicking() {
     // Two tenants claiming an overlapping port range: their base rings
